@@ -1,0 +1,145 @@
+//! Criterion micro-benchmarks of the hot paths: protocol access, LRU, disk
+//! scheduler, event queue, and one small end-to-end simulation per server.
+
+use ccm_core::{BlockId, CacheConfig, ClusterCache, FileId, NodeId, ReplacementPolicy};
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use simcore::{EventQueue, Rng, SimTime};
+
+fn bench_cluster_cache(c: &mut Criterion) {
+    let mut g = c.benchmark_group("cluster_cache");
+    for policy in [
+        ReplacementPolicy::GlobalLru,
+        ReplacementPolicy::MasterPreserving,
+    ] {
+        g.bench_function(format!("access_{}", policy.label()), |b| {
+            b.iter_batched(
+                || {
+                    let cache = ClusterCache::new(CacheConfig::paper(8, 1024, policy));
+                    let rng = Rng::new(7);
+                    (cache, rng)
+                },
+                |(mut cache, mut rng)| {
+                    for _ in 0..10_000 {
+                        let node = NodeId(rng.next_below(8) as u16);
+                        let block = BlockId::new(FileId(rng.next_below(500) as u32), 0);
+                        std::hint::black_box(cache.access(node, block));
+                    }
+                    cache.stats().accesses()
+                },
+                BatchSize::SmallInput,
+            )
+        });
+    }
+    g.finish();
+}
+
+fn bench_event_queue(c: &mut Criterion) {
+    c.bench_function("event_queue_push_pop_10k", |b| {
+        b.iter_batched(
+            || Rng::new(3),
+            |mut rng| {
+                let mut q = EventQueue::new();
+                for i in 0..10_000u64 {
+                    q.push(SimTime(rng.next_below(1_000_000)), i);
+                }
+                let mut acc = 0u64;
+                while let Some((_, v)) = q.pop() {
+                    acc = acc.wrapping_add(v);
+                }
+                acc
+            },
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+fn bench_disk_scheduler(c: &mut Criterion) {
+    use ccm_cluster::disk::{Disk, DiskRequest, DiskScheduler};
+    use ccm_cluster::CostModel;
+    let costs = CostModel::default();
+    let mut g = c.benchmark_group("disk");
+    for sched in [DiskScheduler::Fifo, DiskScheduler::Batched] {
+        g.bench_function(format!("{sched:?}_1k_requests"), |b| {
+            b.iter_batched(
+                || {
+                    let mut rng = Rng::new(11);
+                    let reqs: Vec<DiskRequest> = (0..1_000)
+                        .map(|i| DiskRequest {
+                            tag: i,
+                            address: rng.next_below(64) * 65536 + rng.next_below(8) * 8192,
+                            bytes: 8192,
+                            extents: 1,
+                        })
+                        .collect();
+                    (Disk::new(sched), reqs)
+                },
+                |(mut disk, reqs)| {
+                    let mut pending = None;
+                    for r in reqs {
+                        if let Some(cmp) = disk.submit(SimTime::ZERO, r, &costs) {
+                            pending = Some(cmp);
+                        }
+                    }
+                    let mut count = 0u64;
+                    while let Some(cmp) = pending {
+                        count += 1;
+                        pending = disk.next_after_completion(cmp.done, &costs);
+                    }
+                    count
+                },
+                BatchSize::SmallInput,
+            )
+        });
+    }
+    g.finish();
+}
+
+fn bench_workload_sampling(c: &mut Criterion) {
+    use ccm_traces::Preset;
+    let w = Preset::Calgary.workload();
+    c.bench_function("zipf_sample_calgary", |b| {
+        let mut rng = Rng::new(5);
+        b.iter(|| std::hint::black_box(w.sample(&mut rng)))
+    });
+}
+
+fn bench_end_to_end(c: &mut Criterion) {
+    use ccm_traces::SynthConfig;
+    use ccm_webserver::{CcmVariant, ServerKind, SimConfig};
+    use std::sync::Arc;
+
+    let workload = Arc::new(
+        SynthConfig {
+            n_files: 300,
+            total_bytes: Some(16 << 20),
+            ..SynthConfig::default()
+        }
+        .build(),
+    );
+    let mut g = c.benchmark_group("end_to_end_small");
+    g.sample_size(10);
+    for server in [
+        ServerKind::L2s { handoff: true },
+        ServerKind::Ccm(CcmVariant::master_preserving()),
+    ] {
+        g.bench_function(server.label(), |b| {
+            b.iter(|| {
+                let mut cfg = SimConfig::paper(server, 4, 8 << 20).quick();
+                cfg.warmup_requests = 500;
+                cfg.measure_requests = 1_500;
+                std::hint::black_box(ccm_webserver::run(&cfg, &workload).throughput_rps)
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_cluster_cache,
+    bench_event_queue,
+    bench_disk_scheduler,
+    bench_workload_sampling,
+    bench_end_to_end
+);
+criterion_main!(benches);

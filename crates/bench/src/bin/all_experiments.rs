@@ -1,0 +1,56 @@
+//! Run every table/figure/extension experiment in sequence.
+//!
+//! Usage: `cargo run --release -p ccm-bench --bin all_experiments [--quick]`
+//!
+//! Each experiment is also available as its own binary; this driver just
+//! spawns them in DESIGN.md order so a single command regenerates the whole
+//! evaluation into `results/`.
+
+use std::process::Command;
+
+const EXPERIMENTS: &[&str] = &[
+    "table1",
+    "table2",
+    "fig1",
+    "fig2",
+    "fig3",
+    "fig4",
+    "fig5",
+    "fig6a",
+    "fig6b",
+    "ext_hints",
+    "ext_wholefile",
+    "ext_hotspot",
+    "ext_handoff",
+    "ext_disksched",
+    "ext_nchance",
+    "ext_hardware",
+    "ext_latency",
+    "ext_locality",
+    "ext_promote",
+    "ext_placement",
+];
+
+fn main() {
+    let exe = std::env::current_exe().expect("own path");
+    let dir = exe.parent().expect("bin dir");
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut failed = Vec::new();
+    for name in EXPERIMENTS {
+        println!("\n############ {name} ############");
+        let status = Command::new(dir.join(name))
+            .args(&args)
+            .status()
+            .unwrap_or_else(|e| panic!("failed to spawn {name}: {e}"));
+        if !status.success() {
+            eprintln!("{name} exited with {status}");
+            failed.push(*name);
+        }
+    }
+    if failed.is_empty() {
+        println!("\nAll experiments completed; CSVs in results/.");
+    } else {
+        eprintln!("\nFailed experiments: {failed:?}");
+        std::process::exit(1);
+    }
+}

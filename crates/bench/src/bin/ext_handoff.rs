@@ -1,0 +1,48 @@
+//! Extension X4 (paper §6): L2S with and without TCP hand-off.
+//!
+//! "Bianchini and Carrera have shown that [TCP hand-off] can provide a
+//! performance advantage of approximately 7% over a server that does not use
+//! TCP-hand-off." Without hand-off, the front node must relay the whole
+//! response, paying a second serving cost and an extra LAN transfer.
+//!
+//! Usage: `cargo run --release -p ccm-bench --bin ext_handoff [--quick]`
+
+use ccm_bench::harness::{mem_sweep, Runner, Table, MB};
+use ccm_traces::Preset;
+use ccm_webserver::ServerKind;
+
+fn main() {
+    let mut runner = Runner::from_env();
+    let preset = Preset::Rutgers;
+    let nodes = 8;
+
+    let mut table = Table::new(&["mem/node", "handoff rps", "relay rps", "advantage"]);
+    let mut advantages = Vec::new();
+    for mem in mem_sweep() {
+        let with = runner.run(preset, ServerKind::L2s { handoff: true }, nodes, mem);
+        runner.record(&format!("{},{},{}", preset.name(), nodes, mem / MB), &with);
+        let without = runner.run(preset, ServerKind::L2s { handoff: false }, nodes, mem);
+        runner.record(&format!("{},{},{}", preset.name(), nodes, mem / MB), &without);
+        let adv = with.throughput_rps / without.throughput_rps - 1.0;
+        advantages.push(adv);
+        table.row(vec![
+            format!("{}MB", mem / MB),
+            format!("{:.0}", with.throughput_rps),
+            format!("{:.0}", without.throughput_rps),
+            format!("{:+.1}%", 100.0 * adv),
+        ]);
+    }
+    println!(
+        "=== Extension: L2S TCP hand-off ablation ({}, {} nodes) ===",
+        preset.name(),
+        nodes
+    );
+    table.print();
+    let mean = advantages.iter().sum::<f64>() / advantages.len() as f64;
+    println!(
+        "\nMean hand-off advantage: {:+.1}% (paper cites ~7%).",
+        100.0 * mean
+    );
+    let path = runner.write_csv("ext_handoff", "trace,nodes,mem_mb");
+    println!("wrote {}", path.display());
+}

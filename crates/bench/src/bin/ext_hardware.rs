@@ -1,0 +1,126 @@
+//! Extension X7 (paper §6): hardware sensitivity.
+//!
+//! "Finally, this paper assumes a very specific set of hardware
+//! characteristics. We will investigate the effects of different hardware
+//! configurations on the cooperative caching algorithm." The paper's core
+//! trade is network communication for disk accesses, "a reasonable trade-off
+//! considering the current trend of relative performance between LANs and
+//! disks" — so the interesting axes are LAN speed/latency and disk speed.
+//!
+//! This experiment sweeps three hardware points per axis and reports
+//! ccm-mp's throughput normalized to L2S on the same hardware. Expected
+//! shape: a slow LAN (10 Mb/s Ethernet-era) erodes the middleware's
+//! competitiveness; a fast LAN or slow disk strengthens it.
+//!
+//! Usage: `cargo run --release -p ccm-bench --bin ext_hardware [--quick]`
+
+use ccm_bench::harness::{Runner, Table, MB};
+use ccm_cluster::CostModel;
+use ccm_traces::Preset;
+use ccm_webserver::{CcmVariant, ServerKind};
+
+struct Hw {
+    name: &'static str,
+    tweak: fn(&mut CostModel),
+}
+
+fn main() {
+    let mut runner = Runner::from_env();
+    let preset = Preset::Rutgers;
+    let nodes = 8;
+
+    let configs: Vec<Hw> = vec![
+        Hw {
+            name: "paper (Gb/s LAN, 2001 disk)",
+            tweak: |_| {},
+        },
+        Hw {
+            name: "slow LAN (100 Mb/s, 0.5ms)",
+            tweak: |c| {
+                c.nic_bytes_per_ms = 12_500.0;
+                c.net_latency_ms = 0.5;
+            },
+        },
+        Hw {
+            name: "very slow LAN (10 Mb/s, 1ms)",
+            tweak: |c| {
+                c.nic_bytes_per_ms = 1_250.0;
+                c.net_latency_ms = 1.0;
+            },
+        },
+        Hw {
+            name: "fast LAN (10 Gb/s, 10us)",
+            tweak: |c| {
+                c.nic_bytes_per_ms = 1_250_000.0;
+                c.net_latency_ms = 0.01;
+            },
+        },
+        Hw {
+            name: "slow disk (12ms seek, 20MB/s)",
+            tweak: |c| {
+                c.disk_seek_ms = 12.0;
+                c.disk_bytes_per_ms = 20_000.0;
+            },
+        },
+        Hw {
+            name: "fast disk (1ms seek, 200MB/s)",
+            tweak: |c| {
+                c.disk_seek_ms = 1.0;
+                c.disk_bytes_per_ms = 200_000.0;
+            },
+        },
+    ];
+
+    // Two regimes: disk-bound (16 MB/node) and memory-resident (128 MB/node).
+    for mem in [16 * MB, 128 * MB] {
+        let mut table = Table::new(&["hardware", "l2s rps", "ccm-mp rps", "mp/l2s"]);
+        for hw in &configs {
+            let mut costs = CostModel::default();
+            (hw.tweak)(&mut costs);
+            let l2s =
+                runner.run_with(preset, ServerKind::L2s { handoff: true }, nodes, mem, |cfg| {
+                    cfg.costs = costs.clone();
+                });
+            runner.record(
+                &format!("{},{},{},{}", preset.name(), nodes, mem / MB, hw.name),
+                &l2s,
+            );
+            let costs2 = {
+                let mut c = CostModel::default();
+                (hw.tweak)(&mut c);
+                c
+            };
+            let mp = runner.run_with(
+                preset,
+                ServerKind::Ccm(CcmVariant::master_preserving()),
+                nodes,
+                mem,
+                |cfg| {
+                    cfg.costs = costs2.clone();
+                },
+            );
+            runner.record(
+                &format!("{},{},{},{}", preset.name(), nodes, mem / MB, hw.name),
+                &mp,
+            );
+            table.row(vec![
+                hw.name.to_string(),
+                format!("{:.0}", l2s.throughput_rps),
+                format!("{:.0}", mp.throughput_rps),
+                format!("{:.2}", mp.throughput_rps / l2s.throughput_rps),
+            ]);
+        }
+        println!(
+            "
+=== Extension: hardware sensitivity ({}, {} nodes, {} MB/node) ===",
+            preset.name(),
+            nodes,
+            mem / MB
+        );
+        table.print();
+    }
+    println!("\n(The middleware trades network messages for disk reads, so its");
+    println!("competitiveness should track the LAN:disk speed ratio.)");
+    let path = runner.write_csv("ext_hardware", "trace,nodes,mem_mb,hardware");
+    println!("wrote {}", path.display());
+}

@@ -1,0 +1,73 @@
+//! Extension X3 (paper §5): forced concentration of hot files.
+//!
+//! "Surprisingly, \[ccm-mp\]'s complete lack of load balancing does not
+//! hurt its performance compared to \[L2S\]. This is because the
+//! round-robin distribution of requests diffuses the hot files throughout
+//! the cluster. … It would be interesting to observe \[its\] performance
+//! under a forced concentration of hot files on a single node." — this
+//! experiment does
+//! exactly that: the hottest fraction of files all *home* on node 0, so
+//! every demand miss for hot content hits one disk.
+//!
+//! Usage: `cargo run --release -p ccm-bench --bin ext_hotspot [--quick]`
+
+use ccm_bench::harness::{Runner, Table, MB};
+use ccm_cluster::Placement;
+use ccm_core::NodeId;
+use ccm_traces::Preset;
+use ccm_webserver::{CcmVariant, ServerKind};
+
+fn main() {
+    let mut runner = Runner::from_env();
+    let preset = Preset::Rutgers;
+    let nodes = 8;
+
+    let mut table = Table::new(&[
+        "mem/node",
+        "striped rps",
+        "hot-node rps",
+        "hot/striped",
+        "striped disk%",
+        "hot disk%",
+    ]);
+    for mem in [8 * MB, 32 * MB, 64 * MB, 128 * MB] {
+        let striped = runner.run(
+            preset,
+            ServerKind::Ccm(CcmVariant::master_preserving()),
+            nodes,
+            mem,
+        );
+        runner.record(&format!("{},{},{},striped", preset.name(), nodes, mem / MB), &striped);
+        let hot = runner.run_with(
+            preset,
+            ServerKind::Ccm(CcmVariant::master_preserving()),
+            nodes,
+            mem,
+            |cfg| {
+                cfg.placement = Placement::Concentrated {
+                    hot_node: NodeId(0),
+                    hot_fraction: 0.10,
+                }
+            },
+        );
+        runner.record(&format!("{},{},{},hot", preset.name(), nodes, mem / MB), &hot);
+        table.row(vec![
+            format!("{}MB", mem / MB),
+            format!("{:.0}", striped.throughput_rps),
+            format!("{:.0}", hot.throughput_rps),
+            format!("{:.2}", hot.throughput_rps / striped.throughput_rps),
+            format!("{:.1}", 100.0 * striped.disk_rate),
+            format!("{:.1}", 100.0 * hot.disk_rate),
+        ]);
+    }
+    println!(
+        "=== Extension: hot files concentrated on one home node ({}, {} nodes) ===",
+        preset.name(),
+        nodes
+    );
+    table.print();
+    println!("\n(The hottest 10% of files home on node 0; caching still diffuses");
+    println!("them — concentration mainly bites while the cache is cold or small.)");
+    let path = runner.write_csv("ext_hotspot", "trace,nodes,mem_mb,placement");
+    println!("wrote {}", path.display());
+}

@@ -1,0 +1,70 @@
+//! Extension X9: temporal locality in the request stream.
+//!
+//! The synthetic presets sample i.i.d. from the popularity distribution;
+//! real logs also re-reference recently-touched documents (per-client
+//! sessions). This experiment adds an LRU-stack locality layer to every
+//! client and measures how it shifts the middleware's hit composition:
+//! temporal locality converts remote hits into *local* hits (the re-read is
+//! served by the replica fetched moments ago), narrowing the gap to L2S
+//! without changing the protocol at all.
+//!
+//! Usage: `cargo run --release -p ccm-bench --bin ext_locality [--quick]`
+
+use ccm_bench::harness::{fmt_pct, Runner, Table, MB};
+use ccm_traces::Preset;
+use ccm_webserver::{CcmVariant, ServerKind};
+
+fn main() {
+    let mut runner = Runner::from_env();
+    let preset = Preset::Rutgers;
+    let nodes = 8;
+    let mem = 64 * MB;
+
+    let mut table = Table::new(&[
+        "locality",
+        "mp rps",
+        "mp local",
+        "mp remote",
+        "mp disk",
+        "l2s rps",
+        "mp/l2s",
+    ]);
+    for locality in [0.0f64, 0.2, 0.4, 0.6] {
+        let mp = runner.run_with(
+            preset,
+            ServerKind::Ccm(CcmVariant::master_preserving()),
+            nodes,
+            mem,
+            |c| c.client_locality = locality,
+        );
+        runner.record(
+            &format!("{},{},{},{}", preset.name(), nodes, mem / MB, locality),
+            &mp,
+        );
+        let l2s = runner.run_with(preset, ServerKind::L2s { handoff: true }, nodes, mem, |c| {
+            c.client_locality = locality
+        });
+        runner.record(
+            &format!("{},{},{},{}", preset.name(), nodes, mem / MB, locality),
+            &l2s,
+        );
+        table.row(vec![
+            format!("{locality:.1}"),
+            format!("{:.0}", mp.throughput_rps),
+            fmt_pct(mp.local_hit_rate),
+            fmt_pct(mp.remote_hit_rate),
+            fmt_pct(mp.disk_rate),
+            format!("{:.0}", l2s.throughput_rps),
+            format!("{:.2}", mp.throughput_rps / l2s.throughput_rps),
+        ]);
+    }
+    println!(
+        "=== Extension: client temporal locality ({}, {} nodes, {} MB/node) ===",
+        preset.name(),
+        nodes,
+        mem / MB
+    );
+    table.print();
+    let path = runner.write_csv("ext_locality", "trace,nodes,mem_mb,locality");
+    println!("\nwrote {}", path.display());
+}

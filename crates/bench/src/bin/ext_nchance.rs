@@ -1,0 +1,73 @@
+//! Extension X6: the classic N-chance baseline.
+//!
+//! The paper's algorithm descends from client-side cooperative caching
+//! (Dahlin et al.'s N-chance forwarding, OSDI '94), which bounds how many
+//! times an unreferenced singlet is forwarded. The paper argues server
+//! workloads need *stronger* master retention, not weaker; this experiment
+//! quantifies that by running N-chance (N = 1, 2) between unlimited
+//! global-LRU forwarding (-Basic with the disk fix) and master-preserving.
+//!
+//! Usage: `cargo run --release -p ccm-bench --bin ext_nchance [--quick]`
+
+use ccm_bench::harness::{fmt_pct, Runner, Table, MB};
+use ccm_core::ReplacementPolicy;
+use ccm_traces::Preset;
+use ccm_webserver::{CcmVariant, ServerKind};
+
+fn main() {
+    let mut runner = Runner::from_env();
+    let preset = Preset::Rutgers;
+    let nodes = 8;
+
+    let policies = [
+        ("n-chance-1", ReplacementPolicy::NChance { chances: 1 }),
+        ("n-chance-2", ReplacementPolicy::NChance { chances: 2 }),
+        ("global-lru", ReplacementPolicy::GlobalLru),
+        ("master-pres", ReplacementPolicy::MasterPreserving),
+    ];
+
+    let mut table = Table::new(&[
+        "mem/node",
+        "n-chance-1",
+        "n-chance-2",
+        "global-lru",
+        "master-pres",
+        "mp hit",
+    ]);
+    for mem in [8 * MB, 16 * MB, 32 * MB, 64 * MB, 128 * MB] {
+        let mut rps = Vec::new();
+        let mut mp_hit = 0.0;
+        for &(name, policy) in &policies {
+            let mut v = CcmVariant::master_preserving();
+            v.policy = policy;
+            let m = runner.run(preset, ServerKind::Ccm(v), nodes, mem);
+            runner.record(
+                &format!("{},{},{},{}", preset.name(), nodes, mem / MB, name),
+                &m,
+            );
+            if policy == ReplacementPolicy::MasterPreserving {
+                mp_hit = m.total_hit_rate();
+            }
+            rps.push(m.throughput_rps);
+        }
+        table.row(vec![
+            format!("{}MB", mem / MB),
+            format!("{:.0}", rps[0]),
+            format!("{:.0}", rps[1]),
+            format!("{:.0}", rps[2]),
+            format!("{:.0}", rps[3]),
+            fmt_pct(mp_hit),
+        ]);
+    }
+    println!(
+        "=== Extension: replacement policies, disk fix held constant ({}, {} nodes) ===",
+        preset.name(),
+        nodes
+    );
+    table.print();
+    println!("\n(Expected ordering: limited forwarding <= unlimited forwarding");
+    println!("<= master-preserving — the paper's point that server-side");
+    println!("cooperative caching wants stronger, not weaker, master retention.)");
+    let path = runner.write_csv("ext_nchance", "trace,nodes,mem_mb,policy");
+    println!("wrote {}", path.display());
+}

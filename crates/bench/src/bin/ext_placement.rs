@@ -1,0 +1,69 @@
+//! Extension X11 (paper §4.1): file distribution under the middleware.
+//!
+//! "[The middleware] currently differs from [L2S] in that [L2S] assumes
+//! files are replicated everywhere. We are in the process of modifying [it]
+//! to have the same file distribution … but believe that it will not affect
+//! performance significantly." This experiment completes that modification:
+//! ccm-mp with files striped across the nodes' disks (the default, misses go
+//! to the home node's disk) versus replicated on every disk (misses read
+//! locally), and checks the paper's "not significant" prediction.
+//!
+//! Usage: `cargo run --release -p ccm-bench --bin ext_placement [--quick]`
+
+use ccm_bench::harness::{mem_sweep, Runner, Table, MB};
+use ccm_cluster::Placement;
+use ccm_traces::Preset;
+use ccm_webserver::{CcmVariant, ServerKind};
+
+fn main() {
+    let mut runner = Runner::from_env();
+    let preset = Preset::Rutgers;
+    let nodes = 8;
+
+    let mut table = Table::new(&[
+        "mem/node",
+        "striped rps",
+        "replicated rps",
+        "replicated/striped",
+    ]);
+    for mem in mem_sweep() {
+        let striped = runner.run(
+            preset,
+            ServerKind::Ccm(CcmVariant::master_preserving()),
+            nodes,
+            mem,
+        );
+        runner.record(
+            &format!("{},{},{},striped", preset.name(), nodes, mem / MB),
+            &striped,
+        );
+        let replicated = runner.run_with(
+            preset,
+            ServerKind::Ccm(CcmVariant::master_preserving()),
+            nodes,
+            mem,
+            |c| c.placement = Placement::Replicated,
+        );
+        runner.record(
+            &format!("{},{},{},replicated", preset.name(), nodes, mem / MB),
+            &replicated,
+        );
+        table.row(vec![
+            format!("{}MB", mem / MB),
+            format!("{:.0}", striped.throughput_rps),
+            format!("{:.0}", replicated.throughput_rps),
+            format!("{:.2}", replicated.throughput_rps / striped.throughput_rps),
+        ]);
+    }
+    println!(
+        "=== Extension: file distribution under ccm-mp ({}, {} nodes) ===",
+        preset.name(),
+        nodes
+    );
+    table.print();
+    println!("\n(The paper predicted this difference would 'not affect performance");
+    println!("significantly' — replicated disks remove one control hop per miss");
+    println!("but concentrate each node's misses on its own disk.)");
+    let path = runner.write_csv("ext_placement", "trace,nodes,mem_mb,placement");
+    println!("wrote {}", path.display());
+}

@@ -1,0 +1,71 @@
+//! Extension X10: replica promotion on master drop.
+//!
+//! In the paper's protocol, when a globally-oldest master is dropped, the
+//! block leaves cluster memory even if replicas of it survive elsewhere —
+//! the directory only tracks masters, so the next access is a disk read.
+//! This extension promotes a surviving replica to master instead (possible
+//! because the orchestrator tracks replica holders), plugging that leak.
+//!
+//! Expectation: a real but modest gain for the global-LRU policy (which
+//! drops masters constantly) and almost none for master-preserving (which
+//! rarely drops a master that still has replicas).
+//!
+//! Usage: `cargo run --release -p ccm-bench --bin ext_promote [--quick]`
+
+use ccm_bench::harness::{Runner, Table, MB};
+use ccm_core::ReplacementPolicy;
+use ccm_traces::Preset;
+use ccm_webserver::{CcmVariant, ServerKind};
+
+fn main() {
+    let mut runner = Runner::from_env();
+    let preset = Preset::Rutgers;
+    let nodes = 8;
+
+    let mut table = Table::new(&[
+        "mem/node",
+        "lru",
+        "lru+promote",
+        "gain",
+        "mp",
+        "mp+promote",
+        "gain",
+    ]);
+    for mem in [16 * MB, 32 * MB, 64 * MB, 128 * MB] {
+        let mut cells = vec![format!("{}MB", mem / MB)];
+        for policy in [
+            ReplacementPolicy::GlobalLru,
+            ReplacementPolicy::MasterPreserving,
+        ] {
+            let mut base_v = CcmVariant::master_preserving();
+            base_v.policy = policy;
+            let base = runner.run(preset, ServerKind::Ccm(base_v), nodes, mem);
+            runner.record(
+                &format!("{},{},{},{},off", preset.name(), nodes, mem / MB, policy.label()),
+                &base,
+            );
+            let mut promo_v = base_v;
+            promo_v.promote_on_master_drop = true;
+            let promo = runner.run(preset, ServerKind::Ccm(promo_v), nodes, mem);
+            runner.record(
+                &format!("{},{},{},{},on", preset.name(), nodes, mem / MB, policy.label()),
+                &promo,
+            );
+            cells.push(format!("{:.0}", base.throughput_rps));
+            cells.push(format!("{:.0}", promo.throughput_rps));
+            cells.push(format!(
+                "{:+.1}%",
+                100.0 * (promo.throughput_rps / base.throughput_rps - 1.0)
+            ));
+        }
+        table.row(cells);
+    }
+    println!(
+        "=== Extension: replica promotion on master drop ({}, {} nodes) ===",
+        preset.name(),
+        nodes
+    );
+    table.print();
+    let path = runner.write_csv("ext_promote", "trace,nodes,mem_mb,policy,promote");
+    println!("\nwrote {}", path.display());
+}

@@ -1,0 +1,55 @@
+//! Extension X2 (paper §6): whole-file adaptation of the middleware.
+//!
+//! "We will investigate whether [the layer] can easily be adapted for
+//! servers that always use whole files (e.g., a web server) and whether such
+//! an adaptation would improve performance." Here the adaptation launches
+//! every block fetch of a request at once instead of streaming extents
+//! sequentially — trading burstier resource usage for lower response time.
+//!
+//! Usage: `cargo run --release -p ccm-bench --bin ext_wholefile [--quick]`
+
+use ccm_bench::harness::{mem_sweep, Runner, Table, MB};
+use ccm_traces::Preset;
+use ccm_webserver::{CcmVariant, ServerKind};
+
+fn main() {
+    let mut runner = Runner::from_env();
+    let preset = Preset::Rutgers;
+    let nodes = 8;
+
+    let mut table = Table::new(&[
+        "mem/node",
+        "block rps",
+        "wholefile rps",
+        "block mean ms",
+        "wholefile mean ms",
+    ]);
+    for mem in mem_sweep() {
+        let block = runner.run(
+            preset,
+            ServerKind::Ccm(CcmVariant::master_preserving()),
+            nodes,
+            mem,
+        );
+        runner.record(&format!("{},{},{}", preset.name(), nodes, mem / MB), &block);
+        let mut v = CcmVariant::master_preserving();
+        v.whole_file = true;
+        let whole = runner.run(preset, ServerKind::Ccm(v), nodes, mem);
+        runner.record(&format!("{},{},{}", preset.name(), nodes, mem / MB), &whole);
+        table.row(vec![
+            format!("{}MB", mem / MB),
+            format!("{:.0}", block.throughput_rps),
+            format!("{:.0}", whole.throughput_rps),
+            format!("{:.2}", block.mean_response_ms),
+            format!("{:.2}", whole.mean_response_ms),
+        ]);
+    }
+    println!(
+        "=== Extension: whole-file adaptation ({}, {} nodes) ===",
+        preset.name(),
+        nodes
+    );
+    table.print();
+    let path = runner.write_csv("ext_wholefile", "trace,nodes,mem_mb");
+    println!("\nwrote {}", path.display());
+}

@@ -1,0 +1,55 @@
+//! Figure 1: the Rutgers workload's cumulative curves.
+//!
+//! X axis: files sorted by decreasing request frequency (normalized).
+//! Left Y axis: cumulative fraction of requests. Right Y axis: cumulative
+//! data-set size. The paper's calibration point: caching 99 % of requests
+//! requires ≈ 494 MB.
+//!
+//! Usage: `cargo run --release -p ccm-bench --bin fig1 [preset]`
+
+use ccm_bench::harness::{results_dir, Table};
+use ccm_traces::{Preset, WorkingSetCurve};
+use std::io::Write;
+
+fn main() {
+    let preset = std::env::args()
+        .nth(1)
+        .and_then(|s| Preset::from_name(&s))
+        .unwrap_or(Preset::Rutgers);
+    let w = preset.workload();
+    let curve = WorkingSetCurve::compute(&w, 400);
+
+    let mut table = Table::new(&["files (by freq)", "cum. requests", "cum. size (MB)"]);
+    for pct in [1, 2, 5, 8, 15, 23, 30, 38, 45, 53, 60, 68, 75, 83, 90, 98, 100] {
+        let idx = (pct * curve.points().len() / 100).saturating_sub(1);
+        let p = curve.points()[idx];
+        table.row(vec![
+            format!("{:.0}%", 100.0 * p.file_fraction),
+            format!("{:.1}%", 100.0 * p.request_fraction),
+            format!("{:.1}", p.cumulative_bytes as f64 / (1 << 20) as f64),
+        ]);
+    }
+    println!("=== Figure 1 ({} workload) ===", preset.name());
+    table.print();
+    let ws99 = w.working_set_for(0.99);
+    println!(
+        "\nCaching 99% of requests needs {:.0} MB (paper, Rutgers: ~494 MB).",
+        ws99 as f64 / (1 << 20) as f64
+    );
+
+    // CSV with the full-resolution curve.
+    let dir = results_dir();
+    std::fs::create_dir_all(&dir).expect("create results dir");
+    let path = dir.join(format!("fig1_{}.csv", preset.name()));
+    let mut f = std::fs::File::create(&path).expect("create csv");
+    writeln!(f, "file_fraction,request_fraction,cumulative_bytes").unwrap();
+    for p in curve.points() {
+        writeln!(
+            f,
+            "{:.6},{:.6},{}",
+            p.file_fraction, p.request_fraction, p.cumulative_bytes
+        )
+        .unwrap();
+    }
+    println!("wrote {}", path.display());
+}

@@ -1,0 +1,65 @@
+//! Figure 2: throughput for L2S and the three CCM variants on 8 nodes,
+//! per-node memory swept 4–512 MB, for all four traces.
+//!
+//! Paper shape: ccm-basic ≈ 20 % of L2S at small memories; ccm-sched in
+//! between; ccm-mp ≥ 80 % of L2S almost everywhere; all curves converge once
+//! the aggregate memory holds the working set.
+//!
+//! Usage: `cargo run --release -p ccm-bench --bin fig2 [--quick]`
+
+use ccm_bench::harness::{fmt_pct, fmt_rps, mem_sweep, paper_servers, results_dir, Runner, Table, MB};
+use ccm_bench::LineChart;
+use ccm_traces::Preset;
+
+fn main() {
+    let mut runner = Runner::from_env();
+    let nodes = 8;
+
+    for preset in Preset::all() {
+        let mut table = Table::new(&[
+            "mem/node", "l2s", "ccm-basic", "ccm-sched", "ccm-mp", "mp/l2s", "mp hit",
+        ]);
+        let mut curves: Vec<Vec<(f64, f64)>> = vec![Vec::new(); 4];
+        for mem in mem_sweep() {
+            let mut rps = Vec::new();
+            let mut mp_hit = 0.0;
+            for (si, server) in paper_servers().into_iter().enumerate() {
+                let m = runner.run(preset, server, nodes, mem);
+                runner.record(&format!("{},{},{}", preset.name(), nodes, mem / MB), &m);
+                if m.label == "ccm-mp" {
+                    mp_hit = m.total_hit_rate();
+                }
+                curves[si].push(((mem / MB) as f64, m.throughput_rps));
+                rps.push(m.throughput_rps);
+            }
+            table.row(vec![
+                format!("{}MB", mem / MB),
+                fmt_rps(rps[0]),
+                fmt_rps(rps[1]),
+                fmt_rps(rps[2]),
+                fmt_rps(rps[3]),
+                format!("{:.2}", rps[3] / rps[0]),
+                fmt_pct(mp_hit),
+            ]);
+        }
+        println!("\n=== Figure 2 ({}, {} nodes): throughput (req/s) ===", preset.name(), nodes);
+        table.print();
+
+        let mut chart = LineChart::new(
+            &format!("Figure 2: {} ({} nodes)", preset.name(), nodes),
+            "memory per node (MB)",
+            "throughput (req/s)",
+        )
+        .log2_x();
+        for (si, server) in paper_servers().into_iter().enumerate() {
+            chart.series(&server.label(), &curves[si]);
+        }
+        let svg = results_dir().join(format!("fig2_{}.svg", preset.name()));
+        std::fs::create_dir_all(results_dir()).expect("results dir");
+        chart.write(&svg);
+        println!("wrote {}", svg.display());
+    }
+
+    let path = runner.write_csv("fig2", "trace,nodes,mem_mb");
+    println!("\nwrote {}", path.display());
+}

@@ -1,0 +1,45 @@
+//! Figure 3: CCM throughput normalized against L2S.
+//!
+//! The paper shows two representative panels: (a) Calgary on 4 nodes and
+//! (b) Rutgers on 8 nodes. Shape: ccm-mp ≥ 0.8 almost everywhere, ≥ 0.9 or
+//! above 1.0 in most cases; ccm-basic far below.
+//!
+//! Usage: `cargo run --release -p ccm-bench --bin fig3 [--quick]`
+
+use ccm_bench::harness::{fmt_ratio, mem_sweep, paper_servers, Runner, Table, MB};
+use ccm_traces::Preset;
+use ccm_webserver::ServerKind;
+
+fn main() {
+    let mut runner = Runner::from_env();
+    for (preset, nodes) in [(Preset::Calgary, 4usize), (Preset::Rutgers, 8)] {
+        let mut table = Table::new(&["mem/node", "ccm-basic", "ccm-sched", "ccm-mp"]);
+        for mem in mem_sweep() {
+            let mut l2s_rps = 0.0;
+            let mut normalized = Vec::new();
+            for server in paper_servers() {
+                let m = runner.run(preset, server, nodes, mem);
+                runner.record(&format!("{},{},{}", preset.name(), nodes, mem / MB), &m);
+                if matches!(server, ServerKind::L2s { .. }) {
+                    l2s_rps = m.throughput_rps;
+                } else {
+                    normalized.push(m.throughput_rps / l2s_rps);
+                }
+            }
+            table.row(vec![
+                format!("{}MB", mem / MB),
+                fmt_ratio(normalized[0]),
+                fmt_ratio(normalized[1]),
+                fmt_ratio(normalized[2]),
+            ]);
+        }
+        println!(
+            "\n=== Figure 3 ({}, {} nodes): throughput normalized to L2S ===",
+            preset.name(),
+            nodes
+        );
+        table.print();
+    }
+    let path = runner.write_csv("fig3", "trace,nodes,mem_mb");
+    println!("\nwrote {}", path.display());
+}

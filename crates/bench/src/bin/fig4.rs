@@ -1,0 +1,74 @@
+//! Figure 4: hit rates on Rutgers, 8 nodes.
+//!
+//! Compares ccm-basic, ccm-mp and L2S hit rates per memory size. Paper
+//! shape: ccm-mp total hit ≈ L2S's (which is close to the theoretical
+//! maximum), but mostly *remote* hits; ccm-basic well below both.
+//!
+//! Usage: `cargo run --release -p ccm-bench --bin fig4 [--quick]`
+
+use ccm_bench::harness::{fmt_pct, mem_sweep, Runner, Table, MB};
+use ccm_traces::Preset;
+use ccm_webserver::{CcmVariant, ServerKind};
+
+fn main() {
+    let mut runner = Runner::from_env();
+    let preset = Preset::Rutgers;
+    let nodes = 8;
+
+    let mut table = Table::new(&[
+        "mem/node",
+        "basic total",
+        "mp local",
+        "mp remote",
+        "mp total",
+        "l2s",
+        "max possible",
+    ]);
+    let w = runner.workload(preset);
+    for mem in mem_sweep() {
+        let basic = runner.run(preset, ServerKind::Ccm(CcmVariant::basic()), nodes, mem);
+        runner.record(&format!("{},{},{}", preset.name(), nodes, mem / MB), &basic);
+        let mp = runner.run(
+            preset,
+            ServerKind::Ccm(CcmVariant::master_preserving()),
+            nodes,
+            mem,
+        );
+        runner.record(&format!("{},{},{}", preset.name(), nodes, mem / MB), &mp);
+        let l2s = runner.run(preset, ServerKind::L2s { handoff: true }, nodes, mem);
+        runner.record(&format!("{},{},{}", preset.name(), nodes, mem / MB), &l2s);
+
+        // Theoretical maximum: the request mass covered by the hottest files
+        // that fit in the aggregate memory.
+        let aggregate = mem * nodes as u64;
+        let max_possible = max_request_coverage(&w, aggregate);
+
+        table.row(vec![
+            format!("{}MB", mem / MB),
+            fmt_pct(basic.total_hit_rate()),
+            fmt_pct(mp.local_hit_rate),
+            fmt_pct(mp.remote_hit_rate),
+            fmt_pct(mp.total_hit_rate()),
+            fmt_pct(l2s.total_hit_rate()),
+            fmt_pct(max_possible),
+        ]);
+    }
+    println!("=== Figure 4: hit rates ({}, {} nodes) ===", preset.name(), nodes);
+    table.print();
+    let path = runner.write_csv("fig4", "trace,nodes,mem_mb");
+    println!("\nwrote {}", path.display());
+}
+
+/// Request coverage of the hottest files fitting in `bytes` of memory.
+fn max_request_coverage(w: &ccm_traces::Workload, bytes: u64) -> f64 {
+    let mut used = 0u64;
+    let mut count = 0usize;
+    for &s in w.sizes() {
+        if used + s > bytes {
+            break;
+        }
+        used += s;
+        count += 1;
+    }
+    w.request_fraction_of_top(count)
+}

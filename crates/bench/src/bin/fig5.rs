@@ -1,0 +1,59 @@
+//! Figure 5: average response time normalized against L2S.
+//!
+//! Panels as in Figure 3: Calgary on 4 nodes, Rutgers on 8 nodes. Paper
+//! shape: ccm-mp's average response time is ~5–10 % worse than L2S where
+//! both are memory-resident (the extra network round trips), and the wall
+//! clock values stay in the low milliseconds.
+//!
+//! Usage: `cargo run --release -p ccm-bench --bin fig5 [--quick]`
+
+use ccm_bench::harness::{fmt_ratio, mem_sweep, paper_servers, Runner, Table, MB};
+use ccm_traces::Preset;
+use ccm_webserver::ServerKind;
+
+fn main() {
+    let mut runner = Runner::from_env();
+    for (preset, nodes) in [(Preset::Calgary, 4usize), (Preset::Rutgers, 8)] {
+        let mut table = Table::new(&[
+            "mem/node",
+            "l2s (ms)",
+            "basic/l2s",
+            "sched/l2s",
+            "mp/l2s",
+            "mp (ms)",
+        ]);
+        for mem in mem_sweep() {
+            let mut l2s_ms = 0.0;
+            let mut ratios = Vec::new();
+            let mut mp_ms = 0.0;
+            for server in paper_servers() {
+                let m = runner.run(preset, server, nodes, mem);
+                runner.record(&format!("{},{},{}", preset.name(), nodes, mem / MB), &m);
+                if matches!(server, ServerKind::L2s { .. }) {
+                    l2s_ms = m.mean_response_ms;
+                } else {
+                    ratios.push(m.mean_response_ms / l2s_ms);
+                    if m.label == "ccm-mp" {
+                        mp_ms = m.mean_response_ms;
+                    }
+                }
+            }
+            table.row(vec![
+                format!("{}MB", mem / MB),
+                format!("{l2s_ms:.2}"),
+                fmt_ratio(ratios[0]),
+                fmt_ratio(ratios[1]),
+                fmt_ratio(ratios[2]),
+                format!("{mp_ms:.2}"),
+            ]);
+        }
+        println!(
+            "\n=== Figure 5 ({}, {} nodes): mean response time normalized to L2S ===",
+            preset.name(),
+            nodes
+        );
+        table.print();
+    }
+    let path = runner.write_csv("fig5", "trace,nodes,mem_mb");
+    println!("\nwrote {}", path.display());
+}

@@ -1,0 +1,44 @@
+//! Figure 6(a): ccm-mp resource utilization vs per-node memory
+//! (Rutgers, 8 nodes).
+//!
+//! Paper shape: the disk dominates at small memories and falls away as
+//! memory grows; CPU rises as the server becomes compute-bound; "the
+//! network is mostly idle".
+//!
+//! Usage: `cargo run --release -p ccm-bench --bin fig6a [--quick]`
+
+use ccm_bench::harness::{fmt_pct, mem_sweep, Runner, Table, MB};
+use ccm_traces::Preset;
+use ccm_webserver::{CcmVariant, ServerKind};
+
+fn main() {
+    let mut runner = Runner::from_env();
+    let preset = Preset::Rutgers;
+    let nodes = 8;
+
+    let mut table = Table::new(&["mem/node", "disk", "cpu", "nic", "throughput"]);
+    for mem in mem_sweep() {
+        let m = runner.run(
+            preset,
+            ServerKind::Ccm(CcmVariant::master_preserving()),
+            nodes,
+            mem,
+        );
+        runner.record(&format!("{},{},{}", preset.name(), nodes, mem / MB), &m);
+        table.row(vec![
+            format!("{}MB", mem / MB),
+            fmt_pct(m.utilization.disk),
+            fmt_pct(m.utilization.cpu),
+            fmt_pct(m.utilization.nic),
+            format!("{:.0}", m.throughput_rps),
+        ]);
+    }
+    println!(
+        "=== Figure 6(a): ccm-mp resource utilization ({}, {} nodes) ===",
+        preset.name(),
+        nodes
+    );
+    table.print();
+    let path = runner.write_csv("fig6a", "trace,nodes,mem_mb");
+    println!("\nwrote {}", path.display());
+}

@@ -1,0 +1,45 @@
+//! Figure 6(b): ccm-mp throughput vs cluster size (Rutgers, 32 MB/node).
+//!
+//! Paper shape: near-linear scaling up to 32 nodes — both because CPU is
+//! added and because aggregate memory grows with the cluster.
+//!
+//! Usage: `cargo run --release -p ccm-bench --bin fig6b [--quick]`
+
+use ccm_bench::harness::{Runner, Table, MB};
+use ccm_traces::Preset;
+use ccm_webserver::{CcmVariant, ServerKind};
+
+fn main() {
+    let mut runner = Runner::from_env();
+    let preset = Preset::Rutgers;
+    let mem = 32 * MB;
+
+    let mut table = Table::new(&["nodes", "throughput", "speedup vs 4", "total hit"]);
+    let mut base = 0.0;
+    for nodes in [4usize, 8, 16, 32] {
+        let m = runner.run(
+            preset,
+            ServerKind::Ccm(CcmVariant::master_preserving()),
+            nodes,
+            mem,
+        );
+        runner.record(&format!("{},{},{}", preset.name(), nodes, mem / MB), &m);
+        if nodes == 4 {
+            base = m.throughput_rps;
+        }
+        table.row(vec![
+            format!("{nodes}"),
+            format!("{:.0}", m.throughput_rps),
+            format!("{:.2}x", m.throughput_rps / base),
+            format!("{:.1}%", 100.0 * m.total_hit_rate()),
+        ]);
+    }
+    println!(
+        "=== Figure 6(b): ccm-mp scaling ({}, {} MB/node) ===",
+        preset.name(),
+        mem / MB
+    );
+    table.print();
+    let path = runner.write_csv("fig6b", "trace,nodes,mem_mb");
+    println!("\nwrote {}", path.display());
+}

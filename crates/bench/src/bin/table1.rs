@@ -1,0 +1,30 @@
+//! Table 1: the simulation parameters.
+//!
+//! Prints the cost model in the paper's format. The values are the
+//! reconstruction documented in DESIGN.md (the OCR of the paper drops
+//! decimals); unit tests in `ccm-cluster::costs` pin them.
+//!
+//! Usage: `cargo run -p ccm-bench --bin table1`
+
+use ccm_cluster::CostModel;
+
+fn main() {
+    let costs = CostModel::default();
+    println!("=== Table 1: simulation parameters ===");
+    println!("{:<34} Time", "Event");
+    println!("{}", "-".repeat(60));
+    for (event, time) in costs.table1_rows() {
+        println!("{event:<34} {time}");
+    }
+    println!();
+    println!(
+        "Modeled hardware: VIA Gb/s LAN ({} MB/s NIC), 800 MHz PIII,",
+        costs.nic_bytes_per_ms / 1000.0
+    );
+    println!(
+        "IBM Deskstar 75GXP ({} MB/s media, {} ms avg seek), PC133 bus,",
+        costs.disk_bytes_per_ms / 1000.0,
+        costs.disk_seek_ms
+    );
+    println!("Cisco 7600-class router ({} us/request).", costs.router_ms * 1000.0);
+}

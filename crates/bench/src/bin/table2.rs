@@ -1,0 +1,22 @@
+//! Table 2: characteristics of the WWW workloads.
+//!
+//! Prints the Table 2 columns (files, average file size, average request
+//! size, file-set size) for the four synthetic presets standing in for the
+//! Calgary / ClarkNet / NASA / Rutgers traces.
+//!
+//! Usage: `cargo run --release -p ccm-bench --bin table2`
+
+use ccm_traces::{Preset, TraceStats};
+
+fn main() {
+    println!("=== Table 2: characteristics of the workloads ===");
+    println!("{}", TraceStats::header());
+    println!("{}", "-".repeat(64));
+    for preset in Preset::all() {
+        let stats = TraceStats::of(&preset.workload());
+        println!("{}", stats.row());
+    }
+    println!();
+    println!("(Synthetic stand-ins calibrated per DESIGN.md; the request");
+    println!("columns of the paper's Table 2 are closed-loop here, §4.3.)");
+}

@@ -1,0 +1,330 @@
+//! A small SVG line-chart renderer for the figure binaries.
+//!
+//! The paper's figures are throughput/ratio curves over a log-2 memory axis;
+//! this emits them as self-contained SVG next to the CSVs so results can be
+//! eyeballed without any plotting stack. Deliberately minimal: line series,
+//! linear or log-2 X, linear Y from zero, ticks, legend.
+
+use std::fmt::Write as _;
+use std::path::Path;
+
+const WIDTH: f64 = 720.0;
+const HEIGHT: f64 = 440.0;
+const MARGIN_L: f64 = 70.0;
+const MARGIN_R: f64 = 150.0;
+const MARGIN_T: f64 = 40.0;
+const MARGIN_B: f64 = 50.0;
+
+/// A qualitative palette (colorblind-safe-ish).
+const COLORS: &[&str] = &[
+    "#0072b2", "#d55e00", "#009e73", "#cc79a7", "#e69f00", "#56b4e9", "#999999",
+];
+
+/// A line chart under construction.
+pub struct LineChart {
+    title: String,
+    x_label: String,
+    y_label: String,
+    log2_x: bool,
+    series: Vec<(String, Vec<(f64, f64)>)>,
+}
+
+impl LineChart {
+    /// A chart with the given title and axis labels.
+    pub fn new(title: &str, x_label: &str, y_label: &str) -> LineChart {
+        LineChart {
+            title: title.to_string(),
+            x_label: x_label.to_string(),
+            y_label: y_label.to_string(),
+            log2_x: false,
+            series: Vec::new(),
+        }
+    }
+
+    /// Use a log-2 X axis (the paper's memory sweeps double per step).
+    pub fn log2_x(mut self) -> LineChart {
+        self.log2_x = true;
+        self
+    }
+
+    /// Add one named series. Points with non-finite coordinates are skipped.
+    pub fn series(&mut self, name: &str, points: &[(f64, f64)]) -> &mut LineChart {
+        let clean: Vec<(f64, f64)> = points
+            .iter()
+            .copied()
+            .filter(|(x, y)| x.is_finite() && y.is_finite())
+            .collect();
+        self.series.push((name.to_string(), clean));
+        self
+    }
+
+    fn x_transform(&self, x: f64) -> f64 {
+        if self.log2_x {
+            x.max(f64::MIN_POSITIVE).log2()
+        } else {
+            x
+        }
+    }
+
+    /// Render the chart as an SVG document.
+    pub fn render(&self) -> String {
+        let plot_w = WIDTH - MARGIN_L - MARGIN_R;
+        let plot_h = HEIGHT - MARGIN_T - MARGIN_B;
+
+        let xs: Vec<f64> = self
+            .series
+            .iter()
+            .flat_map(|(_, pts)| pts.iter().map(|&(x, _)| self.x_transform(x)))
+            .collect();
+        let ys: Vec<f64> = self
+            .series
+            .iter()
+            .flat_map(|(_, pts)| pts.iter().map(|&(_, y)| y))
+            .collect();
+        let (x_min, x_max) = bounds(&xs, 0.0, 1.0);
+        let (_, y_max) = bounds(&ys, 0.0, 1.0);
+        let y_min = 0.0; // figures read from zero
+        let y_max = y_max * 1.05;
+
+        let sx = |x: f64| MARGIN_L + (self.x_transform(x) - x_min) / (x_max - x_min) * plot_w;
+        let sy = |y: f64| MARGIN_T + (1.0 - (y - y_min) / (y_max - y_min)) * plot_h;
+
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            r#"<svg xmlns="http://www.w3.org/2000/svg" width="{WIDTH}" height="{HEIGHT}" viewBox="0 0 {WIDTH} {HEIGHT}" font-family="sans-serif" font-size="12">"#
+        );
+        let _ = writeln!(out, r#"<rect width="100%" height="100%" fill="white"/>"#);
+        let _ = writeln!(
+            out,
+            r#"<text x="{}" y="20" text-anchor="middle" font-size="15">{}</text>"#,
+            WIDTH / 2.0,
+            escape(&self.title)
+        );
+
+        // Axes.
+        let x0 = MARGIN_L;
+        let y0 = MARGIN_T + plot_h;
+        let _ = writeln!(
+            out,
+            r#"<line x1="{x0}" y1="{y0}" x2="{}" y2="{y0}" stroke="black"/>"#,
+            MARGIN_L + plot_w
+        );
+        let _ = writeln!(
+            out,
+            r#"<line x1="{x0}" y1="{MARGIN_T}" x2="{x0}" y2="{y0}" stroke="black"/>"#
+        );
+        let _ = writeln!(
+            out,
+            r#"<text x="{}" y="{}" text-anchor="middle">{}</text>"#,
+            MARGIN_L + plot_w / 2.0,
+            HEIGHT - 12.0,
+            escape(&self.x_label)
+        );
+        let _ = writeln!(
+            out,
+            r#"<text x="16" y="{}" text-anchor="middle" transform="rotate(-90 16 {})">{}</text>"#,
+            MARGIN_T + plot_h / 2.0,
+            MARGIN_T + plot_h / 2.0,
+            escape(&self.y_label)
+        );
+
+        // X ticks: at each distinct data x (memory sweeps have few points).
+        let mut tick_xs: Vec<f64> = self
+            .series
+            .iter()
+            .flat_map(|(_, pts)| pts.iter().map(|&(x, _)| x))
+            .collect();
+        tick_xs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        tick_xs.dedup();
+        if tick_xs.len() <= 12 {
+            for &x in &tick_xs {
+                let px = sx(x);
+                let _ = writeln!(
+                    out,
+                    r#"<line x1="{px}" y1="{y0}" x2="{px}" y2="{}" stroke="black"/>"#,
+                    y0 + 4.0
+                );
+                let _ = writeln!(
+                    out,
+                    r#"<text x="{px}" y="{}" text-anchor="middle">{}</text>"#,
+                    y0 + 18.0,
+                    fmt_num(x)
+                );
+            }
+        }
+        // Y ticks: 5 even divisions.
+        for i in 0..=5 {
+            let y = y_min + (y_max - y_min) * i as f64 / 5.0;
+            let py = sy(y);
+            let _ = writeln!(
+                out,
+                r#"<line x1="{}" y1="{py}" x2="{x0}" y2="{py}" stroke="black"/>"#,
+                x0 - 4.0
+            );
+            let _ = writeln!(
+                out,
+                r##"<line x1="{x0}" y1="{py}" x2="{}" y2="{py}" stroke="#dddddd"/>"##,
+                MARGIN_L + plot_w
+            );
+            let _ = writeln!(
+                out,
+                r#"<text x="{}" y="{}" text-anchor="end">{}</text>"#,
+                x0 - 8.0,
+                py + 4.0,
+                fmt_num(y)
+            );
+        }
+
+        // Series.
+        for (i, (name, pts)) in self.series.iter().enumerate() {
+            let color = COLORS[i % COLORS.len()];
+            if pts.len() > 1 {
+                let path: Vec<String> = pts
+                    .iter()
+                    .map(|&(x, y)| format!("{:.1},{:.1}", sx(x), sy(y)))
+                    .collect();
+                let _ = writeln!(
+                    out,
+                    r#"<polyline points="{}" fill="none" stroke="{color}" stroke-width="2"/>"#,
+                    path.join(" ")
+                );
+            }
+            for &(x, y) in pts {
+                let _ = writeln!(
+                    out,
+                    r#"<circle cx="{:.1}" cy="{:.1}" r="3" fill="{color}"/>"#,
+                    sx(x),
+                    sy(y)
+                );
+            }
+            // Legend entry.
+            let ly = MARGIN_T + 16.0 * i as f64;
+            let lx = MARGIN_L + plot_w + 12.0;
+            let _ = writeln!(
+                out,
+                r#"<line x1="{lx}" y1="{ly}" x2="{}" y2="{ly}" stroke="{color}" stroke-width="2"/>"#,
+                lx + 18.0
+            );
+            let _ = writeln!(
+                out,
+                r#"<text x="{}" y="{}">{}</text>"#,
+                lx + 24.0,
+                ly + 4.0,
+                escape(name)
+            );
+        }
+
+        out.push_str("</svg>\n");
+        out
+    }
+
+    /// Render and write to `path`.
+    ///
+    /// # Panics
+    /// Panics if the file cannot be written.
+    pub fn write(&self, path: &Path) {
+        std::fs::write(path, self.render()).expect("write svg");
+    }
+}
+
+fn bounds(vals: &[f64], fallback_min: f64, fallback_max: f64) -> (f64, f64) {
+    let mut min = f64::INFINITY;
+    let mut max = f64::NEG_INFINITY;
+    for &v in vals {
+        min = min.min(v);
+        max = max.max(v);
+    }
+    if !min.is_finite() || !max.is_finite() {
+        return (fallback_min, fallback_max);
+    }
+    if (max - min).abs() < f64::EPSILON {
+        (min - 0.5, max + 0.5)
+    } else {
+        (min, max)
+    }
+}
+
+fn fmt_num(x: f64) -> String {
+    if x.abs() >= 1_000.0 {
+        format!("{:.0}", x)
+    } else if x.fract().abs() < 1e-9 {
+        format!("{:.0}", x)
+    } else {
+        format!("{x:.2}")
+    }
+}
+
+fn escape(s: &str) -> String {
+    s.replace('&', "&amp;").replace('<', "&lt;").replace('>', "&gt;")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> LineChart {
+        let mut c = LineChart::new("t", "mem", "req/s").log2_x();
+        c.series("a", &[(4.0, 100.0), (8.0, 200.0), (16.0, 400.0)]);
+        c.series("b", &[(4.0, 50.0), (8.0, 75.0), (16.0, 300.0)]);
+        c
+    }
+
+    #[test]
+    fn renders_a_polyline_per_series() {
+        let svg = sample().render();
+        assert_eq!(svg.matches("<polyline").count(), 2);
+        assert_eq!(svg.matches("<circle").count(), 6);
+        assert!(svg.starts_with("<svg"));
+        assert!(svg.trim_end().ends_with("</svg>"));
+    }
+
+    #[test]
+    fn legend_and_labels_present() {
+        let svg = sample().render();
+        for needle in [">a<", ">b<", ">mem<", ">req/s<", ">t<"] {
+            assert!(svg.contains(needle), "missing {needle}");
+        }
+    }
+
+    #[test]
+    fn log_scale_spaces_doublings_evenly() {
+        let svg = sample().render();
+        // Extract the first polyline's x coordinates.
+        let start = svg.find("<polyline points=\"").unwrap() + 18;
+        let end = svg[start..].find('"').unwrap() + start;
+        let xs: Vec<f64> = svg[start..end]
+            .split(' ')
+            .map(|p| p.split(',').next().unwrap().parse().unwrap())
+            .collect();
+        let d1 = xs[1] - xs[0];
+        let d2 = xs[2] - xs[1];
+        assert!((d1 - d2).abs() < 0.5, "log2 axis not even: {d1} vs {d2}");
+    }
+
+    #[test]
+    fn non_finite_points_are_dropped() {
+        let mut c = LineChart::new("t", "x", "y");
+        c.series("a", &[(1.0, f64::NAN), (2.0, 3.0), (f64::INFINITY, 1.0)]);
+        let svg = c.render();
+        assert_eq!(svg.matches("<circle").count(), 1);
+        assert!(!svg.contains("NaN"));
+        assert!(!svg.contains("inf"));
+    }
+
+    #[test]
+    fn escapes_markup_in_labels() {
+        let mut c = LineChart::new("a<b&c", "x", "y");
+        c.series("s<1>", &[(1.0, 1.0), (2.0, 2.0)]);
+        let svg = c.render();
+        assert!(svg.contains("a&lt;b&amp;c"));
+        assert!(svg.contains("s&lt;1&gt;"));
+    }
+
+    #[test]
+    fn empty_chart_still_renders() {
+        let c = LineChart::new("empty", "x", "y");
+        let svg = c.render();
+        assert!(svg.contains("</svg>"));
+    }
+}

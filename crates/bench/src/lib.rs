@@ -1,0 +1,20 @@
+//! # ccm-bench — the experiment harness
+//!
+//! One binary per table/figure of the paper (see DESIGN.md's per-experiment
+//! index), plus the `ext_*` extension/ablation studies and an `all` driver.
+//! Each binary prints the rows/series the paper reports and writes a CSV
+//! under `results/`.
+//!
+//! Absolute numbers will not match the paper (the substrate is a calibrated
+//! simulator and the traces are synthetic stand-ins); the *shapes* are what
+//! EXPERIMENTS.md checks: who wins, by roughly what factor, and where the
+//! crossovers fall.
+//!
+//! Run scale: full runs take minutes; set `CCM_QUICK=1` (or pass `--quick`)
+//! to shrink every run for smoke-testing.
+
+pub mod chart;
+pub mod harness;
+
+pub use chart::LineChart;
+pub use harness::{ExperimentScale, Runner};

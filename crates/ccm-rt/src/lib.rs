@@ -1,0 +1,33 @@
+//! # ccm-rt — the cooperative caching middleware as a running library
+//!
+//! The paper closes with "eventually, this work should lead to an
+//! implementation" (§6). This crate is that implementation in miniature: the
+//! same `ccm-core` protocol state machine, but executed by real OS threads —
+//! one service thread per cluster node — moving real bytes over crossbeam
+//! channels standing in for the LAN. A "cluster" here lives inside one
+//! process (the paper's repro scope: "cluster can be emulated locally"), but
+//! the structure is the one a networked deployment would use: node-local
+//! block stores, peer request/forward messages, and a synchronous
+//! `read` API for the hosting service.
+//!
+//! Unlike the simulator, nothing here is optimistically atomic: a peer may
+//! have dropped a block between the directory decision and the data request.
+//! That is exactly the race the paper describes ("during the time that the
+//! request … travels, [the master holder] may discard [the block], resulting
+//! in an eventual disk read", §3), and the runtime resolves it the same way:
+//! fall through to the backing store.
+//!
+//! * [`store`] — the backing "disk": a [`store::BlockStore`] trait plus a
+//!   deterministic synthetic implementation and the file catalog.
+//! * [`transport`] — peer messages and the channel LAN.
+//! * [`runtime`] — node service threads, the shared protocol state, and the
+//!   public [`runtime::Middleware`] / [`runtime::NodeHandle`] API.
+
+#![warn(missing_docs)]
+
+pub mod runtime;
+pub mod store;
+pub mod transport;
+
+pub use runtime::{Middleware, NodeHandle, RtConfig, WriteError};
+pub use store::{BlockStore, Catalog, MemStore, SyntheticStore};

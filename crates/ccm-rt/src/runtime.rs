@@ -1,0 +1,649 @@
+//! Node service threads and the public middleware API.
+//!
+//! One [`Middleware`] instance is one emulated cluster: the shared protocol
+//! state (`ccm-core`'s [`ClusterCache`] behind a mutex — the "perfect
+//! directory" realized as shared memory), one block store per node, one
+//! service thread per node answering peer traffic, and any number of
+//! [`NodeHandle`]s through which the hosting service reads.
+//!
+//! Consistency model: protocol decisions are atomic (the cache mutex), but
+//! data movement is not — bytes chase the decision over channels. Whenever
+//! the data has not caught up with the metadata (a peer answers "don't have
+//! it", a local hit's bytes are still in flight), the reader falls through
+//! to the backing store, exactly the "eventual disk read" escape hatch the
+//! paper describes for in-flight races (§3). The `store_fallbacks` counter
+//! makes the frequency of that path observable.
+
+use crate::store::{BlockStore, Catalog};
+use crate::transport::{Lan, PeerMsg};
+use ccm_core::{
+    AccessOutcome, BlockId, CacheConfig, CacheStats, ClusterCache, CopyKind, Disposition,
+    EvictionEffect, FileId, NodeId, ReplacementPolicy,
+};
+use parking_lot::Mutex;
+use simcore::FxHashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+/// Error from [`NodeHandle::write_block`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WriteError {
+    /// The backing [`BlockStore`] refused the write (read-only store).
+    ReadOnlyStore,
+}
+
+impl std::fmt::Display for WriteError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WriteError::ReadOnlyStore => write!(f, "backing store is read-only"),
+        }
+    }
+}
+
+impl std::error::Error for WriteError {}
+
+/// Runtime configuration.
+#[derive(Debug, Clone)]
+pub struct RtConfig {
+    /// Cluster size (service threads).
+    pub nodes: usize,
+    /// Per-node cache capacity in 8 KB block frames.
+    pub capacity_blocks: usize,
+    /// Replacement policy; defaults to the paper's winning variant.
+    pub policy: ReplacementPolicy,
+}
+
+impl Default for RtConfig {
+    fn default() -> RtConfig {
+        RtConfig {
+            nodes: 4,
+            capacity_blocks: 1024,
+            policy: ReplacementPolicy::MasterPreserving,
+        }
+    }
+}
+
+type NodeStore = Mutex<FxHashMap<BlockId, Arc<Vec<u8>>>>;
+
+struct Shared {
+    cache: Mutex<ClusterCache>,
+    stores: Vec<NodeStore>,
+    disk: Arc<dyn BlockStore>,
+    catalog: Catalog,
+    lan: Lan,
+    /// Reads that had to fall through to the backing store because the data
+    /// plane had not caught up with a protocol decision.
+    store_fallbacks: AtomicU64,
+}
+
+impl Shared {
+    fn store_insert(&self, node: NodeId, block: BlockId, data: Arc<Vec<u8>>) {
+        self.stores[node.index()].lock().insert(block, data);
+    }
+
+    fn store_take(&self, node: NodeId, block: BlockId) -> Option<Arc<Vec<u8>>> {
+        self.stores[node.index()].lock().remove(&block)
+    }
+
+    fn store_get(&self, node: NodeId, block: BlockId) -> Option<Arc<Vec<u8>>> {
+        self.stores[node.index()].lock().get(&block).cloned()
+    }
+
+    fn disk_read(&self, block: BlockId) -> Arc<Vec<u8>> {
+        Arc::new(self.disk.read_block(block))
+    }
+
+    /// Move data in sympathy with an eviction decision.
+    fn apply_eviction(&self, evictor: NodeId, effect: EvictionEffect) {
+        match effect.disposition {
+            Disposition::Dropped | Disposition::DroppedWithPromotion { .. } => {
+                // Promotion keeps the holder's existing bytes; the evictor's
+                // copy is gone either way.
+                self.store_take(evictor, effect.victim);
+            }
+            Disposition::Forwarded {
+                to,
+                displaced,
+                merged_with_replica,
+            } => {
+                let data = self.store_take(evictor, effect.victim);
+                if merged_with_replica {
+                    // The destination already holds the bytes as a replica.
+                    return;
+                }
+                // If our bytes were already gone (data-plane race), the
+                // destination will fall back to the backing store on demand;
+                // re-reading here keeps its store warm instead.
+                let data = data.unwrap_or_else(|| {
+                    self.store_fallbacks.fetch_add(1, Ordering::Relaxed);
+                    self.disk_read(effect.victim)
+                });
+                self.lan.send(
+                    to,
+                    PeerMsg::Forward {
+                        block: effect.victim,
+                        data: data.to_vec(),
+                        displace: displaced.map(|(b, _)| b),
+                    },
+                );
+            }
+        }
+    }
+}
+
+/// A running middleware cluster.
+pub struct Middleware {
+    shared: Arc<Shared>,
+    threads: Vec<JoinHandle<()>>,
+}
+
+/// A per-node client handle; cheap to clone and `Send`.
+#[derive(Clone)]
+pub struct NodeHandle {
+    shared: Arc<Shared>,
+    node: NodeId,
+}
+
+/// Serve one node's peer traffic until shutdown.
+fn service_loop(shared: Arc<Shared>, node: NodeId, inbox: crossbeam::channel::Receiver<PeerMsg>) {
+    for msg in inbox.iter() {
+        match msg {
+            PeerMsg::BlockRequest { block, reply } => {
+                let data = shared.store_get(node, block).map(|a| a.to_vec());
+                // A send failure just means the requester gave up; ignore.
+                let _ = reply.send(data);
+            }
+            PeerMsg::Forward {
+                block,
+                data,
+                displace,
+            } => {
+                let mut store = shared.stores[node.index()].lock();
+                if let Some(d) = displace {
+                    store.remove(&d);
+                }
+                store.insert(block, Arc::new(data));
+            }
+            PeerMsg::Invalidate { block } => {
+                shared.store_take(node, block);
+            }
+            PeerMsg::Shutdown => break,
+        }
+    }
+}
+
+impl Middleware {
+    /// Spawn a cluster: `cfg.nodes` service threads over `catalog` backed by
+    /// `disk`.
+    ///
+    /// # Panics
+    /// Panics on a zero-node or zero-capacity configuration (via
+    /// [`ClusterCache::new`]).
+    pub fn start(cfg: RtConfig, catalog: Catalog, disk: Arc<dyn BlockStore>) -> Middleware {
+        let (lan, inboxes) = Lan::new(cfg.nodes);
+        let cache = ClusterCache::new(CacheConfig::paper(
+            cfg.nodes,
+            cfg.capacity_blocks,
+            cfg.policy,
+        ));
+        let shared = Arc::new(Shared {
+            cache: Mutex::new(cache),
+            stores: (0..cfg.nodes).map(|_| Mutex::new(FxHashMap::default())).collect(),
+            disk,
+            catalog,
+            lan,
+            store_fallbacks: AtomicU64::new(0),
+        });
+        let threads = inboxes
+            .into_iter()
+            .enumerate()
+            .map(|(i, inbox)| {
+                let shared = shared.clone();
+                std::thread::Builder::new()
+                    .name(format!("ccm-node-{i}"))
+                    .spawn(move || service_loop(shared, NodeId(i as u16), inbox))
+                    .expect("spawn node thread")
+            })
+            .collect();
+        Middleware { shared, threads }
+    }
+
+    /// A client handle bound to `node`.
+    ///
+    /// # Panics
+    /// Panics if the node is out of range.
+    pub fn handle(&self, node: NodeId) -> NodeHandle {
+        assert!(node.index() < self.shared.lan.nodes(), "no such node");
+        NodeHandle {
+            shared: self.shared.clone(),
+            node,
+        }
+    }
+
+    /// Number of nodes.
+    pub fn nodes(&self) -> usize {
+        self.shared.lan.nodes()
+    }
+
+    /// The file catalog being served.
+    pub fn catalog(&self) -> &Catalog {
+        &self.shared.catalog
+    }
+
+    /// Protocol counters so far.
+    pub fn stats(&self) -> CacheStats {
+        self.shared.cache.lock().stats()
+    }
+
+    /// Data-plane races resolved through the backing store.
+    pub fn store_fallbacks(&self) -> u64 {
+        self.shared.store_fallbacks.load(Ordering::Relaxed)
+    }
+
+    /// Verify protocol invariants (tests; takes the cache lock).
+    pub fn check_invariants(&self) {
+        self.shared.cache.lock().check_invariants();
+    }
+
+    /// Stop all service threads and join them.
+    pub fn shutdown(mut self) {
+        for i in 0..self.shared.lan.nodes() {
+            self.shared.lan.send(NodeId(i as u16), PeerMsg::Shutdown);
+        }
+        for t in self.threads.drain(..) {
+            t.join().expect("node thread panicked");
+        }
+    }
+}
+
+impl Drop for Middleware {
+    fn drop(&mut self) {
+        // Best-effort shutdown if the user forgot; ignore already-dead nodes.
+        for i in 0..self.shared.lan.nodes() {
+            self.shared.lan.send(NodeId(i as u16), PeerMsg::Shutdown);
+        }
+        for t in self.threads.drain(..) {
+            let _ = t.join();
+        }
+    }
+}
+
+impl NodeHandle {
+    /// The node this handle reads through.
+    pub fn node(&self) -> NodeId {
+        self.node
+    }
+
+    /// Read one block through the cooperative cache.
+    pub fn read_block(&self, block: BlockId) -> Arc<Vec<u8>> {
+        let outcome = self.shared.cache.lock().access(self.node, block);
+        match outcome {
+            AccessOutcome::LocalHit { kind } => {
+                let _ = kind;
+                match self.shared.store_get(self.node, block) {
+                    Some(data) => data,
+                    None => {
+                        // Our bytes are still in flight (concurrent fetch of
+                        // the same block); the backing store is authoritative.
+                        self.shared.store_fallbacks.fetch_add(1, Ordering::Relaxed);
+                        let data = self.shared.disk_read(block);
+                        self.shared.store_insert(self.node, block, data.clone());
+                        data
+                    }
+                }
+            }
+            AccessOutcome::RemoteHit {
+                from, eviction, ..
+            } => {
+                if let Some(e) = eviction {
+                    self.shared.apply_eviction(self.node, e);
+                }
+                let data = match self.shared.lan.fetch_block(from, block) {
+                    Some(bytes) => Arc::new(bytes),
+                    None => {
+                        // The §3 race: the holder discarded the block while
+                        // our request was in flight → eventual disk read.
+                        self.shared.store_fallbacks.fetch_add(1, Ordering::Relaxed);
+                        self.shared.disk_read(block)
+                    }
+                };
+                self.shared.store_insert(self.node, block, data.clone());
+                data
+            }
+            AccessOutcome::DiskRead { eviction, .. } => {
+                if let Some(e) = eviction {
+                    self.shared.apply_eviction(self.node, e);
+                }
+                let data = self.shared.disk_read(block);
+                self.shared.store_insert(self.node, block, data.clone());
+                data
+            }
+        }
+    }
+
+    /// Read a whole file through the cooperative cache.
+    ///
+    /// # Panics
+    /// Panics if the file is outside the catalog.
+    pub fn read_file(&self, file: FileId) -> Vec<u8> {
+        let size = self.shared.catalog.size_of(file) as usize;
+        let mut out = Vec::with_capacity(size);
+        for b in 0..self.shared.catalog.blocks_of(file) {
+            out.extend_from_slice(&self.read_block(BlockId::new(file, b)));
+        }
+        out
+    }
+
+    /// Overwrite one whole block through the cooperative cache (the §6
+    /// writes extension): write-through to the backing store, invalidate
+    /// every other node's copy, and become the master holder.
+    ///
+    /// Concurrent writers to the *same* block need external coordination
+    /// (last protocol write wins, but store write-through ordering is not
+    /// serialized with it); concurrent writes to distinct blocks and
+    /// concurrent reads of anything are safe.
+    ///
+    /// # Errors
+    /// [`WriteError::ReadOnlyStore`] if the backing store refuses writes.
+    pub fn write_block(&self, block: BlockId, data: &[u8]) -> Result<(), WriteError> {
+        // 1. Write-through first: once peers are invalidated, any of their
+        //    re-reads may fall through to the store and must see new data.
+        if !self.shared.disk.write_block(block, data) {
+            return Err(WriteError::ReadOnlyStore);
+        }
+        // 2. Protocol write (atomic): invalidate + become master.
+        let out = self.shared.cache.lock().write(self.node, block);
+        // 3. Data plane: drop superseded copies, install ours.
+        if let Some(e) = out.eviction {
+            self.shared.apply_eviction(self.node, e);
+        }
+        for peer in out.invalidated {
+            self.shared.lan.send(peer, PeerMsg::Invalidate { block });
+        }
+        if let Some(m) = out.superseded_master {
+            self.shared.lan.send(m, PeerMsg::Invalidate { block });
+        }
+        self.shared
+            .store_insert(self.node, block, Arc::new(data.to_vec()));
+        Ok(())
+    }
+
+    /// What kind of copy of `block` this node currently caches (diagnostic).
+    pub fn cached_as(&self, block: BlockId) -> Option<CopyKind> {
+        self.shared.cache.lock().node(self.node).lookup(block)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::store::{read_file_direct, SyntheticStore};
+
+    fn catalog(files: usize, size: u64) -> Catalog {
+        Catalog::new(vec![size; files])
+    }
+
+    fn start(nodes: usize, cap: usize, files: usize, size: u64) -> Middleware {
+        let cat = catalog(files, size);
+        let store = Arc::new(SyntheticStore::new(cat.clone(), 42));
+        Middleware::start(
+            RtConfig {
+                nodes,
+                capacity_blocks: cap,
+                policy: ReplacementPolicy::MasterPreserving,
+            },
+            cat,
+            store,
+        )
+    }
+
+    #[test]
+    fn single_node_read_round_trip() {
+        let mw = start(1, 64, 4, 20_000);
+        let h = mw.handle(NodeId(0));
+        let cat = mw.catalog().clone();
+        let store = SyntheticStore::new(cat.clone(), 42);
+        for f in 0..4u32 {
+            let got = h.read_file(FileId(f));
+            let want = read_file_direct(&store, &cat, FileId(f));
+            assert_eq!(got, want, "file {f} corrupted");
+        }
+        let s = mw.stats();
+        assert!(s.disk_reads > 0);
+        assert_eq!(s.remote_hits, 0, "single node has no peers");
+        mw.shutdown();
+    }
+
+    #[test]
+    fn remote_hits_serve_peer_cached_blocks() {
+        let mw = start(2, 64, 2, 20_000);
+        let h0 = mw.handle(NodeId(0));
+        let h1 = mw.handle(NodeId(1));
+        let a = h0.read_file(FileId(0));
+        let b = h1.read_file(FileId(0));
+        assert_eq!(a, b);
+        let s = mw.stats();
+        assert!(s.remote_hits > 0, "second reader should hit node 0's masters");
+        assert_eq!(mw.store_fallbacks(), 0, "no races in sequential use");
+        mw.check_invariants();
+        mw.shutdown();
+    }
+
+    #[test]
+    fn repeated_reads_are_local_hits() {
+        let mw = start(2, 64, 1, 30_000);
+        let h = mw.handle(NodeId(1));
+        h.read_file(FileId(0));
+        let before = mw.stats();
+        h.read_file(FileId(0));
+        let after = mw.stats();
+        assert_eq!(
+            after.local_hits - before.local_hits,
+            mw.catalog().blocks_of(FileId(0)) as u64
+        );
+        assert_eq!(after.disk_reads, before.disk_reads);
+        mw.shutdown();
+    }
+
+    #[test]
+    fn eviction_and_forwarding_preserve_integrity() {
+        // Tiny caches force heavy eviction/forwarding traffic.
+        let mw = start(3, 8, 20, 24_000);
+        let cat = mw.catalog().clone();
+        let store = SyntheticStore::new(cat.clone(), 42);
+        for round in 0..3 {
+            for f in 0..20u32 {
+                let node = NodeId(((f as usize + round) % 3) as u16);
+                let got = mw.handle(node).read_file(FileId(f));
+                let want = read_file_direct(&store, &cat, FileId(f));
+                assert_eq!(got, want, "file {f} corrupted in round {round}");
+            }
+        }
+        mw.check_invariants();
+        let s = mw.stats();
+        assert!(s.evict_drops + s.forwards > 0, "caches must have churned");
+        mw.shutdown();
+    }
+
+    #[test]
+    fn concurrent_readers_stay_consistent() {
+        let mw = Arc::new(start(4, 32, 30, 20_000));
+        let cat = mw.catalog().clone();
+        let mut threads = Vec::new();
+        for t in 0..8u16 {
+            let mw = mw.clone();
+            let cat = cat.clone();
+            threads.push(std::thread::spawn(move || {
+                let store = SyntheticStore::new(cat.clone(), 42);
+                let h = mw.handle(NodeId(t % 4));
+                let mut rng = simcore::Rng::new(t as u64);
+                for _ in 0..200 {
+                    let f = FileId(rng.next_below(30) as u32);
+                    let got = h.read_file(f);
+                    let want = read_file_direct(&store, &cat, f);
+                    assert_eq!(got, want, "file {f:?} corrupted under concurrency");
+                }
+            }));
+        }
+        for t in threads {
+            t.join().expect("reader panicked");
+        }
+        mw.check_invariants();
+        // Fallbacks may legitimately occur under concurrency; the point is
+        // that they never broke integrity above.
+        let s = mw.stats();
+        assert!(s.accesses() >= 8 * 200);
+        Arc::try_unwrap(mw).ok().expect("sole owner").shutdown();
+    }
+
+    #[test]
+    fn capacity_is_respected() {
+        let mw = start(2, 16, 10, 40_000);
+        for f in 0..10u32 {
+            mw.handle(NodeId(0)).read_file(FileId(f));
+        }
+        let total = {
+            let cache = &mw.shared.cache;
+            let c = cache.lock();
+            c.resident_blocks()
+        };
+        assert!(total <= 2 * 16, "resident {total} blocks exceed capacity");
+        mw.shutdown();
+    }
+
+    #[test]
+    fn drop_without_shutdown_is_clean() {
+        let mw = start(2, 16, 2, 10_000);
+        mw.handle(NodeId(0)).read_file(FileId(0));
+        drop(mw); // Drop impl joins the threads
+    }
+
+    #[test]
+    fn writes_propagate_to_all_readers() {
+        use crate::store::MemStore;
+        let cat = catalog(4, 20_000);
+        let store = Arc::new(MemStore::new(cat.clone(), 42));
+        let mw = Middleware::start(
+            RtConfig {
+                nodes: 3,
+                capacity_blocks: 64,
+                policy: ReplacementPolicy::MasterPreserving,
+            },
+            cat.clone(),
+            store,
+        );
+        // Everyone warms up on file 0.
+        for n in 0..3u16 {
+            mw.handle(NodeId(n)).read_file(FileId(0));
+        }
+        // Node 2 overwrites block 1 of file 0.
+        let block = BlockId::new(FileId(0), 1);
+        let new_data = vec![0xAB; cat.block_bytes(block) as usize];
+        mw.handle(NodeId(2)).write_block(block, &new_data).unwrap();
+        // Every node now reads the new bytes.
+        for n in 0..3u16 {
+            let got = mw.handle(NodeId(n)).read_block(block);
+            assert_eq!(&*got, &new_data, "node {n} saw stale data");
+        }
+        let s = mw.stats();
+        assert_eq!(s.writes, 1);
+        assert!(s.invalidations >= 1);
+        mw.check_invariants();
+        mw.shutdown();
+    }
+
+    #[test]
+    fn writes_to_read_only_store_are_rejected() {
+        let mw = start(2, 16, 2, 10_000);
+        let block = BlockId::new(FileId(0), 0);
+        let err = mw.handle(NodeId(0)).write_block(block, &[1, 2, 3]);
+        assert_eq!(err, Err(WriteError::ReadOnlyStore));
+        assert_eq!(mw.stats().writes, 0, "protocol untouched on refusal");
+        mw.shutdown();
+    }
+
+    #[test]
+    fn concurrent_disjoint_writers_and_readers() {
+        use crate::store::MemStore;
+        let cat = catalog(16, 16_000);
+        let store = Arc::new(MemStore::new(cat.clone(), 42));
+        let mw = Arc::new(Middleware::start(
+            RtConfig {
+                nodes: 4,
+                capacity_blocks: 32,
+                policy: ReplacementPolicy::MasterPreserving,
+            },
+            cat.clone(),
+            store,
+        ));
+        let mut threads = Vec::new();
+        for t in 0..4u16 {
+            let mw = mw.clone();
+            let cat = cat.clone();
+            threads.push(std::thread::spawn(move || {
+                let h = mw.handle(NodeId(t));
+                // Each thread owns files 4t..4t+4 for writing.
+                for round in 0..20u8 {
+                    for f in (t as u32 * 4)..(t as u32 * 4 + 4) {
+                        let file = FileId(f);
+                        let block = BlockId::new(file, 0);
+                        let payload = vec![round ^ t as u8; cat.block_bytes(block) as usize];
+                        h.write_block(block, &payload).unwrap();
+                        let got = h.read_block(block);
+                        assert_eq!(&*got, &payload, "writer read back stale data");
+                    }
+                }
+            }));
+        }
+        for t in threads {
+            t.join().expect("writer panicked");
+        }
+        mw.check_invariants();
+        assert_eq!(mw.stats().writes, 4 * 20 * 4);
+        Arc::try_unwrap(mw).ok().expect("sole owner").shutdown();
+    }
+
+    #[test]
+    fn node_failure_degrades_to_store_fallback() {
+        // Failure injection: kill one node's service thread; peers whose
+        // remote hits target it must fall back to the backing store and keep
+        // returning correct bytes.
+        use crate::store::read_file_direct;
+        let cat = catalog(6, 20_000);
+        let store = Arc::new(SyntheticStore::new(cat.clone(), 42));
+        let mw = Middleware::start(
+            RtConfig {
+                nodes: 3,
+                capacity_blocks: 64,
+                policy: ReplacementPolicy::MasterPreserving,
+            },
+            cat.clone(),
+            store.clone(),
+        );
+        // Node 0 masters everything.
+        for f in 0..6u32 {
+            mw.handle(NodeId(0)).read_file(FileId(f));
+        }
+        // Kill node 0's service thread (simulated crash).
+        mw.shared.lan.send(NodeId(0), PeerMsg::Shutdown);
+        // Node 1 still reads correct data for every file.
+        for f in 0..6u32 {
+            let got = mw.handle(NodeId(1)).read_file(FileId(f));
+            let want = read_file_direct(&*store, &cat, FileId(f));
+            assert_eq!(got, want, "file {f} wrong after node failure");
+        }
+        assert!(
+            mw.store_fallbacks() > 0,
+            "fallbacks must have covered the dead node"
+        );
+        drop(mw);
+    }
+
+    #[test]
+    #[should_panic(expected = "no such node")]
+    fn out_of_range_handle_panics() {
+        let mw = start(2, 16, 2, 10_000);
+        let _ = mw.handle(NodeId(5));
+    }
+}

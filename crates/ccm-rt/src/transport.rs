@@ -1,0 +1,162 @@
+//! Peer messages and the channel LAN.
+//!
+//! Each node owns an unbounded crossbeam receiver; any thread holding a
+//! [`Lan`] can address any node. Data-plane replies travel on per-request
+//! one-shot channels, as a real RPC layer would multiplex them.
+
+use ccm_core::{BlockId, NodeId};
+use crossbeam::channel::{unbounded, Receiver, Sender};
+
+/// A message between cluster nodes.
+pub enum PeerMsg {
+    /// "Send me a non-master copy of `block`" — answered with the bytes, or
+    /// `None` if the block is no longer held (the in-flight race of §3; the
+    /// requester falls through to the backing store).
+    BlockRequest {
+        /// The wanted block.
+        block: BlockId,
+        /// Where to deliver the reply.
+        reply: Sender<Option<Vec<u8>>>,
+    },
+    /// An evicted master forwarded here (second chance); carries its bytes
+    /// and, when the protocol displaced a block at this node to make room,
+    /// which one to drop from the local store.
+    Forward {
+        /// The forwarded block.
+        block: BlockId,
+        /// Its content.
+        data: Vec<u8>,
+        /// Block dropped here to make room, if any.
+        displace: Option<BlockId>,
+    },
+    /// A write elsewhere invalidated this node's copy of `block`; drop its
+    /// bytes (§6 writes extension).
+    Invalidate {
+        /// The written block.
+        block: BlockId,
+    },
+    /// Orderly shutdown of the node's service thread.
+    Shutdown,
+}
+
+/// Addressable senders to every node.
+#[derive(Clone)]
+pub struct Lan {
+    peers: Vec<Sender<PeerMsg>>,
+}
+
+impl Lan {
+    /// Build the LAN; returns the shared sender fabric plus each node's
+    /// receive end.
+    pub fn new(nodes: usize) -> (Lan, Vec<Receiver<PeerMsg>>) {
+        let mut peers = Vec::with_capacity(nodes);
+        let mut inboxes = Vec::with_capacity(nodes);
+        for _ in 0..nodes {
+            let (tx, rx) = unbounded();
+            peers.push(tx);
+            inboxes.push(rx);
+        }
+        (Lan { peers }, inboxes)
+    }
+
+    /// Number of nodes attached.
+    pub fn nodes(&self) -> usize {
+        self.peers.len()
+    }
+
+    /// Send `msg` to `node`. Returns false if the node's service thread has
+    /// already exited (its inbox is disconnected).
+    pub fn send(&self, node: NodeId, msg: PeerMsg) -> bool {
+        self.peers[node.index()].send(msg).is_ok()
+    }
+
+    /// Request `block` from `holder` and wait for the reply.
+    ///
+    /// `None` means either the holder no longer caches the block or its
+    /// thread is gone; callers fall back to the backing store.
+    pub fn fetch_block(&self, holder: NodeId, block: BlockId) -> Option<Vec<u8>> {
+        let (reply_tx, reply_rx) = unbounded();
+        if !self.send(
+            holder,
+            PeerMsg::BlockRequest {
+                block,
+                reply: reply_tx,
+            },
+        ) {
+            return None;
+        }
+        reply_rx.recv().ok().flatten()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ccm_core::FileId;
+
+    fn b(i: u32) -> BlockId {
+        BlockId::new(FileId(0), i)
+    }
+
+    #[test]
+    fn messages_arrive_in_order() {
+        let (lan, inboxes) = Lan::new(2);
+        assert_eq!(lan.nodes(), 2);
+        assert!(lan.send(NodeId(1), PeerMsg::Forward { block: b(1), data: vec![1], displace: None }));
+        assert!(lan.send(NodeId(1), PeerMsg::Forward { block: b(2), data: vec![2], displace: Some(b(9)) }));
+        match inboxes[1].recv().unwrap() {
+            PeerMsg::Forward { block, data, displace } => {
+                assert_eq!(block, b(1));
+                assert_eq!(data, vec![1]);
+                assert_eq!(displace, None);
+            }
+            _ => panic!("wrong message"),
+        }
+        match inboxes[1].recv().unwrap() {
+            PeerMsg::Forward { block, .. } => assert_eq!(block, b(2)),
+            _ => panic!("wrong message"),
+        }
+        assert!(inboxes[0].is_empty());
+    }
+
+    #[test]
+    fn fetch_block_round_trips() {
+        let (lan, inboxes) = Lan::new(1);
+        let server = std::thread::spawn({
+            let inbox = inboxes[0].clone();
+            move || match inbox.recv().unwrap() {
+                PeerMsg::BlockRequest { block, reply } => {
+                    assert_eq!(block, b(7));
+                    reply.send(Some(vec![42])).unwrap();
+                }
+                _ => panic!("wrong message"),
+            }
+        });
+        let got = lan.fetch_block(NodeId(0), b(7));
+        assert_eq!(got, Some(vec![42]));
+        server.join().unwrap();
+    }
+
+    #[test]
+    fn fetch_from_dead_node_is_none() {
+        let (lan, inboxes) = Lan::new(1);
+        drop(inboxes); // the service thread is gone
+        assert_eq!(lan.fetch_block(NodeId(0), b(1)), None);
+        assert!(!lan.send(NodeId(0), PeerMsg::Shutdown));
+    }
+
+    #[test]
+    fn dropped_reply_sender_reads_as_none() {
+        let (lan, inboxes) = Lan::new(1);
+        let server = std::thread::spawn({
+            let inbox = inboxes[0].clone();
+            move || {
+                if let PeerMsg::BlockRequest { reply, .. } = inbox.recv().unwrap() {
+                    drop(reply); // simulate a crash mid-request
+                }
+            }
+        });
+        assert_eq!(lan.fetch_block(NodeId(0), b(1)), None);
+        server.join().unwrap();
+    }
+}

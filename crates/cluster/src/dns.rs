@@ -1,0 +1,78 @@
+//! Round-robin DNS.
+//!
+//! "Client requests are distributed among the cluster's nodes using a round
+//! robin DNS scheme" (§4.2, citing the NCSA prototype). DNS-level round robin
+//! binds a *client* to a node for its whole session — each closed-loop client
+//! sends all its requests to the node DNS handed it — which is what diffuses
+//! hot files across the cluster under the middleware (§5: "the round-robin
+//! distribution of requests diffuses the hot files throughout the
+//! cluster").
+
+use ccm_core::NodeId;
+
+/// Round-robin assignment of clients to nodes.
+#[derive(Debug, Clone)]
+pub struct RoundRobinDns {
+    nodes: u16,
+    next: u16,
+}
+
+impl RoundRobinDns {
+    /// A resolver over `nodes` cluster nodes.
+    ///
+    /// # Panics
+    /// Panics if `nodes == 0`.
+    pub fn new(nodes: u16) -> RoundRobinDns {
+        assert!(nodes > 0, "no nodes to resolve to");
+        RoundRobinDns { nodes, next: 0 }
+    }
+
+    /// Resolve the next client to a node.
+    pub fn assign(&mut self) -> NodeId {
+        let n = NodeId(self.next);
+        self.next = (self.next + 1) % self.nodes;
+        n
+    }
+
+    /// The static assignment for client `i` (equivalent to calling
+    /// [`RoundRobinDns::assign`] `i + 1` times on a fresh resolver).
+    pub fn assignment_for(clients: usize, nodes: u16, i: usize) -> NodeId {
+        assert!(nodes > 0 && i < clients);
+        NodeId((i % nodes as usize) as u16)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cycles_through_nodes() {
+        let mut dns = RoundRobinDns::new(3);
+        let seq: Vec<u16> = (0..7).map(|_| dns.assign().0).collect();
+        assert_eq!(seq, vec![0, 1, 2, 0, 1, 2, 0]);
+    }
+
+    #[test]
+    fn static_assignment_matches_dynamic() {
+        let mut dns = RoundRobinDns::new(4);
+        for i in 0..16 {
+            let dynamic = dns.assign();
+            let fixed = RoundRobinDns::assignment_for(16, 4, i);
+            assert_eq!(dynamic, fixed);
+        }
+    }
+
+    #[test]
+    fn single_node_always_wins() {
+        let mut dns = RoundRobinDns::new(1);
+        assert_eq!(dns.assign(), NodeId(0));
+        assert_eq!(dns.assign(), NodeId(0));
+    }
+
+    #[test]
+    #[should_panic(expected = "no nodes")]
+    fn zero_nodes_panics() {
+        RoundRobinDns::new(0);
+    }
+}

@@ -1,0 +1,259 @@
+//! File placement: which disk holds a file, and where on that disk.
+//!
+//! For the middleware "we assume the general case of files being distributed
+//! across all nodes, with each node having a copy of the global file-to-node
+//! mapping. … A node holding some file on its disk is called [the file's]
+//! home" (§3). L2S "assumes files are replicated everywhere" (§4.1), so its
+//! disk reads are always local. [`Placement::Concentrated`] implements the
+//! experiment the paper wishes for in §5: "a forced concentration of hot
+//! files on a single node".
+//!
+//! On-disk addresses are assigned per disk in file-id order, aligned to the
+//! 64 KB extent granularity the file system pre-allocates (§4.2), so that
+//! sequential whole-file reads are contiguous within extents and distinct
+//! files never share an extent.
+
+use ccm_core::block::EXTENT_SIZE;
+use ccm_core::{FileId, NodeId};
+
+/// How files are placed on the cluster's disks.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Placement {
+    /// File `i` homes at node `i mod n`; each file is on exactly one disk.
+    Striped,
+    /// Every node's disk carries every file (L2S's assumption); reads are
+    /// always local.
+    Replicated,
+    /// The hottest `hot_fraction` of files (by id = popularity rank) all
+    /// home at `hot_node`; the rest are striped over the other nodes.
+    Concentrated {
+        /// The node that homes all hot files.
+        hot_node: NodeId,
+        /// Fraction of the file population (by rank) that is "hot".
+        hot_fraction: f64,
+    },
+}
+
+/// The materialized file→(home, address) map.
+#[derive(Debug, Clone)]
+pub struct FileLayout {
+    placement: Placement,
+    homes: Vec<NodeId>,
+    addresses: Vec<u64>,
+    sizes: Vec<u64>,
+    nodes: u16,
+}
+
+fn extent_aligned(size: u64) -> u64 {
+    size.div_ceil(EXTENT_SIZE).max(1) * EXTENT_SIZE
+}
+
+impl FileLayout {
+    /// Lay out `sizes` (indexed by file id / popularity rank) over `nodes`
+    /// disks.
+    ///
+    /// # Panics
+    /// Panics on an empty cluster or (for [`Placement::Concentrated`]) a hot
+    /// node outside the cluster or fraction outside `[0, 1]`.
+    pub fn build(sizes: &[u64], nodes: u16, placement: Placement) -> FileLayout {
+        assert!(nodes > 0, "no nodes");
+        let homes: Vec<NodeId> = match placement {
+            Placement::Striped => (0..sizes.len())
+                .map(|i| NodeId((i % nodes as usize) as u16))
+                .collect(),
+            Placement::Replicated => {
+                // Home is nominal (used only when a caller asks); reads are
+                // local everywhere.
+                (0..sizes.len())
+                    .map(|i| NodeId((i % nodes as usize) as u16))
+                    .collect()
+            }
+            Placement::Concentrated {
+                hot_node,
+                hot_fraction,
+            } => {
+                assert!(hot_node.0 < nodes, "hot node outside cluster");
+                assert!((0.0..=1.0).contains(&hot_fraction), "bad hot fraction");
+                let hot_count = (sizes.len() as f64 * hot_fraction).round() as usize;
+                let cold_nodes: Vec<u16> = (0..nodes).filter(|&n| n != hot_node.0).collect();
+                (0..sizes.len())
+                    .map(|i| {
+                        if i < hot_count || cold_nodes.is_empty() {
+                            hot_node
+                        } else {
+                            NodeId(cold_nodes[i % cold_nodes.len()])
+                        }
+                    })
+                    .collect()
+            }
+        };
+
+        // Per-disk cumulative extent-aligned addresses, in file-id order.
+        // Under Replicated every disk has the same layout, so one pass with a
+        // single cursor per "disk 0 image" is correct for all disks.
+        let mut addresses = vec![0u64; sizes.len()];
+        match placement {
+            Placement::Replicated => {
+                let mut cursor = 0u64;
+                for (i, &s) in sizes.iter().enumerate() {
+                    addresses[i] = cursor;
+                    cursor += extent_aligned(s);
+                }
+            }
+            _ => {
+                let mut cursors = vec![0u64; nodes as usize];
+                for (i, &s) in sizes.iter().enumerate() {
+                    let d = homes[i].index();
+                    addresses[i] = cursors[d];
+                    cursors[d] += extent_aligned(s);
+                }
+            }
+        }
+
+        FileLayout {
+            placement,
+            homes,
+            addresses,
+            sizes: sizes.to_vec(),
+            nodes,
+        }
+    }
+
+    /// The placement scheme in force.
+    pub fn placement(&self) -> Placement {
+        self.placement
+    }
+
+    /// Number of nodes/disks.
+    pub fn nodes(&self) -> u16 {
+        self.nodes
+    }
+
+    /// Number of files.
+    pub fn num_files(&self) -> usize {
+        self.sizes.len()
+    }
+
+    /// The node whose disk is authoritative for `file`.
+    pub fn home_of(&self, file: FileId) -> NodeId {
+        self.homes[file.0 as usize]
+    }
+
+    /// True if `node` can read `file` from its own disk.
+    pub fn is_local(&self, file: FileId, node: NodeId) -> bool {
+        match self.placement {
+            Placement::Replicated => true,
+            _ => self.home_of(file) == node,
+        }
+    }
+
+    /// Starting byte address of `file` on a disk that carries it.
+    pub fn address_of(&self, file: FileId) -> u64 {
+        self.addresses[file.0 as usize]
+    }
+
+    /// Size of `file` in bytes.
+    pub fn size_of(&self, file: FileId) -> u64 {
+        self.sizes[file.0 as usize]
+    }
+
+    /// Starting disk address of extent `e` of `file`.
+    pub fn extent_address(&self, file: FileId, extent: u32) -> u64 {
+        self.address_of(file) + extent as u64 * EXTENT_SIZE
+    }
+
+    /// Bytes occupied by extent `e` of `file` (the final extent may be
+    /// partial).
+    pub fn extent_bytes(&self, file: FileId, extent: u32) -> u64 {
+        let size = self.size_of(file);
+        let start = extent as u64 * EXTENT_SIZE;
+        debug_assert!(start < size.max(1));
+        (size - start.min(size)).clamp(1, EXTENT_SIZE)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sizes() -> Vec<u64> {
+        vec![10_000, 70_000, 64 * 1024, 1, 200_000]
+    }
+
+    #[test]
+    fn striped_round_robins_homes() {
+        let l = FileLayout::build(&sizes(), 3, Placement::Striped);
+        assert_eq!(l.home_of(FileId(0)), NodeId(0));
+        assert_eq!(l.home_of(FileId(1)), NodeId(1));
+        assert_eq!(l.home_of(FileId(2)), NodeId(2));
+        assert_eq!(l.home_of(FileId(3)), NodeId(0));
+        assert!(l.is_local(FileId(0), NodeId(0)));
+        assert!(!l.is_local(FileId(0), NodeId(1)));
+    }
+
+    #[test]
+    fn addresses_are_extent_aligned_and_disjoint_per_disk() {
+        let l = FileLayout::build(&sizes(), 2, Placement::Striped);
+        for f in 0..5u32 {
+            assert_eq!(l.address_of(FileId(f)) % EXTENT_SIZE, 0);
+        }
+        // Files 0, 2, 4 share disk 0: check non-overlap in order.
+        let a0 = l.address_of(FileId(0));
+        let a2 = l.address_of(FileId(2));
+        let a4 = l.address_of(FileId(4));
+        assert!(a0 < a2 && a2 < a4);
+        assert!(a2 - a0 >= extent_aligned(10_000));
+        assert!(a4 - a2 >= extent_aligned(64 * 1024));
+    }
+
+    #[test]
+    fn replicated_is_local_everywhere_with_shared_image() {
+        let l = FileLayout::build(&sizes(), 4, Placement::Replicated);
+        for f in 0..5u32 {
+            for n in 0..4u16 {
+                assert!(l.is_local(FileId(f), NodeId(n)));
+            }
+        }
+        // Single disk image: addresses strictly increasing in file order.
+        for f in 1..5u32 {
+            assert!(l.address_of(FileId(f)) > l.address_of(FileId(f - 1)));
+        }
+    }
+
+    #[test]
+    fn concentrated_homes_hot_files_on_one_node() {
+        let many: Vec<u64> = vec![8192; 100];
+        let l = FileLayout::build(
+            &many,
+            4,
+            Placement::Concentrated {
+                hot_node: NodeId(2),
+                hot_fraction: 0.2,
+            },
+        );
+        for f in 0..20u32 {
+            assert_eq!(l.home_of(FileId(f)), NodeId(2), "hot file {f}");
+        }
+        // Cold files avoid the hot node.
+        for f in 20..100u32 {
+            assert_ne!(l.home_of(FileId(f)), NodeId(2), "cold file {f}");
+        }
+    }
+
+    #[test]
+    fn extent_math() {
+        let l = FileLayout::build(&sizes(), 1, Placement::Striped);
+        let f = FileId(1); // 70_000 bytes = 1 full extent + 4_464 bytes
+        assert_eq!(l.extent_address(f, 0), l.address_of(f));
+        assert_eq!(l.extent_address(f, 1), l.address_of(f) + EXTENT_SIZE);
+        assert_eq!(l.extent_bytes(f, 0), EXTENT_SIZE);
+        assert_eq!(l.extent_bytes(f, 1), 70_000 - EXTENT_SIZE);
+    }
+
+    #[test]
+    fn tiny_file_occupies_one_extent_slot() {
+        let l = FileLayout::build(&[1, 1], 1, Placement::Striped);
+        assert_eq!(l.address_of(FileId(1)) - l.address_of(FileId(0)), EXTENT_SIZE);
+        assert_eq!(l.extent_bytes(FileId(0), 0), 1);
+    }
+}

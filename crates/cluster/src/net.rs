@@ -1,0 +1,202 @@
+//! The LAN and the client-facing router.
+//!
+//! "Currently, we assume the same network is used to field/service client
+//! requests and for intra-cluster communication" (§4.2). Each node's
+//! transmit NIC is a service center with Gb/s occupancy; the wire adds a
+//! fixed one-way latency. The receive side is accounted (it shows up in the
+//! Figure 6a NIC utilization) but not queued: on a switched, full-duplex
+//! Gb/s LAN at the loads the paper reports ("the network is mostly idle"),
+//! receiver DMA is never the bottleneck, and leaving it unqueued keeps the
+//! discipline that **a service center is only ever booked at the current
+//! event time** — booking resources at future instants would serialize the
+//! simulation falsely.
+//!
+//! New client requests additionally pass through a router modeled on the
+//! Cisco 7600 performance specification (§4.2).
+
+use crate::costs::CostModel;
+use ccm_core::NodeId;
+use simcore::{ServiceCenter, SimDuration, SimTime, Utilization};
+
+/// NICs, wire, and router.
+#[derive(Debug, Clone)]
+pub struct Network {
+    tx: Vec<ServiceCenter>,
+    rx: Vec<Utilization>,
+    router: ServiceCenter,
+    bytes_sent: Vec<u64>,
+}
+
+impl Network {
+    /// A network connecting `nodes` nodes.
+    pub fn new(nodes: usize) -> Network {
+        Network {
+            tx: vec![ServiceCenter::new(); nodes],
+            rx: vec![Utilization::new(); nodes],
+            router: ServiceCenter::new(),
+            bytes_sent: vec![0; nodes],
+        }
+    }
+
+    /// Number of nodes attached.
+    pub fn nodes(&self) -> usize {
+        self.tx.len()
+    }
+
+    /// Send `bytes` from `from` to `to` starting at `now` (which must be the
+    /// current event time); returns delivery time at `to`.
+    ///
+    /// # Panics
+    /// Panics if `from == to` — local transfers go over the bus, not the LAN.
+    pub fn send(
+        &mut self,
+        now: SimTime,
+        from: NodeId,
+        to: NodeId,
+        bytes: u64,
+        costs: &CostModel,
+    ) -> SimTime {
+        assert_ne!(from, to, "LAN send to self");
+        let t = costs.nic_time(bytes);
+        let sent = self.tx[from.index()].schedule(now, t);
+        self.bytes_sent[from.index()] += bytes;
+        self.rx[to.index()].add_busy(t);
+        sent + costs.net_latency()
+    }
+
+    /// Send a small control message (block request, forward notice).
+    pub fn send_control(
+        &mut self,
+        now: SimTime,
+        from: NodeId,
+        to: NodeId,
+        costs: &CostModel,
+    ) -> SimTime {
+        self.send(now, from, to, costs.control_msg_bytes, costs)
+    }
+
+    /// A new client request of `bytes` entering the cluster toward `node`
+    /// (passes through the router); returns arrival at the node.
+    pub fn client_request(
+        &mut self,
+        now: SimTime,
+        node: NodeId,
+        bytes: u64,
+        costs: &CostModel,
+    ) -> SimTime {
+        let routed = self.router.schedule(now, costs.router_time());
+        let t = costs.nic_time(bytes);
+        self.rx[node.index()].add_busy(t);
+        routed + costs.net_latency() + t
+    }
+
+    /// A reply of `bytes` leaving `node` toward a client at `now` (the
+    /// current event time); returns when the client has it.
+    pub fn client_reply(
+        &mut self,
+        now: SimTime,
+        node: NodeId,
+        bytes: u64,
+        costs: &CostModel,
+    ) -> SimTime {
+        let t = costs.nic_time(bytes);
+        let sent = self.tx[node.index()].schedule(now, t);
+        self.bytes_sent[node.index()] += bytes;
+        sent + costs.net_latency()
+    }
+
+    /// Per-node NIC busy time (tx + rx), for utilization deltas.
+    pub fn nic_busy(&self, node: NodeId) -> SimDuration {
+        self.tx[node.index()].busy_time() + self.rx[node.index()].busy()
+    }
+
+    /// Bytes transmitted by `node` so far.
+    pub fn bytes_sent(&self, node: NodeId) -> u64 {
+        self.bytes_sent[node.index()]
+    }
+
+    /// Router busy time.
+    pub fn router_busy(&self) -> SimDuration {
+        self.router.busy_time()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const MS: u64 = 1_000_000;
+
+    #[test]
+    fn unloaded_delivery_is_transfer_plus_latency() {
+        let costs = CostModel::default();
+        let mut net = Network::new(2);
+        // 125 KB at 1 Gb/s = 1 ms; latency 0.038 ms.
+        let t = net.send(SimTime::ZERO, NodeId(0), NodeId(1), 125_000, &costs);
+        assert!((t.as_millis_f64() - 1.038).abs() < 1e-6, "{t}");
+    }
+
+    #[test]
+    fn sender_nic_serializes_back_to_back_sends() {
+        let costs = CostModel::default();
+        let mut net = Network::new(3);
+        let t1 = net.send(SimTime::ZERO, NodeId(0), NodeId(1), 125_000, &costs);
+        let t2 = net.send(SimTime::ZERO, NodeId(0), NodeId(2), 125_000, &costs);
+        assert!((t1.as_millis_f64() - 1.038).abs() < 1e-6);
+        assert!((t2.as_millis_f64() - 2.038).abs() < 1e-6, "{t2}");
+    }
+
+    #[test]
+    fn distinct_pairs_do_not_interfere() {
+        let costs = CostModel::default();
+        let mut net = Network::new(4);
+        let t1 = net.send(SimTime::ZERO, NodeId(0), NodeId(1), 125_000, &costs);
+        let t2 = net.send(SimTime::ZERO, NodeId(2), NodeId(3), 125_000, &costs);
+        assert_eq!(t1, t2, "switched LAN: independent pairs run in parallel");
+    }
+
+    #[test]
+    fn client_request_passes_router() {
+        let costs = CostModel::default();
+        let mut net = Network::new(1);
+        let t = net.client_request(SimTime::ZERO, NodeId(0), 512, &costs);
+        assert!(t > SimTime(0));
+        assert!(net.router_busy() > SimDuration::ZERO);
+    }
+
+    #[test]
+    fn nic_busy_accumulates_both_directions() {
+        let costs = CostModel::default();
+        let mut net = Network::new(2);
+        net.send(SimTime::ZERO, NodeId(0), NodeId(1), 125_000, &costs);
+        assert_eq!(net.nic_busy(NodeId(0)), SimDuration::from_millis(1));
+        assert_eq!(net.nic_busy(NodeId(1)), SimDuration::from_millis(1));
+        assert_eq!(net.bytes_sent(NodeId(0)), 125_000);
+        assert_eq!(net.bytes_sent(NodeId(1)), 0);
+    }
+
+    #[test]
+    fn control_messages_are_cheap() {
+        let costs = CostModel::default();
+        let mut net = Network::new(2);
+        let t = net.send_control(SimTime::ZERO, NodeId(0), NodeId(1), &costs);
+        assert!(t < SimTime::ZERO + SimDuration::from_micros(100));
+    }
+
+    #[test]
+    fn reply_does_not_use_router() {
+        let costs = CostModel::default();
+        let mut net = Network::new(1);
+        let before = net.router_busy();
+        net.client_reply(SimTime(MS), NodeId(0), 10_000, &costs);
+        assert_eq!(net.router_busy(), before);
+    }
+
+    #[test]
+    #[should_panic(expected = "send to self")]
+    fn self_send_panics() {
+        let costs = CostModel::default();
+        let mut net = Network::new(2);
+        net.send(SimTime::ZERO, NodeId(1), NodeId(1), 100, &costs);
+    }
+}

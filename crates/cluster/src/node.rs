@@ -1,0 +1,228 @@
+//! Node assembly: CPU + disk per node, LAN between them.
+//!
+//! A [`Cluster`] bundles the hardware the request lifecycles charge time
+//! against. Bus transfers (§4.2's "all connected by a bus") are folded into
+//! the CPU occupancy of the operation that moves the data — at Table 1
+//! magnitudes the bus never saturates before CPU, NIC, or disk do, so it is
+//! charged as time but not modeled as a separate contention point.
+
+use crate::costs::CostModel;
+use crate::disk::{Disk, DiskScheduler};
+use crate::net::Network;
+use ccm_core::NodeId;
+use simcore::{ServiceCenter, SimDuration, SimTime};
+
+/// One cluster node's private hardware.
+#[derive(Debug, Clone)]
+pub struct Node {
+    /// The node's CPU, a FIFO service center.
+    pub cpu: ServiceCenter,
+    /// The node's disk, with its request queue.
+    pub disk: Disk,
+}
+
+/// The whole machine room: nodes plus the LAN.
+#[derive(Debug, Clone)]
+pub struct Cluster {
+    /// Per-node hardware.
+    pub nodes: Vec<Node>,
+    /// The shared network.
+    pub net: Network,
+    /// Timing constants.
+    pub costs: CostModel,
+}
+
+/// Raw busy-time readings used to compute utilization over a measurement
+/// window by delta (Figure 6a).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BusySnapshot {
+    /// Per-node CPU busy time.
+    pub cpu: Vec<SimDuration>,
+    /// Per-node disk busy time.
+    pub disk: Vec<SimDuration>,
+    /// Per-node NIC busy time (tx + rx).
+    pub nic: Vec<SimDuration>,
+}
+
+/// Average utilization of each resource class over a window.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ResourceUtilization {
+    /// Mean CPU utilization across nodes, `[0, 1]`.
+    pub cpu: f64,
+    /// Mean disk utilization across nodes.
+    pub disk: f64,
+    /// Mean NIC utilization across nodes (tx+rx normalized by 2× window, so
+    /// full-duplex saturation is 1.0).
+    pub nic: f64,
+}
+
+impl Cluster {
+    /// Build `n` nodes with the given disk scheduler and cost model.
+    ///
+    /// # Panics
+    /// Panics if `n == 0`.
+    pub fn new(n: usize, scheduler: DiskScheduler, costs: CostModel) -> Cluster {
+        assert!(n > 0, "empty cluster");
+        Cluster {
+            nodes: (0..n)
+                .map(|_| Node {
+                    cpu: ServiceCenter::new(),
+                    disk: Disk::new(scheduler),
+                })
+                .collect(),
+            net: Network::new(n),
+            costs,
+        }
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// True if the cluster has no nodes (never, by construction).
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Schedule CPU work at `node`; returns completion time.
+    pub fn cpu(&mut self, node: NodeId, now: SimTime, work: SimDuration) -> SimTime {
+        self.nodes[node.index()].cpu.schedule(now, work)
+    }
+
+    /// Current busy-time readings for all resources.
+    pub fn busy_snapshot(&self) -> BusySnapshot {
+        BusySnapshot {
+            cpu: self.nodes.iter().map(|n| n.cpu.busy_time()).collect(),
+            disk: self.nodes.iter().map(|n| n.disk.busy_time()).collect(),
+            nic: (0..self.nodes.len())
+                .map(|i| self.net.nic_busy(NodeId(i as u16)))
+                .collect(),
+        }
+    }
+}
+
+impl BusySnapshot {
+    /// Per-node disk utilization over the window between `self` (earlier)
+    /// and `later` — the paper observes that under -Basic "the first disk
+    /// that is slowed down … becomes the performance bottleneck for the
+    /// entire system", so the *maximum* matters, not just the mean.
+    pub fn disk_utilization_per_node(
+        &self,
+        later: &BusySnapshot,
+        window: SimDuration,
+    ) -> Vec<f64> {
+        assert_eq!(self.disk.len(), later.disk.len(), "snapshot size mismatch");
+        assert!(!window.is_zero(), "empty measurement window");
+        self.disk
+            .iter()
+            .zip(&later.disk)
+            .map(|(e, l)| (l.nanos() - e.nanos()) as f64 / window.nanos() as f64)
+            .collect()
+    }
+
+    /// Utilization over the window between `self` (earlier) and `later`.
+    ///
+    /// # Panics
+    /// Panics if the snapshots have different node counts or the window is
+    /// empty.
+    pub fn utilization_until(&self, later: &BusySnapshot, window: SimDuration) -> ResourceUtilization {
+        assert_eq!(self.cpu.len(), later.cpu.len(), "snapshot size mismatch");
+        assert!(!window.is_zero(), "empty measurement window");
+        let avg = |a: &[SimDuration], b: &[SimDuration], scale: f64| {
+            let total: f64 = a
+                .iter()
+                .zip(b)
+                .map(|(e, l)| (l.nanos() - e.nanos()) as f64)
+                .sum();
+            total / (a.len() as f64 * window.nanos() as f64 * scale)
+        };
+        ResourceUtilization {
+            cpu: avg(&self.cpu, &later.cpu, 1.0),
+            disk: avg(&self.disk, &later.disk, 1.0),
+            nic: avg(&self.nic, &later.nic, 2.0),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::disk::DiskRequest;
+
+    #[test]
+    fn cluster_builds_requested_size() {
+        let c = Cluster::new(8, DiskScheduler::Batched, CostModel::default());
+        assert_eq!(c.len(), 8);
+        assert!(!c.is_empty());
+    }
+
+    #[test]
+    fn cpu_scheduling_serializes_per_node() {
+        let mut c = Cluster::new(2, DiskScheduler::Fifo, CostModel::default());
+        let w = SimDuration::from_millis(1);
+        let t1 = c.cpu(NodeId(0), SimTime::ZERO, w);
+        let t2 = c.cpu(NodeId(0), SimTime::ZERO, w);
+        let t3 = c.cpu(NodeId(1), SimTime::ZERO, w);
+        assert_eq!(t1, SimTime::ZERO + w);
+        assert_eq!(t2, SimTime::ZERO + w * 2);
+        assert_eq!(t3, SimTime::ZERO + w, "other node's CPU is independent");
+    }
+
+    #[test]
+    fn utilization_window_deltas() {
+        let mut c = Cluster::new(2, DiskScheduler::Fifo, CostModel::default());
+        let before = c.busy_snapshot();
+        // 5 ms of CPU on node 0, a disk read on node 1, one LAN transfer.
+        c.cpu(NodeId(0), SimTime::ZERO, SimDuration::from_millis(5));
+        let costs = c.costs.clone();
+        c.nodes[1].disk.submit(
+            SimTime::ZERO,
+            DiskRequest {
+                tag: 0,
+                address: 0,
+                bytes: 37_000,
+                extents: 1,
+            },
+            &costs,
+        );
+        c.net.send(SimTime::ZERO, NodeId(0), NodeId(1), 125_000, &costs);
+        let after = c.busy_snapshot();
+        let u = before.utilization_until(&after, SimDuration::from_millis(10));
+        // CPU: 5 ms on one of two nodes over 10 ms → 0.25 average.
+        assert!((u.cpu - 0.25).abs() < 1e-9, "cpu={}", u.cpu);
+        // Disk: seek (2×6.5) + 1 ms transfer on one of two disks.
+        assert!(u.disk > 0.5, "disk={}", u.disk);
+        // NIC: 1 ms tx + 1 ms rx over 2 nodes × 10 ms × 2 → 0.05.
+        assert!((u.nic - 0.05).abs() < 1e-9, "nic={}", u.nic);
+    }
+
+    #[test]
+    fn per_node_disk_utilization() {
+        let mut c = Cluster::new(2, DiskScheduler::Fifo, CostModel::default());
+        let before = c.busy_snapshot();
+        let costs = c.costs.clone();
+        c.nodes[1].disk.submit(
+            SimTime::ZERO,
+            DiskRequest {
+                tag: 0,
+                address: 0,
+                bytes: 37_000,
+                extents: 1,
+            },
+            &costs,
+        );
+        let after = c.busy_snapshot();
+        let per = before.disk_utilization_per_node(&after, SimDuration::from_millis(28));
+        assert_eq!(per.len(), 2);
+        assert_eq!(per[0], 0.0);
+        // 2 seeks (13ms) + 1ms transfer over a 28ms window = 0.5.
+        assert!((per[1] - 0.5).abs() < 1e-9, "{per:?}");
+    }
+
+    #[test]
+    #[should_panic(expected = "empty cluster")]
+    fn zero_nodes_panics() {
+        Cluster::new(0, DiskScheduler::Fifo, CostModel::default());
+    }
+}

@@ -1,0 +1,173 @@
+//! Property-based tests for the hardware models.
+
+use ccm_cluster::disk::{Completion, Disk, DiskRequest, DiskScheduler};
+use ccm_cluster::CostModel;
+use proptest::prelude::*;
+use simcore::{SimDuration, SimTime};
+
+fn requests() -> impl Strategy<Value = Vec<(u64, u64)>> {
+    // (extent index, block-within-extent) pairs over a small disk region.
+    prop::collection::vec(((0u64..32), (0u64..8)), 1..120)
+}
+
+fn drain(disk: &mut Disk, costs: &CostModel, reqs: &[DiskRequest]) -> Vec<Completion> {
+    let mut out = Vec::new();
+    let mut pending: Option<Completion> = None;
+    for &r in reqs {
+        if let Some(c) = disk.submit(SimTime::ZERO, r, costs) {
+            assert!(pending.is_none(), "two in-flight transfers");
+            pending = Some(c);
+        }
+    }
+    while let Some(c) = pending {
+        out.push(c);
+        pending = disk.next_after_completion(c.done, costs);
+    }
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(200))]
+
+    /// Work conservation: every submitted request completes exactly once,
+    /// regardless of scheduler.
+    #[test]
+    fn disk_completes_every_request_once(addrs in requests(), batched in any::<bool>()) {
+        let costs = CostModel::default();
+        let sched = if batched { DiskScheduler::Batched } else { DiskScheduler::Fifo };
+        let mut disk = Disk::new(sched);
+        let reqs: Vec<DiskRequest> = addrs
+            .iter()
+            .enumerate()
+            .map(|(i, &(e, b))| DiskRequest {
+                tag: i as u64,
+                address: e * 65536 + b * 8192,
+                bytes: 8192,
+                extents: 1,
+            })
+            .collect();
+        let done = drain(&mut disk, &costs, &reqs);
+        prop_assert_eq!(done.len(), reqs.len());
+        let mut tags: Vec<u64> = done.iter().map(|c| c.tag).collect();
+        tags.sort_unstable();
+        prop_assert_eq!(tags, (0..reqs.len() as u64).collect::<Vec<_>>());
+        prop_assert_eq!(disk.stats().requests, reqs.len() as u64);
+        prop_assert_eq!(disk.stats().bytes, reqs.len() as u64 * 8192);
+    }
+
+    /// Completions are strictly ordered in time and busy time equals the
+    /// span of back-to-back service.
+    #[test]
+    fn disk_completions_are_monotonic(addrs in requests()) {
+        let costs = CostModel::default();
+        let mut disk = Disk::new(DiskScheduler::Batched);
+        let reqs: Vec<DiskRequest> = addrs
+            .iter()
+            .enumerate()
+            .map(|(i, &(e, b))| DiskRequest {
+                tag: i as u64,
+                address: e * 65536 + b * 8192,
+                bytes: 8192,
+                extents: 1,
+            })
+            .collect();
+        let done = drain(&mut disk, &costs, &reqs);
+        for w in done.windows(2) {
+            prop_assert!(w[1].done > w[0].done);
+        }
+        // All requests were available at t=0, so the disk never idled:
+        // the last completion equals total busy time.
+        let last = done.last().unwrap().done;
+        prop_assert_eq!(last.since(SimTime::ZERO), disk.busy_time());
+    }
+
+    /// Seeks are bounded: between 0 and (1 + extents) per request.
+    #[test]
+    fn seek_counts_are_bounded(addrs in requests(), batched in any::<bool>()) {
+        let costs = CostModel::default();
+        let sched = if batched { DiskScheduler::Batched } else { DiskScheduler::Fifo };
+        let mut disk = Disk::new(sched);
+        let reqs: Vec<DiskRequest> = addrs
+            .iter()
+            .enumerate()
+            .map(|(i, &(e, b))| DiskRequest {
+                tag: i as u64,
+                address: e * 65536 + b * 8192,
+                bytes: 8192,
+                extents: 1,
+            })
+            .collect();
+        let done = drain(&mut disk, &costs, &reqs);
+        for c in &done {
+            prop_assert!(c.seeks <= 2, "single-extent request paid {} seeks", c.seeks);
+        }
+        prop_assert!(disk.stats().seeks <= 2 * reqs.len() as u64);
+    }
+
+    /// Batched scheduling never increases total disk busy time on
+    /// identical request sets (contiguity can only be gained).
+    #[test]
+    fn batching_never_slows_the_disk(addrs in requests()) {
+        let costs = CostModel::default();
+        let build = || -> Vec<DiskRequest> {
+            addrs
+                .iter()
+                .enumerate()
+                .map(|(i, &(e, b))| DiskRequest {
+                    tag: i as u64,
+                    address: e * 65536 + b * 8192,
+                    bytes: 8192,
+                    extents: 1,
+                })
+                .collect()
+        };
+        let mut fifo = Disk::new(DiskScheduler::Fifo);
+        drain(&mut fifo, &costs, &build());
+        let mut batched = Disk::new(DiskScheduler::Batched);
+        drain(&mut batched, &costs, &build());
+        // All requests queued at t=0: the batched order is free to pick any
+        // permutation, and its greedy contiguity-first choice should not pay
+        // more seeks than arrival order beyond a small reordering slack.
+        let fifo_busy = fifo.busy_time();
+        let batched_busy = batched.busy_time();
+        let slack = SimDuration::from_millis_f64(costs.disk_seek_ms * 2.0);
+        prop_assert!(
+            batched_busy <= fifo_busy + slack,
+            "batched {batched_busy} much worse than fifo {fifo_busy}"
+        );
+    }
+}
+
+mod net_props {
+    use super::*;
+    use ccm_cluster::Network;
+    use ccm_core::NodeId;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(200))]
+
+        /// Deliveries never precede their send time plus wire latency, and a
+        /// sender's NIC serializes its own transfers.
+        #[test]
+        fn sends_respect_physics(
+            msgs in prop::collection::vec(((0u16..4), (0u16..4), (1u64..200_000)), 1..60),
+        ) {
+            let costs = CostModel::default();
+            let mut net = Network::new(4);
+            let mut now = SimTime::ZERO;
+            let mut per_sender_last = [SimTime::ZERO; 4];
+            for &(from, to, bytes) in &msgs {
+                if from == to {
+                    continue;
+                }
+                let arrival = net.send(now, NodeId(from), NodeId(to), bytes, &costs);
+                let min_arrival = now + costs.nic_time(bytes) + costs.net_latency();
+                prop_assert!(arrival >= min_arrival, "{arrival} < {min_arrival}");
+                // Same sender's deliveries are non-decreasing (FIFO NIC).
+                prop_assert!(arrival >= per_sender_last[from as usize]);
+                per_sender_last[from as usize] = arrival;
+                now += SimDuration::from_micros(1);
+            }
+        }
+    }
+}

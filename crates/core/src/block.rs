@@ -1,0 +1,160 @@
+//! Identifiers and block-layout arithmetic.
+//!
+//! The middleware is deliberately *block*-based rather than file-based — that
+//! is what makes it generic enough to sit under "diverse services, ranging
+//! from file systems to web servers" (paper §1). Files exist only as a
+//! numbering scheme for blocks; all caching decisions are per block.
+//!
+//! The cache block size is 8 KB. The file system beneath is assumed to
+//! pre-allocate contiguously in 64 KB extents (paper §4.2: "files will be
+//! contiguous within 64KB blocks", with "an extra seek for getting the
+//! metadata on every 64KB access") — extent math lives here so that the disk
+//! model and the protocol agree on it.
+
+/// Cache block size in bytes (8 KB).
+pub const BLOCK_SIZE: u64 = 8 * 1024;
+
+/// File-system extent size in bytes (64 KB): files are contiguous on disk
+/// within an extent, and each extent access pays one metadata seek.
+pub const EXTENT_SIZE: u64 = 64 * 1024;
+
+/// Blocks per extent.
+pub const BLOCKS_PER_EXTENT: u32 = (EXTENT_SIZE / BLOCK_SIZE) as u32;
+
+/// A cluster node. Plain index; the webserver/cluster layers give it queues
+/// and hardware.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct NodeId(pub u16);
+
+impl NodeId {
+    /// The node id as an index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// A file, as named by the workload layer (`ccm-traces::FileId` converts
+/// losslessly into this).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct FileId(pub u32);
+
+/// One cache block: the `index`-th 8 KB block of `file`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct BlockId {
+    /// Owning file.
+    pub file: FileId,
+    /// Zero-based block index within the file.
+    pub index: u32,
+}
+
+impl BlockId {
+    /// Construct a block id.
+    #[inline]
+    pub fn new(file: FileId, index: u32) -> BlockId {
+        BlockId { file, index }
+    }
+
+    /// The extent (64 KB unit) this block falls in.
+    #[inline]
+    pub fn extent(self) -> u32 {
+        self.index / BLOCKS_PER_EXTENT
+    }
+
+    /// True if `other` is the block immediately following `self` in the same
+    /// file *and* the same extent — i.e. readable without an extra seek.
+    #[inline]
+    pub fn is_contiguous_with(self, other: BlockId) -> bool {
+        self.file == other.file && other.index == self.index + 1 && self.extent() == other.extent()
+    }
+}
+
+/// Number of blocks needed to hold a file of `size` bytes (at least 1 — a
+/// zero-byte file still occupies a directory entry and one block frame).
+#[inline]
+pub fn blocks_of_file(size: u64) -> u32 {
+    (size.div_ceil(BLOCK_SIZE)).max(1) as u32
+}
+
+/// Number of extents a file of `size` bytes spans.
+#[inline]
+pub fn extents_of_file(size: u64) -> u32 {
+    (size.div_ceil(EXTENT_SIZE)).max(1) as u32
+}
+
+/// Iterate over all blocks of a file of `size` bytes.
+pub fn file_blocks(file: FileId, size: u64) -> impl Iterator<Item = BlockId> {
+    (0..blocks_of_file(size)).map(move |i| BlockId::new(file, i))
+}
+
+/// The bytes actually occupied by block `index` of a file of `size` bytes
+/// (the final block may be partial).
+#[inline]
+pub fn block_bytes(size: u64, index: u32) -> u64 {
+    let start = index as u64 * BLOCK_SIZE;
+    debug_assert!(start < size.max(1), "block index out of file");
+    (size - start.min(size)).min(BLOCK_SIZE)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constants_are_consistent() {
+        assert_eq!(BLOCKS_PER_EXTENT, 8);
+        assert_eq!(BLOCKS_PER_EXTENT as u64 * BLOCK_SIZE, EXTENT_SIZE);
+    }
+
+    #[test]
+    fn blocks_of_file_rounds_up() {
+        assert_eq!(blocks_of_file(0), 1);
+        assert_eq!(blocks_of_file(1), 1);
+        assert_eq!(blocks_of_file(BLOCK_SIZE), 1);
+        assert_eq!(blocks_of_file(BLOCK_SIZE + 1), 2);
+        assert_eq!(blocks_of_file(10 * BLOCK_SIZE), 10);
+    }
+
+    #[test]
+    fn extents_of_file_rounds_up() {
+        assert_eq!(extents_of_file(0), 1);
+        assert_eq!(extents_of_file(EXTENT_SIZE), 1);
+        assert_eq!(extents_of_file(EXTENT_SIZE + 1), 2);
+    }
+
+    #[test]
+    fn extent_of_block() {
+        let f = FileId(0);
+        assert_eq!(BlockId::new(f, 0).extent(), 0);
+        assert_eq!(BlockId::new(f, 7).extent(), 0);
+        assert_eq!(BlockId::new(f, 8).extent(), 1);
+    }
+
+    #[test]
+    fn contiguity_respects_extent_boundaries() {
+        let f = FileId(3);
+        let b7 = BlockId::new(f, 7);
+        let b8 = BlockId::new(f, 8);
+        let b9 = BlockId::new(f, 9);
+        assert!(!b7.is_contiguous_with(b8), "extent boundary breaks contiguity");
+        assert!(b8.is_contiguous_with(b9));
+        assert!(!b8.is_contiguous_with(b8));
+        assert!(!b8.is_contiguous_with(BlockId::new(FileId(4), 9)));
+    }
+
+    #[test]
+    fn file_blocks_enumerates_all() {
+        let blocks: Vec<BlockId> = file_blocks(FileId(1), 3 * BLOCK_SIZE + 5).collect();
+        assert_eq!(blocks.len(), 4);
+        assert_eq!(blocks[0].index, 0);
+        assert_eq!(blocks[3].index, 3);
+    }
+
+    #[test]
+    fn block_bytes_handles_partial_tail() {
+        let size = 2 * BLOCK_SIZE + 100;
+        assert_eq!(block_bytes(size, 0), BLOCK_SIZE);
+        assert_eq!(block_bytes(size, 1), BLOCK_SIZE);
+        assert_eq!(block_bytes(size, 2), 100);
+    }
+}

@@ -1,0 +1,391 @@
+//! The global directory of master copies.
+//!
+//! The paper's simulations assume "a perfect global directory of master
+//! blocks" that costs nothing to maintain (§3) — that is
+//! [`PerfectDirectory`]. Its stated future work is a *hint-based* directory
+//! in the style of Sarkar & Hartman, where each node keeps a private,
+//! possibly-stale map of master locations that is corrected as messages flow
+//! (§6, citing ~98 % location accuracy). [`HintDirectory`] implements that
+//! variant: it tracks ground truth plus one hint map per node, records
+//! accuracy statistics, and reports whether each lookup's first hint was
+//! right — the simulator charges an extra network hop for wrong hints.
+
+use crate::block::{BlockId, NodeId};
+use simcore::FxHashMap;
+
+/// Which directory implementation a cluster cache uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum DirectoryKind {
+    /// The paper's optimistic assumption: instantaneous global knowledge.
+    #[default]
+    Perfect,
+    /// Per-node hint maps corrected on use (paper §6 future work).
+    Hint,
+}
+
+/// Exact master locations — the paper's optimistic baseline.
+#[derive(Debug, Clone, Default)]
+pub struct PerfectDirectory {
+    masters: FxHashMap<BlockId, NodeId>,
+}
+
+impl PerfectDirectory {
+    /// An empty directory.
+    pub fn new() -> PerfectDirectory {
+        PerfectDirectory::default()
+    }
+
+    /// Where the master of `block` lives, if it is in memory anywhere.
+    pub fn lookup(&self, block: BlockId) -> Option<NodeId> {
+        self.masters.get(&block).copied()
+    }
+
+    /// Record that `node` now holds the master of `block`.
+    pub fn set(&mut self, block: BlockId, node: NodeId) {
+        self.masters.insert(block, node);
+    }
+
+    /// Record that the master of `block` left memory.
+    pub fn clear(&mut self, block: BlockId) {
+        self.masters.remove(&block);
+    }
+
+    /// Number of masters currently in memory.
+    pub fn len(&self) -> usize {
+        self.masters.len()
+    }
+
+    /// True if no masters are tracked.
+    pub fn is_empty(&self) -> bool {
+        self.masters.is_empty()
+    }
+
+    /// Iterate `(block, holder)` pairs (diagnostics; order is unspecified).
+    pub fn iter(&self) -> impl Iterator<Item = (BlockId, NodeId)> + '_ {
+        self.masters.iter().map(|(&b, &n)| (b, n))
+    }
+}
+
+/// The outcome of a hint-directory lookup, as seen by the requesting node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HintLookup {
+    /// The node's hint pointed at the true master holder.
+    Correct(NodeId),
+    /// The hint was stale; the master actually lives at `actual`. The
+    /// simulator charges one wasted hop to the hinted node.
+    Stale {
+        /// Where the stale hint pointed.
+        hinted: NodeId,
+        /// The true holder.
+        actual: NodeId,
+    },
+    /// The hint was stale and the master is no longer in memory at all:
+    /// the request falls through to a disk read after the wasted hop.
+    StaleNoMaster {
+        /// Where the stale hint pointed.
+        hinted: NodeId,
+    },
+    /// The node had no hint; truth says the master is at `actual` (found via
+    /// the home node, no wasted hop — the home knows who last read from it).
+    NoHint {
+        /// The true holder, if the master is in memory.
+        actual: Option<NodeId>,
+    },
+}
+
+/// Accuracy statistics for a hint directory.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct HintStats {
+    /// Total lookups performed.
+    pub lookups: u64,
+    /// Lookups whose first hint was correct.
+    pub correct: u64,
+    /// Lookups with a stale hint (wasted hop).
+    pub stale: u64,
+    /// Lookups with no local hint.
+    pub missing: u64,
+}
+
+impl HintStats {
+    /// First-hint accuracy in `[0, 1]` over lookups that had a hint.
+    pub fn accuracy(&self) -> f64 {
+        let with_hint = self.correct + self.stale;
+        if with_hint == 0 {
+            0.0
+        } else {
+            self.correct as f64 / with_hint as f64
+        }
+    }
+}
+
+/// How many recent master-placement updates each node piggybacks on its
+/// next exchanges (Sarkar & Hartman: hints ride on required messages at
+/// negligible overhead).
+const RECENT_CAP: usize = 16;
+
+/// Ground truth plus per-node stale hints.
+#[derive(Debug, Clone)]
+pub struct HintDirectory {
+    truth: PerfectDirectory,
+    hints: Vec<FxHashMap<BlockId, NodeId>>,
+    /// Per-node ring of recent placements this node knows first-hand,
+    /// shared on contact via [`HintDirectory::exchange`].
+    recent: Vec<std::collections::VecDeque<(BlockId, NodeId)>>,
+    stats: HintStats,
+}
+
+impl HintDirectory {
+    /// A hint directory for `nodes` nodes.
+    pub fn new(nodes: usize) -> HintDirectory {
+        HintDirectory {
+            truth: PerfectDirectory::new(),
+            hints: vec![FxHashMap::default(); nodes],
+            recent: vec![std::collections::VecDeque::new(); nodes],
+            stats: HintStats::default(),
+        }
+    }
+
+    /// Ground-truth location (what a perfect directory would say).
+    pub fn truth(&self, block: BlockId) -> Option<NodeId> {
+        self.truth.lookup(block)
+    }
+
+    /// Look up `block` on behalf of `from`, classify the hint, and correct
+    /// `from`'s hint to the truth (the reply teaches the requester).
+    pub fn lookup_from(&mut self, from: NodeId, block: BlockId) -> HintLookup {
+        self.stats.lookups += 1;
+        let actual = self.truth.lookup(block);
+        // A hint pointing at ourselves is locally known to be wrong (we just
+        // missed in our own cache), so it costs nothing: treat it as absent.
+        let hinted = self.hints[from.index()]
+            .get(&block)
+            .copied()
+            .filter(|&h| h != from);
+        let outcome = match (hinted, actual) {
+            (Some(h), Some(a)) if h == a => {
+                self.stats.correct += 1;
+                HintLookup::Correct(a)
+            }
+            (Some(h), Some(a)) => {
+                self.stats.stale += 1;
+                HintLookup::Stale {
+                    hinted: h,
+                    actual: a,
+                }
+            }
+            (Some(h), None) => {
+                self.stats.stale += 1;
+                HintLookup::StaleNoMaster { hinted: h }
+            }
+            (None, a) => {
+                self.stats.missing += 1;
+                HintLookup::NoHint { actual: a }
+            }
+        };
+        // Learning: after the exchange the requester knows the truth.
+        match actual {
+            Some(a) => {
+                self.hints[from.index()].insert(block, a);
+            }
+            None => {
+                self.hints[from.index()].remove(&block);
+            }
+        }
+        outcome
+    }
+
+    /// Record a master placement. The holder (and, for a forward, the old
+    /// holder) learn immediately; everyone else's hints go stale — exactly
+    /// the staleness the hint scheme tolerates.
+    pub fn set(&mut self, block: BlockId, node: NodeId) {
+        self.truth.set(block, node);
+        self.hints[node.index()].insert(block, node);
+        self.note_recent(node, block, node);
+    }
+
+    fn note_recent(&mut self, node: NodeId, block: BlockId, holder: NodeId) {
+        let ring = &mut self.recent[node.index()];
+        if ring.len() >= RECENT_CAP {
+            ring.pop_front();
+        }
+        ring.push_back((block, holder));
+    }
+
+    /// Piggybacked hint exchange between two nodes that just traded a
+    /// message: each learns the other's recent first-hand placements.
+    pub fn exchange(&mut self, a: NodeId, b: NodeId) {
+        if a == b {
+            return;
+        }
+        let from_a: Vec<(BlockId, NodeId)> = self.recent[a.index()].iter().copied().collect();
+        let from_b: Vec<(BlockId, NodeId)> = self.recent[b.index()].iter().copied().collect();
+        for (blk, holder) in from_a {
+            self.hints[b.index()].insert(blk, holder);
+        }
+        for (blk, holder) in from_b {
+            self.hints[a.index()].insert(blk, holder);
+        }
+    }
+
+    /// Record a master leaving memory; `witness` (the dropping node) learns.
+    pub fn clear(&mut self, block: BlockId, witness: NodeId) {
+        self.truth.clear(block);
+        self.hints[witness.index()].remove(&block);
+    }
+
+    /// Record that `learner` observed the master of `block` move to `holder`
+    /// (piggybacked hint exchange on an unrelated message).
+    pub fn gossip(&mut self, learner: NodeId, block: BlockId, holder: NodeId) {
+        self.hints[learner.index()].insert(block, holder);
+        self.note_recent(learner, block, holder);
+    }
+
+    /// Accuracy statistics so far.
+    pub fn stats(&self) -> HintStats {
+        self.stats
+    }
+
+    /// Number of masters in memory (truth).
+    pub fn len(&self) -> usize {
+        self.truth.len()
+    }
+
+    /// True if no masters are in memory.
+    pub fn is_empty(&self) -> bool {
+        self.truth.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::block::FileId;
+
+    fn b(i: u32) -> BlockId {
+        BlockId::new(FileId(0), i)
+    }
+
+    #[test]
+    fn perfect_directory_tracks_moves() {
+        let mut d = PerfectDirectory::new();
+        assert_eq!(d.lookup(b(1)), None);
+        d.set(b(1), NodeId(0));
+        assert_eq!(d.lookup(b(1)), Some(NodeId(0)));
+        d.set(b(1), NodeId(3));
+        assert_eq!(d.lookup(b(1)), Some(NodeId(3)));
+        assert_eq!(d.len(), 1);
+        d.clear(b(1));
+        assert!(d.is_empty());
+    }
+
+    #[test]
+    fn hint_lookup_without_hint_consults_truth() {
+        let mut d = HintDirectory::new(4);
+        d.set(b(1), NodeId(2));
+        match d.lookup_from(NodeId(0), b(1)) {
+            HintLookup::NoHint { actual: Some(n) } => assert_eq!(n, NodeId(2)),
+            other => panic!("unexpected: {other:?}"),
+        }
+        // The lookup taught node 0; a second lookup is a correct hint.
+        assert_eq!(d.lookup_from(NodeId(0), b(1)), HintLookup::Correct(NodeId(2)));
+        let s = d.stats();
+        assert_eq!(s.lookups, 2);
+        assert_eq!(s.correct, 1);
+        assert_eq!(s.missing, 1);
+    }
+
+    #[test]
+    fn hints_go_stale_on_moves() {
+        let mut d = HintDirectory::new(4);
+        d.set(b(1), NodeId(2));
+        d.lookup_from(NodeId(0), b(1)); // node 0 learns: at 2
+        d.set(b(1), NodeId(3)); // master forwarded; node 0 not told
+        match d.lookup_from(NodeId(0), b(1)) {
+            HintLookup::Stale { hinted, actual } => {
+                assert_eq!(hinted, NodeId(2));
+                assert_eq!(actual, NodeId(3));
+            }
+            other => panic!("unexpected: {other:?}"),
+        }
+        assert!(d.stats().accuracy() < 1.0);
+    }
+
+    #[test]
+    fn stale_no_master_when_dropped() {
+        let mut d = HintDirectory::new(2);
+        d.set(b(7), NodeId(1));
+        d.lookup_from(NodeId(0), b(7));
+        d.clear(b(7), NodeId(1));
+        match d.lookup_from(NodeId(0), b(7)) {
+            HintLookup::StaleNoMaster { hinted } => assert_eq!(hinted, NodeId(1)),
+            other => panic!("unexpected: {other:?}"),
+        }
+        // And node 0 unlearned the hint.
+        assert_eq!(
+            d.lookup_from(NodeId(0), b(7)),
+            HintLookup::NoHint { actual: None }
+        );
+    }
+
+    #[test]
+    fn gossip_teaches_third_parties() {
+        let mut d = HintDirectory::new(3);
+        d.set(b(1), NodeId(1));
+        d.gossip(NodeId(2), b(1), NodeId(1));
+        assert_eq!(d.lookup_from(NodeId(2), b(1)), HintLookup::Correct(NodeId(1)));
+    }
+
+    #[test]
+    fn self_hints_are_filtered() {
+        // lookup_from is only reached after a local miss, so a hint pointing
+        // at the requester itself is known-wrong and treated as absent
+        // (no wasted hop charged).
+        let mut d = HintDirectory::new(2);
+        d.set(b(5), NodeId(1));
+        assert_eq!(
+            d.lookup_from(NodeId(1), b(5)),
+            HintLookup::NoHint {
+                actual: Some(NodeId(1))
+            }
+        );
+        // After the master moves, the old holder's stale self-hint must not
+        // cost a hop either: it is filtered, not charged as Stale.
+        d.set(b(5), NodeId(0));
+        assert_eq!(
+            d.lookup_from(NodeId(1), b(5)),
+            HintLookup::NoHint {
+                actual: Some(NodeId(0))
+            }
+        );
+    }
+
+    #[test]
+    fn exchange_shares_recent_placements() {
+        let mut d = HintDirectory::new(3);
+        d.set(b(1), NodeId(0));
+        d.set(b(2), NodeId(1));
+        d.exchange(NodeId(0), NodeId(1));
+        // Node 0 learned about b2, node 1 about b1.
+        assert_eq!(d.lookup_from(NodeId(0), b(2)), HintLookup::Correct(NodeId(1)));
+        assert_eq!(d.lookup_from(NodeId(1), b(1)), HintLookup::Correct(NodeId(0)));
+        // Node 2 was not part of the exchange.
+        assert_eq!(
+            d.lookup_from(NodeId(2), b(1)),
+            HintLookup::NoHint {
+                actual: Some(NodeId(0))
+            }
+        );
+    }
+
+    #[test]
+    fn accuracy_math() {
+        let s = HintStats {
+            lookups: 10,
+            correct: 8,
+            stale: 2,
+            missing: 0,
+        };
+        assert!((s.accuracy() - 0.8).abs() < 1e-12);
+        assert_eq!(HintStats::default().accuracy(), 0.0);
+    }
+}

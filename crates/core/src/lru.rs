@@ -1,0 +1,431 @@
+//! An age-ordered, intrusive LRU list over block ids.
+//!
+//! Each node cache keeps two of these (one for master copies, one for
+//! replicas). The list is a slab-backed doubly-linked list plus a hash index,
+//! so touch / insert / remove / evict are all O(1). Entries carry an explicit
+//! **age** — the global logical tick of their last access — because the
+//! protocol compares ages *across* nodes (the forwarding rules are phrased in
+//! terms of "the oldest block in the system").
+//!
+//! Ordinary insertions and touches go to the MRU end with a fresh age, so the
+//! list stays age-sorted. The one exception is a *forwarded* master arriving
+//! from a peer: it keeps its old age and is spliced into age position
+//! ([`LruList::insert_by_age`]). Forwarded blocks are near-globally-oldest by
+//! construction, so the splice walk starts from the LRU end and is expected
+//! O(1).
+
+use simcore::FxHashMap;
+use std::hash::Hash;
+
+const NIL: u32 = u32::MAX;
+
+#[derive(Debug, Clone)]
+struct Slot<K> {
+    block: K,
+    age: u64,
+    prev: u32,
+    next: u32,
+}
+
+/// The age-ordered LRU list, generic over the cached key (block ids for the
+/// middleware, file ids for the whole-file L2S baseline).
+#[derive(Debug, Clone)]
+pub struct LruList<K: Copy + Eq + Hash + std::fmt::Debug> {
+    slots: Vec<Slot<K>>,
+    free: Vec<u32>,
+    index: FxHashMap<K, u32>,
+    /// MRU end (youngest).
+    head: u32,
+    /// LRU end (oldest).
+    tail: u32,
+}
+
+impl<K: Copy + Eq + Hash + std::fmt::Debug> Default for LruList<K> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<K: Copy + Eq + Hash + std::fmt::Debug> LruList<K> {
+    /// An empty list.
+    pub fn new() -> LruList<K> {
+        LruList {
+            slots: Vec::new(),
+            free: Vec::new(),
+            index: FxHashMap::default(),
+            head: NIL,
+            tail: NIL,
+        }
+    }
+
+    /// Number of resident blocks.
+    pub fn len(&self) -> usize {
+        self.index.len()
+    }
+
+    /// True if no blocks are resident.
+    pub fn is_empty(&self) -> bool {
+        self.index.is_empty()
+    }
+
+    /// True if `block` is resident.
+    pub fn contains(&self, block: K) -> bool {
+        self.index.contains_key(&block)
+    }
+
+    /// The age of `block`, if resident.
+    pub fn age_of(&self, block: K) -> Option<u64> {
+        self.index.get(&block).map(|&i| self.slots[i as usize].age)
+    }
+
+    /// The oldest entry `(block, age)` without removing it.
+    pub fn peek_oldest(&self) -> Option<(K, u64)> {
+        if self.tail == NIL {
+            None
+        } else {
+            let s = &self.slots[self.tail as usize];
+            Some((s.block, s.age))
+        }
+    }
+
+    /// The youngest entry `(block, age)` without removing it.
+    pub fn peek_youngest(&self) -> Option<(K, u64)> {
+        if self.head == NIL {
+            None
+        } else {
+            let s = &self.slots[self.head as usize];
+            Some((s.block, s.age))
+        }
+    }
+
+    fn alloc(&mut self, block: K, age: u64) -> u32 {
+        if let Some(i) = self.free.pop() {
+            self.slots[i as usize] = Slot {
+                block,
+                age,
+                prev: NIL,
+                next: NIL,
+            };
+            i
+        } else {
+            self.slots.push(Slot {
+                block,
+                age,
+                prev: NIL,
+                next: NIL,
+            });
+            (self.slots.len() - 1) as u32
+        }
+    }
+
+    fn unlink(&mut self, i: u32) {
+        let (prev, next) = {
+            let s = &self.slots[i as usize];
+            (s.prev, s.next)
+        };
+        if prev != NIL {
+            self.slots[prev as usize].next = next;
+        } else {
+            self.head = next;
+        }
+        if next != NIL {
+            self.slots[next as usize].prev = prev;
+        } else {
+            self.tail = prev;
+        }
+    }
+
+    fn link_front(&mut self, i: u32) {
+        self.slots[i as usize].prev = NIL;
+        self.slots[i as usize].next = self.head;
+        if self.head != NIL {
+            self.slots[self.head as usize].prev = i;
+        }
+        self.head = i;
+        if self.tail == NIL {
+            self.tail = i;
+        }
+    }
+
+    /// Insert `block` as the youngest entry with age `age`.
+    ///
+    /// # Panics
+    /// Panics if the block is already resident, or (debug) if `age` is older
+    /// than the current youngest — that would break age ordering.
+    pub fn push_mru(&mut self, block: K, age: u64) {
+        assert!(
+            !self.index.contains_key(&block),
+            "push_mru of resident block {block:?}"
+        );
+        debug_assert!(
+            self.peek_youngest().is_none_or(|(_, a)| a <= age),
+            "push_mru would violate age order"
+        );
+        let i = self.alloc(block, age);
+        self.link_front(i);
+        self.index.insert(block, i);
+    }
+
+    /// Refresh `block` to age `age` and move it to the MRU end. Returns false
+    /// if the block is not resident.
+    pub fn touch(&mut self, block: K, age: u64) -> bool {
+        let Some(&i) = self.index.get(&block) else {
+            return false;
+        };
+        self.unlink(i);
+        self.slots[i as usize].age = age;
+        self.link_front(i);
+        true
+    }
+
+    /// Remove `block`, returning its age if it was resident.
+    pub fn remove(&mut self, block: K) -> Option<u64> {
+        let i = self.index.remove(&block)?;
+        self.unlink(i);
+        self.free.push(i);
+        Some(self.slots[i as usize].age)
+    }
+
+    /// Remove and return the oldest entry.
+    pub fn pop_oldest(&mut self) -> Option<(K, u64)> {
+        let (block, age) = self.peek_oldest()?;
+        self.remove(block);
+        Some((block, age))
+    }
+
+    /// Insert `block` preserving age order (used for forwarded masters that
+    /// keep their original age). Walks from the LRU end; forwarded blocks are
+    /// near-oldest so the walk is expected O(1).
+    ///
+    /// # Panics
+    /// Panics if the block is already resident.
+    pub fn insert_by_age(&mut self, block: K, age: u64) {
+        assert!(
+            !self.index.contains_key(&block),
+            "insert_by_age of resident block {block:?}"
+        );
+        let i = self.alloc(block, age);
+        // Find the first entry from the tail with age >= ours; insert before
+        // it (i.e. on its older side).
+        let mut cur = self.tail;
+        while cur != NIL && self.slots[cur as usize].age < age {
+            cur = self.slots[cur as usize].prev;
+        }
+        if cur == NIL {
+            // Youngest of all.
+            self.link_front(i);
+        } else {
+            // Insert after `cur` (toward the tail).
+            let next = self.slots[cur as usize].next;
+            self.slots[i as usize].prev = cur;
+            self.slots[i as usize].next = next;
+            self.slots[cur as usize].next = i;
+            if next != NIL {
+                self.slots[next as usize].prev = i;
+            } else {
+                self.tail = i;
+            }
+        }
+        self.index.insert(block, i);
+    }
+
+    /// Iterate entries from oldest to youngest (the de-replication search in
+    /// `ccm-l2s` walks this way looking for a multi-copy victim).
+    pub fn iter_oldest_first(&self) -> impl Iterator<Item = (K, u64)> + '_ {
+        let mut cur = self.tail;
+        std::iter::from_fn(move || {
+            if cur == NIL {
+                return None;
+            }
+            let s = &self.slots[cur as usize];
+            cur = s.prev;
+            Some((s.block, s.age))
+        })
+    }
+
+    /// Iterate entries from youngest to oldest (test/diagnostic use).
+    pub fn iter(&self) -> impl Iterator<Item = (K, u64)> + '_ {
+        let mut cur = self.head;
+        std::iter::from_fn(move || {
+            if cur == NIL {
+                return None;
+            }
+            let s = &self.slots[cur as usize];
+            cur = s.next;
+            Some((s.block, s.age))
+        })
+    }
+
+    /// Invariant check: index and links agree, ages are non-increasing from
+    /// head to tail. Used by tests (including cross-crate property tests);
+    /// O(n), so not called on hot paths.
+    pub fn check_invariants(&self) {
+        let items: Vec<(K, u64)> = self.iter().collect();
+        assert_eq!(items.len(), self.index.len(), "index/list length mismatch");
+        for w in items.windows(2) {
+            assert!(w[0].1 >= w[1].1, "age order violated: {w:?}");
+        }
+        for (b, _) in &items {
+            assert!(self.index.contains_key(b));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::block::{BlockId, FileId};
+
+    fn b(i: u32) -> BlockId {
+        BlockId::new(FileId(0), i)
+    }
+
+    #[test]
+    fn push_and_pop_order() {
+        let mut l = LruList::new();
+        l.push_mru(b(1), 1);
+        l.push_mru(b(2), 2);
+        l.push_mru(b(3), 3);
+        l.check_invariants();
+        assert_eq!(l.pop_oldest(), Some((b(1), 1)));
+        assert_eq!(l.pop_oldest(), Some((b(2), 2)));
+        assert_eq!(l.pop_oldest(), Some((b(3), 3)));
+        assert_eq!(l.pop_oldest(), None);
+        assert!(l.is_empty());
+    }
+
+    #[test]
+    fn touch_moves_to_front() {
+        let mut l = LruList::new();
+        l.push_mru(b(1), 1);
+        l.push_mru(b(2), 2);
+        l.push_mru(b(3), 3);
+        assert!(l.touch(b(1), 4));
+        l.check_invariants();
+        assert_eq!(l.peek_oldest(), Some((b(2), 2)));
+        assert_eq!(l.peek_youngest(), Some((b(1), 4)));
+        assert!(!l.touch(b(99), 5));
+    }
+
+    #[test]
+    fn remove_middle_keeps_links() {
+        let mut l = LruList::new();
+        for i in 1..=5 {
+            l.push_mru(b(i), i as u64);
+        }
+        assert_eq!(l.remove(b(3)), Some(3));
+        l.check_invariants();
+        assert_eq!(l.len(), 4);
+        assert!(!l.contains(b(3)));
+        let order: Vec<u32> = l.iter().map(|(blk, _)| blk.index).collect();
+        assert_eq!(order, vec![5, 4, 2, 1]);
+    }
+
+    #[test]
+    fn remove_head_and_tail() {
+        let mut l = LruList::new();
+        l.push_mru(b(1), 1);
+        l.push_mru(b(2), 2);
+        l.push_mru(b(3), 3);
+        l.remove(b(3)); // head
+        l.remove(b(1)); // tail
+        l.check_invariants();
+        assert_eq!(l.peek_oldest(), Some((b(2), 2)));
+        assert_eq!(l.peek_youngest(), Some((b(2), 2)));
+    }
+
+    #[test]
+    fn slots_are_reused() {
+        let mut l = LruList::new();
+        for round in 0..10u64 {
+            for i in 0..100 {
+                l.push_mru(b(i), round * 100 + i as u64);
+            }
+            for i in 0..100 {
+                l.remove(b(i));
+            }
+        }
+        // Slab never grew beyond one round's worth.
+        assert!(l.slots.len() <= 100, "slab grew to {}", l.slots.len());
+    }
+
+    #[test]
+    fn insert_by_age_places_correctly() {
+        let mut l = LruList::new();
+        l.push_mru(b(1), 10);
+        l.push_mru(b(2), 20);
+        l.push_mru(b(3), 30);
+        // Between 10 and 20.
+        l.insert_by_age(b(4), 15);
+        l.check_invariants();
+        let ages: Vec<u64> = l.iter().map(|(_, a)| a).collect();
+        assert_eq!(ages, vec![30, 20, 15, 10]);
+        // Older than everything.
+        l.insert_by_age(b(5), 1);
+        assert_eq!(l.peek_oldest(), Some((b(5), 1)));
+        // Younger than everything.
+        l.insert_by_age(b(6), 99);
+        assert_eq!(l.peek_youngest(), Some((b(6), 99)));
+        l.check_invariants();
+    }
+
+    #[test]
+    fn insert_by_age_into_empty() {
+        let mut l = LruList::new();
+        l.insert_by_age(b(7), 42);
+        assert_eq!(l.peek_oldest(), Some((b(7), 42)));
+        assert_eq!(l.len(), 1);
+        l.check_invariants();
+    }
+
+    #[test]
+    fn age_of_reports_current_age() {
+        let mut l = LruList::new();
+        l.push_mru(b(1), 5);
+        assert_eq!(l.age_of(b(1)), Some(5));
+        l.touch(b(1), 9);
+        assert_eq!(l.age_of(b(1)), Some(9));
+        assert_eq!(l.age_of(b(2)), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "resident block")]
+    fn double_insert_panics() {
+        let mut l = LruList::new();
+        l.push_mru(b(1), 1);
+        l.push_mru(b(1), 2);
+    }
+
+    #[test]
+    fn interleaved_operations_stress() {
+        // Deterministic mixed workload; invariants checked throughout.
+        let mut l = LruList::new();
+        let mut age = 0u64;
+        for step in 0u32..2_000 {
+            age += 1;
+            match step % 5 {
+                0 | 1 => {
+                    let blk = b(step % 97);
+                    if !l.contains(blk) {
+                        l.push_mru(blk, age);
+                    } else {
+                        l.touch(blk, age);
+                    }
+                }
+                2 => {
+                    l.touch(b((step * 7) % 97), age);
+                }
+                3 => {
+                    l.remove(b((step * 13) % 97));
+                }
+                _ => {
+                    l.pop_oldest();
+                }
+            }
+            if step % 100 == 0 {
+                l.check_invariants();
+            }
+        }
+        l.check_invariants();
+    }
+}

@@ -1,0 +1,160 @@
+//! Replacement policy variants.
+//!
+//! The paper's central result is that the replacement policy — not the rest
+//! of the protocol — is what separates cooperative caching from
+//! locality-conscious request distribution:
+//!
+//! * [`ReplacementPolicy::GlobalLru`] is the classic algorithm inherited from
+//!   client-side cooperative caching (Dahlin et al.; Sarkar & Hartman): evict
+//!   the locally oldest block; a master that is not globally oldest gets a
+//!   "second chance" by being forwarded. Under a server workload this still
+//!   discards masters while duplicates of hotter blocks fill the cluster, and
+//!   throughput collapses to ≈ 20 % of the locality-aware baseline (§5).
+//!
+//! * [`ReplacementPolicy::MasterPreserving`] is the paper's modification:
+//!   "when eviction is necessary, never evict a master copy if the evicting
+//!   node is still holding a non-master copy; instead, evict the oldest
+//!   non-master copy. If the node is only holding master copies, then perform
+//!   the global LRU eviction as before" (§5). Cluster memory fills with the
+//!   distinct working set before any duplication, matching the baseline's
+//!   hit rates at the cost of more remote (network) hits.
+//!
+//! [`ReplacementPolicy::victim`] encodes exactly this choice; everything
+//! else (forwarding, no-cascade, drop-if-youngest) is shared and lives in
+//! [`crate::cluster_cache`].
+
+use crate::block::BlockId;
+use crate::node_cache::{CopyKind, NodeCache};
+
+/// Which copy a node sacrifices when it must free a frame.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum ReplacementPolicy {
+    /// Approximate global LRU with unlimited master second-chance forwarding
+    /// (the paper's "-Basic", traditional server-side cooperative caching).
+    GlobalLru,
+    /// Classic client-side cooperative caching (Dahlin et al., OSDI '94):
+    /// like global LRU, but a master is only re-forwarded `chances` times
+    /// before it is dropped; a local reference resets the count. The
+    /// lineage the paper's algorithm descends from — included as a third
+    /// baseline for the `ext_nchance` ablation.
+    NChance {
+        /// Forwards a master survives without being referenced (Dahlin's
+        /// recirculation count; 2 in the original paper).
+        chances: u8,
+    },
+    /// Never evict a master while holding any replica (the paper's winning
+    /// variant).
+    #[default]
+    MasterPreserving,
+}
+
+impl ReplacementPolicy {
+    /// Short label used in figures and CSV output.
+    pub fn label(self) -> &'static str {
+        match self {
+            ReplacementPolicy::GlobalLru => "global-lru",
+            ReplacementPolicy::NChance { .. } => "n-chance",
+            ReplacementPolicy::MasterPreserving => "master-preserving",
+        }
+    }
+
+    /// Choose the eviction victim for `cache`: `(block, kind, age)`.
+    /// Returns `None` only for an empty cache.
+    pub fn victim(self, cache: &NodeCache) -> Option<(BlockId, CopyKind, u64)> {
+        match self {
+            ReplacementPolicy::GlobalLru | ReplacementPolicy::NChance { .. } => cache.oldest(),
+            ReplacementPolicy::MasterPreserving => {
+                if let Some((block, age)) = cache.oldest_replica() {
+                    Some((block, CopyKind::Replica, age))
+                } else {
+                    cache.oldest()
+                }
+            }
+        }
+    }
+
+    /// How many times an unreferenced master may be forwarded before it is
+    /// dropped (`u32::MAX` = unlimited).
+    pub fn forward_limit(self) -> u32 {
+        match self {
+            ReplacementPolicy::NChance { chances } => chances as u32,
+            _ => u32::MAX,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::block::FileId;
+
+    fn b(i: u32) -> BlockId {
+        BlockId::new(FileId(0), i)
+    }
+
+    fn mixed_cache() -> NodeCache {
+        let mut c = NodeCache::new(4);
+        c.insert(b(1), CopyKind::Master, 1); // the globally oldest thing here
+        c.insert(b(2), CopyKind::Replica, 2);
+        c.insert(b(3), CopyKind::Master, 3);
+        c
+    }
+
+    #[test]
+    fn global_lru_takes_oldest_regardless_of_kind() {
+        let c = mixed_cache();
+        let (blk, kind, age) = ReplacementPolicy::GlobalLru.victim(&c).unwrap();
+        assert_eq!((blk, kind, age), (b(1), CopyKind::Master, 1));
+    }
+
+    #[test]
+    fn master_preserving_prefers_replica_even_if_younger() {
+        let c = mixed_cache();
+        let (blk, kind, age) = ReplacementPolicy::MasterPreserving.victim(&c).unwrap();
+        assert_eq!((blk, kind, age), (b(2), CopyKind::Replica, 2));
+    }
+
+    #[test]
+    fn master_preserving_falls_back_to_global_lru() {
+        let mut c = NodeCache::new(4);
+        c.insert(b(2), CopyKind::Master, 2);
+        c.insert(b(1), CopyKind::Master, 5);
+        let (blk, kind, _) = ReplacementPolicy::MasterPreserving.victim(&c).unwrap();
+        assert_eq!((blk, kind), (b(2), CopyKind::Master));
+    }
+
+    #[test]
+    fn empty_cache_has_no_victim() {
+        let c = NodeCache::new(1);
+        assert!(ReplacementPolicy::GlobalLru.victim(&c).is_none());
+        assert!(ReplacementPolicy::MasterPreserving.victim(&c).is_none());
+    }
+
+    #[test]
+    fn labels_are_distinct() {
+        assert_ne!(
+            ReplacementPolicy::GlobalLru.label(),
+            ReplacementPolicy::MasterPreserving.label()
+        );
+        assert_ne!(
+            ReplacementPolicy::NChance { chances: 2 }.label(),
+            ReplacementPolicy::GlobalLru.label()
+        );
+    }
+
+    #[test]
+    fn nchance_picks_oldest_like_global_lru() {
+        let c = mixed_cache();
+        assert_eq!(
+            ReplacementPolicy::NChance { chances: 2 }.victim(&c),
+            ReplacementPolicy::GlobalLru.victim(&c)
+        );
+    }
+
+    #[test]
+    fn forward_limits() {
+        assert_eq!(ReplacementPolicy::GlobalLru.forward_limit(), u32::MAX);
+        assert_eq!(ReplacementPolicy::MasterPreserving.forward_limit(), u32::MAX);
+        assert_eq!(ReplacementPolicy::NChance { chances: 2 }.forward_limit(), 2);
+    }
+}

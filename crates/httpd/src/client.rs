@@ -1,0 +1,164 @@
+//! A tiny blocking HTTP client and a load generator.
+//!
+//! Enough to exercise the server from tests and examples: one-shot and
+//! keep-alive `GET`s with `Content-Length` framing, plus a multi-threaded
+//! round-robin load run that verifies every body against a checker.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpStream};
+
+/// A parsed response.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Response {
+    /// HTTP status code.
+    pub status: u16,
+    /// The body (empty for HEAD).
+    pub body: Vec<u8>,
+}
+
+fn read_response(reader: &mut impl BufRead, head_only: bool) -> std::io::Result<Response> {
+    let bad = |m: &str| std::io::Error::new(std::io::ErrorKind::InvalidData, m.to_string());
+    let mut line = String::new();
+    reader.read_line(&mut line)?;
+    let status: u16 = line
+        .split_ascii_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| bad("bad status line"))?;
+    let mut content_length = 0usize;
+    loop {
+        let mut h = String::new();
+        if reader.read_line(&mut h)? == 0 {
+            return Err(bad("eof in headers"));
+        }
+        let h = h.trim_end();
+        if h.is_empty() {
+            break;
+        }
+        if let Some((name, value)) = h.split_once(':') {
+            if name.trim().eq_ignore_ascii_case("content-length") {
+                content_length = value.trim().parse().map_err(|_| bad("bad length"))?;
+            }
+        }
+    }
+    let mut body = vec![0u8; if head_only { 0 } else { content_length }];
+    reader.read_exact(&mut body)?;
+    Ok(Response { status, body })
+}
+
+/// One-shot `GET` (fresh connection, `Connection: close`).
+pub fn get(addr: SocketAddr, path: &str) -> std::io::Result<Response> {
+    let mut stream = TcpStream::connect(addr)?;
+    stream.set_nodelay(true)?;
+    write!(
+        stream,
+        "GET {path} HTTP/1.1\r\nHost: cluster\r\nConnection: close\r\n\r\n"
+    )?;
+    let mut reader = BufReader::new(stream);
+    read_response(&mut reader, false)
+}
+
+/// One-shot `HEAD`.
+pub fn head(addr: SocketAddr, path: &str) -> std::io::Result<Response> {
+    let mut stream = TcpStream::connect(addr)?;
+    stream.set_nodelay(true)?;
+    write!(
+        stream,
+        "HEAD {path} HTTP/1.1\r\nHost: cluster\r\nConnection: close\r\n\r\n"
+    )?;
+    let mut reader = BufReader::new(stream);
+    read_response(&mut reader, true)
+}
+
+/// A persistent connection issuing several `GET`s.
+pub struct KeepAlive {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+}
+
+impl KeepAlive {
+    /// Open a persistent connection to `addr`.
+    pub fn connect(addr: SocketAddr) -> std::io::Result<KeepAlive> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        Ok(KeepAlive {
+            reader: BufReader::new(stream.try_clone()?),
+            writer: stream,
+        })
+    }
+
+    /// `GET` over the persistent connection.
+    pub fn get(&mut self, path: &str) -> std::io::Result<Response> {
+        write!(self.writer, "GET {path} HTTP/1.1\r\nHost: cluster\r\n\r\n")?;
+        self.writer.flush()?;
+        read_response(&mut self.reader, false)
+    }
+}
+
+/// Result of a load run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LoadReport {
+    /// Successful requests (status 200, body verified).
+    pub ok: u64,
+    /// Failed requests (transport error, bad status, or bad body).
+    pub failed: u64,
+}
+
+/// Drive `threads × requests_per_thread` keep-alive `GET`s round-robin over
+/// `addrs`, verifying each body with `check(file_id, body) -> bool`.
+pub fn load_run(
+    addrs: &[SocketAddr],
+    files: u32,
+    threads: usize,
+    requests_per_thread: usize,
+    check: impl Fn(u32, &[u8]) -> bool + Send + Sync + 'static,
+) -> LoadReport {
+    let check = std::sync::Arc::new(check);
+    let addrs: std::sync::Arc<[SocketAddr]> = addrs.to_vec().into();
+    let mut handles = Vec::new();
+    for t in 0..threads {
+        let check = check.clone();
+        let addrs = addrs.clone();
+        handles.push(std::thread::spawn(move || {
+            let addr = addrs[t % addrs.len()];
+            let mut rng = simcore_rng(t as u64);
+            let mut conn = KeepAlive::connect(addr).ok();
+            let (mut ok, mut failed) = (0u64, 0u64);
+            for _ in 0..requests_per_thread {
+                let id = (rng_next(&mut rng) % files as u64) as u32;
+                let result = conn
+                    .as_mut()
+                    .ok_or(())
+                    .and_then(|c| c.get(&format!("/file/{id}")).map_err(|_| ()));
+                match result {
+                    Ok(r) if r.status == 200 && check(id, &r.body) => ok += 1,
+                    _ => {
+                        failed += 1;
+                        conn = KeepAlive::connect(addr).ok(); // reconnect
+                    }
+                }
+            }
+            (ok, failed)
+        }));
+    }
+    let mut report = LoadReport { ok: 0, failed: 0 };
+    for h in handles {
+        let (ok, failed) = h.join().expect("load thread");
+        report.ok += ok;
+        report.failed += failed;
+    }
+    report
+}
+
+// A tiny local SplitMix64 so this crate needs no extra dependencies.
+fn simcore_rng(seed: u64) -> u64 {
+    seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ 0xDEAD_BEEF
+}
+
+fn rng_next(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}

@@ -1,0 +1,210 @@
+//! Minimal HTTP/1.x request parsing and response writing.
+//!
+//! Supports exactly what the file server needs: the request line, enough
+//! header handling to honor `Connection: keep-alive`/`close`, and
+//! `Content-Length`-framed responses. Robust against malformed input (a bad
+//! request yields a 400, never a panic) and bounded (oversized request heads
+//! are rejected) so the listener can face untrusted bytes.
+
+use std::io::{BufRead, Write};
+
+/// Largest accepted request head (request line + headers), bytes.
+pub const MAX_HEAD_BYTES: usize = 8 * 1024;
+
+/// A parsed request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Request {
+    /// `GET` or `HEAD` (anything else is rejected with 405 by the server).
+    pub method: String,
+    /// The request target, e.g. `/file/42`.
+    pub path: String,
+    /// True if the connection should be kept open after the response.
+    pub keep_alive: bool,
+}
+
+/// Why a request could not be parsed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ParseError {
+    /// The peer closed before sending a full request (normal at keep-alive
+    /// end-of-session; not an error worth a response).
+    ConnectionClosed,
+    /// Malformed request line or headers → 400.
+    Malformed,
+    /// Request head exceeded [`MAX_HEAD_BYTES`] → 400.
+    TooLarge,
+}
+
+/// Read and parse one request head from `reader`.
+pub fn read_request(reader: &mut impl BufRead) -> Result<Request, ParseError> {
+    let mut head = String::new();
+    let mut total = 0usize;
+
+    // Request line.
+    let mut line = String::new();
+    match reader.read_line(&mut line) {
+        Ok(0) => return Err(ParseError::ConnectionClosed),
+        Ok(n) => total += n,
+        Err(_) => return Err(ParseError::ConnectionClosed),
+    }
+    let mut parts = line.split_ascii_whitespace();
+    let method = parts.next().ok_or(ParseError::Malformed)?.to_string();
+    let path = parts.next().ok_or(ParseError::Malformed)?.to_string();
+    let version = parts.next().unwrap_or("HTTP/1.0");
+    if !version.starts_with("HTTP/1.") {
+        return Err(ParseError::Malformed);
+    }
+    let http11 = version == "HTTP/1.1";
+    if !path.starts_with('/') {
+        return Err(ParseError::Malformed);
+    }
+
+    // Headers until the blank line.
+    let mut keep_alive = http11; // 1.1 defaults to persistent
+    loop {
+        head.clear();
+        match reader.read_line(&mut head) {
+            Ok(0) => return Err(ParseError::Malformed), // EOF mid-head
+            Ok(n) => total += n,
+            Err(_) => return Err(ParseError::Malformed),
+        }
+        if total > MAX_HEAD_BYTES {
+            return Err(ParseError::TooLarge);
+        }
+        let h = head.trim_end();
+        if h.is_empty() {
+            break;
+        }
+        let Some((name, value)) = h.split_once(':') else {
+            return Err(ParseError::Malformed);
+        };
+        if name.trim().eq_ignore_ascii_case("connection") {
+            match value.trim().to_ascii_lowercase().as_str() {
+                "keep-alive" => keep_alive = true,
+                "close" => keep_alive = false,
+                _ => {}
+            }
+        }
+    }
+
+    Ok(Request {
+        method,
+        path,
+        keep_alive,
+    })
+}
+
+/// Write a response head (and, unless `head_only`, the body).
+pub fn write_response(
+    w: &mut impl Write,
+    status: u16,
+    reason: &str,
+    body: &[u8],
+    keep_alive: bool,
+    head_only: bool,
+) -> std::io::Result<()> {
+    write!(
+        w,
+        "HTTP/1.1 {status} {reason}\r\nContent-Length: {}\r\nContent-Type: application/octet-stream\r\nConnection: {}\r\n\r\n",
+        body.len(),
+        if keep_alive { "keep-alive" } else { "close" },
+    )?;
+    if !head_only {
+        w.write_all(body)?;
+    }
+    w.flush()
+}
+
+/// Resolve `/file/<id>` to a file id.
+pub fn route_file(path: &str) -> Option<u32> {
+    path.strip_prefix("/file/")?.parse().ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::BufReader;
+
+    fn parse(s: &str) -> Result<Request, ParseError> {
+        read_request(&mut BufReader::new(s.as_bytes()))
+    }
+
+    #[test]
+    fn parses_get_10() {
+        let r = parse("GET /file/7 HTTP/1.0\r\n\r\n").unwrap();
+        assert_eq!(r.method, "GET");
+        assert_eq!(r.path, "/file/7");
+        assert!(!r.keep_alive, "1.0 defaults to close");
+    }
+
+    #[test]
+    fn parses_get_11_keepalive_default() {
+        let r = parse("GET / HTTP/1.1\r\nHost: x\r\n\r\n").unwrap();
+        assert!(r.keep_alive, "1.1 defaults to keep-alive");
+    }
+
+    #[test]
+    fn connection_header_overrides() {
+        let r = parse("GET / HTTP/1.1\r\nConnection: close\r\n\r\n").unwrap();
+        assert!(!r.keep_alive);
+        let r = parse("GET / HTTP/1.0\r\nConnection: Keep-Alive\r\n\r\n").unwrap();
+        assert!(r.keep_alive);
+    }
+
+    #[test]
+    fn malformed_inputs_are_rejected_not_panics() {
+        assert_eq!(parse("").unwrap_err(), ParseError::ConnectionClosed);
+        assert_eq!(parse("GARBAGE\r\n\r\n").unwrap_err(), ParseError::Malformed);
+        assert_eq!(parse("GET\r\n\r\n").unwrap_err(), ParseError::Malformed);
+        assert_eq!(
+            parse("GET /x SPDY/3\r\n\r\n").unwrap_err(),
+            ParseError::Malformed
+        );
+        assert_eq!(
+            parse("GET nopath HTTP/1.1\r\n\r\n").unwrap_err(),
+            ParseError::Malformed
+        );
+        assert_eq!(
+            parse("GET / HTTP/1.1\r\nbadheader\r\n\r\n").unwrap_err(),
+            ParseError::Malformed
+        );
+    }
+
+    #[test]
+    fn oversized_head_is_rejected() {
+        let mut s = String::from("GET / HTTP/1.1\r\n");
+        for i in 0..1000 {
+            s.push_str(&format!("X-Pad-{i}: {}\r\n", "y".repeat(64)));
+        }
+        s.push_str("\r\n");
+        assert_eq!(parse(&s).unwrap_err(), ParseError::TooLarge);
+    }
+
+    #[test]
+    fn response_has_content_length_framing() {
+        let mut out = Vec::new();
+        write_response(&mut out, 200, "OK", b"hello", true, false).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.starts_with("HTTP/1.1 200 OK\r\n"));
+        assert!(text.contains("Content-Length: 5\r\n"));
+        assert!(text.contains("Connection: keep-alive\r\n"));
+        assert!(text.ends_with("\r\n\r\nhello"));
+    }
+
+    #[test]
+    fn head_omits_body_but_keeps_length() {
+        let mut out = Vec::new();
+        write_response(&mut out, 200, "OK", b"hello", false, true).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.contains("Content-Length: 5\r\n"));
+        assert!(text.ends_with("\r\n\r\n"), "no body bytes");
+    }
+
+    #[test]
+    fn routing() {
+        assert_eq!(route_file("/file/0"), Some(0));
+        assert_eq!(route_file("/file/123"), Some(123));
+        assert_eq!(route_file("/file/abc"), None);
+        assert_eq!(route_file("/files/1"), None);
+        assert_eq!(route_file("/"), None);
+    }
+}

@@ -1,0 +1,28 @@
+//! # ccm-httpd — a web server on the cooperative caching middleware
+//!
+//! The paper's motivating application is "an off-the-shelf web server"
+//! stacked on the generic caching layer plus round-robin DNS (§7). This
+//! crate is that stack, runnable: a small HTTP/1.x static-file server whose
+//! every read goes through `ccm-rt`'s cooperative cache. One process hosts
+//! the whole cluster — each node is a middleware service thread *plus* a TCP
+//! listener on its own port (the per-node address a round-robin DNS would
+//! hand out).
+//!
+//! Scope: `GET`/`HEAD` of catalog files at `/file/<id>`, HTTP/1.0 and 1.1
+//! with keep-alive, `Content-Length` framing. Nothing more — it exists to
+//! demonstrate and test the middleware under a real socket workload, not to
+//! be a general web server.
+//!
+//! * [`http`] — request parsing and response writing.
+//! * [`server`] — per-node listeners and the cluster front end.
+//! * [`client`] — a tiny blocking HTTP client and load generator used by the
+//!   tests and examples.
+
+#![warn(missing_docs)]
+
+pub mod client;
+pub mod http;
+pub mod server;
+
+pub use client::{get, LoadReport};
+pub use server::HttpCluster;

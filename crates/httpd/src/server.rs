@@ -1,0 +1,176 @@
+//! Per-node HTTP listeners over one middleware cluster.
+//!
+//! [`HttpCluster::start`] spawns the `ccm-rt` middleware plus one TCP
+//! listener per node on loopback ephemeral ports — the addresses a
+//! round-robin DNS would rotate through. Every `GET /file/<id>` is served
+//! through that node's [`NodeHandle`], so cache cooperation (remote hits,
+//! master forwarding) happens underneath real socket traffic.
+//!
+//! Connections are handled thread-per-connection with keep-alive; shutdown
+//! closes the listeners and joins every worker.
+
+use crate::http::{read_request, route_file, write_response, ParseError};
+use ccm_core::{FileId, NodeId};
+use ccm_rt::{BlockStore, Catalog, Middleware, NodeHandle, RtConfig};
+use std::io::BufReader;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+/// A running HTTP cluster.
+pub struct HttpCluster {
+    middleware: Arc<Middleware>,
+    addrs: Vec<SocketAddr>,
+    stop: Arc<AtomicBool>,
+    acceptors: Vec<JoinHandle<()>>,
+}
+
+fn serve_connection(stream: TcpStream, handle: &NodeHandle, catalog: &Catalog) {
+    // Keep slow clients from pinning worker threads forever, and avoid
+    // Nagle/delayed-ACK stalls on small request/response exchanges.
+    let _ = stream.set_read_timeout(Some(std::time::Duration::from_secs(5)));
+    let _ = stream.set_nodelay(true);
+    let mut reader = BufReader::new(match stream.try_clone() {
+        Ok(s) => s,
+        Err(_) => return,
+    });
+    let mut writer = stream;
+    loop {
+        let req = match read_request(&mut reader) {
+            Ok(r) => r,
+            Err(ParseError::ConnectionClosed) => return,
+            Err(_) => {
+                let _ = write_response(&mut writer, 400, "Bad Request", b"", false, false);
+                return;
+            }
+        };
+        let head_only = match req.method.as_str() {
+            "GET" => false,
+            "HEAD" => true,
+            _ => {
+                let ok = write_response(
+                    &mut writer,
+                    405,
+                    "Method Not Allowed",
+                    b"",
+                    req.keep_alive,
+                    false,
+                );
+                if ok.is_err() || !req.keep_alive {
+                    return;
+                }
+                continue;
+            }
+        };
+        let response = route_file(&req.path)
+            .filter(|&id| (id as usize) < catalog.num_files())
+            .map(|id| handle.read_file(FileId(id)));
+        let ok = match response {
+            Some(body) => {
+                write_response(&mut writer, 200, "OK", &body, req.keep_alive, head_only)
+            }
+            None => write_response(
+                &mut writer,
+                404,
+                "Not Found",
+                b"no such file",
+                req.keep_alive,
+                head_only,
+            ),
+        };
+        if ok.is_err() || !req.keep_alive {
+            return;
+        }
+    }
+}
+
+impl HttpCluster {
+    /// Start the middleware and one listener per node on loopback ephemeral
+    /// ports.
+    ///
+    /// # Panics
+    /// Panics if a loopback socket cannot be bound (no such environment is
+    /// supported).
+    pub fn start(cfg: RtConfig, catalog: Catalog, store: Arc<dyn BlockStore>) -> HttpCluster {
+        let nodes = cfg.nodes;
+        let middleware = Arc::new(Middleware::start(cfg, catalog.clone(), store));
+        let stop = Arc::new(AtomicBool::new(false));
+        let mut addrs = Vec::with_capacity(nodes);
+        let mut acceptors = Vec::with_capacity(nodes);
+
+        for n in 0..nodes {
+            let listener = TcpListener::bind("127.0.0.1:0").expect("bind loopback");
+            addrs.push(listener.local_addr().expect("local addr"));
+            let handle = middleware.handle(NodeId(n as u16));
+            let catalog = catalog.clone();
+            let stop = stop.clone();
+            acceptors.push(
+                std::thread::Builder::new()
+                    .name(format!("httpd-node-{n}"))
+                    .spawn(move || accept_loop(listener, handle, catalog, stop))
+                    .expect("spawn acceptor"),
+            );
+        }
+        HttpCluster {
+            middleware,
+            addrs,
+            stop,
+            acceptors,
+        }
+    }
+
+    /// The per-node addresses (what round-robin DNS would rotate through).
+    pub fn addrs(&self) -> &[SocketAddr] {
+        &self.addrs
+    }
+
+    /// The middleware underneath (stats, invariants).
+    pub fn middleware(&self) -> &Middleware {
+        &self.middleware
+    }
+
+    /// Stop accepting, drain workers, and shut the middleware down.
+    pub fn shutdown(mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        // Nudge each acceptor out of `accept()` with a no-op connection.
+        for &addr in &self.addrs {
+            let _ = TcpStream::connect(addr);
+        }
+        for a in self.acceptors.drain(..) {
+            let _ = a.join();
+        }
+        match Arc::try_unwrap(self.middleware) {
+            Ok(mw) => mw.shutdown(),
+            Err(_) => { /* a handle outlived us; Drop will clean up */ }
+        }
+    }
+}
+
+fn accept_loop(
+    listener: TcpListener,
+    handle: NodeHandle,
+    catalog: Catalog,
+    stop: Arc<AtomicBool>,
+) {
+    let mut workers: Vec<JoinHandle<()>> = Vec::new();
+    for stream in listener.incoming() {
+        if stop.load(Ordering::SeqCst) {
+            break;
+        }
+        let Ok(stream) = stream else { continue };
+        let handle = handle.clone();
+        let catalog = catalog.clone();
+        workers.push(
+            std::thread::Builder::new()
+                .name("httpd-conn".into())
+                .spawn(move || serve_connection(stream, &handle, &catalog))
+                .expect("spawn worker"),
+        );
+        // Opportunistically reap finished workers to bound the vector.
+        workers.retain(|w| !w.is_finished());
+    }
+    for w in workers {
+        let _ = w.join();
+    }
+}

@@ -1,0 +1,410 @@
+//! Content- and load-aware request distribution.
+//!
+//! [`L2sSystem`] is the decision core of the baseline server: given "request
+//! for `file` arrived at `initial` node", it picks the serving node
+//! (migrating requests for a file to its assigned node, replicating under
+//! load), performs the whole-file cache access there, and reports what
+//! happened so the simulator can charge parse/hand-off/disk/serve times.
+//!
+//! The load signal is the number of outstanding requests per node, maintained
+//! by the caller via [`L2sSystem::begin_request`] / [`L2sSystem::end_request`]
+//! — the same signal LARD and L2S use. Replication triggers when the serving
+//! node is above the high-water mark while some node sits below the low-water
+//! mark; routing de-replicates again when the whole serving set has gone
+//! quiet.
+
+use crate::file_cache::FileCache;
+use ccm_core::{FileId, NodeId};
+use simcore::FxHashMap;
+use std::sync::Arc;
+
+/// Configuration of the baseline server.
+#[derive(Debug, Clone)]
+pub struct L2sConfig {
+    /// Cluster size.
+    pub nodes: usize,
+    /// Per-node memory for the whole-file cache, bytes.
+    pub capacity_bytes: u64,
+    /// Use TCP hand-off (true, the paper's L2S) or front-node relay (false,
+    /// the hand-off ablation).
+    pub handoff: bool,
+    /// A node below this many outstanding requests is a replication target.
+    pub t_low: u32,
+    /// A serving node above this many outstanding requests is overloaded.
+    pub t_high: u32,
+    /// Maximum serving replicas per file.
+    pub max_replicas: u16,
+}
+
+impl L2sConfig {
+    /// The paper's configuration for a cluster of `nodes` nodes with
+    /// `capacity_bytes` of cache per node.
+    pub fn paper(nodes: usize, capacity_bytes: u64) -> L2sConfig {
+        L2sConfig {
+            nodes,
+            capacity_bytes,
+            handoff: true,
+            // LARD's published watermarks; sensible for the 32-clients/node
+            // closed loop the experiments run.
+            t_low: 25,
+            t_high: 65,
+            max_replicas: 4,
+        }
+    }
+}
+
+/// Counters for the baseline server.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct L2sStats {
+    /// Requests whose file was cached at the serving node.
+    pub hits: u64,
+    /// Requests that faulted the file in from the (local) disk.
+    pub misses: u64,
+    /// Requests moved off their arrival node.
+    pub handoffs: u64,
+    /// Serving-set growths under load.
+    pub replications: u64,
+    /// Serving-set shrinks when load subsided.
+    pub dereplications: u64,
+}
+
+impl L2sStats {
+    /// Total requests dispatched.
+    pub fn requests(&self) -> u64 {
+        self.hits + self.misses
+    }
+
+    /// In-memory hit rate.
+    pub fn hit_rate(&self) -> f64 {
+        let n = self.requests();
+        if n == 0 {
+            0.0
+        } else {
+            self.hits as f64 / n as f64
+        }
+    }
+}
+
+/// What the simulator must charge for one dispatched request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct L2sOutcome {
+    /// The node that serves the request.
+    pub target: NodeId,
+    /// Set when the request was moved off its arrival node (charge hand-off
+    /// or relay, per [`L2sConfig::handoff`]).
+    pub moved_from: Option<NodeId>,
+    /// True if the file was in the serving node's memory.
+    pub hit: bool,
+    /// Files the serving node evicted to make room (memory bookkeeping only;
+    /// evictions are free of I/O).
+    pub evicted: Vec<FileId>,
+}
+
+/// The baseline server's cluster-wide state.
+pub struct L2sSystem {
+    cfg: L2sConfig,
+    caches: Vec<FileCache>,
+    /// Serving set per file; element 0 is the primary assignment.
+    serving: FxHashMap<FileId, Vec<NodeId>>,
+    /// Cluster-wide in-memory copy count per file.
+    copies: Vec<u32>,
+    /// Outstanding requests per node (caller-maintained).
+    loads: Vec<u32>,
+    tick: u64,
+    stats: L2sStats,
+}
+
+impl L2sSystem {
+    /// Build the server over files with the given sizes (indexed by id).
+    ///
+    /// # Panics
+    /// Panics on an empty cluster.
+    pub fn new(cfg: L2sConfig, sizes: Arc<[u64]>) -> L2sSystem {
+        assert!(cfg.nodes > 0, "empty cluster");
+        let caches = (0..cfg.nodes)
+            .map(|_| FileCache::new(cfg.capacity_bytes, sizes.clone()))
+            .collect();
+        let nodes = cfg.nodes;
+        L2sSystem {
+            loads: vec![0; nodes],
+            cfg,
+            caches,
+            serving: FxHashMap::default(),
+            copies: vec![0; sizes.len()],
+            tick: 0,
+            stats: L2sStats::default(),
+        }
+    }
+
+    /// The configuration in force.
+    pub fn config(&self) -> &L2sConfig {
+        &self.cfg
+    }
+
+    /// Counters so far.
+    pub fn stats(&self) -> L2sStats {
+        self.stats
+    }
+
+    /// A request was dispatched to `node` and is now in flight there.
+    pub fn begin_request(&mut self, node: NodeId) {
+        self.loads[node.index()] += 1;
+    }
+
+    /// A request at `node` completed.
+    pub fn end_request(&mut self, node: NodeId) {
+        debug_assert!(self.loads[node.index()] > 0, "load underflow");
+        self.loads[node.index()] -= 1;
+    }
+
+    /// Current outstanding-request count at `node`.
+    pub fn load(&self, node: NodeId) -> u32 {
+        self.loads[node.index()]
+    }
+
+    /// Cluster-wide in-memory copies of `file`.
+    pub fn copy_count(&self, file: FileId) -> u32 {
+        self.copies[file.0 as usize]
+    }
+
+    /// One node's cache (read-only view).
+    pub fn cache(&self, node: NodeId) -> &FileCache {
+        &self.caches[node.index()]
+    }
+
+    fn least_loaded(&self) -> NodeId {
+        let mut best = 0usize;
+        for i in 1..self.loads.len() {
+            if self.loads[i] < self.loads[best] {
+                best = i;
+            }
+        }
+        NodeId(best as u16)
+    }
+
+    /// Dispatch a request for `file` arriving (via round-robin DNS) at
+    /// `initial`, and perform the cache access at the chosen serving node.
+    ///
+    /// The caller is responsible for the [`L2sSystem::begin_request`] /
+    /// [`L2sSystem::end_request`] bracket around the request's lifetime.
+    pub fn dispatch(&mut self, initial: NodeId, file: FileId) -> L2sOutcome {
+        self.tick += 1;
+        let tick = self.tick;
+
+        // Content-aware assignment: first touch goes to the least-loaded node.
+        if !self.serving.contains_key(&file) {
+            let primary = self.least_loaded();
+            self.serving.insert(file, vec![primary]);
+        }
+
+        // De-replicate routing when the whole serving set has gone quiet.
+        {
+            let set = self.serving.get_mut(&file).expect("just inserted");
+            if set.len() > 1 {
+                let t_low = self.cfg.t_low;
+                let max_load = set.iter().map(|n| self.loads[n.index()]).max().unwrap_or(0);
+                if max_load < t_low {
+                    set.pop();
+                    self.stats.dereplications += 1;
+                }
+            }
+        }
+
+        // Pick the least-loaded member of the serving set.
+        let mut target = {
+            let set = &self.serving[&file];
+            *set.iter()
+                .min_by_key(|n| (self.loads[n.index()], n.0))
+                .expect("serving set non-empty")
+        };
+
+        // Load-aware replication: grow the set if the target is overloaded
+        // while someone else is idle.
+        if self.loads[target.index()] >= self.cfg.t_high {
+            let candidate = self.least_loaded();
+            let set = self.serving.get_mut(&file).expect("present");
+            if self.loads[candidate.index()] <= self.cfg.t_low
+                && (set.len() as u16) < self.cfg.max_replicas
+                && !set.contains(&candidate)
+            {
+                set.push(candidate);
+                self.stats.replications += 1;
+                target = candidate;
+            }
+        }
+
+        let moved_from = (target != initial).then_some(initial);
+        if moved_from.is_some() {
+            self.stats.handoffs += 1;
+        }
+
+        // Whole-file cache access at the serving node.
+        let t = target.index();
+        let hit = self.caches[t].touch(file, tick);
+        let mut evicted = Vec::new();
+        if hit {
+            self.stats.hits += 1;
+        } else {
+            self.stats.misses += 1;
+            if self.caches[t].fits(file) {
+                let copies = &self.copies;
+                evicted = self.caches[t]
+                    .insert_with_evictions(file, tick, |f| copies[f.0 as usize]);
+                for &e in &evicted {
+                    self.copies[e.0 as usize] -= 1;
+                }
+                self.copies[file.0 as usize] += 1;
+            }
+        }
+
+        L2sOutcome {
+            target,
+            moved_from,
+            hit,
+            evicted,
+        }
+    }
+
+    /// Full-state invariant check (tests): copy counts match the caches.
+    pub fn check_invariants(&self) {
+        for c in &self.caches {
+            c.check_invariants();
+        }
+        let mut counts = vec![0u32; self.copies.len()];
+        for c in &self.caches {
+            for f in c.iter_oldest_first() {
+                counts[f.0 as usize] += 1;
+            }
+        }
+        assert_eq!(counts, self.copies, "copy counts drifted");
+        for (file, set) in &self.serving {
+            assert!(!set.is_empty(), "empty serving set for {file:?}");
+            assert!(
+                set.len() <= self.cfg.max_replicas as usize,
+                "serving set exceeds max replicas"
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn f(i: u32) -> FileId {
+        FileId(i)
+    }
+
+    fn system(nodes: usize, cap: u64, sizes: &[u64]) -> L2sSystem {
+        L2sSystem::new(L2sConfig::paper(nodes, cap), sizes.to_vec().into())
+    }
+
+    #[test]
+    fn first_touch_assigns_and_misses() {
+        let mut s = system(4, 1000, &[100; 8]);
+        let out = s.dispatch(NodeId(2), f(0));
+        assert!(!out.hit);
+        assert!(out.evicted.is_empty());
+        // Least-loaded with all-zero loads is node 0.
+        assert_eq!(out.target, NodeId(0));
+        assert_eq!(out.moved_from, Some(NodeId(2)));
+        s.check_invariants();
+    }
+
+    #[test]
+    fn requests_migrate_to_the_assigned_node() {
+        let mut s = system(4, 1000, &[100; 8]);
+        let first = s.dispatch(NodeId(1), f(3));
+        for arrival in 0..4u16 {
+            let out = s.dispatch(NodeId(arrival), f(3));
+            assert_eq!(out.target, first.target, "content-aware migration");
+            assert!(out.hit, "one copy, always warm");
+        }
+        assert_eq!(s.copy_count(f(3)), 1, "only one copy in cluster memory");
+        s.check_invariants();
+    }
+
+    #[test]
+    fn arrival_at_serving_node_is_not_a_handoff() {
+        let mut s = system(2, 1000, &[100]);
+        let out1 = s.dispatch(NodeId(0), f(0));
+        let out2 = s.dispatch(out1.target, f(0));
+        assert_eq!(out2.moved_from, None);
+    }
+
+    #[test]
+    fn overload_triggers_replication() {
+        let mut s = system(2, 1000, &[100; 4]);
+        let primary = s.dispatch(NodeId(0), f(0)).target;
+        // Pile outstanding requests onto the primary.
+        for _ in 0..70 {
+            s.begin_request(primary);
+        }
+        let out = s.dispatch(NodeId(0), f(0));
+        assert_ne!(out.target, primary, "replicated under load");
+        assert!(!out.hit, "replica faults the file in locally");
+        assert_eq!(s.copy_count(f(0)), 2);
+        assert_eq!(s.stats().replications, 1);
+        s.check_invariants();
+    }
+
+    #[test]
+    fn quiet_set_dereplicates_routing() {
+        let mut s = system(2, 1000, &[100; 4]);
+        let primary = s.dispatch(NodeId(0), f(0)).target;
+        for _ in 0..70 {
+            s.begin_request(primary);
+        }
+        s.dispatch(NodeId(0), f(0)); // replicates
+        for _ in 0..70 {
+            s.end_request(primary);
+        }
+        // Set is now quiet: next dispatch shrinks routing back to one node.
+        let out = s.dispatch(NodeId(1), f(0));
+        assert_eq!(s.stats().dereplications, 1);
+        assert_eq!(out.target, primary);
+        s.check_invariants();
+    }
+
+    #[test]
+    fn eviction_updates_copy_counts() {
+        // Cache fits one 100-byte file per node.
+        let mut s = system(1, 100, &[100, 100]);
+        s.dispatch(NodeId(0), f(0));
+        let out = s.dispatch(NodeId(0), f(1));
+        assert_eq!(out.evicted, vec![f(0)]);
+        assert_eq!(s.copy_count(f(0)), 0);
+        assert_eq!(s.copy_count(f(1)), 1);
+        s.check_invariants();
+    }
+
+    #[test]
+    fn oversized_files_serve_uncached() {
+        let mut s = system(1, 100, &[500]);
+        let a = s.dispatch(NodeId(0), f(0));
+        let b = s.dispatch(NodeId(0), f(0));
+        assert!(!a.hit && !b.hit, "never cached");
+        assert_eq!(s.copy_count(f(0)), 0);
+    }
+
+    #[test]
+    fn load_bracket_round_trips() {
+        let mut s = system(2, 100, &[10]);
+        s.begin_request(NodeId(1));
+        s.begin_request(NodeId(1));
+        assert_eq!(s.load(NodeId(1)), 2);
+        s.end_request(NodeId(1));
+        assert_eq!(s.load(NodeId(1)), 1);
+    }
+
+    #[test]
+    fn stats_add_up() {
+        let mut s = system(2, 10_000, &[100; 16]);
+        for i in 0..50u32 {
+            s.dispatch(NodeId((i % 2) as u16), f(i % 16));
+        }
+        let st = s.stats();
+        assert_eq!(st.requests(), 50);
+        assert!(st.hit_rate() > 0.5, "small working set should mostly hit");
+    }
+}

@@ -1,0 +1,273 @@
+//! Whole-file LRU cache with de-replication-aware eviction.
+//!
+//! L2S caches entire files and accounts capacity in bytes. Its replacement
+//! "behaves like local LRU … and tries to keep at least one copy of each
+//! file in memory whenever possible" (§4.1): when a node must evict, it
+//! prefers the oldest resident file that still has a copy in some *other*
+//! node's memory, falling back to plain LRU when everything resident is a
+//! last copy. The search from the LRU end is depth-bounded ("tries", not
+//! "guarantees") so a pathological cache of all-last-copies stays O(1).
+//!
+//! Cluster-wide copy counts are owned by [`crate::dispatch::L2sSystem`] and
+//! passed in at eviction time.
+
+use ccm_core::lru::LruList;
+use ccm_core::FileId;
+
+/// How far from the LRU end the de-replication search looks for a
+/// multi-copy victim before falling back to strict LRU.
+pub const DEREPLICATION_SEARCH_DEPTH: usize = 64;
+
+/// One node's whole-file cache.
+#[derive(Debug, Clone)]
+pub struct FileCache {
+    capacity: u64,
+    used: u64,
+    lru: LruList<FileId>,
+    sizes: std::sync::Arc<[u64]>,
+}
+
+impl FileCache {
+    /// A cache of `capacity` bytes over files whose sizes are `sizes`
+    /// (indexed by file id).
+    ///
+    /// # Panics
+    /// Panics if `capacity == 0`.
+    pub fn new(capacity: u64, sizes: std::sync::Arc<[u64]>) -> FileCache {
+        assert!(capacity > 0, "zero-capacity file cache");
+        FileCache {
+            capacity,
+            used: 0,
+            lru: LruList::new(),
+            sizes,
+        }
+    }
+
+    /// Capacity in bytes.
+    pub fn capacity(&self) -> u64 {
+        self.capacity
+    }
+
+    /// Bytes currently cached.
+    pub fn used(&self) -> u64 {
+        self.used
+    }
+
+    /// Number of resident files.
+    pub fn len(&self) -> usize {
+        self.lru.len()
+    }
+
+    /// True if no files are resident.
+    pub fn is_empty(&self) -> bool {
+        self.lru.is_empty()
+    }
+
+    /// True if `file` is resident.
+    pub fn contains(&self, file: FileId) -> bool {
+        self.lru.contains(file)
+    }
+
+    fn size_of(&self, file: FileId) -> u64 {
+        // Zero-byte files still occupy a token byte so accounting moves.
+        self.sizes[file.0 as usize].max(1)
+    }
+
+    /// Refresh `file`'s recency. Returns false if not resident.
+    pub fn touch(&mut self, file: FileId, tick: u64) -> bool {
+        self.lru.touch(file, tick)
+    }
+
+    /// True if `file` can ever fit (it may still require evictions).
+    pub fn fits(&self, file: FileId) -> bool {
+        self.size_of(file) <= self.capacity
+    }
+
+    /// Insert `file`, evicting as needed. `copy_count(f)` must return the
+    /// *cluster-wide* number of in-memory copies of `f` (including this
+    /// node's). Returns the evicted files, oldest first.
+    ///
+    /// Files larger than the whole cache are not inserted (they are served
+    /// straight through) and yield no evictions.
+    ///
+    /// # Panics
+    /// Panics if `file` is already resident.
+    pub fn insert_with_evictions(
+        &mut self,
+        file: FileId,
+        tick: u64,
+        mut copy_count: impl FnMut(FileId) -> u32,
+    ) -> Vec<FileId> {
+        assert!(!self.contains(file), "insert of resident file {file:?}");
+        let need = self.size_of(file);
+        if need > self.capacity {
+            return Vec::new();
+        }
+        let mut evicted = Vec::new();
+        while self.used + need > self.capacity {
+            let victim = self.pick_victim(&mut copy_count).expect("cache non-empty");
+            self.remove(victim);
+            evicted.push(victim);
+        }
+        self.lru.push_mru(file, tick);
+        self.used += need;
+        evicted
+    }
+
+    /// The de-replication victim: oldest multi-copy file within the search
+    /// depth, else the oldest file.
+    fn pick_victim(&self, copy_count: &mut impl FnMut(FileId) -> u32) -> Option<FileId> {
+        let mut fallback = None;
+        for (i, (f, _)) in self.lru.iter_oldest_first().enumerate() {
+            if fallback.is_none() {
+                fallback = Some(f);
+            }
+            if copy_count(f) >= 2 {
+                return Some(f);
+            }
+            if i + 1 >= DEREPLICATION_SEARCH_DEPTH {
+                break;
+            }
+        }
+        fallback
+    }
+
+    /// Remove `file` (e.g. externally de-replicated). Returns true if it was
+    /// resident.
+    pub fn remove(&mut self, file: FileId) -> bool {
+        if self.lru.remove(file).is_some() {
+            self.used -= self.size_of(file);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Iterate resident files, oldest first.
+    pub fn iter_oldest_first(&self) -> impl Iterator<Item = FileId> + '_ {
+        self.lru.iter_oldest_first().map(|(f, _)| f)
+    }
+
+    /// Structural invariants: byte accounting matches the resident set.
+    pub fn check_invariants(&self) {
+        self.lru.check_invariants();
+        let total: u64 = self.lru.iter().map(|(f, _)| self.size_of(f)).sum();
+        assert_eq!(total, self.used, "byte accounting drifted");
+        assert!(self.used <= self.capacity, "over capacity");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    fn sizes(v: &[u64]) -> Arc<[u64]> {
+        v.to_vec().into()
+    }
+
+    fn f(i: u32) -> FileId {
+        FileId(i)
+    }
+
+    #[test]
+    fn insert_and_account_bytes() {
+        let mut c = FileCache::new(100, sizes(&[40, 30, 50]));
+        assert!(c.insert_with_evictions(f(0), 1, |_| 1).is_empty());
+        assert!(c.insert_with_evictions(f(1), 2, |_| 1).is_empty());
+        assert_eq!(c.used(), 70);
+        assert_eq!(c.len(), 2);
+        assert!(c.contains(f(0)));
+        c.check_invariants();
+    }
+
+    #[test]
+    fn lru_eviction_when_all_last_copies() {
+        let mut c = FileCache::new(100, sizes(&[40, 30, 50]));
+        c.insert_with_evictions(f(0), 1, |_| 1);
+        c.insert_with_evictions(f(1), 2, |_| 1);
+        // Inserting 50 bytes needs 20 freed: evicts f0 (oldest, last copy).
+        let ev = c.insert_with_evictions(f(2), 3, |_| 1);
+        assert_eq!(ev, vec![f(0)]);
+        assert_eq!(c.used(), 80);
+        c.check_invariants();
+    }
+
+    #[test]
+    fn dereplication_prefers_multi_copy_victim() {
+        let mut c = FileCache::new(100, sizes(&[40, 30, 50]));
+        c.insert_with_evictions(f(0), 1, |_| 1);
+        c.insert_with_evictions(f(1), 2, |_| 1);
+        // f0 is oldest but is the last copy; f1 has 2 copies cluster-wide.
+        let ev = c.insert_with_evictions(f(2), 3, |file| if file == f(1) { 2 } else { 1 });
+        assert_eq!(ev, vec![f(1)], "de-replication evicts the duplicate");
+        assert!(c.contains(f(0)));
+        c.check_invariants();
+    }
+
+    #[test]
+    fn multiple_evictions_until_room() {
+        let mut c = FileCache::new(100, sizes(&[40, 30, 90]));
+        c.insert_with_evictions(f(0), 1, |_| 1);
+        c.insert_with_evictions(f(1), 2, |_| 1);
+        let ev = c.insert_with_evictions(f(2), 3, |_| 1);
+        assert_eq!(ev, vec![f(0), f(1)]);
+        assert_eq!(c.len(), 1);
+        assert_eq!(c.used(), 90);
+    }
+
+    #[test]
+    fn oversized_file_is_not_cached() {
+        let mut c = FileCache::new(100, sizes(&[400]));
+        assert!(!c.fits(f(0)));
+        let ev = c.insert_with_evictions(f(0), 1, |_| 1);
+        assert!(ev.is_empty());
+        assert!(!c.contains(f(0)));
+        assert_eq!(c.used(), 0);
+    }
+
+    #[test]
+    fn touch_protects_from_eviction() {
+        let mut c = FileCache::new(70, sizes(&[40, 30, 30]));
+        c.insert_with_evictions(f(0), 1, |_| 1);
+        c.insert_with_evictions(f(1), 2, |_| 1);
+        assert!(c.touch(f(0), 3));
+        // Now f1 is oldest.
+        let ev = c.insert_with_evictions(f(2), 4, |_| 1);
+        assert_eq!(ev, vec![f(1)]);
+        assert!(c.contains(f(0)));
+    }
+
+    #[test]
+    fn remove_frees_bytes() {
+        let mut c = FileCache::new(100, sizes(&[60, 60]));
+        c.insert_with_evictions(f(0), 1, |_| 1);
+        assert!(c.remove(f(0)));
+        assert!(!c.remove(f(0)));
+        assert_eq!(c.used(), 0);
+        assert!(c.insert_with_evictions(f(1), 2, |_| 1).is_empty());
+    }
+
+    #[test]
+    fn zero_byte_files_account_one_token_byte() {
+        let mut c = FileCache::new(10, sizes(&[0, 0]));
+        c.insert_with_evictions(f(0), 1, |_| 1);
+        assert_eq!(c.used(), 1);
+        c.check_invariants();
+    }
+
+    #[test]
+    fn search_depth_bounds_the_scan() {
+        // 100 one-byte last-copy files, then a multi-copy file beyond the
+        // search depth: fallback must still be plain LRU (oldest).
+        let all: Vec<u64> = vec![1; 101];
+        let mut c = FileCache::new(100, sizes(&all));
+        for i in 0..100 {
+            c.insert_with_evictions(f(i), i as u64 + 1, |_| 1);
+        }
+        // File 99 (youngest) is multi-copy, but it is 100 entries from the
+        // tail — outside the depth-64 window.
+        let ev = c.insert_with_evictions(f(100), 1_000, |file| if file == f(99) { 2 } else { 1 });
+        assert_eq!(ev, vec![f(0)], "fell back to strict LRU");
+    }
+}

@@ -1,0 +1,39 @@
+//! # ccm-l2s — the locality-conscious baseline server
+//!
+//! The paper compares its cooperative caching middleware against L2S, "a
+//! highly optimized locality-conscious server that uses content- and
+//! load-aware distribution" (Bianchini & Carrera; §4.1). This crate
+//! reimplements L2S from its published description:
+//!
+//! * **Content-aware distribution** — "tries to migrate all requests for a
+//!   particular file to a single node so that only one copy of each file is
+//!   kept in cluster memory". First-touch assignment to the least-loaded
+//!   node; later requests follow the assignment.
+//! * **Load-aware replication** — "if a node becomes overloaded, however,
+//!   \[it\] will replicate a subset of the files, sacrificing memory efficiency
+//!   for load balancing". When the serving node's outstanding-request count
+//!   crosses a high-water mark while another node sits below the low-water
+//!   mark, the file's serving set grows onto the least-loaded node.
+//! * **Whole-file caching with de-replication** — "uses whole files as the
+//!   caching granularity, employing a custom de-replication algorithm instead
+//!   of block replacement. This algorithm behaves like local LRU … and tries
+//!   to keep at least one copy of each file in memory whenever possible":
+//!   eviction prefers the oldest file that still has another in-memory copy.
+//! * **Full disk replication** — L2S "assumes files are replicated
+//!   everywhere" (§4.1), so its disk reads are always local.
+//! * **TCP hand-off** — requests arriving at a non-serving node are handed
+//!   off at a fixed CPU cost (the ≈ 7 % effect the paper cites); toggleable
+//!   for the hand-off ablation.
+//!
+//! [`dispatch::L2sSystem`] is, like `ccm-core`'s [`ClusterCache`], a pure
+//! state machine: it decides *what happens*; the simulator charges the time.
+//!
+//! [`ClusterCache`]: ccm_core::ClusterCache
+
+#![warn(missing_docs)]
+
+pub mod dispatch;
+pub mod file_cache;
+
+pub use dispatch::{L2sConfig, L2sOutcome, L2sStats, L2sSystem};
+pub use file_cache::FileCache;

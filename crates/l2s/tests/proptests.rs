@@ -1,0 +1,88 @@
+//! Property-based tests for the L2S baseline's invariants.
+
+use ccm_core::{FileId, NodeId};
+use ccm_l2s::{L2sConfig, L2sSystem};
+use proptest::prelude::*;
+use std::sync::Arc;
+
+fn sizes(n: usize) -> Arc<[u64]> {
+    (0..n).map(|i| 4_000 + (i as u64 * 997) % 60_000).collect()
+}
+
+fn dispatches(nodes: u16, files: u32) -> impl Strategy<Value = Vec<(u16, u32)>> {
+    prop::collection::vec(((0..nodes), (0..files)), 1..400)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Capacity, copy counts, and serving sets stay consistent under any
+    /// dispatch sequence (with the load bracket exercised too).
+    #[test]
+    fn invariants_hold_under_arbitrary_dispatch(
+        seq in dispatches(4, 60),
+        cap_kb in 8u64..512,
+        complete_every in 1usize..6,
+    ) {
+        let mut s = L2sSystem::new(L2sConfig::paper(4, cap_kb * 1024), sizes(60));
+        let mut in_flight: Vec<NodeId> = Vec::new();
+        for (i, &(n, f)) in seq.iter().enumerate() {
+            let out = s.dispatch(NodeId(n), FileId(f));
+            s.begin_request(out.target);
+            in_flight.push(out.target);
+            // Periodically complete the oldest request.
+            if i % complete_every == 0 {
+                if let Some(t) = in_flight.pop() {
+                    s.end_request(t);
+                }
+            }
+            // Whatever happened, caches stay within capacity and counts
+            // stay exact.
+            if i % 37 == 0 {
+                s.check_invariants();
+            }
+        }
+        s.check_invariants();
+        let st = s.stats();
+        prop_assert_eq!(st.requests(), seq.len() as u64);
+    }
+
+    /// Content-aware routing: absent overload, every request for a file goes
+    /// to the same node, and only one copy of it exists in cluster memory.
+    #[test]
+    fn single_copy_per_file_without_overload(seq in dispatches(4, 40)) {
+        let mut s = L2sSystem::new(L2sConfig::paper(4, 64 << 20), sizes(40));
+        let mut assigned: std::collections::HashMap<u32, NodeId> =
+            std::collections::HashMap::new();
+        for &(n, f) in &seq {
+            // No begin/end bracket: loads stay at zero, so no replication.
+            let out = s.dispatch(NodeId(n), FileId(f));
+            let prev = assigned.insert(f, out.target);
+            if let Some(p) = prev {
+                prop_assert_eq!(p, out.target, "file {} migrated without load", f);
+            }
+            prop_assert!(s.copy_count(FileId(f)) <= 1, "file {} duplicated", f);
+        }
+        prop_assert_eq!(s.stats().replications, 0);
+        s.check_invariants();
+    }
+
+    /// The hit rate of a repeated working set that fits in one node's cache
+    /// converges to ~1 (first touch per file is the only miss).
+    #[test]
+    fn fitting_working_set_hits_after_first_touch(rounds in 2usize..8) {
+        let n_files = 20u32;
+        let mut s = L2sSystem::new(L2sConfig::paper(2, 32 << 20), sizes(n_files as usize));
+        for r in 0..rounds {
+            for f in 0..n_files {
+                let out = s.dispatch(NodeId((f % 2) as u16), FileId(f));
+                if r > 0 {
+                    prop_assert!(out.hit, "round {r}: file {f} missed");
+                }
+            }
+        }
+        let st = s.stats();
+        prop_assert_eq!(st.misses, n_files as u64);
+        s.check_invariants();
+    }
+}

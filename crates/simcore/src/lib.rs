@@ -1,0 +1,44 @@
+//! # simcore — deterministic discrete-event simulation engine
+//!
+//! The evaluation of the cooperative caching middleware (and of the L2S
+//! baseline it is compared against) is driven entirely by an event-driven
+//! simulator that "models hardware components as service centers with finite
+//! queues" (HPDC 2001, §4.2). This crate provides the domain-independent
+//! machinery for that simulator:
+//!
+//! * [`SimTime`] / [`SimDuration`] — an integer nanosecond clock. Integer time
+//!   keeps runs bit-for-bit reproducible across platforms, which the test
+//!   suite relies on.
+//! * [`EventQueue`] — a deterministic future-event list. Ties in time are
+//!   broken by insertion sequence, so two runs with the same seed produce the
+//!   same event order.
+//! * [`ServiceCenter`] and [`FiniteQueue`] — the queueing building blocks the
+//!   hardware models (CPU, NIC, bus, disk, router) are built from.
+//! * [`stats`] — counters, Welford means, time-weighted utilization tracking,
+//!   and a warm-up-aware throughput meter (the paper measures throughput
+//!   "only after the caches have been warmed up").
+//! * [`rng`] — an explicit SplitMix64/xoshiro256++ PRNG. We deliberately do
+//!   not depend on `rand`: sequence stability across versions matters more
+//!   here than distribution breadth, and the trace generators implement their
+//!   own samplers on top of this.
+//!
+//! Nothing in this crate knows about caches, files, or networks; those live in
+//! the `ccm-cluster`, `ccm-core` and `ccm-webserver` crates.
+
+#![warn(missing_docs)]
+
+pub mod event;
+pub mod fxhash;
+pub mod histogram;
+pub mod rng;
+pub mod service;
+pub mod stats;
+pub mod time;
+
+pub use event::EventQueue;
+pub use fxhash::{FxHashMap, FxHashSet};
+pub use histogram::Histogram;
+pub use rng::Rng;
+pub use service::{FiniteQueue, ServiceCenter};
+pub use stats::{Counter, Mean, ThroughputMeter, Utilization};
+pub use time::{SimDuration, SimTime};

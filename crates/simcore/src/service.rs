@@ -1,0 +1,295 @@
+//! Service centers — the queueing primitive the hardware models are built on.
+//!
+//! The paper's simulator "models hardware components as service centers with
+//! finite queues". A [`ServiceCenter`] is a single FIFO server: a job arriving
+//! at `now` with service demand `s` starts when the server frees up and
+//! completes at `max(now, busy_until) + s`. Because service is FIFO and
+//! non-preemptive, the server never needs to be re-examined between arrivals —
+//! the completion time is known at arrival, which keeps the event count low
+//! (one completion event per job, no "server ready" events).
+//!
+//! [`FiniteQueue`] adds a bounded waiting room and rejects arrivals that would
+//! overflow it. The closed-loop clients used in the experiments rarely
+//! overflow, but the bound (and its drop counter) exists so that open-loop
+//! overload experiments are honest.
+//!
+//! Components that *reorder* jobs (the disk, under the scheduling variants)
+//! cannot use this shortcut and keep an explicit queue instead — see
+//! `ccm-cluster::disk`.
+
+use crate::stats::Utilization;
+use crate::time::{SimDuration, SimTime};
+use std::collections::VecDeque;
+
+/// A single non-preemptive FIFO server.
+///
+/// ```
+/// use simcore::{ServiceCenter, SimDuration, SimTime};
+///
+/// let mut cpu = ServiceCenter::new();
+/// let first = cpu.schedule(SimTime::ZERO, SimDuration::from_millis(3));
+/// let second = cpu.schedule(SimTime::ZERO, SimDuration::from_millis(3));
+/// assert_eq!(first, SimTime::ZERO + SimDuration::from_millis(3));
+/// assert_eq!(second, SimTime::ZERO + SimDuration::from_millis(6)); // queued
+/// ```
+#[derive(Debug, Clone)]
+pub struct ServiceCenter {
+    busy_until: SimTime,
+    util: Utilization,
+    jobs: u64,
+    total_delay: SimDuration,
+}
+
+impl Default for ServiceCenter {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl ServiceCenter {
+    /// A fresh, idle server.
+    pub fn new() -> ServiceCenter {
+        ServiceCenter {
+            busy_until: SimTime::ZERO,
+            util: Utilization::new(),
+            jobs: 0,
+            total_delay: SimDuration::ZERO,
+        }
+    }
+
+    /// Enqueue a job arriving at `now` with service demand `service`;
+    /// returns its completion time.
+    pub fn schedule(&mut self, now: SimTime, service: SimDuration) -> SimTime {
+        let start = self.busy_until.max(now);
+        let done = start + service;
+        self.total_delay += start.since(now) + service;
+        self.busy_until = done;
+        self.util.add_busy(service);
+        self.jobs += 1;
+        done
+    }
+
+    /// How long a job arriving at `now` would wait before starting service.
+    pub fn queue_delay(&self, now: SimTime) -> SimDuration {
+        self.busy_until.saturating_since(now)
+    }
+
+    /// True if the server would start a job arriving at `now` immediately.
+    pub fn is_idle(&self, now: SimTime) -> bool {
+        self.busy_until <= now
+    }
+
+    /// The instant the server frees up.
+    pub fn busy_until(&self) -> SimTime {
+        self.busy_until
+    }
+
+    /// Jobs accepted so far.
+    pub fn jobs(&self) -> u64 {
+        self.jobs
+    }
+
+    /// Total busy (service) time accumulated.
+    pub fn busy_time(&self) -> SimDuration {
+        self.util.busy()
+    }
+
+    /// Fraction of `elapsed` wall-clock the server spent busy, in `[0, 1]`
+    /// (may exceed 1 transiently if work is scheduled beyond `elapsed`).
+    pub fn utilization(&self, elapsed: SimDuration) -> f64 {
+        self.util.fraction(elapsed)
+    }
+
+    /// Mean residence time (queueing + service) over accepted jobs.
+    pub fn mean_residence(&self) -> SimDuration {
+        if self.jobs == 0 {
+            SimDuration::ZERO
+        } else {
+            self.total_delay / self.jobs
+        }
+    }
+
+    /// Forget accumulated statistics (but keep the busy horizon) — used when
+    /// the measurement window starts after cache warm-up.
+    pub fn reset_stats(&mut self) {
+        self.util = Utilization::new();
+        self.jobs = 0;
+        self.total_delay = SimDuration::ZERO;
+    }
+}
+
+/// Why a [`FiniteQueue`] refused a job.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Rejected;
+
+/// A FIFO server with a bounded waiting room.
+#[derive(Debug, Clone)]
+pub struct FiniteQueue {
+    server: ServiceCenter,
+    capacity: usize,
+    /// Completion times of accepted jobs; entries `> now` are still in the
+    /// system (waiting or in service). Pruned lazily on access.
+    in_system: VecDeque<SimTime>,
+    drops: u64,
+}
+
+impl FiniteQueue {
+    /// A server whose waiting room holds at most `capacity` jobs
+    /// (not counting the one in service).
+    pub fn new(capacity: usize) -> FiniteQueue {
+        FiniteQueue {
+            server: ServiceCenter::new(),
+            capacity,
+            in_system: VecDeque::new(),
+            drops: 0,
+        }
+    }
+
+    fn prune(&mut self, now: SimTime) {
+        while self.in_system.front().is_some_and(|&t| t <= now) {
+            self.in_system.pop_front();
+        }
+    }
+
+    /// Jobs currently waiting or in service.
+    pub fn in_system(&mut self, now: SimTime) -> usize {
+        self.prune(now);
+        self.in_system.len()
+    }
+
+    /// Enqueue a job, or reject it if the waiting room is full.
+    pub fn schedule(
+        &mut self,
+        now: SimTime,
+        service: SimDuration,
+    ) -> Result<SimTime, Rejected> {
+        self.prune(now);
+        // If the server is busy, exactly one in-system job is in service and
+        // the rest are waiting; if it is idle, the arrival starts immediately
+        // and never occupies the waiting room.
+        let waiting = if self.server.is_idle(now) {
+            0
+        } else {
+            self.in_system.len().saturating_sub(1)
+        };
+        if !self.server.is_idle(now) && waiting >= self.capacity {
+            self.drops += 1;
+            return Err(Rejected);
+        }
+        let done = self.server.schedule(now, service);
+        self.in_system.push_back(done);
+        Ok(done)
+    }
+
+    /// Jobs rejected so far.
+    pub fn drops(&self) -> u64 {
+        self.drops
+    }
+
+    /// The underlying server, for statistics.
+    pub fn server(&self) -> &ServiceCenter {
+        &self.server
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const MS: u64 = 1_000_000;
+
+    #[test]
+    fn idle_server_starts_immediately() {
+        let mut s = ServiceCenter::new();
+        let done = s.schedule(SimTime(10 * MS), SimDuration::from_millis(5));
+        assert_eq!(done, SimTime(15 * MS));
+        assert!(s.is_idle(SimTime(15 * MS)));
+        assert!(!s.is_idle(SimTime(14 * MS)));
+    }
+
+    #[test]
+    fn jobs_queue_fifo() {
+        let mut s = ServiceCenter::new();
+        let d1 = s.schedule(SimTime(0), SimDuration::from_millis(10));
+        let d2 = s.schedule(SimTime(0), SimDuration::from_millis(10));
+        let d3 = s.schedule(SimTime(5 * MS), SimDuration::from_millis(10));
+        assert_eq!(d1, SimTime(10 * MS));
+        assert_eq!(d2, SimTime(20 * MS));
+        assert_eq!(d3, SimTime(30 * MS));
+        assert_eq!(s.queue_delay(SimTime(5 * MS)), SimDuration::from_millis(25));
+    }
+
+    #[test]
+    fn server_goes_idle_between_bursts() {
+        let mut s = ServiceCenter::new();
+        s.schedule(SimTime(0), SimDuration::from_millis(1));
+        let done = s.schedule(SimTime(100 * MS), SimDuration::from_millis(1));
+        assert_eq!(done, SimTime(101 * MS));
+    }
+
+    #[test]
+    fn utilization_accumulates_service_time() {
+        let mut s = ServiceCenter::new();
+        s.schedule(SimTime(0), SimDuration::from_millis(3));
+        s.schedule(SimTime(0), SimDuration::from_millis(2));
+        assert_eq!(s.busy_time(), SimDuration::from_millis(5));
+        let u = s.utilization(SimDuration::from_millis(10));
+        assert!((u - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mean_residence_counts_waiting() {
+        let mut s = ServiceCenter::new();
+        s.schedule(SimTime(0), SimDuration::from_millis(10)); // resides 10
+        s.schedule(SimTime(0), SimDuration::from_millis(10)); // waits 10, resides 20
+        assert_eq!(s.mean_residence(), SimDuration::from_millis(15));
+    }
+
+    #[test]
+    fn reset_stats_keeps_horizon() {
+        let mut s = ServiceCenter::new();
+        s.schedule(SimTime(0), SimDuration::from_millis(10));
+        s.reset_stats();
+        assert_eq!(s.jobs(), 0);
+        assert_eq!(s.busy_time(), SimDuration::ZERO);
+        // Horizon survives: a new job still queues behind the old one.
+        let done = s.schedule(SimTime(0), SimDuration::from_millis(1));
+        assert_eq!(done, SimTime(11 * MS));
+    }
+
+    #[test]
+    fn finite_queue_rejects_when_full() {
+        let mut q = FiniteQueue::new(2);
+        let t0 = SimTime(0);
+        let s = SimDuration::from_millis(10);
+        assert!(q.schedule(t0, s).is_ok()); // in service
+        assert!(q.schedule(t0, s).is_ok()); // waiting 1
+        assert!(q.schedule(t0, s).is_ok()); // waiting 2
+        assert_eq!(q.schedule(t0, s), Err(Rejected));
+        assert_eq!(q.drops(), 1);
+        assert_eq!(q.in_system(t0), 3);
+    }
+
+    #[test]
+    fn finite_queue_drains_over_time() {
+        let mut q = FiniteQueue::new(1);
+        let s = SimDuration::from_millis(10);
+        q.schedule(SimTime(0), s).unwrap();
+        q.schedule(SimTime(0), s).unwrap();
+        assert!(q.schedule(SimTime(0), s).is_err());
+        // At t=10ms the first job finished; room again.
+        assert!(q.schedule(SimTime(10 * MS), s).is_ok());
+        assert_eq!(q.in_system(SimTime(10 * MS)), 2);
+        // All done by 30ms.
+        assert_eq!(q.in_system(SimTime(30 * MS)), 0);
+    }
+
+    #[test]
+    fn zero_capacity_queue_only_serves_idle() {
+        let mut q = FiniteQueue::new(0);
+        let s = SimDuration::from_millis(10);
+        assert!(q.schedule(SimTime(0), s).is_ok());
+        assert!(q.schedule(SimTime(0), s).is_err());
+        assert!(q.schedule(SimTime(10 * MS), s).is_ok());
+    }
+}

@@ -1,0 +1,299 @@
+//! Statistics collection.
+//!
+//! The experiment harness reports throughput, mean response time, hit rates
+//! and resource utilization, all measured *after* a warm-up window (the paper
+//! measures "throughput only after the caches have been warmed up in order to
+//! reflect their steady-state performance"). These are the small, allocation-
+//! free accumulators the simulator threads those measurements through.
+
+use crate::time::{SimDuration, SimTime};
+
+/// A plain saturating event counter.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Counter(pub u64);
+
+impl Counter {
+    /// Zero.
+    pub fn new() -> Counter {
+        Counter(0)
+    }
+
+    /// Add one.
+    #[inline]
+    pub fn inc(&mut self) {
+        self.0 += 1;
+    }
+
+    /// Add `n`.
+    #[inline]
+    pub fn add(&mut self, n: u64) {
+        self.0 += n;
+    }
+
+    /// Current count.
+    pub fn get(self) -> u64 {
+        self.0
+    }
+
+    /// This counter as a fraction of `total` (0 if `total` is 0).
+    pub fn fraction_of(self, total: u64) -> f64 {
+        if total == 0 {
+            0.0
+        } else {
+            self.0 as f64 / total as f64
+        }
+    }
+}
+
+/// Welford's online mean/variance accumulator.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Mean {
+    n: u64,
+    mean: f64,
+    m2: f64,
+}
+
+impl Mean {
+    /// An empty accumulator.
+    pub fn new() -> Mean {
+        Mean::default()
+    }
+
+    /// Fold in one observation.
+    #[inline]
+    pub fn push(&mut self, x: f64) {
+        self.n += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.n as f64;
+        self.m2 += delta * (x - self.mean);
+    }
+
+    /// Fold in a duration, in milliseconds.
+    #[inline]
+    pub fn push_duration(&mut self, d: SimDuration) {
+        self.push(d.as_millis_f64());
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.n
+    }
+
+    /// Sample mean (0 when empty).
+    pub fn mean(&self) -> f64 {
+        self.mean
+    }
+
+    /// Unbiased sample variance (0 with fewer than two observations).
+    pub fn variance(&self) -> f64 {
+        if self.n < 2 {
+            0.0
+        } else {
+            self.m2 / (self.n - 1) as f64
+        }
+    }
+
+    /// Sample standard deviation.
+    pub fn stddev(&self) -> f64 {
+        self.variance().sqrt()
+    }
+}
+
+/// Accumulated busy time for a resource, convertible to a utilization
+/// fraction over a measurement window.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Utilization {
+    busy: SimDuration,
+}
+
+impl Utilization {
+    /// Zero busy time.
+    pub fn new() -> Utilization {
+        Utilization::default()
+    }
+
+    /// Record `d` of busy time.
+    #[inline]
+    pub fn add_busy(&mut self, d: SimDuration) {
+        self.busy += d;
+    }
+
+    /// Total busy time.
+    pub fn busy(&self) -> SimDuration {
+        self.busy
+    }
+
+    /// Busy time as a fraction of `elapsed` (0 if `elapsed` is zero).
+    pub fn fraction(&self, elapsed: SimDuration) -> f64 {
+        if elapsed.is_zero() {
+            0.0
+        } else {
+            self.busy.nanos() as f64 / elapsed.nanos() as f64
+        }
+    }
+}
+
+/// Completion-rate meter with an explicit warm-up boundary.
+///
+/// Completions recorded before [`ThroughputMeter::start_measuring`] is called
+/// are counted separately (as warm-up) and excluded from the reported rate.
+#[derive(Debug, Clone, Copy)]
+pub struct ThroughputMeter {
+    warmup_completions: u64,
+    completions: u64,
+    window_start: Option<SimTime>,
+    last_completion: SimTime,
+}
+
+impl Default for ThroughputMeter {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl ThroughputMeter {
+    /// A meter still in its warm-up phase.
+    pub fn new() -> ThroughputMeter {
+        ThroughputMeter {
+            warmup_completions: 0,
+            completions: 0,
+            window_start: None,
+            last_completion: SimTime::ZERO,
+        }
+    }
+
+    /// End the warm-up phase; completions from `now` on count.
+    pub fn start_measuring(&mut self, now: SimTime) {
+        self.window_start = Some(now);
+    }
+
+    /// True once the warm-up phase has ended.
+    pub fn is_measuring(&self) -> bool {
+        self.window_start.is_some()
+    }
+
+    /// Record one completion at `now`.
+    #[inline]
+    pub fn record(&mut self, now: SimTime) {
+        self.last_completion = self.last_completion.max(now);
+        if self.window_start.is_some() {
+            self.completions += 1;
+        } else {
+            self.warmup_completions += 1;
+        }
+    }
+
+    /// Completions inside the measurement window.
+    pub fn completions(&self) -> u64 {
+        self.completions
+    }
+
+    /// Completions during warm-up.
+    pub fn warmup_completions(&self) -> u64 {
+        self.warmup_completions
+    }
+
+    /// Measured rate in completions per second, over the span from the end of
+    /// warm-up to `end`. Zero if measurement never started or the span is empty.
+    pub fn rate_per_sec(&self, end: SimTime) -> f64 {
+        let Some(start) = self.window_start else {
+            return 0.0;
+        };
+        let span = end.saturating_since(start);
+        if span.is_zero() {
+            0.0
+        } else {
+            self.completions as f64 / span.as_secs_f64()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_basics() {
+        let mut c = Counter::new();
+        c.inc();
+        c.add(4);
+        assert_eq!(c.get(), 5);
+        assert!((c.fraction_of(10) - 0.5).abs() < 1e-12);
+        assert_eq!(c.fraction_of(0), 0.0);
+    }
+
+    #[test]
+    fn mean_of_constant_sequence() {
+        let mut m = Mean::new();
+        for _ in 0..10 {
+            m.push(3.0);
+        }
+        assert_eq!(m.count(), 10);
+        assert!((m.mean() - 3.0).abs() < 1e-12);
+        assert!(m.variance() < 1e-12);
+    }
+
+    #[test]
+    fn mean_and_variance_match_closed_form() {
+        let mut m = Mean::new();
+        for x in [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0] {
+            m.push(x);
+        }
+        assert!((m.mean() - 5.0).abs() < 1e-12);
+        // Sample variance of this classic data set is 32/7.
+        assert!((m.variance() - 32.0 / 7.0).abs() < 1e-9);
+        assert!((m.stddev() - (32.0f64 / 7.0).sqrt()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn mean_handles_durations() {
+        let mut m = Mean::new();
+        m.push_duration(SimDuration::from_millis(2));
+        m.push_duration(SimDuration::from_millis(4));
+        assert!((m.mean() - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_mean_is_zeroes() {
+        let m = Mean::new();
+        assert_eq!(m.count(), 0);
+        assert_eq!(m.mean(), 0.0);
+        assert_eq!(m.variance(), 0.0);
+    }
+
+    #[test]
+    fn utilization_fraction() {
+        let mut u = Utilization::new();
+        u.add_busy(SimDuration::from_millis(25));
+        assert!((u.fraction(SimDuration::from_millis(100)) - 0.25).abs() < 1e-12);
+        assert_eq!(u.fraction(SimDuration::ZERO), 0.0);
+    }
+
+    #[test]
+    fn throughput_excludes_warmup() {
+        let mut t = ThroughputMeter::new();
+        for i in 0..10 {
+            t.record(SimTime(i * 1_000_000));
+        }
+        assert_eq!(t.warmup_completions(), 10);
+        assert_eq!(t.completions(), 0);
+        assert_eq!(t.rate_per_sec(SimTime(10_000_000)), 0.0);
+
+        t.start_measuring(SimTime(10_000_000));
+        for i in 10..30 {
+            t.record(SimTime(i * 1_000_000));
+        }
+        assert_eq!(t.completions(), 20);
+        // 20 completions over 20 ms => 1000/s.
+        let rate = t.rate_per_sec(SimTime(30_000_000));
+        assert!((rate - 1000.0).abs() < 1e-9, "rate={rate}");
+    }
+
+    #[test]
+    fn throughput_zero_span_is_zero() {
+        let mut t = ThroughputMeter::new();
+        t.start_measuring(SimTime(5));
+        t.record(SimTime(5));
+        assert_eq!(t.rate_per_sec(SimTime(5)), 0.0);
+    }
+}

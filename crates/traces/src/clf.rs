@@ -1,0 +1,246 @@
+//! Common Log Format parsing.
+//!
+//! The paper's traces are standard HTTP server access logs. This module lets
+//! a user replay *real* logs through the simulator instead of the synthetic
+//! presets: it parses NCSA Common Log Format lines, keeps successful `GET`s
+//! of static content, and folds them into a [`Workload`] (popularity measured
+//! from the log) plus the request sequence for [`ReplaySource`].
+//!
+//! Format: `host ident user [timestamp] "METHOD /path PROTO" status bytes`.
+//! Lines that do not parse are counted and skipped rather than failing the
+//! load — real-world logs are dirty.
+//!
+//! [`ReplaySource`]: crate::model::ReplaySource
+
+use crate::model::{FileId, Workload};
+use std::collections::HashMap;
+
+/// One parsed, accepted log record.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ClfRecord {
+    /// Request path, e.g. `/images/logo.gif`.
+    pub path: String,
+    /// HTTP status code.
+    pub status: u16,
+    /// Response size in bytes (`-` in the log parses as 0).
+    pub bytes: u64,
+}
+
+/// Result of loading a log: the workload plus the replayable sequence.
+#[derive(Debug, Clone)]
+pub struct LoadedTrace {
+    /// Files and popularity inferred from the log. File ids are popularity
+    /// ranks, as everywhere else.
+    pub workload: Workload,
+    /// The request sequence re-expressed as rank ids, in log order.
+    pub requests: Vec<FileId>,
+    /// Lines that failed to parse or were filtered out.
+    pub skipped: u64,
+}
+
+/// Parse a single CLF line. Returns `None` for malformed lines.
+pub fn parse_line(line: &str) -> Option<ClfRecord> {
+    // host ident user [date] "request" status bytes
+    let open_quote = line.find('"')?;
+    let close_quote = line[open_quote + 1..].find('"')? + open_quote + 1;
+    let request = &line[open_quote + 1..close_quote];
+    let rest = line[close_quote + 1..].trim();
+
+    let mut req_parts = request.split_ascii_whitespace();
+    let method = req_parts.next()?;
+    let path = req_parts.next()?;
+    // Protocol is optional in HTTP/0.9 logs; ignore it either way.
+
+    let mut tail = rest.split_ascii_whitespace();
+    let status: u16 = tail.next()?.parse().ok()?;
+    let bytes_tok = tail.next()?;
+    let bytes: u64 = if bytes_tok == "-" {
+        0
+    } else {
+        bytes_tok.parse().ok()?
+    };
+
+    if method != "GET" {
+        return None;
+    }
+    // Strip query strings: the cache operates on files.
+    let path = path.split('?').next().unwrap_or(path).to_string();
+    Some(ClfRecord {
+        path,
+        status,
+        bytes,
+    })
+}
+
+/// Load a log from text. Only `GET`s with 2xx status and a known size are
+/// kept (the simulators serve full files; aborted/failed transfers carry no
+/// caching signal). File size is taken as the *maximum* bytes observed for a
+/// path, which tolerates partial transfers.
+pub fn load(text: &str, name: &str) -> LoadedTrace {
+    let mut skipped = 0u64;
+    let mut size_of: HashMap<String, u64> = HashMap::new();
+    let mut hits: HashMap<String, u64> = HashMap::new();
+    let mut sequence: Vec<String> = Vec::new();
+
+    for line in text.lines() {
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        match parse_line(line) {
+            Some(rec) if (200..300).contains(&rec.status) && rec.bytes > 0 => {
+                let s = size_of.entry(rec.path.clone()).or_insert(0);
+                *s = (*s).max(rec.bytes);
+                *hits.entry(rec.path.clone()).or_insert(0) += 1;
+                sequence.push(rec.path);
+            }
+            _ => skipped += 1,
+        }
+    }
+
+    // Rank paths by hit count (desc), tie-broken by path for determinism.
+    let mut ranked: Vec<(&String, &u64)> = hits.iter().collect();
+    ranked.sort_by(|a, b| b.1.cmp(a.1).then_with(|| a.0.cmp(b.0)));
+
+    let mut rank_of: HashMap<&str, u32> = HashMap::with_capacity(ranked.len());
+    let mut sizes = Vec::with_capacity(ranked.len());
+    let mut weights = Vec::with_capacity(ranked.len());
+    for (rank, (path, count)) in ranked.iter().enumerate() {
+        rank_of.insert(path.as_str(), rank as u32);
+        sizes.push(size_of[path.as_str()]);
+        weights.push(**count as f64);
+    }
+
+    let requests: Vec<FileId> = sequence
+        .iter()
+        .map(|p| FileId(rank_of[p.as_str()]))
+        .collect();
+
+    // An empty log still yields a (degenerate) one-file workload so callers
+    // don't have to special-case it; flag via skipped counts instead.
+    let workload = if sizes.is_empty() {
+        Workload::new(name, vec![1], &[1.0])
+    } else {
+        Workload::new(name, sizes, &weights)
+    };
+
+    LoadedTrace {
+        workload,
+        requests,
+        skipped,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const LINE: &str = r#"wpbfl2-45.gate.net - - [29/Apr/1995:00:00:12 -0600] "GET /images/ksclogo.gif HTTP/1.0" 200 3635"#;
+
+    #[test]
+    fn parses_canonical_line() {
+        let rec = parse_line(LINE).unwrap();
+        assert_eq!(rec.path, "/images/ksclogo.gif");
+        assert_eq!(rec.status, 200);
+        assert_eq!(rec.bytes, 3635);
+    }
+
+    #[test]
+    fn strips_query_strings() {
+        let l = r#"h - - [x] "GET /cgi/search?q=abc HTTP/1.0" 200 100"#;
+        assert_eq!(parse_line(l).unwrap().path, "/cgi/search");
+    }
+
+    #[test]
+    fn rejects_non_get_and_garbage() {
+        let post = r#"h - - [x] "POST /form HTTP/1.0" 200 10"#;
+        assert!(parse_line(post).is_none());
+        assert!(parse_line("complete garbage").is_none());
+        assert!(parse_line(r#"h - - [x] "GET" 200 10"#).is_none());
+    }
+
+    #[test]
+    fn dash_bytes_parse_as_zero() {
+        let l = r#"h - - [x] "GET /a HTTP/1.0" 304 -"#;
+        assert_eq!(parse_line(l).unwrap().bytes, 0);
+    }
+
+    #[test]
+    fn load_ranks_by_popularity() {
+        let log = [
+            r#"h - - [x] "GET /hot HTTP/1.0" 200 1000"#,
+            r#"h - - [x] "GET /cold HTTP/1.0" 200 5000"#,
+            r#"h - - [x] "GET /hot HTTP/1.0" 200 1000"#,
+            r#"h - - [x] "GET /hot HTTP/1.0" 200 1000"#,
+            r#"h - - [x] "GET /warm HTTP/1.0" 200 2000"#,
+            r#"h - - [x] "GET /warm HTTP/1.0" 200 2000"#,
+        ]
+        .join("\n");
+        let t = load(&log, "test");
+        assert_eq!(t.workload.num_files(), 3);
+        assert_eq!(t.skipped, 0);
+        // Rank 0 = /hot (3 hits, 1000 B), rank 1 = /warm, rank 2 = /cold.
+        assert_eq!(t.workload.size_of(FileId(0)), 1000);
+        assert_eq!(t.workload.size_of(FileId(1)), 2000);
+        assert_eq!(t.workload.size_of(FileId(2)), 5000);
+        assert_eq!(
+            t.requests,
+            vec![
+                FileId(0),
+                FileId(2),
+                FileId(0),
+                FileId(0),
+                FileId(1),
+                FileId(1)
+            ]
+        );
+    }
+
+    #[test]
+    fn load_filters_errors_and_counts_skips() {
+        let log = [
+            r#"h - - [x] "GET /ok HTTP/1.0" 200 10"#,
+            r#"h - - [x] "GET /missing HTTP/1.0" 404 0"#,
+            r#"h - - [x] "GET /cached HTTP/1.0" 304 -"#,
+            "garbage line",
+        ]
+        .join("\n");
+        let t = load(&log, "test");
+        assert_eq!(t.workload.num_files(), 1);
+        assert_eq!(t.requests.len(), 1);
+        assert_eq!(t.skipped, 3);
+    }
+
+    #[test]
+    fn partial_transfers_use_max_size() {
+        let log = [
+            r#"h - - [x] "GET /f HTTP/1.0" 200 100"#,
+            r#"h - - [x] "GET /f HTTP/1.0" 200 9000"#,
+            r#"h - - [x] "GET /f HTTP/1.0" 200 50"#,
+        ]
+        .join("\n");
+        let t = load(&log, "test");
+        assert_eq!(t.workload.size_of(FileId(0)), 9000);
+    }
+
+    #[test]
+    fn empty_log_degenerates_gracefully() {
+        let t = load("", "empty");
+        assert_eq!(t.requests.len(), 0);
+        assert_eq!(t.workload.num_files(), 1);
+    }
+
+    #[test]
+    fn popularity_ties_break_deterministically() {
+        let log = [
+            r#"h - - [x] "GET /b HTTP/1.0" 200 10"#,
+            r#"h - - [x] "GET /a HTTP/1.0" 200 20"#,
+        ]
+        .join("\n");
+        let t1 = load(&log, "t");
+        let t2 = load(&log, "t");
+        assert_eq!(t1.requests, t2.requests);
+        // Tie on count: lexicographically smaller path gets rank 0.
+        assert_eq!(t1.workload.size_of(FileId(0)), 20);
+    }
+}

@@ -1,0 +1,202 @@
+//! Distribution samplers used by the synthetic workload generator.
+//!
+//! Implemented directly on [`simcore::Rng`] rather than pulling in the `rand`
+//! distribution stack: the handful of distributions needed (Zipf weights,
+//! log-normal sizes, bounded Pareto tails, exponential think times) are each a
+//! few lines, and owning them keeps sampled sequences byte-stable across
+//! toolchain upgrades.
+
+use simcore::Rng;
+
+/// Zipf-like rank weights: `w(r) ∝ 1 / (r+1)^theta` for ranks `0..n`.
+///
+/// Arlitt & Williamson found web-server file popularity to follow a Zipf-like
+/// distribution; `theta` near 0.7–0.8 matches the traces the paper uses.
+pub fn zipf_weights(n: usize, theta: f64) -> Vec<f64> {
+    assert!(n > 0, "zipf over empty rank set");
+    assert!(theta >= 0.0 && theta.is_finite(), "bad theta {theta}");
+    (0..n).map(|r| 1.0 / ((r + 1) as f64).powf(theta)).collect()
+}
+
+/// A standard normal sample via the Box–Muller transform.
+///
+/// Uses only one of the two produced variates; the generator is cheap enough
+/// that caching the second would just add state.
+pub fn standard_normal(rng: &mut Rng) -> f64 {
+    let u1 = rng.next_f64_open(); // in (0, 1], safe for ln
+    let u2 = rng.next_f64();
+    (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+}
+
+/// Log-normal sampler: `exp(mu + sigma * N(0,1))`.
+#[derive(Debug, Clone, Copy)]
+pub struct LogNormal {
+    /// Mean of the underlying normal.
+    pub mu: f64,
+    /// Standard deviation of the underlying normal.
+    pub sigma: f64,
+}
+
+impl LogNormal {
+    /// Construct from the underlying normal's parameters.
+    pub fn new(mu: f64, sigma: f64) -> LogNormal {
+        assert!(sigma >= 0.0, "negative sigma");
+        LogNormal { mu, sigma }
+    }
+
+    /// A log-normal whose *arithmetic* mean is `mean` with log-space spread
+    /// `sigma` — convenient for calibrating "average file size ≈ X KB".
+    pub fn with_mean(mean: f64, sigma: f64) -> LogNormal {
+        assert!(mean > 0.0, "non-positive mean");
+        // E[exp(mu + sigma N)] = exp(mu + sigma^2/2)
+        LogNormal::new(mean.ln() - sigma * sigma / 2.0, sigma)
+    }
+
+    /// Draw one sample.
+    pub fn sample(&self, rng: &mut Rng) -> f64 {
+        (self.mu + self.sigma * standard_normal(rng)).exp()
+    }
+
+    /// The distribution's arithmetic mean.
+    pub fn mean(&self) -> f64 {
+        (self.mu + self.sigma * self.sigma / 2.0).exp()
+    }
+}
+
+/// Bounded Pareto sampler on `[lo, hi]` with shape `alpha` — used for the
+/// heavy tail of web file sizes (a few very large files).
+#[derive(Debug, Clone, Copy)]
+pub struct BoundedPareto {
+    lo: f64,
+    hi: f64,
+    alpha: f64,
+}
+
+impl BoundedPareto {
+    /// Construct; requires `0 < lo < hi` and `alpha > 0`.
+    pub fn new(lo: f64, hi: f64, alpha: f64) -> BoundedPareto {
+        assert!(lo > 0.0 && hi > lo && alpha > 0.0, "bad pareto params");
+        BoundedPareto { lo, hi, alpha }
+    }
+
+    /// Draw one sample by inverse transform.
+    pub fn sample(&self, rng: &mut Rng) -> f64 {
+        let u = rng.next_f64();
+        let la = self.lo.powf(self.alpha);
+        let ha = self.hi.powf(self.alpha);
+        // Inverse CDF of the bounded Pareto.
+        (-(u * ha - u * la - ha) / (ha * la)).powf(-1.0 / self.alpha)
+    }
+}
+
+/// Exponential sampler with the given mean (used for optional client think
+/// times; the paper's throughput runs use zero think time).
+pub fn exponential(rng: &mut Rng, mean: f64) -> f64 {
+    assert!(mean >= 0.0, "negative mean");
+    if mean == 0.0 {
+        return 0.0;
+    }
+    -mean * rng.next_f64_open().ln()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zipf_weights_decrease_and_normalize_sensibly() {
+        let w = zipf_weights(100, 0.8);
+        assert_eq!(w.len(), 100);
+        assert_eq!(w[0], 1.0);
+        for i in 1..w.len() {
+            assert!(w[i] < w[i - 1]);
+        }
+        // theta = 0 is uniform.
+        let u = zipf_weights(10, 0.0);
+        assert!(u.iter().all(|&x| (x - 1.0).abs() < 1e-12));
+    }
+
+    #[test]
+    fn zipf_skew_grows_with_theta() {
+        let head_share = |theta: f64| {
+            let w = zipf_weights(1000, theta);
+            let total: f64 = w.iter().sum();
+            w[..10].iter().sum::<f64>() / total
+        };
+        assert!(head_share(0.9) > head_share(0.5));
+        assert!(head_share(0.5) > head_share(0.1));
+    }
+
+    #[test]
+    fn standard_normal_moments() {
+        let mut rng = Rng::new(42);
+        let n = 200_000;
+        let mut sum = 0.0;
+        let mut sumsq = 0.0;
+        for _ in 0..n {
+            let x = standard_normal(&mut rng);
+            sum += x;
+            sumsq += x * x;
+        }
+        let mean = sum / n as f64;
+        let var = sumsq / n as f64 - mean * mean;
+        assert!(mean.abs() < 0.01, "mean={mean}");
+        assert!((var - 1.0).abs() < 0.02, "var={var}");
+    }
+
+    #[test]
+    fn lognormal_with_mean_hits_target() {
+        let d = LogNormal::with_mean(20_000.0, 1.2);
+        assert!((d.mean() - 20_000.0).abs() < 1e-6);
+        let mut rng = Rng::new(7);
+        let n = 300_000;
+        let sum: f64 = (0..n).map(|_| d.sample(&mut rng)).sum();
+        let emp = sum / n as f64;
+        // Heavy-tailed, so allow a few percent of sampling error.
+        assert!((emp - 20_000.0).abs() / 20_000.0 < 0.05, "emp={emp}");
+    }
+
+    #[test]
+    fn lognormal_is_positive() {
+        let d = LogNormal::new(0.0, 2.0);
+        let mut rng = Rng::new(3);
+        for _ in 0..10_000 {
+            assert!(d.sample(&mut rng) > 0.0);
+        }
+    }
+
+    #[test]
+    fn bounded_pareto_stays_in_bounds() {
+        let d = BoundedPareto::new(1_000.0, 1_000_000.0, 1.1);
+        let mut rng = Rng::new(5);
+        for _ in 0..10_000 {
+            let x = d.sample(&mut rng);
+            assert!(
+                (1_000.0..=1_000_000.0 + 1e-6).contains(&x),
+                "out of bounds: {x}"
+            );
+        }
+    }
+
+    #[test]
+    fn bounded_pareto_is_right_skewed() {
+        let d = BoundedPareto::new(1_000.0, 1_000_000.0, 1.1);
+        let mut rng = Rng::new(6);
+        let n = 50_000;
+        let mut xs: Vec<f64> = (0..n).map(|_| d.sample(&mut rng)).collect();
+        xs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let median = xs[n / 2];
+        let mean = xs.iter().sum::<f64>() / n as f64;
+        assert!(mean > 1.5 * median, "mean={mean} median={median}");
+    }
+
+    #[test]
+    fn exponential_mean() {
+        let mut rng = Rng::new(11);
+        let n = 200_000;
+        let sum: f64 = (0..n).map(|_| exponential(&mut rng, 5.0)).sum();
+        let emp = sum / n as f64;
+        assert!((emp - 5.0).abs() < 0.05, "emp={emp}");
+        assert_eq!(exponential(&mut rng, 0.0), 0.0);
+    }
+}

@@ -1,0 +1,39 @@
+//! # ccm-traces — web workload substrate
+//!
+//! The paper drives its simulator with four real web-server access traces
+//! (University of Calgary, ClarkNet, NASA Kennedy Space Center, Rutgers
+//! University; Table 2). Those logs are not redistributable, so this crate
+//! provides the closest synthetic equivalent plus tooling for real traces:
+//!
+//! * [`model`] — files, requests, and the [`model::RequestSource`] abstraction
+//!   the simulated closed-loop clients draw from.
+//! * [`distributions`] — Zipf and log-normal samplers built on `simcore::Rng`
+//!   (implemented here because we deliberately avoid the `rand` ecosystem).
+//! * [`synth`] — the synthetic workload generator: Zipf-ranked popularity over
+//!   a heavy-tailed file-size population, with a configurable rank↔size
+//!   correlation (popular web files tend to be small — Arlitt & Williamson).
+//! * [`presets`] — four calibrated configurations named after the paper's
+//!   traces, matching the working-set shapes the paper reports (e.g. Rutgers:
+//!   caching 99 % of requests needs ≈ 494 MB, Figure 1).
+//! * [`temporal`] — an LRU-stack locality layer over any workload (real
+//!   traces re-reference recent documents far more than i.i.d. sampling
+//!   does).
+//! * [`clf`] — a Common Log Format parser so real access logs can be swapped
+//!   in for the synthetic presets.
+//! * [`analysis`] — Table 2 statistics and the Figure 1 cumulative curves.
+
+#![warn(missing_docs)]
+
+pub mod analysis;
+pub mod clf;
+pub mod distributions;
+pub mod model;
+pub mod presets;
+pub mod synth;
+pub mod temporal;
+
+pub use analysis::{TraceStats, WorkingSetCurve};
+pub use model::{FileId, ReplaySource, RequestSource, SampledSource, Workload};
+pub use presets::Preset;
+pub use synth::SynthConfig;
+pub use temporal::TemporalSource;

@@ -1,0 +1,321 @@
+//! Files, popularity, and request sources.
+//!
+//! A [`Workload`] is the static description of a web server's content and its
+//! access pattern: one size per file plus a popularity distribution over
+//! files. By convention **file ids are popularity ranks**: file 0 is the most
+//! requested file. This makes the Figure 1 cumulative-distribution curves and
+//! the working-set calculations exact rather than sampled.
+//!
+//! Simulated clients pull requests through the [`RequestSource`] trait, with
+//! two implementations: [`SampledSource`] draws i.i.d. from the popularity
+//! distribution (the synthetic presets), and [`ReplaySource`] replays a
+//! recorded request sequence, cycling when it runs out (real traces loaded
+//! from Common Log Format; the paper similarly ignores trace timing and lets
+//! every client fire its next request as soon as the previous one completes).
+
+use simcore::Rng;
+use std::sync::Arc;
+
+/// Identifies a file. Equal to the file's popularity rank (0 = hottest).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct FileId(pub u32);
+
+impl FileId {
+    /// The rank as an index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// Static description of server content and its access popularity.
+#[derive(Debug, Clone)]
+pub struct Workload {
+    name: String,
+    /// Size in bytes of each file, indexed by popularity rank.
+    sizes: Vec<u64>,
+    /// Cumulative popularity: `cum[i]` = P(rank <= i). Last entry is 1.0.
+    cum: Vec<f64>,
+}
+
+impl Workload {
+    /// Build a workload from per-rank sizes and (unnormalized) popularity
+    /// weights. `weights[i]` is the relative request frequency of rank `i`
+    /// and must be non-increasing for the rank convention to hold.
+    ///
+    /// # Panics
+    /// Panics if lengths differ, if the workload is empty, or if any weight
+    /// is non-finite or negative.
+    pub fn new(name: impl Into<String>, sizes: Vec<u64>, weights: &[f64]) -> Workload {
+        assert_eq!(sizes.len(), weights.len(), "sizes/weights length mismatch");
+        assert!(!sizes.is_empty(), "empty workload");
+        let mut cum = Vec::with_capacity(weights.len());
+        let mut acc = 0.0f64;
+        for (i, &w) in weights.iter().enumerate() {
+            assert!(w.is_finite() && w >= 0.0, "bad weight {w} at rank {i}");
+            if i > 0 {
+                debug_assert!(
+                    w <= weights[i - 1] + 1e-12,
+                    "weights must be non-increasing by rank (rank {i})"
+                );
+            }
+            acc += w;
+            cum.push(acc);
+        }
+        assert!(acc > 0.0, "all weights are zero");
+        for c in &mut cum {
+            *c /= acc;
+        }
+        *cum.last_mut().unwrap() = 1.0;
+        Workload {
+            name: name.into(),
+            sizes,
+            cum,
+        }
+    }
+
+    /// Workload name (e.g. `"rutgers"`).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Number of distinct files.
+    pub fn num_files(&self) -> usize {
+        self.sizes.len()
+    }
+
+    /// Size of one file in bytes.
+    #[inline]
+    pub fn size_of(&self, f: FileId) -> u64 {
+        self.sizes[f.index()]
+    }
+
+    /// All file sizes, indexed by rank.
+    pub fn sizes(&self) -> &[u64] {
+        &self.sizes
+    }
+
+    /// Total bytes across all files (the paper's "file set size").
+    pub fn total_bytes(&self) -> u64 {
+        self.sizes.iter().sum()
+    }
+
+    /// Mean file size in bytes.
+    pub fn avg_file_size(&self) -> f64 {
+        self.total_bytes() as f64 / self.num_files() as f64
+    }
+
+    /// Probability that a request targets rank `i`.
+    pub fn popularity(&self, f: FileId) -> f64 {
+        let i = f.index();
+        if i == 0 {
+            self.cum[0]
+        } else {
+            self.cum[i] - self.cum[i - 1]
+        }
+    }
+
+    /// Expected bytes per request: `Σ pᵢ · sizeᵢ` (the paper's "average
+    /// request size", which is below the average file size because popular
+    /// files skew small).
+    pub fn avg_request_size(&self) -> f64 {
+        let mut acc = 0.0;
+        let mut prev = 0.0;
+        for (i, &c) in self.cum.iter().enumerate() {
+            acc += (c - prev) * self.sizes[i] as f64;
+            prev = c;
+        }
+        acc
+    }
+
+    /// Draw one request according to popularity.
+    pub fn sample(&self, rng: &mut Rng) -> FileId {
+        let u = rng.next_f64();
+        // First index with cum >= u.
+        let idx = self.cum.partition_point(|&c| c < u);
+        FileId(idx.min(self.cum.len() - 1) as u32)
+    }
+
+    /// Cumulative request fraction covered by the `n` hottest files.
+    pub fn request_fraction_of_top(&self, n: usize) -> f64 {
+        if n == 0 {
+            0.0
+        } else {
+            self.cum[(n - 1).min(self.cum.len() - 1)]
+        }
+    }
+
+    /// Bytes occupied by the `n` hottest files.
+    pub fn bytes_of_top(&self, n: usize) -> u64 {
+        self.sizes.iter().take(n).sum()
+    }
+
+    /// The smallest memory (bytes of hottest files) covering at least
+    /// `frac` of requests — the paper's working-set measure for Figure 1.
+    pub fn working_set_for(&self, frac: f64) -> u64 {
+        let n = self.cum.partition_point(|&c| c < frac) + 1;
+        self.bytes_of_top(n.min(self.num_files()))
+    }
+}
+
+/// A stream of requests, as consumed by the simulated clients.
+pub trait RequestSource {
+    /// The next requested file.
+    fn next_request(&mut self) -> FileId;
+}
+
+/// Draws i.i.d. requests from a workload's popularity distribution.
+#[derive(Debug, Clone)]
+pub struct SampledSource {
+    workload: Arc<Workload>,
+    rng: Rng,
+}
+
+impl SampledSource {
+    /// A source with its own RNG stream.
+    pub fn new(workload: Arc<Workload>, rng: Rng) -> SampledSource {
+        SampledSource { workload, rng }
+    }
+}
+
+impl RequestSource for SampledSource {
+    fn next_request(&mut self) -> FileId {
+        self.workload.sample(&mut self.rng)
+    }
+}
+
+/// Replays a recorded request sequence, cycling at the end.
+#[derive(Debug, Clone)]
+pub struct ReplaySource {
+    seq: Arc<[FileId]>,
+    pos: usize,
+}
+
+impl ReplaySource {
+    /// A source starting at `offset` into the sequence (so multiple clients
+    /// can share one trace without being in lock-step).
+    ///
+    /// # Panics
+    /// Panics if the sequence is empty.
+    pub fn new(seq: Arc<[FileId]>, offset: usize) -> ReplaySource {
+        assert!(!seq.is_empty(), "empty request sequence");
+        let pos = offset % seq.len();
+        ReplaySource { seq, pos }
+    }
+}
+
+impl RequestSource for ReplaySource {
+    fn next_request(&mut self) -> FileId {
+        let f = self.seq[self.pos];
+        self.pos = (self.pos + 1) % self.seq.len();
+        f
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> Workload {
+        // Three files: rank 0 has weight 2, ranks 1-2 weight 1 each.
+        Workload::new("tiny", vec![100, 200, 400], &[2.0, 1.0, 1.0])
+    }
+
+    #[test]
+    fn sizes_and_totals() {
+        let w = tiny();
+        assert_eq!(w.num_files(), 3);
+        assert_eq!(w.total_bytes(), 700);
+        assert!((w.avg_file_size() - 700.0 / 3.0).abs() < 1e-9);
+        assert_eq!(w.size_of(FileId(2)), 400);
+    }
+
+    #[test]
+    fn popularity_normalizes() {
+        let w = tiny();
+        assert!((w.popularity(FileId(0)) - 0.5).abs() < 1e-12);
+        assert!((w.popularity(FileId(1)) - 0.25).abs() < 1e-12);
+        assert!((w.popularity(FileId(2)) - 0.25).abs() < 1e-12);
+        let total: f64 = (0..3).map(|i| w.popularity(FileId(i))).sum();
+        assert!((total - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn avg_request_size_weights_by_popularity() {
+        let w = tiny();
+        // 0.5*100 + 0.25*200 + 0.25*400 = 200
+        assert!((w.avg_request_size() - 200.0).abs() < 1e-9);
+        // Popular files are smaller here, so requests average below files.
+        assert!(w.avg_request_size() < w.avg_file_size());
+    }
+
+    #[test]
+    fn sampling_matches_popularity() {
+        let w = tiny();
+        let mut rng = Rng::new(1);
+        let mut counts = [0u32; 3];
+        let n = 100_000;
+        for _ in 0..n {
+            counts[w.sample(&mut rng).index()] += 1;
+        }
+        let f0 = counts[0] as f64 / n as f64;
+        assert!((f0 - 0.5).abs() < 0.01, "f0={f0}");
+    }
+
+    #[test]
+    fn sample_never_out_of_range() {
+        let w = tiny();
+        let mut rng = Rng::new(2);
+        for _ in 0..10_000 {
+            assert!(w.sample(&mut rng).index() < 3);
+        }
+    }
+
+    #[test]
+    fn working_set_fractions() {
+        let w = tiny();
+        // 50% of requests hit file 0 (100 bytes).
+        assert_eq!(w.working_set_for(0.5), 100);
+        // 75% needs files 0-1 (300 bytes).
+        assert_eq!(w.working_set_for(0.75), 300);
+        assert_eq!(w.working_set_for(1.0), 700);
+        assert_eq!(w.request_fraction_of_top(0), 0.0);
+        assert!((w.request_fraction_of_top(1) - 0.5).abs() < 1e-12);
+        assert_eq!(w.bytes_of_top(2), 300);
+    }
+
+    #[test]
+    fn replay_cycles_and_offsets() {
+        let seq: Arc<[FileId]> = vec![FileId(0), FileId(1), FileId(2)].into();
+        let mut a = ReplaySource::new(seq.clone(), 0);
+        let mut b = ReplaySource::new(seq, 2);
+        assert_eq!(a.next_request(), FileId(0));
+        assert_eq!(a.next_request(), FileId(1));
+        assert_eq!(a.next_request(), FileId(2));
+        assert_eq!(a.next_request(), FileId(0)); // wrapped
+        assert_eq!(b.next_request(), FileId(2));
+        assert_eq!(b.next_request(), FileId(0)); // wrapped
+    }
+
+    #[test]
+    fn sampled_source_is_deterministic_per_stream() {
+        let w = Arc::new(tiny());
+        let mut s1 = SampledSource::new(w.clone(), Rng::new(9));
+        let mut s2 = SampledSource::new(w, Rng::new(9));
+        for _ in 0..100 {
+            assert_eq!(s1.next_request(), s2.next_request());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn mismatched_lengths_panic() {
+        Workload::new("bad", vec![1, 2], &[1.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty workload")]
+    fn empty_workload_panics() {
+        Workload::new("bad", vec![], &[]);
+    }
+}

@@ -1,0 +1,299 @@
+//! Synthetic workload generation.
+//!
+//! Builds a [`Workload`] with the three properties that drive every result in
+//! the paper's evaluation:
+//!
+//! 1. **Zipf-like popularity** — a small set of hot files absorbs most
+//!    requests (Figure 1's steep left edge).
+//! 2. **Heavy-tailed file sizes** — a log-normal body with an optional
+//!    bounded-Pareto tail, so the file *set* is much larger than the hot
+//!    working set.
+//! 3. **Popularity↔size correlation** — popular web files tend to be small
+//!    (Arlitt & Williamson invariant), which is why the paper's "average
+//!    request size" is far below its "average file size". The
+//!    [`SynthConfig::rank_size_corr`] knob controls how strongly sizes sort
+//!    by popularity.
+//!
+//! The generator can rescale sampled sizes so the total file-set size matches
+//! a target exactly, which the presets use to pin working-set curves (e.g.
+//! Rutgers ≈ 494 MB for 99 % of requests) regardless of sampling noise.
+
+use crate::distributions::{zipf_weights, BoundedPareto, LogNormal};
+use crate::model::Workload;
+use simcore::Rng;
+
+/// Parameters of a synthetic workload.
+///
+/// ```
+/// use ccm_traces::SynthConfig;
+///
+/// let workload = SynthConfig {
+///     n_files: 1_000,
+///     total_bytes: Some(32 << 20),
+///     ..SynthConfig::default()
+/// }.build();
+/// assert_eq!(workload.total_bytes(), 32 << 20);
+/// // Zipf head: the hottest 1% of files absorb far more than 1% of requests.
+/// assert!(workload.request_fraction_of_top(10) > 0.05);
+/// ```
+#[derive(Debug, Clone)]
+pub struct SynthConfig {
+    /// Workload name, carried into [`Workload::name`].
+    pub name: String,
+    /// Number of distinct files.
+    pub n_files: usize,
+    /// Zipf exponent for popularity by rank (≈ 0.7–0.8 for web traces).
+    pub zipf_theta: f64,
+    /// Target mean of the log-normal size body, in bytes (before rescaling).
+    pub mean_size: f64,
+    /// Log-space spread of the size body.
+    pub sigma: f64,
+    /// Fraction of files drawn from the Pareto tail instead of the body.
+    pub tail_frac: f64,
+    /// Pareto shape for the tail (smaller = heavier).
+    pub tail_alpha: f64,
+    /// Upper bound of the tail, in bytes.
+    pub tail_max: f64,
+    /// Minimum file size, bytes (tiny icons etc. still occupy one block).
+    pub min_size: u64,
+    /// If set, linearly rescale sizes so the total file-set size equals this.
+    pub total_bytes: Option<u64>,
+    /// Popularity↔size correlation in `[0, 1]`: 0 = sizes independent of
+    /// rank, 1 = hottest file is exactly the smallest.
+    pub rank_size_corr: f64,
+    /// Generator seed; two configs differing only in seed give statistically
+    /// identical but distinct workloads.
+    pub seed: u64,
+}
+
+impl Default for SynthConfig {
+    fn default() -> Self {
+        SynthConfig {
+            name: "synthetic".into(),
+            n_files: 10_000,
+            zipf_theta: 0.75,
+            mean_size: 16.0 * 1024.0,
+            sigma: 1.4,
+            tail_frac: 0.01,
+            tail_alpha: 1.1,
+            tail_max: 8.0 * 1024.0 * 1024.0,
+            min_size: 256,
+            total_bytes: None,
+            rank_size_corr: 0.55,
+            seed: 0xC0FFEE,
+        }
+    }
+}
+
+impl SynthConfig {
+    /// Generate the workload described by this configuration.
+    ///
+    /// # Panics
+    /// Panics on degenerate parameters (zero files, correlation outside
+    /// `[0, 1]`, non-positive sizes).
+    pub fn build(&self) -> Workload {
+        assert!(self.n_files > 0, "n_files == 0");
+        assert!(
+            (0.0..=1.0).contains(&self.rank_size_corr),
+            "rank_size_corr out of [0,1]"
+        );
+        assert!(self.mean_size > 0.0 && self.min_size > 0, "bad sizes");
+
+        let root = Rng::new(self.seed);
+        let mut size_rng = root.substream(1);
+        let mut corr_rng = root.substream(2);
+
+        let body = LogNormal::with_mean(self.mean_size, self.sigma);
+        let tail_lo = self.mean_size.max(self.min_size as f64 + 1.0);
+        let tail = if self.tail_frac > 0.0 && self.tail_max > tail_lo {
+            Some(BoundedPareto::new(tail_lo, self.tail_max, self.tail_alpha))
+        } else {
+            None
+        };
+
+        // 1. Sample the size population.
+        let mut sizes: Vec<u64> = (0..self.n_files)
+            .map(|_| {
+                let raw = match &tail {
+                    Some(t) if size_rng.chance(self.tail_frac) => t.sample(&mut size_rng),
+                    _ => body.sample(&mut size_rng),
+                };
+                (raw.round() as u64).max(self.min_size)
+            })
+            .collect();
+
+        // 2. Optionally rescale so the file-set size is exact.
+        if let Some(target) = self.total_bytes {
+            rescale_to_total(&mut sizes, target, self.min_size);
+        }
+
+        // 3. Assign sizes to popularity ranks with the requested correlation:
+        //    sort by a blend of the size's percentile and uniform noise, so
+        //    corr = 1 puts the smallest file at rank 0 and corr = 0 shuffles.
+        sizes.sort_unstable();
+        let n = sizes.len();
+        let mut order: Vec<usize> = (0..n).collect();
+        if self.rank_size_corr < 1.0 {
+            let c = self.rank_size_corr;
+            let mut keyed: Vec<(f64, usize)> = order
+                .iter()
+                .map(|&i| {
+                    let pct = i as f64 / n as f64;
+                    (c * pct + (1.0 - c) * corr_rng.next_f64(), i)
+                })
+                .collect();
+            keyed.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap().then(a.1.cmp(&b.1)));
+            order = keyed.into_iter().map(|(_, i)| i).collect();
+        }
+        let ranked: Vec<u64> = order.into_iter().map(|i| sizes[i]).collect();
+
+        let weights = zipf_weights(self.n_files, self.zipf_theta);
+        Workload::new(self.name.clone(), ranked, &weights)
+    }
+}
+
+/// Scale sizes multiplicatively so they sum to `target`, respecting `min`.
+/// The rounding/clamping residue is absorbed by the largest files.
+///
+/// # Panics
+/// Panics if the target is unreachable (`target < len * min`).
+fn rescale_to_total(sizes: &mut [u64], target: u64, min: u64) {
+    let current: u64 = sizes.iter().sum();
+    assert!(current > 0);
+    assert!(
+        target >= sizes.len() as u64 * min,
+        "total_bytes target below the minimum-size floor"
+    );
+    let factor = target as f64 / current as f64;
+    for s in sizes.iter_mut() {
+        *s = ((*s as f64 * factor).round() as u64).max(min);
+    }
+    let now: u64 = sizes.iter().sum();
+    if now < target {
+        let idx_max = (0..sizes.len())
+            .max_by_key(|&i| sizes[i])
+            .expect("non-empty");
+        sizes[idx_max] += target - now;
+    } else if now > target {
+        // Shrink from the largest files down; each can give up to
+        // (size - min), so the floor assertion guarantees convergence.
+        let mut over = now - target;
+        let mut order: Vec<usize> = (0..sizes.len()).collect();
+        order.sort_unstable_by_key(|&i| std::cmp::Reverse(sizes[i]));
+        for i in order {
+            if over == 0 {
+                break;
+            }
+            let give = (sizes[i] - min).min(over);
+            sizes[i] -= give;
+            over -= give;
+        }
+        debug_assert_eq!(over, 0);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::FileId;
+
+    fn quick(n: usize, corr: f64, total: Option<u64>) -> Workload {
+        SynthConfig {
+            n_files: n,
+            rank_size_corr: corr,
+            total_bytes: total,
+            ..SynthConfig::default()
+        }
+        .build()
+    }
+
+    #[test]
+    fn builds_requested_file_count() {
+        let w = quick(500, 0.5, None);
+        assert_eq!(w.num_files(), 500);
+        assert!(w.sizes().iter().all(|&s| s >= 256));
+    }
+
+    #[test]
+    fn total_bytes_is_exact_when_pinned() {
+        let target = 50 * 1024 * 1024;
+        let w = quick(2_000, 0.5, Some(target));
+        assert_eq!(w.total_bytes(), target);
+    }
+
+    #[test]
+    fn determinism_same_seed_same_workload() {
+        let a = quick(1_000, 0.5, None);
+        let b = quick(1_000, 0.5, None);
+        assert_eq!(a.sizes(), b.sizes());
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let cfg = SynthConfig {
+            n_files: 1_000,
+            ..SynthConfig::default()
+        };
+        let a = cfg.build();
+        let b = SynthConfig {
+            seed: cfg.seed ^ 1,
+            ..cfg
+        }
+        .build();
+        assert_ne!(a.sizes(), b.sizes());
+    }
+
+    #[test]
+    fn full_correlation_sorts_sizes_by_rank() {
+        let w = quick(1_000, 1.0, None);
+        let s = w.sizes();
+        for i in 1..s.len() {
+            assert!(s[i] >= s[i - 1], "not sorted at {i}");
+        }
+    }
+
+    #[test]
+    fn correlation_lowers_avg_request_size() {
+        // With popular files small, expected bytes/request drops.
+        let correlated = quick(5_000, 0.9, Some(100 << 20));
+        let uncorrelated = quick(5_000, 0.0, Some(100 << 20));
+        assert!(
+            correlated.avg_request_size() < uncorrelated.avg_request_size(),
+            "corr {} vs uncorr {}",
+            correlated.avg_request_size(),
+            uncorrelated.avg_request_size()
+        );
+        // And sits well below the average *file* size, as in Table 2.
+        assert!(correlated.avg_request_size() < correlated.avg_file_size());
+    }
+
+    #[test]
+    fn working_set_is_much_smaller_than_file_set() {
+        let w = quick(10_000, 0.6, Some(200 << 20));
+        let ws90 = w.working_set_for(0.90);
+        assert!(
+            ws90 < w.total_bytes() / 2,
+            "90% working set {ws90} vs total {}",
+            w.total_bytes()
+        );
+    }
+
+    #[test]
+    fn popularity_head_dominates() {
+        let w = quick(10_000, 0.6, None);
+        // Top 1% of files should cover far more than 1% of requests.
+        let head = w.request_fraction_of_top(100);
+        assert!(head > 0.15, "head share {head}");
+        assert!(w.popularity(FileId(0)) > w.popularity(FileId(5_000)));
+    }
+
+    #[test]
+    fn rescale_handles_overshoot_and_undershoot() {
+        let mut a = vec![100u64, 200, 700];
+        rescale_to_total(&mut a, 2_000, 1);
+        assert_eq!(a.iter().sum::<u64>(), 2_000);
+        let mut b = vec![1_000u64, 2_000, 7_000];
+        rescale_to_total(&mut b, 5_000, 1);
+        assert_eq!(b.iter().sum::<u64>(), 5_000);
+    }
+}

@@ -1,0 +1,198 @@
+//! Temporal locality on top of popularity.
+//!
+//! Real access logs are not i.i.d. draws from a popularity distribution:
+//! recently-requested documents are disproportionately likely to be
+//! requested again soon (sessions, flash interest, proxy effects — the
+//! temporal component of Arlitt & Williamson's "concentration of
+//! references"). [`TemporalSource`] layers an LRU-stack model over any
+//! [`Workload`]: with probability `locality` the next request re-draws from
+//! the recent-reference stack (positions weighted toward the top), otherwise
+//! it draws fresh from the popularity distribution.
+//!
+//! `locality = 0` reduces exactly to [`SampledSource`]'s i.i.d. behavior;
+//! higher values tighten the short-term working set while leaving the
+//! long-run popularity ranking intact (hot files dominate the stack too).
+//!
+//! [`SampledSource`]: crate::model::SampledSource
+
+use crate::model::{FileId, RequestSource, Workload};
+use simcore::Rng;
+use std::collections::VecDeque;
+use std::sync::Arc;
+
+/// A request source with tunable temporal locality.
+#[derive(Debug, Clone)]
+pub struct TemporalSource {
+    workload: Arc<Workload>,
+    rng: Rng,
+    /// Probability of re-referencing from the stack.
+    locality: f64,
+    /// Most-recent-first stack of distinct recent files.
+    stack: VecDeque<FileId>,
+    capacity: usize,
+}
+
+impl TemporalSource {
+    /// Build a source with re-reference probability `locality` over a
+    /// recent-reference stack of `capacity` distinct files.
+    ///
+    /// # Panics
+    /// Panics if `locality` is outside `[0, 1]` or `capacity == 0`.
+    pub fn new(workload: Arc<Workload>, rng: Rng, locality: f64, capacity: usize) -> TemporalSource {
+        assert!((0.0..=1.0).contains(&locality), "locality out of [0,1]");
+        assert!(capacity > 0, "zero stack capacity");
+        TemporalSource {
+            workload,
+            rng,
+            locality,
+            stack: VecDeque::with_capacity(capacity),
+            capacity,
+        }
+    }
+
+    fn push_stack(&mut self, f: FileId) {
+        if let Some(pos) = self.stack.iter().position(|&x| x == f) {
+            self.stack.remove(pos);
+        } else if self.stack.len() >= self.capacity {
+            self.stack.pop_back();
+        }
+        self.stack.push_front(f);
+    }
+
+    /// Draw a stack position weighted toward the top (position k with
+    /// weight 1/(k+1) — a light Zipf over recency).
+    fn sample_stack(&mut self) -> FileId {
+        debug_assert!(!self.stack.is_empty());
+        let n = self.stack.len();
+        // Inverse-harmonic sampling by rejection: cheap and exact enough.
+        loop {
+            let k = self.rng.next_below(n as u64) as usize;
+            if self.rng.next_f64() < 1.0 / (k + 1) as f64 {
+                return self.stack[k];
+            }
+        }
+    }
+
+    /// Current distinct-file stack depth (diagnostics).
+    pub fn stack_len(&self) -> usize {
+        self.stack.len()
+    }
+}
+
+impl RequestSource for TemporalSource {
+    fn next_request(&mut self) -> FileId {
+        let f = if !self.stack.is_empty() && self.rng.chance(self.locality) {
+            self.sample_stack()
+        } else {
+            self.workload.sample(&mut self.rng)
+        };
+        self.push_stack(f);
+        f
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::synth::SynthConfig;
+
+    fn workload() -> Arc<Workload> {
+        Arc::new(
+            SynthConfig {
+                n_files: 2_000,
+                ..SynthConfig::default()
+            }
+            .build(),
+        )
+    }
+
+    /// Fraction of requests that repeat something seen in the last `w`.
+    fn rereference_rate(src: &mut TemporalSource, n: usize, w: usize) -> f64 {
+        let mut recent: VecDeque<FileId> = VecDeque::new();
+        let mut hits = 0usize;
+        for _ in 0..n {
+            let f = src.next_request();
+            if recent.contains(&f) {
+                hits += 1;
+            }
+            recent.push_front(f);
+            if recent.len() > w {
+                recent.pop_back();
+            }
+        }
+        hits as f64 / n as f64
+    }
+
+    #[test]
+    fn locality_increases_rereference_rate() {
+        let w = workload();
+        let mut low = TemporalSource::new(w.clone(), Rng::new(1), 0.0, 64);
+        let mut high = TemporalSource::new(w, Rng::new(1), 0.7, 64);
+        let r_low = rereference_rate(&mut low, 20_000, 32);
+        let r_high = rereference_rate(&mut high, 20_000, 32);
+        assert!(
+            r_high > r_low + 0.2,
+            "locality had no effect: {r_low:.3} vs {r_high:.3}"
+        );
+    }
+
+    #[test]
+    fn zero_locality_matches_iid_sampling() {
+        let w = workload();
+        let mut t = TemporalSource::new(w.clone(), Rng::new(2), 0.0, 16);
+        // Same head-share as direct workload sampling, statistically.
+        let n = 40_000;
+        let head = 200;
+        let hits = (0..n)
+            .filter(|_| t.next_request().index() < head)
+            .count();
+        let empirical = hits as f64 / n as f64;
+        let analytic = w.request_fraction_of_top(head);
+        assert!(
+            (empirical - analytic).abs() < 0.02,
+            "analytic {analytic:.3} vs empirical {empirical:.3}"
+        );
+    }
+
+    #[test]
+    fn long_run_popularity_ranking_survives_locality() {
+        let w = workload();
+        let mut t = TemporalSource::new(w, Rng::new(3), 0.6, 64);
+        let n = 60_000;
+        let mut counts = vec![0u32; 2_000];
+        for _ in 0..n {
+            counts[t.next_request().index()] += 1;
+        }
+        // The hottest decile still out-draws the coldest half.
+        let head: u32 = counts[..200].iter().sum();
+        let tail: u32 = counts[1_000..].iter().sum();
+        assert!(head > tail, "head {head} vs tail {tail}");
+    }
+
+    #[test]
+    fn stack_holds_distinct_files_up_to_capacity() {
+        let w = workload();
+        let mut t = TemporalSource::new(w, Rng::new(4), 0.5, 8);
+        for _ in 0..1_000 {
+            t.next_request();
+            assert!(t.stack_len() <= 8);
+        }
+        assert_eq!(t.stack_len(), 8, "stack should be full by now");
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let w = workload();
+        let mut a = TemporalSource::new(w.clone(), Rng::new(5), 0.5, 32);
+        let mut b = TemporalSource::new(w, Rng::new(5), 0.5, 32);
+        for _ in 0..500 {
+            assert_eq!(a.next_request(), b.next_request());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "locality out of")]
+    fn bad_locality_panics() {
+        TemporalSource::new(workload(), Rng::new(1), 1.5, 8);
+    }
+}

@@ -1,0 +1,154 @@
+//! Property-based tests for the workload substrate.
+
+use ccm_traces::{clf, FileId, SynthConfig, Workload, WorkingSetCurve};
+use proptest::prelude::*;
+use simcore::Rng;
+
+fn configs() -> impl Strategy<Value = SynthConfig> {
+    (
+        2usize..2_000,
+        0.3f64..1.2,
+        0.0f64..1.0,
+        prop::option::of(1u64..(64 << 20)),
+        any::<u64>(),
+    )
+        .prop_map(|(n_files, theta, corr, total, seed)| SynthConfig {
+            n_files,
+            zipf_theta: theta,
+            rank_size_corr: corr,
+            // Keep totals sane relative to min sizes.
+            total_bytes: total.map(|t| t.max(n_files as u64 * 600)),
+            seed,
+            ..SynthConfig::default()
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Generated workloads are structurally sound for any parameters.
+    #[test]
+    fn synth_workloads_are_well_formed(cfg in configs()) {
+        let w = cfg.build();
+        prop_assert_eq!(w.num_files(), cfg.n_files);
+        // Sizes respect the floor.
+        prop_assert!(w.sizes().iter().all(|&s| s >= cfg.min_size));
+        // Popularity is a distribution over ranks, non-increasing.
+        let mut total = 0.0;
+        let mut prev = f64::INFINITY;
+        for r in 0..w.num_files() as u32 {
+            let p = w.popularity(FileId(r));
+            prop_assert!(p >= 0.0);
+            prop_assert!(p <= prev + 1e-12, "popularity increased at rank {r}");
+            prev = p;
+            total += p;
+        }
+        prop_assert!((total - 1.0).abs() < 1e-6, "total popularity {total}");
+        // Pinned totals are exact.
+        if let Some(t) = cfg.total_bytes {
+            prop_assert_eq!(w.total_bytes(), t);
+        }
+    }
+
+    /// Sampling respects the distribution: the head's empirical share is
+    /// within a loose tolerance of its analytic share.
+    #[test]
+    fn sampling_matches_analytic_head_share(cfg in configs(), seed in any::<u64>()) {
+        let w = cfg.build();
+        let head = (w.num_files() / 10).max(1);
+        let analytic = w.request_fraction_of_top(head);
+        let mut rng = Rng::new(seed);
+        let n = 30_000;
+        let hits = (0..n)
+            .filter(|_| w.sample(&mut rng).index() < head)
+            .count();
+        let empirical = hits as f64 / n as f64;
+        prop_assert!(
+            (empirical - analytic).abs() < 0.03,
+            "analytic {analytic:.3} vs empirical {empirical:.3}"
+        );
+    }
+
+    /// The working-set function is monotone in the request fraction and
+    /// consistent with the curve.
+    #[test]
+    fn working_set_is_monotone(cfg in configs()) {
+        let w = cfg.build();
+        let mut prev = 0;
+        for f in [0.1, 0.3, 0.5, 0.7, 0.9, 0.99, 1.0] {
+            let ws = w.working_set_for(f);
+            prop_assert!(ws >= prev, "working set shrank at {f}");
+            prop_assert!(ws <= w.total_bytes());
+            prev = ws;
+        }
+        let curve = WorkingSetCurve::compute(&w, 64);
+        let last = curve.points().last().unwrap();
+        prop_assert_eq!(last.cumulative_bytes, w.total_bytes());
+    }
+
+    /// The average request size is a convex combination of file sizes.
+    #[test]
+    fn avg_request_size_is_bounded_by_extremes(cfg in configs()) {
+        let w = cfg.build();
+        let min = *w.sizes().iter().min().unwrap() as f64;
+        let max = *w.sizes().iter().max().unwrap() as f64;
+        let avg = w.avg_request_size();
+        prop_assert!(avg >= min - 1e-9 && avg <= max + 1e-9, "{min} <= {avg} <= {max}");
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// CLF round trip: synthesize a log from a known request sequence; the
+    /// loaded workload reproduces the popularity ranking and sizes.
+    #[test]
+    fn clf_round_trips_known_logs(
+        seq in prop::collection::vec(0u32..20, 1..300),
+    ) {
+        let mut text = String::new();
+        for &doc in &seq {
+            text.push_str(&format!(
+                "h - - [d] \"GET /f{doc} HTTP/1.0\" 200 {}\n",
+                1_000 + doc * 10
+            ));
+        }
+        let t = clf::load(&text, "prop");
+        prop_assert_eq!(t.skipped, 0);
+        prop_assert_eq!(t.requests.len(), seq.len());
+        // Every request resolves to a file whose size matches its path.
+        let mut counts = std::collections::HashMap::new();
+        for &d in &seq {
+            *counts.entry(1_000 + d as u64 * 10).or_insert(0u64) += 1;
+        }
+        for rank in 0..t.workload.num_files() as u32 {
+            let size = t.workload.size_of(FileId(rank));
+            prop_assert!(counts.contains_key(&size), "unknown size {size}");
+        }
+        // Ranks are by frequency: non-increasing hit counts.
+        let freq_of = |rank: u32| -> u64 {
+            let size = t.workload.size_of(FileId(rank));
+            counts[&size]
+        };
+        for r in 1..t.workload.num_files() as u32 {
+            prop_assert!(freq_of(r - 1) >= freq_of(r), "ranking broken at {r}");
+        }
+    }
+}
+
+/// Non-proptest statistical check kept alongside: two different seeds give
+/// statistically similar but unequal workloads.
+#[test]
+fn seeds_change_samples_not_statistics() {
+    let base = SynthConfig {
+        n_files: 3_000,
+        total_bytes: Some(32 << 20),
+        ..SynthConfig::default()
+    };
+    let a: Workload = base.clone().build();
+    let b: Workload = SynthConfig { seed: base.seed ^ 99, ..base }.build();
+    assert_ne!(a.sizes(), b.sizes());
+    assert_eq!(a.total_bytes(), b.total_bytes());
+    let rel = (a.avg_request_size() - b.avg_request_size()).abs() / a.avg_request_size();
+    assert!(rel < 0.25, "request-size stats diverged: {rel}");
+}

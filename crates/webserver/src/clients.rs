@@ -1,0 +1,158 @@
+//! Closed-loop HTTP clients.
+//!
+//! Each client is pinned to a node by round-robin DNS (a DNS answer binds
+//! the client for its whole session) and "generates a new request as soon as
+//! the previous one has been served" (§4.3). A client draws its requests
+//! from its own deterministic substream of the workload's popularity
+//! distribution, or replays a slice of a recorded trace.
+
+use ccm_traces::{ReplaySource, RequestSource, SampledSource, TemporalSource, Workload};
+use simcore::Rng;
+use std::sync::Arc;
+
+/// Where a client's requests come from.
+pub enum ClientSource {
+    /// i.i.d. draws from the workload popularity (synthetic presets).
+    Sampled(SampledSource),
+    /// Popularity draws with an LRU-stack temporal-locality layer.
+    Temporal(TemporalSource),
+    /// Replay of a recorded sequence (real CLF traces).
+    Replay(ReplaySource),
+}
+
+impl RequestSource for ClientSource {
+    fn next_request(&mut self) -> ccm_traces::FileId {
+        match self {
+            ClientSource::Sampled(s) => s.next_request(),
+            ClientSource::Temporal(t) => t.next_request(),
+            ClientSource::Replay(r) => r.next_request(),
+        }
+    }
+}
+
+/// Build the per-client sources for a run: `n` sampled clients with
+/// independent substreams of `seed`.
+pub fn sampled_clients(workload: &Arc<Workload>, n: usize, seed: u64) -> Vec<ClientSource> {
+    let root = Rng::new(seed);
+    (0..n)
+        .map(|i| {
+            ClientSource::Sampled(SampledSource::new(
+                workload.clone(),
+                root.substream(0x10_000 + i as u64),
+            ))
+        })
+        .collect()
+}
+
+/// Build per-client temporal-locality sources: each client re-references
+/// its own recent documents with probability `locality`.
+pub fn temporal_clients(
+    workload: &Arc<Workload>,
+    n: usize,
+    seed: u64,
+    locality: f64,
+    stack: usize,
+) -> Vec<ClientSource> {
+    let root = Rng::new(seed);
+    (0..n)
+        .map(|i| {
+            ClientSource::Temporal(TemporalSource::new(
+                workload.clone(),
+                root.substream(0x20_000 + i as u64),
+                locality,
+                stack,
+            ))
+        })
+        .collect()
+}
+
+/// Build the client population a [`SimConfig`] asks for (sampled or
+/// temporal).
+///
+/// [`SimConfig`]: crate::config::SimConfig
+pub fn build_clients(
+    workload: &Arc<Workload>,
+    cfg: &crate::config::SimConfig,
+) -> Vec<ClientSource> {
+    if cfg.client_locality > 0.0 {
+        temporal_clients(
+            workload,
+            cfg.total_clients(),
+            cfg.seed,
+            cfg.client_locality,
+            cfg.locality_stack,
+        )
+    } else {
+        sampled_clients(workload, cfg.total_clients(), cfg.seed)
+    }
+}
+
+/// Build replay clients over a recorded sequence, staggered so they do not
+/// march in lock-step.
+pub fn replay_clients(seq: Arc<[ccm_traces::FileId]>, n: usize) -> Vec<ClientSource> {
+    let stride = (seq.len() / n.max(1)).max(1);
+    (0..n)
+        .map(|i| ClientSource::Replay(ReplaySource::new(seq.clone(), i * stride)))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ccm_traces::{FileId, SynthConfig};
+
+    fn workload() -> Arc<Workload> {
+        Arc::new(
+            SynthConfig {
+                n_files: 100,
+                ..SynthConfig::default()
+            }
+            .build(),
+        )
+    }
+
+    #[test]
+    fn sampled_clients_are_independent_and_deterministic() {
+        let w = workload();
+        let mut a = sampled_clients(&w, 4, 1);
+        let mut b = sampled_clients(&w, 4, 1);
+        let seq_a: Vec<FileId> = (0..50).map(|_| a[0].next_request()).collect();
+        let seq_b: Vec<FileId> = (0..50).map(|_| b[0].next_request()).collect();
+        assert_eq!(seq_a, seq_b, "same seed, same stream");
+        let seq_c: Vec<FileId> = (0..50).map(|_| a[1].next_request()).collect();
+        assert_ne!(seq_a, seq_c, "different clients diverge");
+    }
+
+    #[test]
+    fn temporal_clients_are_deterministic_and_local() {
+        let w = workload();
+        let mut a = temporal_clients(&w, 2, 9, 0.8, 16);
+        let mut b = temporal_clients(&w, 2, 9, 0.8, 16);
+        let seq: Vec<FileId> = (0..100).map(|_| a[0].next_request()).collect();
+        let seq2: Vec<FileId> = (0..100).map(|_| b[0].next_request()).collect();
+        assert_eq!(seq, seq2);
+        // High locality: plenty of immediate repeats in a window.
+        let repeats = seq.windows(8).filter(|w| w[1..].contains(&w[0])).count();
+        assert!(repeats > 10, "only {repeats} repeats");
+    }
+
+    #[test]
+    fn replay_clients_stagger_offsets() {
+        let seq: Arc<[FileId]> = (0..100).map(FileId).collect::<Vec<_>>().into();
+        let mut clients = replay_clients(seq, 4);
+        assert_eq!(clients[0].next_request(), FileId(0));
+        assert_eq!(clients[1].next_request(), FileId(25));
+        assert_eq!(clients[2].next_request(), FileId(50));
+        assert_eq!(clients[3].next_request(), FileId(75));
+    }
+
+    #[test]
+    fn more_clients_than_trace_entries_still_works() {
+        let seq: Arc<[FileId]> = vec![FileId(0), FileId(1)].into();
+        let mut clients = replay_clients(seq, 8);
+        for c in clients.iter_mut() {
+            let f = c.next_request();
+            assert!(f.0 < 2);
+        }
+    }
+}

@@ -1,0 +1,244 @@
+//! Simulation run configuration.
+
+use ccm_cluster::{CostModel, DiskScheduler, Placement};
+use ccm_core::{DirectoryKind, ReplacementPolicy};
+use ccm_core::NodeId;
+
+/// Which middleware variant a CCM run uses. These are the three curves of
+/// Figure 2.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CcmVariant {
+    /// Replacement policy (-Basic/scheduled use global LRU; the paper's
+    /// winning variant preserves masters).
+    pub policy: ReplacementPolicy,
+    /// Disk queue discipline (FIFO for -Basic, batched for the others).
+    pub scheduler: DiskScheduler,
+    /// Perfect directory (paper assumption) or hint-based (§6 extension).
+    pub directory: DirectoryKind,
+    /// Extension: promote a surviving replica when a master drops.
+    pub promote_on_master_drop: bool,
+    /// Read-ahead at the home disk: a demand miss extends into one
+    /// sequential read of the following absent blocks, and the requester
+    /// masters them. Part of the paper's -Sched disk fix ("request
+    /// scheduling, caching, and/or prefetching", §5); off for -Basic.
+    pub read_ahead: bool,
+    /// Maximum blocks per read-ahead run (window). Larger windows equalize
+    /// cold-file disk cost with L2S's whole-file reads, but pollute tiny
+    /// caches; 64 blocks (512 KB) balances the sweep.
+    pub read_ahead_blocks: u32,
+    /// Extension (§6): whole-file adaptation — a miss on any block fetches
+    /// the entire file through the middleware.
+    pub whole_file: bool,
+}
+
+impl CcmVariant {
+    /// The paper's "-Basic": traditional global-LRU cooperative caching,
+    /// FIFO disk queues.
+    pub fn basic() -> CcmVariant {
+        CcmVariant {
+            policy: ReplacementPolicy::GlobalLru,
+            scheduler: DiskScheduler::Fifo,
+            directory: DirectoryKind::Perfect,
+            promote_on_master_drop: false,
+            read_ahead: false,
+            read_ahead_blocks: 64,
+            whole_file: false,
+        }
+    }
+
+    /// -Basic plus disk request scheduling (the paper's middle curve).
+    pub fn scheduled() -> CcmVariant {
+        CcmVariant {
+            scheduler: DiskScheduler::Batched,
+            read_ahead: true,
+            ..CcmVariant::basic()
+        }
+    }
+
+    /// The paper's final variant: disk scheduling plus the master-preserving
+    /// replacement modification.
+    pub fn master_preserving() -> CcmVariant {
+        CcmVariant {
+            policy: ReplacementPolicy::MasterPreserving,
+            ..CcmVariant::scheduled()
+        }
+    }
+
+    /// Label used in figures, matching DESIGN.md naming.
+    pub fn label(&self) -> String {
+        let mut base = match (self.policy, self.scheduler) {
+            (ReplacementPolicy::GlobalLru, DiskScheduler::Fifo) => "ccm-basic".to_string(),
+            (ReplacementPolicy::GlobalLru, DiskScheduler::Batched) => "ccm-sched".to_string(),
+            (ReplacementPolicy::MasterPreserving, DiskScheduler::Fifo) => "ccm-mp-nosched".to_string(),
+            (ReplacementPolicy::MasterPreserving, DiskScheduler::Batched) => "ccm-mp".to_string(),
+            (ReplacementPolicy::NChance { chances }, _) => format!("ccm-nchance{chances}"),
+        };
+        // Canonical curves: basic = FIFO without read-ahead, sched/mp =
+        // batched with read-ahead. Deviations get a suffix.
+        match (self.scheduler, self.read_ahead) {
+            (DiskScheduler::Fifo, true) => base.push_str("+ra"),
+            (DiskScheduler::Batched, false) => base.push_str("-nora"),
+            _ => {}
+        }
+        if self.directory == DirectoryKind::Hint {
+            base.push_str("+hints");
+        }
+        if self.promote_on_master_drop {
+            base.push_str("+promote");
+        }
+        if self.whole_file {
+            base.push_str("+wholefile");
+        }
+        base
+    }
+}
+
+/// Which server is being simulated.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ServerKind {
+    /// A web server over the cooperative caching middleware.
+    Ccm(CcmVariant),
+    /// The locality- and load-conscious baseline.
+    L2s {
+        /// TCP hand-off enabled (the paper's L2S) or front-node relay.
+        handoff: bool,
+    },
+}
+
+impl ServerKind {
+    /// Label used in figures.
+    pub fn label(&self) -> String {
+        match self {
+            ServerKind::Ccm(v) => v.label(),
+            ServerKind::L2s { handoff: true } => "l2s".to_string(),
+            ServerKind::L2s { handoff: false } => "l2s-nohandoff".to_string(),
+        }
+    }
+}
+
+/// One simulation run.
+#[derive(Debug, Clone)]
+pub struct SimConfig {
+    /// Server flavor.
+    pub server: ServerKind,
+    /// Cluster size (the paper simulates 4, 8, and up to 32 nodes).
+    pub nodes: usize,
+    /// Memory per node devoted to caching, bytes (paper: 4–512 MB).
+    pub mem_per_node: u64,
+    /// Closed-loop HTTP clients per node (via round-robin DNS).
+    pub clients_per_node: usize,
+    /// Per-client temporal locality: probability that a client's next
+    /// request re-references its own recent documents (0 = the paper's
+    /// popularity-only sampling; see `ccm-traces::temporal`).
+    pub client_locality: f64,
+    /// Distinct recent documents each client can re-reference.
+    pub locality_stack: usize,
+    /// Mean exponential client think time between a response and the next
+    /// request, ms. The paper's maximum-throughput runs use 0 ("each HTTP
+    /// client generates a new request as soon as the previous one has been
+    /// served"); nonzero values turn the client population into a tunable
+    /// offered load for latency-vs-load studies.
+    pub think_time_ms: f64,
+    /// Requests completed before measurement starts (cache warm-up).
+    pub warmup_requests: u64,
+    /// Requests measured after warm-up; the run ends when they complete.
+    pub measure_requests: u64,
+    /// File placement over the cluster's disks (CCM runs; L2S always uses
+    /// its replicated-disks assumption).
+    pub placement: Placement,
+    /// Hardware timing constants.
+    pub costs: CostModel,
+    /// Master seed; every stochastic component derives a substream.
+    pub seed: u64,
+}
+
+impl SimConfig {
+    /// A paper-style run of `server` on `nodes` nodes with `mem_per_node`
+    /// bytes of cache memory each.
+    pub fn paper(server: ServerKind, nodes: usize, mem_per_node: u64) -> SimConfig {
+        SimConfig {
+            server,
+            nodes,
+            mem_per_node,
+            clients_per_node: 32,
+            client_locality: 0.0,
+            locality_stack: 64,
+            think_time_ms: 0.0,
+            // The paper's traces have ~100+ requests per distinct file; the
+            // windows below give the synthetic presets a comparable ratio so
+            // steady state is not swamped by compulsory misses.
+            warmup_requests: 150_000,
+            measure_requests: 150_000,
+            placement: Placement::Striped,
+            costs: CostModel::default(),
+            seed: 0x5EED,
+        }
+    }
+
+    /// Shrink the run for unit/integration tests (fast in debug builds).
+    pub fn quick(mut self) -> SimConfig {
+        self.clients_per_node = 8;
+        self.warmup_requests = 2_000;
+        self.measure_requests = 4_000;
+        self
+    }
+
+    /// Total clients across the cluster.
+    pub fn total_clients(&self) -> usize {
+        self.nodes * self.clients_per_node
+    }
+
+    /// The node client `i` is bound to (round-robin DNS).
+    pub fn node_of_client(&self, i: usize) -> NodeId {
+        NodeId((i % self.nodes) as u16)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn variant_constructors_match_paper_curves() {
+        let b = CcmVariant::basic();
+        assert_eq!(b.policy, ReplacementPolicy::GlobalLru);
+        assert_eq!(b.scheduler, DiskScheduler::Fifo);
+        let s = CcmVariant::scheduled();
+        assert_eq!(s.policy, ReplacementPolicy::GlobalLru);
+        assert_eq!(s.scheduler, DiskScheduler::Batched);
+        let m = CcmVariant::master_preserving();
+        assert_eq!(m.policy, ReplacementPolicy::MasterPreserving);
+        assert_eq!(m.scheduler, DiskScheduler::Batched);
+    }
+
+    #[test]
+    fn labels_are_unique() {
+        let labels = [
+            ServerKind::Ccm(CcmVariant::basic()).label(),
+            ServerKind::Ccm(CcmVariant::scheduled()).label(),
+            ServerKind::Ccm(CcmVariant::master_preserving()).label(),
+            ServerKind::L2s { handoff: true }.label(),
+            ServerKind::L2s { handoff: false }.label(),
+        ];
+        let mut dedup = labels.to_vec();
+        dedup.sort();
+        dedup.dedup();
+        assert_eq!(dedup.len(), labels.len());
+    }
+
+    #[test]
+    fn client_binding_is_round_robin() {
+        let cfg = SimConfig::paper(ServerKind::L2s { handoff: true }, 4, 1 << 20);
+        assert_eq!(cfg.total_clients(), 128);
+        assert_eq!(cfg.node_of_client(0), NodeId(0));
+        assert_eq!(cfg.node_of_client(5), NodeId(1));
+        assert_eq!(cfg.node_of_client(127), NodeId(3));
+    }
+
+    #[test]
+    fn quick_shrinks_run() {
+        let cfg = SimConfig::paper(ServerKind::Ccm(CcmVariant::basic()), 4, 1 << 20).quick();
+        assert!(cfg.warmup_requests < 10_000);
+        assert!(cfg.measure_requests < 10_000);
+    }
+}

@@ -1,0 +1,464 @@
+//! The locality-conscious baseline server's request lifecycle.
+//!
+//! Flow: client → router → arrival node NIC → CPU parse → content/load-aware
+//! dispatch. If the serving node differs from the arrival node, the request
+//! is moved — by TCP hand-off (fixed CPU cost at the arrival node, after
+//! which the serving node answers the client directly) or, for the hand-off
+//! ablation, by front-node relay (the reply flows back through the arrival
+//! node, which pays a second serving cost). At the serving node a cache hit
+//! serves from memory; a miss reads the *whole file* from the local disk in
+//! one sequential request (files are replicated on every disk, §4.1 — this
+//! is why L2S never suffers the middleware's per-block disk interleaving).
+//!
+//! Same DES discipline as `ccm_server`: every hop is its own event; service
+//! centers are only booked at the current event time.
+
+use crate::clients::{build_clients, ClientSource};
+use crate::config::{ServerKind, SimConfig};
+use crate::metrics::RunMetrics;
+use ccm_cluster::disk::DiskRequest;
+use ccm_cluster::{Cluster, FileLayout, Placement};
+use ccm_core::block::extents_of_file;
+use ccm_core::NodeId;
+use ccm_l2s::{L2sConfig, L2sStats, L2sSystem};
+use ccm_traces::{RequestSource, Workload};
+use simcore::{EventQueue, Histogram, SimTime, ThroughputMeter};
+use std::sync::Arc;
+
+enum Ev {
+    /// Request reached the arrival node's NIC.
+    Arrived { client: u32 },
+    /// Parse CPU done; run the dispatch decision.
+    DispatchReady { client: u32 },
+    /// Hand-off CPU at the arrival node done; send the request over.
+    HandoffDone { client: u32 },
+    /// The moved request reached the serving node.
+    CtrlAtTarget { client: u32 },
+    /// Begin the serving CPU at the serving node.
+    ServeAt { client: u32 },
+    /// A disk finished a whole-file read.
+    DiskDone { node: u16, tag: u64 },
+    /// Serving CPU done; push the reply onto a NIC.
+    ServeDone { client: u32 },
+    /// Relay mode: the response reached the arrival node.
+    RelayArrived { client: u32 },
+    /// Relay mode: the arrival node finished re-sending CPU.
+    RelayCpuDone { client: u32 },
+    /// The reply reached the client.
+    Delivered { client: u32 },
+    /// The client's think time expired; issue its next request.
+    NextIssue { client: u32 },
+}
+
+struct Req {
+    arrival: NodeId,
+    target: NodeId,
+    file: ccm_core::FileId,
+    size: u64,
+    hit: bool,
+    relay: bool,
+    issued: SimTime,
+}
+
+struct WindowStart {
+    stats: L2sStats,
+    busy: ccm_cluster::node::BusySnapshot,
+    seeks: u64,
+    at: SimTime,
+}
+
+struct L2sSim {
+    cfg: SimConfig,
+    handoff: bool,
+    workload: Arc<Workload>,
+    layout: FileLayout,
+    cluster: Cluster,
+    system: L2sSystem,
+    queue: EventQueue<Ev>,
+    sources: Vec<ClientSource>,
+    reqs: Vec<Req>,
+    think_rng: simcore::Rng,
+    completed_total: u64,
+    meter: ThroughputMeter,
+    responses: Histogram,
+    window_start: Option<WindowStart>,
+    finished_at: SimTime,
+}
+
+/// Run an L2S simulation.
+///
+/// # Panics
+/// Panics if `cfg.server` is not [`ServerKind::L2s`].
+pub fn run_l2s(cfg: &SimConfig, workload: &Arc<Workload>) -> RunMetrics {
+    let ServerKind::L2s { handoff } = cfg.server else {
+        panic!("run_l2s called with a non-L2S config");
+    };
+    // L2S assumes full disk replication regardless of the CCM placement.
+    let layout = FileLayout::build(workload.sizes(), cfg.nodes as u16, Placement::Replicated);
+    let mut l2s_cfg = L2sConfig::paper(cfg.nodes, cfg.mem_per_node.max(1));
+    l2s_cfg.handoff = handoff;
+    let sizes: Arc<[u64]> = workload.sizes().to_vec().into();
+
+    let mut sim = L2sSim {
+        cfg: cfg.clone(),
+        handoff,
+        workload: workload.clone(),
+        layout,
+        cluster: Cluster::new(
+            cfg.nodes,
+            ccm_cluster::DiskScheduler::Batched,
+            cfg.costs.clone(),
+        ),
+        system: L2sSystem::new(l2s_cfg, sizes),
+        queue: EventQueue::new(),
+        sources: build_clients(workload, cfg),
+        reqs: Vec::new(),
+        think_rng: simcore::Rng::new(cfg.seed).substream(0xB00),
+        completed_total: 0,
+        meter: ThroughputMeter::new(),
+        responses: Histogram::new(),
+        window_start: None,
+        finished_at: SimTime::ZERO,
+    };
+    sim.run()
+}
+
+impl L2sSim {
+    fn run(&mut self) -> RunMetrics {
+        for c in 0..self.cfg.total_clients() {
+            self.reqs.push(Req {
+                arrival: self.cfg.node_of_client(c),
+                target: NodeId(0),
+                file: ccm_core::FileId(0),
+                size: 0,
+                hit: false,
+                relay: false,
+                issued: SimTime::ZERO,
+            });
+            self.issue(c as u32, SimTime::ZERO);
+        }
+        let target = self.cfg.warmup_requests + self.cfg.measure_requests;
+        while self.completed_total < target {
+            let Some((now, ev)) = self.queue.pop() else {
+                panic!("event queue drained before run completed");
+            };
+            match ev {
+                Ev::Arrived { client } => {
+                    let node = self.reqs[client as usize].arrival;
+                    let done = self.cluster.cpu(node, now, self.cfg.costs.parse_time());
+                    self.queue.push(done, Ev::DispatchReady { client });
+                }
+                Ev::DispatchReady { client } => self.on_dispatch(client, now),
+                Ev::HandoffDone { client } => {
+                    let (arrival, target) = {
+                        let r = &self.reqs[client as usize];
+                        (r.arrival, r.target)
+                    };
+                    let costs = self.cfg.costs.clone();
+                    let at = self.cluster.net.send_control(now, arrival, target, &costs);
+                    self.queue.push(at, Ev::CtrlAtTarget { client });
+                }
+                Ev::CtrlAtTarget { client } => self.start_service(client, now),
+                Ev::ServeAt { client } => {
+                    let (target, size) = {
+                        let r = &self.reqs[client as usize];
+                        (r.target, r.size)
+                    };
+                    let served =
+                        self.cluster
+                            .cpu(target, now, self.cfg.costs.serve_time(size));
+                    self.queue.push(served, Ev::ServeDone { client });
+                }
+                Ev::DiskDone { node, tag } => self.on_disk_done(node, tag, now),
+                Ev::ServeDone { client } => {
+                    let (target, arrival, size, relay) = {
+                        let r = &self.reqs[client as usize];
+                        (r.target, r.arrival, r.size, r.relay)
+                    };
+                    let costs = self.cfg.costs.clone();
+                    if relay && target != arrival {
+                        let back = self.cluster.net.send(now, target, arrival, size, &costs);
+                        self.queue.push(back, Ev::RelayArrived { client });
+                    } else {
+                        let delivered =
+                            self.cluster.net.client_reply(now, target, size, &costs);
+                        self.queue.push(delivered, Ev::Delivered { client });
+                    }
+                }
+                Ev::RelayArrived { client } => {
+                    let (arrival, size) = {
+                        let r = &self.reqs[client as usize];
+                        (r.arrival, r.size)
+                    };
+                    // The front node pays a second serving cost to re-send.
+                    let resent =
+                        self.cluster
+                            .cpu(arrival, now, self.cfg.costs.serve_time(size));
+                    self.queue.push(resent, Ev::RelayCpuDone { client });
+                }
+                Ev::RelayCpuDone { client } => {
+                    let (arrival, size) = {
+                        let r = &self.reqs[client as usize];
+                        (r.arrival, r.size)
+                    };
+                    let costs = self.cfg.costs.clone();
+                    let delivered = self.cluster.net.client_reply(now, arrival, size, &costs);
+                    self.queue.push(delivered, Ev::Delivered { client });
+                }
+                Ev::Delivered { client } => self.on_delivered(client, now),
+                Ev::NextIssue { client } => self.issue(client, now),
+            }
+        }
+        self.finish()
+    }
+
+    fn issue(&mut self, client: u32, now: SimTime) {
+        let file = self.sources[client as usize].next_request();
+        let req = &mut self.reqs[client as usize];
+        req.file = ccm_core::FileId(file.0);
+        req.size = self.workload.size_of(file);
+        req.relay = false;
+        req.hit = false;
+        req.issued = now;
+        let node = req.arrival;
+        let arrival =
+            self.cluster
+                .net
+                .client_request(now, node, self.cfg.costs.control_msg_bytes, &self.cfg.costs);
+        self.queue.push(arrival, Ev::Arrived { client });
+    }
+
+    fn on_dispatch(&mut self, client: u32, now: SimTime) {
+        let (arrival, file) = {
+            let r = &self.reqs[client as usize];
+            (r.arrival, r.file)
+        };
+        let outcome = self.system.dispatch(arrival, file);
+        self.system.begin_request(outcome.target);
+        {
+            let req = &mut self.reqs[client as usize];
+            req.target = outcome.target;
+            req.hit = outcome.hit;
+        }
+
+        match outcome.moved_from {
+            None => self.start_service(client, now),
+            Some(initial) => {
+                if self.handoff {
+                    let done =
+                        self.cluster
+                            .cpu(initial, now, self.cfg.costs.handoff_time());
+                    self.queue.push(done, Ev::HandoffDone { client });
+                } else {
+                    self.reqs[client as usize].relay = true;
+                    let costs = self.cfg.costs.clone();
+                    let at =
+                        self.cluster
+                            .net
+                            .send_control(now, initial, outcome.target, &costs);
+                    self.queue.push(at, Ev::CtrlAtTarget { client });
+                }
+            }
+        }
+    }
+
+    fn start_service(&mut self, client: u32, now: SimTime) {
+        if self.reqs[client as usize].hit {
+            self.queue.push(now, Ev::ServeAt { client });
+        } else {
+            self.submit_disk(client, now);
+        }
+    }
+
+    /// One sequential whole-file read on the serving node's local disk.
+    fn submit_disk(&mut self, client: u32, now: SimTime) {
+        let (target, file, size) = {
+            let r = &self.reqs[client as usize];
+            (r.target, r.file, r.size)
+        };
+        let costs = self.cfg.costs.clone();
+        let dreq = DiskRequest {
+            tag: client as u64,
+            address: self.layout.address_of(file),
+            bytes: size.max(1),
+            extents: extents_of_file(size),
+        };
+        if let Some(c) = self.cluster.nodes[target.index()].disk.submit(now, dreq, &costs) {
+            self.queue.push(
+                c.done,
+                Ev::DiskDone {
+                    node: target.0,
+                    tag: c.tag,
+                },
+            );
+        }
+    }
+
+    fn on_disk_done(&mut self, node: u16, tag: u64, now: SimTime) {
+        let costs = self.cfg.costs.clone();
+        if let Some(c) = self.cluster.nodes[node as usize]
+            .disk
+            .next_after_completion(now, &costs)
+        {
+            self.queue.push(c.done, Ev::DiskDone { node, tag: c.tag });
+        }
+        let client = tag as u32;
+        // Bus copy from the disk into memory, then serve.
+        let size = self.reqs[client as usize].size;
+        let ready = now + costs.bus_time(size);
+        self.queue.push(ready, Ev::ServeAt { client });
+    }
+
+    fn on_delivered(&mut self, client: u32, now: SimTime) {
+        self.system.end_request(self.reqs[client as usize].target);
+        self.completed_total += 1;
+        self.meter.record(now);
+        if self.meter.is_measuring() {
+            let resp = now.since(self.reqs[client as usize].issued);
+            self.responses.record_duration(resp);
+        }
+        if self.completed_total == self.cfg.warmup_requests {
+            self.meter.start_measuring(now);
+            self.window_start = Some(WindowStart {
+                stats: self.system.stats(),
+                busy: self.cluster.busy_snapshot(),
+                seeks: self.total_seeks(),
+                at: now,
+            });
+        }
+        self.finished_at = now;
+        if self.completed_total < self.cfg.warmup_requests + self.cfg.measure_requests {
+            let think = self.think_delay();
+            if think.is_zero() {
+                self.issue(client, now);
+            } else {
+                self.queue.push(now + think, Ev::NextIssue { client });
+            }
+        }
+    }
+
+    /// Exponential client think time (zero in the paper's max-throughput
+    /// configuration).
+    fn think_delay(&mut self) -> simcore::SimDuration {
+        if self.cfg.think_time_ms <= 0.0 {
+            return simcore::SimDuration::ZERO;
+        }
+        let ms = ccm_traces::distributions::exponential(&mut self.think_rng, self.cfg.think_time_ms);
+        simcore::SimDuration::from_millis_f64(ms)
+    }
+
+    fn total_seeks(&self) -> u64 {
+        self.cluster.nodes.iter().map(|n| n.disk.stats().seeks).sum()
+    }
+
+    fn finish(&mut self) -> RunMetrics {
+        let start = self.window_start.take().expect("window never opened");
+        let end_busy = self.cluster.busy_snapshot();
+        let window = self.finished_at.since(start.at);
+        let s = self.system.stats();
+        let hits = s.hits - start.stats.hits;
+        let misses = s.misses - start.stats.misses;
+        let total = (hits + misses).max(1);
+        let (mean, median, p95) = RunMetrics::response_fields(&self.responses);
+        RunMetrics {
+            label: self.cfg.server.label(),
+            throughput_rps: self.meter.rate_per_sec(self.finished_at),
+            mean_response_ms: mean,
+            median_response_ms: median,
+            p95_response_ms: p95,
+            completed: self.meter.completions(),
+            window_secs: window.as_secs_f64(),
+            local_hit_rate: hits as f64 / total as f64,
+            remote_hit_rate: 0.0,
+            disk_rate: misses as f64 / total as f64,
+            utilization: start.busy.utilization_until(&end_busy, window),
+            max_disk_util: start
+                .busy
+                .disk_utilization_per_node(&end_busy, window)
+                .into_iter()
+                .fold(0.0, f64::max),
+            disk_seeks: self.total_seeks() - start.seeks,
+            disk_reads: misses,
+            forwards: 0,
+            hint_accuracy: 0.0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::SimConfig;
+    use ccm_traces::SynthConfig;
+
+    fn small_workload() -> Arc<Workload> {
+        Arc::new(
+            SynthConfig {
+                n_files: 400,
+                total_bytes: Some(24 << 20),
+                ..SynthConfig::default()
+            }
+            .build(),
+        )
+    }
+
+    fn run(handoff: bool, mem_mb: u64) -> RunMetrics {
+        let cfg = SimConfig::paper(ServerKind::L2s { handoff }, 4, mem_mb << 20).quick();
+        run_l2s(&cfg, &small_workload())
+    }
+
+    #[test]
+    fn completes_and_reports() {
+        let m = run(true, 8);
+        assert_eq!(m.completed, 4_000);
+        assert!(m.throughput_rps > 0.0);
+        assert!((m.local_hit_rate + m.disk_rate - 1.0).abs() < 1e-9);
+        assert_eq!(m.remote_hit_rate, 0.0);
+    }
+
+    #[test]
+    fn big_memory_means_high_hit_rate() {
+        let m = run(true, 32);
+        assert!(m.local_hit_rate > 0.97, "hit rate {}", m.local_hit_rate);
+        assert!(m.disk_rate < 0.03);
+    }
+
+    #[test]
+    fn content_aware_distribution_deduplicates_memory() {
+        // Even when per-node memory (2 MB) is far below the file set (24 MB),
+        // 4 nodes x 2 MB of deduplicated cache should hold the hot set and
+        // hit most of the time.
+        let m = run(true, 2);
+        assert!(m.local_hit_rate > 0.6, "hit rate {}", m.local_hit_rate);
+    }
+
+    #[test]
+    fn memory_resident_requests_are_fast() {
+        let m = run(true, 32);
+        assert!(
+            m.median_response_ms < 5.0,
+            "median {} ms with everything cached",
+            m.median_response_ms
+        );
+    }
+
+    #[test]
+    fn handoff_beats_relay() {
+        let with = run(true, 8);
+        let without = run(false, 8);
+        assert!(
+            with.throughput_rps > without.throughput_rps,
+            "handoff {} <= relay {}",
+            with.throughput_rps,
+            without.throughput_rps
+        );
+    }
+
+    #[test]
+    fn deterministic() {
+        let a = run(true, 8);
+        let b = run(true, 8);
+        assert_eq!(a.throughput_rps, b.throughput_rps);
+        assert_eq!(a.mean_response_ms, b.mean_response_ms);
+    }
+}

@@ -1,0 +1,48 @@
+//! # ccm-webserver — the simulated cluster web servers
+//!
+//! Everything in the paper's evaluation is "a web server built on top of"
+//! either the cooperative caching middleware or the L2S baseline, driven by
+//! closed-loop HTTP clients over the simulated cluster hardware (§4). This
+//! crate is that glue: it owns the discrete-event request lifecycles and
+//! turns the protocol decisions of `ccm-core` / `ccm-l2s` into CPU, NIC,
+//! disk, and wire time on a `ccm-cluster::Cluster`.
+//!
+//! The experimental method follows §4.3: "To measure the maximum achievable
+//! throughput of the cluster, we ignore the timing information present in the
+//! traces. Each HTTP client generates a new request as soon as the previous
+//! one has been served. We also measure throughput only after the caches have
+//! been warmed up."
+//!
+//! * [`config`] — one [`config::SimConfig`] describes a run: server flavor
+//!   (CCM variant or L2S), cluster size, per-node memory, workload, client
+//!   count, warm-up/measure windows.
+//! * [`clients`] — closed-loop clients bound to nodes by round-robin DNS.
+//! * [`ccm_server`] — the middleware-based server: per-block fetch pipeline
+//!   with remote hits, home-disk reads, and eviction forwarding traffic.
+//! * [`l2s_server`] — the baseline: parse → content/load-aware dispatch
+//!   (hand-off or relay) → whole-file cache → local disk on miss.
+//! * [`metrics`] — the per-run measurement bundle every figure is built from.
+//!
+//! Entry point: [`run`].
+
+#![warn(missing_docs)]
+
+pub mod ccm_server;
+pub mod clients;
+pub mod config;
+pub mod l2s_server;
+pub mod metrics;
+
+pub use config::{CcmVariant, ServerKind, SimConfig};
+pub use metrics::RunMetrics;
+
+use ccm_traces::Workload;
+use std::sync::Arc;
+
+/// Run one simulation to completion and return its measurements.
+pub fn run(cfg: &SimConfig, workload: &Arc<Workload>) -> RunMetrics {
+    match cfg.server {
+        ServerKind::Ccm(_) => ccm_server::run_ccm(cfg, workload),
+        ServerKind::L2s { .. } => l2s_server::run_l2s(cfg, workload),
+    }
+}

@@ -1,0 +1,161 @@
+//! Per-run measurements — the raw material of every figure.
+//!
+//! All rates and means are computed over the post-warm-up window only,
+//! matching §4.3 ("we measure throughput only after the caches have been
+//! warmed up in order to reflect their steady-state performance").
+
+use ccm_cluster::node::ResourceUtilization;
+use simcore::Histogram;
+
+/// The measurements of one simulation run.
+#[derive(Debug, Clone)]
+pub struct RunMetrics {
+    /// Server label (`l2s`, `ccm-basic`, `ccm-sched`, `ccm-mp`, …).
+    pub label: String,
+    /// Completed requests per second in the measurement window (Figure 2/3/6b).
+    pub throughput_rps: f64,
+    /// Mean response time, ms (Figure 5).
+    pub mean_response_ms: f64,
+    /// Median response time, ms.
+    pub median_response_ms: f64,
+    /// 95th-percentile response time, ms.
+    pub p95_response_ms: f64,
+    /// Requests completed in the window.
+    pub completed: u64,
+    /// Simulated seconds the window spanned.
+    pub window_secs: f64,
+    /// Fraction of block (CCM) or file (L2S) accesses served from the
+    /// requesting/serving node's own memory (Figure 4).
+    pub local_hit_rate: f64,
+    /// Fraction served from a peer's memory (CCM only; 0 for L2S).
+    pub remote_hit_rate: f64,
+    /// Fraction that reached a disk.
+    pub disk_rate: f64,
+    /// Mean CPU/disk/NIC utilization across nodes in the window (Figure 6a).
+    pub utilization: ResourceUtilization,
+    /// The busiest single disk's utilization — "the first disk that is
+    /// slowed down … becomes the performance bottleneck" (§5).
+    pub max_disk_util: f64,
+    /// Total disk seeks paid in the window (scheduler ablation).
+    pub disk_seeks: u64,
+    /// Disk read requests issued in the window (blocks for CCM, whole files
+    /// for L2S); `disk_seeks / disk_reads` is the scheduler-quality signal.
+    pub disk_reads: u64,
+    /// Master forwards in the window (CCM only).
+    pub forwards: u64,
+    /// Hint-directory first-hint accuracy (CCM + hints only; 0 otherwise).
+    pub hint_accuracy: f64,
+}
+
+impl RunMetrics {
+    /// Build the response-time fields from a nanosecond histogram.
+    pub fn response_fields(h: &Histogram) -> (f64, f64, f64) {
+        (
+            h.mean() / 1.0e6,
+            h.median() as f64 / 1.0e6,
+            h.quantile(0.95) as f64 / 1.0e6,
+        )
+    }
+
+    /// Aggregate hit rate (local + remote) — the paper's headline hit rate.
+    pub fn total_hit_rate(&self) -> f64 {
+        self.local_hit_rate + self.remote_hit_rate
+    }
+
+    /// Seeks paid per disk read — how well the disk scheduler kept request
+    /// streams from interleaving (2.0 = every read paid positioning +
+    /// metadata; near 0 = almost always head-contiguous).
+    pub fn seeks_per_read(&self) -> f64 {
+        if self.disk_reads == 0 {
+            0.0
+        } else {
+            self.disk_seeks as f64 / self.disk_reads as f64
+        }
+    }
+
+    /// One CSV row; see [`RunMetrics::csv_header`].
+    pub fn csv_row(&self) -> String {
+        format!(
+            "{},{:.1},{:.4},{:.4},{:.4},{},{:.3},{:.4},{:.4},{:.4},{:.4},{:.4},{:.4},{:.4},{},{},{},{:.4}",
+            self.label,
+            self.throughput_rps,
+            self.mean_response_ms,
+            self.median_response_ms,
+            self.p95_response_ms,
+            self.completed,
+            self.window_secs,
+            self.local_hit_rate,
+            self.remote_hit_rate,
+            self.disk_rate,
+            self.utilization.cpu,
+            self.utilization.disk,
+            self.utilization.nic,
+            self.max_disk_util,
+            self.disk_seeks,
+            self.disk_reads,
+            self.forwards,
+            self.hint_accuracy,
+        )
+    }
+
+    /// The CSV header matching [`RunMetrics::csv_row`].
+    pub fn csv_header() -> &'static str {
+        "label,throughput_rps,mean_ms,median_ms,p95_ms,completed,window_secs,\
+         local_hit,remote_hit,disk_rate,cpu_util,disk_util,nic_util,max_disk_util,\
+         seeks,disk_reads,forwards,hint_acc"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> RunMetrics {
+        RunMetrics {
+            label: "test".into(),
+            throughput_rps: 1234.5,
+            mean_response_ms: 2.5,
+            median_response_ms: 2.0,
+            p95_response_ms: 9.0,
+            completed: 1000,
+            window_secs: 0.81,
+            local_hit_rate: 0.2,
+            remote_hit_rate: 0.6,
+            disk_rate: 0.2,
+            utilization: ResourceUtilization {
+                cpu: 0.5,
+                disk: 0.9,
+                nic: 0.1,
+            },
+            max_disk_util: 0.95,
+            disk_seeks: 42,
+            disk_reads: 21,
+            forwards: 7,
+            hint_accuracy: 0.0,
+        }
+    }
+
+    #[test]
+    fn total_hit_rate_sums_components() {
+        assert!((sample().total_hit_rate() - 0.8).abs() < 1e-12);
+    }
+
+    #[test]
+    fn csv_row_matches_header_arity() {
+        let cols = RunMetrics::csv_header().split(',').count();
+        let vals = sample().csv_row().split(',').count();
+        assert_eq!(cols, vals);
+    }
+
+    #[test]
+    fn response_fields_convert_ns_to_ms() {
+        let mut h = Histogram::new();
+        for _ in 0..100 {
+            h.record(2_000_000); // 2 ms
+        }
+        let (mean, median, p95) = RunMetrics::response_fields(&h);
+        assert!((mean - 2.0).abs() < 1e-9);
+        assert!((median - 2.0).abs() / 2.0 < 0.07);
+        assert!((p95 - 2.0).abs() / 2.0 < 0.07);
+    }
+}

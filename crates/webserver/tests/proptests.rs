@@ -1,0 +1,125 @@
+//! Property-based tests over whole simulations: conservation laws that must
+//! hold for any configuration.
+
+use ccm_traces::SynthConfig;
+use ccm_webserver::{self as webserver, CcmVariant, RunMetrics, ServerKind, SimConfig};
+use proptest::prelude::*;
+use std::sync::Arc;
+
+fn tiny_workload(seed: u64, files: usize) -> Arc<ccm_traces::Workload> {
+    Arc::new(
+        SynthConfig {
+            n_files: files,
+            total_bytes: Some((files as u64 * 12_000).max(1 << 20)),
+            seed,
+            ..SynthConfig::default()
+        }
+        .build(),
+    )
+}
+
+fn servers() -> impl Strategy<Value = ServerKind> {
+    prop_oneof![
+        Just(ServerKind::L2s { handoff: true }),
+        Just(ServerKind::L2s { handoff: false }),
+        Just(ServerKind::Ccm(CcmVariant::basic())),
+        Just(ServerKind::Ccm(CcmVariant::scheduled())),
+        Just(ServerKind::Ccm(CcmVariant::master_preserving())),
+        Just(ServerKind::Ccm(CcmVariant {
+            whole_file: true,
+            ..CcmVariant::master_preserving()
+        })),
+        Just(ServerKind::Ccm(CcmVariant {
+            directory: ccm_core::DirectoryKind::Hint,
+            ..CcmVariant::master_preserving()
+        })),
+    ]
+}
+
+fn check_conservation(m: &RunMetrics, cfg: &SimConfig) {
+    assert_eq!(m.completed, cfg.measure_requests, "lost or invented requests");
+    assert!(m.throughput_rps > 0.0);
+    assert!(m.window_secs > 0.0);
+    // Rates form a distribution.
+    let total = m.local_hit_rate + m.remote_hit_rate + m.disk_rate;
+    assert!((total - 1.0).abs() < 1e-9, "rates sum to {total}");
+    assert!((0.0..=1.0).contains(&m.local_hit_rate));
+    assert!((0.0..=1.0).contains(&m.remote_hit_rate));
+    assert!((0.0..=1.0).contains(&m.disk_rate));
+    // Utilizations are physical. The slack covers boundary effects on the
+    // short windows these tiny runs use: a 13 ms disk request accepted just
+    // before the window closes books its whole service inside the window.
+    for (name, u) in [
+        ("cpu", m.utilization.cpu),
+        ("disk", m.utilization.disk),
+        ("nic", m.utilization.nic),
+        ("max disk", m.max_disk_util),
+    ] {
+        assert!((0.0..=1.25).contains(&u), "{name} utilization {u}");
+    }
+    assert!(m.max_disk_util + 1e-9 >= m.utilization.disk, "max below mean");
+    // Latency statistics are ordered.
+    assert!(m.median_response_ms <= m.mean_response_ms * 10.0);
+    assert!(m.median_response_ms <= m.p95_response_ms + 1e-9);
+    // Little's law sanity: mean concurrency = X * R cannot exceed the client
+    // population (closed loop). Slack again covers windowing: responses of
+    // requests issued before the window opened complete inside it and
+    // inflate R relative to the window's own arrivals.
+    // Structural concurrency bound (always true in a closed loop, no
+    // stationarity needed): completions in the window cannot exceed the
+    // requests that could possibly finish there — the in-flight population
+    // at the window open (≤ N) plus everything issued inside it (≤
+    // completions, each client reissues only after completing). This is
+    // weaker than Little's law, which needs stationarity these short
+    // transient windows do not have.
+    let clients = cfg.total_clients() as u64;
+    assert!(m.completed <= cfg.measure_requests + clients);
+}
+
+proptest! {
+    // Whole simulations are expensive; keep the case count modest.
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn conservation_laws_hold_for_any_config(
+        server in servers(),
+        nodes in 1usize..6,
+        mem_mb in 1u64..24,
+        clients in 2usize..12,
+        seed in any::<u64>(),
+        locality in prop_oneof![Just(0.0), Just(0.5)],
+    ) {
+        let workload = tiny_workload(seed % 7, 150);
+        let mut cfg = SimConfig::paper(server, nodes, mem_mb << 20);
+        cfg.clients_per_node = clients;
+        cfg.warmup_requests = 800;
+        cfg.measure_requests = 1_500;
+        cfg.seed = seed;
+        cfg.client_locality = locality;
+        let m = webserver::run(&cfg, &workload);
+        check_conservation(&m, &cfg);
+    }
+
+    #[test]
+    fn think_time_never_increases_throughput(
+        seed in any::<u64>(),
+        think in 1.0f64..50.0,
+    ) {
+        let workload = tiny_workload(3, 150);
+        let mut cfg = SimConfig::paper(
+            ServerKind::Ccm(CcmVariant::master_preserving()), 4, 8 << 20);
+        cfg.clients_per_node = 8;
+        cfg.warmup_requests = 800;
+        cfg.measure_requests = 1_500;
+        cfg.seed = seed;
+        let saturated = webserver::run(&cfg, &workload);
+        cfg.think_time_ms = think;
+        let throttled = webserver::run(&cfg, &workload);
+        prop_assert!(
+            throttled.throughput_rps <= saturated.throughput_rps * 1.1,
+            "thinking clients outran saturated ones: {} vs {}",
+            throttled.throughput_rps,
+            saturated.throughput_rps
+        );
+    }
+}

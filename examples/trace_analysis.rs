@@ -1,0 +1,58 @@
+//! Workload analysis: Table 2 statistics and Figure 1 curves, plus loading
+//! a real Common Log Format access log.
+//!
+//! Run with: `cargo run --release --example trace_analysis [path/to/access.log]`
+//!
+//! Without an argument, it analyzes the four built-in presets; with one, it
+//! parses the given CLF log and reports the same statistics for it.
+
+use coopcache::traces::{clf, Preset, TraceStats, WorkingSetCurve};
+
+fn analyze(w: &coopcache::traces::Workload) {
+    let stats = TraceStats::of(w);
+    println!("{}", TraceStats::header());
+    println!("{}", stats.row());
+
+    let curve = WorkingSetCurve::compute(w, 200);
+    println!("\nworking set (memory needed to cover X% of requests):");
+    for frac in [0.5, 0.75, 0.9, 0.95, 0.99] {
+        println!(
+            "  {:>4.0}% of requests -> {:>8.1} MB",
+            100.0 * frac,
+            w.working_set_for(frac) as f64 / (1 << 20) as f64
+        );
+    }
+    let head = curve
+        .points()
+        .iter()
+        .find(|p| p.request_fraction >= 0.5)
+        .expect("curve covers 50%");
+    println!(
+        "  the hottest {:.1}% of files absorb half of all requests",
+        100.0 * head.file_fraction
+    );
+}
+
+fn main() {
+    match std::env::args().nth(1) {
+        Some(path) => {
+            let text = std::fs::read_to_string(&path)
+                .unwrap_or_else(|e| panic!("cannot read {path}: {e}"));
+            let loaded = clf::load(&text, &path);
+            println!(
+                "parsed {} requests ({} lines skipped) over {} files\n",
+                loaded.requests.len(),
+                loaded.skipped,
+                loaded.workload.num_files()
+            );
+            analyze(&loaded.workload);
+        }
+        None => {
+            for preset in Preset::all() {
+                println!("==== {} ====", preset.name());
+                analyze(&preset.workload());
+                println!();
+            }
+        }
+    }
+}

@@ -1,0 +1,155 @@
+//! Integration tests pinning the paper's qualitative claims at reduced
+//! scale (so they run in debug CI). The full-scale shapes are regenerated
+//! by `ccm-bench` and recorded in EXPERIMENTS.md.
+
+use coopcache::traces::SynthConfig;
+use coopcache::webserver::{self, CcmVariant, RunMetrics, ServerKind, SimConfig};
+use std::sync::Arc;
+
+fn workload() -> Arc<coopcache::traces::Workload> {
+    Arc::new(
+        SynthConfig {
+            name: "claims".into(),
+            n_files: 1_000,
+            total_bytes: Some(48 << 20),
+            ..SynthConfig::default()
+        }
+        .build(),
+    )
+}
+
+fn run(server: ServerKind, nodes: usize, mem_mb: u64) -> RunMetrics {
+    let mut cfg = SimConfig::paper(server, nodes, mem_mb << 20);
+    cfg.clients_per_node = 16;
+    cfg.warmup_requests = 12_000;
+    cfg.measure_requests = 12_000;
+    webserver::run(&cfg, &workload())
+}
+
+/// §5: "-Basic's performance lags that of [L2S] significantly."
+#[test]
+fn basic_lags_l2s_significantly_when_memory_is_scarce() {
+    let l2s = run(ServerKind::L2s { handoff: true }, 4, 4);
+    let basic = run(ServerKind::Ccm(CcmVariant::basic()), 4, 4);
+    assert!(
+        basic.throughput_rps < 0.6 * l2s.throughput_rps,
+        "basic {} vs l2s {}",
+        basic.throughput_rps,
+        l2s.throughput_rps
+    );
+}
+
+/// §5: the disk-queue fix recovers part of the gap; the replacement
+/// modification recovers most of the rest.
+#[test]
+fn variant_ordering_matches_figure_2() {
+    let basic = run(ServerKind::Ccm(CcmVariant::basic()), 4, 8);
+    let sched = run(ServerKind::Ccm(CcmVariant::scheduled()), 4, 8);
+    let mp = run(ServerKind::Ccm(CcmVariant::master_preserving()), 4, 8);
+    assert!(
+        basic.throughput_rps < sched.throughput_rps,
+        "basic {} !< sched {}",
+        basic.throughput_rps,
+        sched.throughput_rps
+    );
+    assert!(
+        sched.throughput_rps <= mp.throughput_rps * 1.05,
+        "sched {} !<= mp {}",
+        sched.throughput_rps,
+        mp.throughput_rps
+    );
+}
+
+/// §5: the master-preserving variant achieves much of L2S's throughput.
+#[test]
+fn mp_is_competitive_with_l2s() {
+    let l2s = run(ServerKind::L2s { handoff: true }, 4, 8);
+    let mp = run(ServerKind::Ccm(CcmVariant::master_preserving()), 4, 8);
+    let ratio = mp.throughput_rps / l2s.throughput_rps;
+    assert!(ratio > 0.6, "mp/l2s = {ratio:.2}");
+}
+
+/// §5 / Figure 4: mp's hit rate approaches L2S's, but the hits are mostly
+/// remote, while L2S's are all local.
+#[test]
+fn mp_hits_are_mostly_remote() {
+    let mp = run(ServerKind::Ccm(CcmVariant::master_preserving()), 4, 8);
+    assert!(
+        mp.remote_hit_rate > mp.local_hit_rate,
+        "local {} remote {}",
+        mp.local_hit_rate,
+        mp.remote_hit_rate
+    );
+    let l2s = run(ServerKind::L2s { handoff: true }, 4, 8);
+    assert_eq!(l2s.remote_hit_rate, 0.0);
+}
+
+/// With aggregate memory far above the file set, every server converges to
+/// compute-bound throughput and low disk rates.
+#[test]
+fn all_servers_converge_when_memory_is_plentiful() {
+    let l2s = run(ServerKind::L2s { handoff: true }, 4, 64);
+    let mp = run(ServerKind::Ccm(CcmVariant::master_preserving()), 4, 64);
+    assert!(l2s.disk_rate < 0.05, "l2s disk {}", l2s.disk_rate);
+    assert!(mp.disk_rate < 0.05, "mp disk {}", mp.disk_rate);
+    let ratio = mp.throughput_rps / l2s.throughput_rps;
+    assert!(ratio > 0.8, "mp/l2s = {ratio:.2} at full memory");
+}
+
+/// §5 / Figure 5: mp's average response time is somewhat worse than L2S's
+/// (extra network round trips), but of the same order.
+#[test]
+fn mp_response_time_is_same_order_as_l2s() {
+    let l2s = run(ServerKind::L2s { handoff: true }, 4, 64);
+    let mp = run(ServerKind::Ccm(CcmVariant::master_preserving()), 4, 64);
+    assert!(
+        mp.mean_response_ms >= l2s.mean_response_ms * 0.8,
+        "mp unexpectedly faster: {} vs {}",
+        mp.mean_response_ms,
+        l2s.mean_response_ms
+    );
+    assert!(
+        mp.mean_response_ms <= l2s.mean_response_ms * 3.0,
+        "mp far slower: {} vs {}",
+        mp.mean_response_ms,
+        l2s.mean_response_ms
+    );
+}
+
+/// §5 / Figure 6(a): the network is never the bottleneck.
+#[test]
+fn network_stays_mostly_idle() {
+    for mem in [4, 64] {
+        let mp = run(ServerKind::Ccm(CcmVariant::master_preserving()), 4, mem);
+        assert!(
+            mp.utilization.nic < 0.5,
+            "nic {} at {} MB",
+            mp.utilization.nic,
+            mem
+        );
+    }
+}
+
+/// §5 / Figure 6(b): adding nodes (CPU + memory) increases throughput.
+#[test]
+fn throughput_scales_with_cluster_size() {
+    let small = run(ServerKind::Ccm(CcmVariant::master_preserving()), 4, 8);
+    let large = run(ServerKind::Ccm(CcmVariant::master_preserving()), 8, 8);
+    assert!(
+        large.throughput_rps > 1.3 * small.throughput_rps,
+        "4 nodes {} vs 8 nodes {}",
+        small.throughput_rps,
+        large.throughput_rps
+    );
+}
+
+/// Full runs are exactly reproducible from the seed.
+#[test]
+fn simulations_are_deterministic() {
+    let a = run(ServerKind::Ccm(CcmVariant::master_preserving()), 4, 16);
+    let b = run(ServerKind::Ccm(CcmVariant::master_preserving()), 4, 16);
+    assert_eq!(a.throughput_rps, b.throughput_rps);
+    assert_eq!(a.mean_response_ms, b.mean_response_ms);
+    assert_eq!(a.disk_seeks, b.disk_seeks);
+    assert_eq!(a.forwards, b.forwards);
+}
