@@ -22,7 +22,10 @@ fn main() {
         let with = runner.run(preset, ServerKind::L2s { handoff: true }, nodes, mem);
         runner.record(&format!("{},{},{}", preset.name(), nodes, mem / MB), &with);
         let without = runner.run(preset, ServerKind::L2s { handoff: false }, nodes, mem);
-        runner.record(&format!("{},{},{}", preset.name(), nodes, mem / MB), &without);
+        runner.record(
+            &format!("{},{},{}", preset.name(), nodes, mem / MB),
+            &without,
+        );
         let adv = with.throughput_rps / without.throughput_rps - 1.0;
         advantages.push(adv);
         table.row(vec![

@@ -77,10 +77,15 @@ fn main() {
         for hw in &configs {
             let mut costs = CostModel::default();
             (hw.tweak)(&mut costs);
-            let l2s =
-                runner.run_with(preset, ServerKind::L2s { handoff: true }, nodes, mem, |cfg| {
+            let l2s = runner.run_with(
+                preset,
+                ServerKind::L2s { handoff: true },
+                nodes,
+                mem,
+                |cfg| {
                     cfg.costs = costs.clone();
-                });
+                },
+            );
             runner.record(
                 &format!("{},{},{},{}", preset.name(), nodes, mem / MB, hw.name),
                 &l2s,

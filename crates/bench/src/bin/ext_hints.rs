@@ -32,7 +32,10 @@ fn main() {
             nodes,
             mem,
         );
-        runner.record(&format!("{},{},{}", preset.name(), nodes, mem / MB), &perfect);
+        runner.record(
+            &format!("{},{},{}", preset.name(), nodes, mem / MB),
+            &perfect,
+        );
         let mut v = CcmVariant::master_preserving();
         v.directory = DirectoryKind::Hint;
         let hints = runner.run(preset, ServerKind::Ccm(v), nodes, mem);

@@ -37,7 +37,10 @@ fn main() {
             nodes,
             mem,
         );
-        runner.record(&format!("{},{},{},striped", preset.name(), nodes, mem / MB), &striped);
+        runner.record(
+            &format!("{},{},{},striped", preset.name(), nodes, mem / MB),
+            &striped,
+        );
         let hot = runner.run_with(
             preset,
             ServerKind::Ccm(CcmVariant::master_preserving()),
@@ -50,7 +53,10 @@ fn main() {
                 }
             },
         );
-        runner.record(&format!("{},{},{},hot", preset.name(), nodes, mem / MB), &hot);
+        runner.record(
+            &format!("{},{},{},hot", preset.name(), nodes, mem / MB),
+            &hot,
+        );
         table.row(vec![
             format!("{}MB", mem / MB),
             format!("{:.0}", striped.throughput_rps),

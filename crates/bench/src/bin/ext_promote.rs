@@ -41,14 +41,26 @@ fn main() {
             base_v.policy = policy;
             let base = runner.run(preset, ServerKind::Ccm(base_v), nodes, mem);
             runner.record(
-                &format!("{},{},{},{},off", preset.name(), nodes, mem / MB, policy.label()),
+                &format!(
+                    "{},{},{},{},off",
+                    preset.name(),
+                    nodes,
+                    mem / MB,
+                    policy.label()
+                ),
                 &base,
             );
             let mut promo_v = base_v;
             promo_v.promote_on_master_drop = true;
             let promo = runner.run(preset, ServerKind::Ccm(promo_v), nodes, mem);
             runner.record(
-                &format!("{},{},{},{},on", preset.name(), nodes, mem / MB, policy.label()),
+                &format!(
+                    "{},{},{},{},on",
+                    preset.name(),
+                    nodes,
+                    mem / MB,
+                    policy.label()
+                ),
                 &promo,
             );
             cells.push(format!("{:.0}", base.throughput_rps));

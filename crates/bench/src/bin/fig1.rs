@@ -20,7 +20,9 @@ fn main() {
     let curve = WorkingSetCurve::compute(&w, 400);
 
     let mut table = Table::new(&["files (by freq)", "cum. requests", "cum. size (MB)"]);
-    for pct in [1, 2, 5, 8, 15, 23, 30, 38, 45, 53, 60, 68, 75, 83, 90, 98, 100] {
+    for pct in [
+        1, 2, 5, 8, 15, 23, 30, 38, 45, 53, 60, 68, 75, 83, 90, 98, 100,
+    ] {
         let idx = (pct * curve.points().len() / 100).saturating_sub(1);
         let p = curve.points()[idx];
         table.row(vec![

@@ -7,7 +7,9 @@
 //!
 //! Usage: `cargo run --release -p ccm-bench --bin fig2 [--quick]`
 
-use ccm_bench::harness::{fmt_pct, fmt_rps, mem_sweep, paper_servers, results_dir, Runner, Table, MB};
+use ccm_bench::harness::{
+    fmt_pct, fmt_rps, mem_sweep, paper_servers, results_dir, Runner, Table, MB,
+};
 use ccm_bench::LineChart;
 use ccm_traces::Preset;
 
@@ -17,7 +19,13 @@ fn main() {
 
     for preset in Preset::all() {
         let mut table = Table::new(&[
-            "mem/node", "l2s", "ccm-basic", "ccm-sched", "ccm-mp", "mp/l2s", "mp hit",
+            "mem/node",
+            "l2s",
+            "ccm-basic",
+            "ccm-sched",
+            "ccm-mp",
+            "mp/l2s",
+            "mp hit",
         ]);
         let mut curves: Vec<Vec<(f64, f64)>> = vec![Vec::new(); 4];
         for mem in mem_sweep() {
@@ -42,7 +50,11 @@ fn main() {
                 fmt_pct(mp_hit),
             ]);
         }
-        println!("\n=== Figure 2 ({}, {} nodes): throughput (req/s) ===", preset.name(), nodes);
+        println!(
+            "\n=== Figure 2 ({}, {} nodes): throughput (req/s) ===",
+            preset.name(),
+            nodes
+        );
         table.print();
 
         let mut chart = LineChart::new(

@@ -53,7 +53,11 @@ fn main() {
             fmt_pct(max_possible),
         ]);
     }
-    println!("=== Figure 4: hit rates ({}, {} nodes) ===", preset.name(), nodes);
+    println!(
+        "=== Figure 4: hit rates ({}, {} nodes) ===",
+        preset.name(),
+        nodes
+    );
     table.print();
     let path = runner.write_csv("fig4", "trace,nodes,mem_mb");
     println!("\nwrote {}", path.display());

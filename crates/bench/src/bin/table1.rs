@@ -26,5 +26,8 @@ fn main() {
         costs.disk_bytes_per_ms / 1000.0,
         costs.disk_seek_ms
     );
-    println!("Cisco 7600-class router ({} us/request).", costs.router_ms * 1000.0);
+    println!(
+        "Cisco 7600-class router ({} us/request).",
+        costs.router_ms * 1000.0
+    );
 }

@@ -246,17 +246,17 @@ fn bounds(vals: &[f64], fallback_min: f64, fallback_max: f64) -> (f64, f64) {
 }
 
 fn fmt_num(x: f64) -> String {
-    if x.abs() >= 1_000.0 {
-        format!("{:.0}", x)
-    } else if x.fract().abs() < 1e-9 {
-        format!("{:.0}", x)
+    if x.abs() >= 1_000.0 || x.fract().abs() < 1e-9 {
+        format!("{x:.0}")
     } else {
         format!("{x:.2}")
     }
 }
 
 fn escape(s: &str) -> String {
-    s.replace('&', "&amp;").replace('<', "&lt;").replace('>', "&gt;")
+    s.replace('&', "&amp;")
+        .replace('<', "&lt;")
+        .replace('>', "&gt;")
 }
 
 #[cfg(test)]

@@ -3,7 +3,7 @@
 //! The paper closes with "eventually, this work should lead to an
 //! implementation" (§6). This crate is that implementation in miniature: the
 //! same `ccm-core` protocol state machine, but executed by real OS threads —
-//! one service thread per cluster node — moving real bytes over crossbeam
+//! one service thread per cluster node — moving real bytes over in-process
 //! channels standing in for the LAN. A "cluster" here lives inside one
 //! process (the paper's repro scope: "cluster can be emulated locally"), but
 //! the structure is the one a networked deployment would use: node-local
@@ -20,14 +20,20 @@
 //! * [`store`] — the backing "disk": a [`store::BlockStore`] trait plus a
 //!   deterministic synthetic implementation and the file catalog.
 //! * [`transport`] — peer messages and the channel LAN.
-//! * [`runtime`] — node service threads, the shared protocol state, and the
-//!   public [`runtime::Middleware`] / [`runtime::NodeHandle`] API.
+//! * [`fault`] — deterministic fault injection: seeded fault plans and the
+//!   chaos transport wrapper that drops, duplicates, and reorders data-plane
+//!   messages.
+//! * [`runtime`] — node service threads, the shared protocol state, node
+//!   crash/restart, and the public [`runtime::Middleware`] /
+//!   [`runtime::NodeHandle`] API.
 
 #![warn(missing_docs)]
 
+pub mod fault;
 pub mod runtime;
 pub mod store;
 pub mod transport;
 
+pub use fault::{ChaosLan, ChaosStats, CrashEvent, FaultPlan, LinkFaults};
 pub use runtime::{Middleware, NodeHandle, RtConfig, WriteError};
 pub use store::{BlockStore, Catalog, MemStore, SyntheticStore};

@@ -14,17 +14,20 @@
 //! paper describes for in-flight races (§3). The `store_fallbacks` counter
 //! makes the frequency of that path observable.
 
+use crate::fault::{ChaosLan, FaultPlan};
 use crate::store::{BlockStore, Catalog};
 use crate::transport::{Lan, PeerMsg};
 use ccm_core::{
     AccessOutcome, BlockId, CacheConfig, CacheStats, ClusterCache, CopyKind, Disposition,
-    EvictionEffect, FileId, NodeId, ReplacementPolicy,
+    EvictionEffect, FileId, NodeId, RepairReport, ReplacementPolicy,
 };
-use parking_lot::Mutex;
+use simcore::chan::Receiver;
+use simcore::sync::Mutex;
 use simcore::FxHashMap;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
+use std::time::Duration;
 
 /// Error from [`NodeHandle::write_block`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -52,6 +55,12 @@ pub struct RtConfig {
     pub capacity_blocks: usize,
     /// Replacement policy; defaults to the paper's winning variant.
     pub policy: ReplacementPolicy,
+    /// How long a reader waits for a peer's block before falling through to
+    /// the backing store. Bounded so a lost request or reply degrades to a
+    /// disk read instead of hanging the reader.
+    pub fetch_timeout: Duration,
+    /// Link-level fault injection, if any (testing).
+    pub faults: Option<FaultPlan>,
 }
 
 impl Default for RtConfig {
@@ -60,6 +69,8 @@ impl Default for RtConfig {
             nodes: 4,
             capacity_blocks: 1024,
             policy: ReplacementPolicy::MasterPreserving,
+            fetch_timeout: Duration::from_secs(2),
+            faults: None,
         }
     }
 }
@@ -71,13 +82,25 @@ struct Shared {
     stores: Vec<NodeStore>,
     disk: Arc<dyn BlockStore>,
     catalog: Catalog,
-    lan: Lan,
+    chaos: ChaosLan,
+    /// Liveness flags: cleared first thing on crash so readers stop
+    /// targeting a dying node before its repair completes.
+    alive: Vec<AtomicBool>,
+    fetch_timeout: Duration,
     /// Reads that had to fall through to the backing store because the data
     /// plane had not caught up with a protocol decision.
     store_fallbacks: AtomicU64,
 }
 
 impl Shared {
+    fn lan(&self) -> &Lan {
+        self.chaos.inner()
+    }
+
+    fn is_alive(&self, node: NodeId) -> bool {
+        self.alive[node.index()].load(Ordering::Acquire)
+    }
+
     fn store_insert(&self, node: NodeId, block: BlockId, data: Arc<Vec<u8>>) {
         self.stores[node.index()].lock().insert(block, data);
     }
@@ -119,7 +142,8 @@ impl Shared {
                     self.store_fallbacks.fetch_add(1, Ordering::Relaxed);
                     self.disk_read(effect.victim)
                 });
-                self.lan.send(
+                self.chaos.send(
+                    evictor,
                     to,
                     PeerMsg::Forward {
                         block: effect.victim,
@@ -135,7 +159,8 @@ impl Shared {
 /// A running middleware cluster.
 pub struct Middleware {
     shared: Arc<Shared>,
-    threads: Vec<JoinHandle<()>>,
+    /// One slot per node; `None` while that node is crashed.
+    threads: Mutex<Vec<Option<JoinHandle<()>>>>,
 }
 
 /// A per-node client handle; cheap to clone and `Send`.
@@ -146,7 +171,7 @@ pub struct NodeHandle {
 }
 
 /// Serve one node's peer traffic until shutdown.
-fn service_loop(shared: Arc<Shared>, node: NodeId, inbox: crossbeam::channel::Receiver<PeerMsg>) {
+fn service_loop(shared: Arc<Shared>, node: NodeId, inbox: Receiver<PeerMsg>) {
     for msg in inbox.iter() {
         match msg {
             PeerMsg::BlockRequest { block, reply } => {
@@ -168,6 +193,11 @@ fn service_loop(shared: Arc<Shared>, node: NodeId, inbox: crossbeam::channel::Re
             PeerMsg::Invalidate { block } => {
                 shared.store_take(node, block);
             }
+            PeerMsg::Barrier { reply } => {
+                // Every message enqueued before the barrier has been
+                // processed by now; the requester may have timed out.
+                let _ = reply.send(());
+            }
             PeerMsg::Shutdown => break,
         }
     }
@@ -182,6 +212,8 @@ impl Middleware {
     /// [`ClusterCache::new`]).
     pub fn start(cfg: RtConfig, catalog: Catalog, disk: Arc<dyn BlockStore>) -> Middleware {
         let (lan, inboxes) = Lan::new(cfg.nodes);
+        let plan = cfg.faults.unwrap_or_else(|| FaultPlan::quiet(0));
+        let chaos = ChaosLan::new(lan, &plan);
         let cache = ClusterCache::new(CacheConfig::paper(
             cfg.nodes,
             cfg.capacity_blocks,
@@ -189,24 +221,25 @@ impl Middleware {
         ));
         let shared = Arc::new(Shared {
             cache: Mutex::new(cache),
-            stores: (0..cfg.nodes).map(|_| Mutex::new(FxHashMap::default())).collect(),
+            stores: (0..cfg.nodes)
+                .map(|_| Mutex::new(FxHashMap::default()))
+                .collect(),
             disk,
             catalog,
-            lan,
+            chaos,
+            alive: (0..cfg.nodes).map(|_| AtomicBool::new(true)).collect(),
+            fetch_timeout: cfg.fetch_timeout,
             store_fallbacks: AtomicU64::new(0),
         });
         let threads = inboxes
             .into_iter()
             .enumerate()
-            .map(|(i, inbox)| {
-                let shared = shared.clone();
-                std::thread::Builder::new()
-                    .name(format!("ccm-node-{i}"))
-                    .spawn(move || service_loop(shared, NodeId(i as u16), inbox))
-                    .expect("spawn node thread")
-            })
+            .map(|(i, inbox)| Some(spawn_service(&shared, NodeId(i as u16), inbox)))
             .collect();
-        Middleware { shared, threads }
+        Middleware {
+            shared,
+            threads: Mutex::new(threads),
+        }
     }
 
     /// A client handle bound to `node`.
@@ -214,7 +247,7 @@ impl Middleware {
     /// # Panics
     /// Panics if the node is out of range.
     pub fn handle(&self, node: NodeId) -> NodeHandle {
-        assert!(node.index() < self.shared.lan.nodes(), "no such node");
+        assert!(node.index() < self.shared.chaos.nodes(), "no such node");
         NodeHandle {
             shared: self.shared.clone(),
             node,
@@ -223,7 +256,7 @@ impl Middleware {
 
     /// Number of nodes.
     pub fn nodes(&self) -> usize {
-        self.shared.lan.nodes()
+        self.shared.chaos.nodes()
     }
 
     /// The file catalog being served.
@@ -231,14 +264,80 @@ impl Middleware {
         &self.shared.catalog
     }
 
-    /// Protocol counters so far.
+    /// Protocol counters so far, with the runtime's store-fallback count
+    /// merged in.
     pub fn stats(&self) -> CacheStats {
-        self.shared.cache.lock().stats()
+        let mut s = self.shared.cache.lock().stats();
+        s.store_fallbacks = self.shared.store_fallbacks.load(Ordering::Relaxed);
+        s
     }
 
     /// Data-plane races resolved through the backing store.
     pub fn store_fallbacks(&self) -> u64 {
         self.shared.store_fallbacks.load(Ordering::Relaxed)
+    }
+
+    /// Link faults injected so far (all zero without a fault plan).
+    pub fn chaos_stats(&self) -> crate::fault::ChaosStats {
+        self.shared.chaos.chaos_stats()
+    }
+
+    /// True if `node`'s service thread is running.
+    pub fn is_alive(&self, node: NodeId) -> bool {
+        self.shared.is_alive(node)
+    }
+
+    /// Crash `node`: its service thread stops, its block store is wiped, and
+    /// the protocol directory is repaired — each of its masters is
+    /// re-mastered from a surviving replica or degraded to disk-only, and
+    /// its replicas are purged. Messages queued at the node die with it.
+    ///
+    /// # Panics
+    /// Panics if the node is out of range or already down.
+    pub fn crash_node(&self, node: NodeId) -> RepairReport {
+        assert!(node.index() < self.nodes(), "no such node");
+        assert!(
+            self.shared.alive[node.index()].swap(false, Ordering::AcqRel),
+            "node {node:?} is already down"
+        );
+        // The Shutdown races ahead of the join: once the thread exits, its
+        // receiver drops and in-flight sends to it start failing fast.
+        self.shared.lan().send(node, PeerMsg::Shutdown);
+        let handle = self.threads.lock()[node.index()]
+            .take()
+            .expect("alive node must have a thread");
+        handle.join().expect("node thread panicked");
+        self.shared.stores[node.index()].lock().clear();
+        self.shared.cache.lock().fail_node(node)
+    }
+
+    /// Restart a crashed `node` with a cold cache and an empty inbox.
+    ///
+    /// # Panics
+    /// Panics if the node is out of range or not down.
+    pub fn restart_node(&self, node: NodeId) {
+        assert!(node.index() < self.nodes(), "no such node");
+        assert!(!self.shared.is_alive(node), "node {node:?} is not down");
+        let inbox = self.shared.lan().reconnect(node);
+        let handle = spawn_service(&self.shared, node, inbox);
+        self.threads.lock()[node.index()] = Some(handle);
+        self.shared.cache.lock().revive_node(node);
+        self.shared.alive[node.index()].store(true, Ordering::Release);
+    }
+
+    /// Quiesce the data plane: release every delayed message, then round-trip
+    /// a [`PeerMsg::Barrier`] through each live node so all queued traffic is
+    /// processed. After this, node stores reflect every protocol decision
+    /// made so far — the state is a deterministic function of the operation
+    /// history, which the replayability tests rely on.
+    pub fn quiesce(&self) {
+        self.shared.chaos.flush();
+        for i in 0..self.nodes() {
+            let node = NodeId(i as u16);
+            if self.shared.is_alive(node) {
+                self.shared.lan().barrier(node, Duration::from_secs(10));
+            }
+        }
     }
 
     /// Verify protocol invariants (tests; takes the cache lock).
@@ -247,12 +346,22 @@ impl Middleware {
     }
 
     /// Stop all service threads and join them.
-    pub fn shutdown(mut self) {
-        for i in 0..self.shared.lan.nodes() {
-            self.shared.lan.send(NodeId(i as u16), PeerMsg::Shutdown);
+    pub fn shutdown(self) {
+        self.stop_threads(true);
+    }
+
+    fn stop_threads(&self, strict: bool) {
+        for i in 0..self.nodes() {
+            // Sends to already-crashed nodes fail harmlessly.
+            self.shared.lan().send(NodeId(i as u16), PeerMsg::Shutdown);
         }
-        for t in self.threads.drain(..) {
-            t.join().expect("node thread panicked");
+        for slot in self.threads.lock().iter_mut() {
+            if let Some(t) = slot.take() {
+                let joined = t.join();
+                if strict {
+                    joined.expect("node thread panicked");
+                }
+            }
         }
     }
 }
@@ -260,13 +369,16 @@ impl Middleware {
 impl Drop for Middleware {
     fn drop(&mut self) {
         // Best-effort shutdown if the user forgot; ignore already-dead nodes.
-        for i in 0..self.shared.lan.nodes() {
-            self.shared.lan.send(NodeId(i as u16), PeerMsg::Shutdown);
-        }
-        for t in self.threads.drain(..) {
-            let _ = t.join();
-        }
+        self.stop_threads(false);
     }
+}
+
+fn spawn_service(shared: &Arc<Shared>, node: NodeId, inbox: Receiver<PeerMsg>) -> JoinHandle<()> {
+    let shared = shared.clone();
+    std::thread::Builder::new()
+        .name(format!("ccm-node-{}", node.index()))
+        .spawn(move || service_loop(shared, node, inbox))
+        .expect("spawn node thread")
 }
 
 impl NodeHandle {
@@ -276,7 +388,15 @@ impl NodeHandle {
     }
 
     /// Read one block through the cooperative cache.
+    ///
+    /// # Panics
+    /// Panics if this handle's node is crashed.
     pub fn read_block(&self, block: BlockId) -> Arc<Vec<u8>> {
+        assert!(
+            self.shared.is_alive(self.node),
+            "node {:?} is down",
+            self.node
+        );
         let outcome = self.shared.cache.lock().access(self.node, block);
         match outcome {
             AccessOutcome::LocalHit { kind } => {
@@ -293,17 +413,25 @@ impl NodeHandle {
                     }
                 }
             }
-            AccessOutcome::RemoteHit {
-                from, eviction, ..
-            } => {
+            AccessOutcome::RemoteHit { from, eviction, .. } => {
                 if let Some(e) = eviction {
                     self.shared.apply_eviction(self.node, e);
                 }
-                let data = match self.shared.lan.fetch_block(from, block) {
+                // A holder that died since the directory decision cannot
+                // answer; skip the round trip and its timeout.
+                let fetched = if self.shared.is_alive(from) {
+                    self.shared
+                        .chaos
+                        .fetch_block(self.node, from, block, self.shared.fetch_timeout)
+                } else {
+                    None
+                };
+                let data = match fetched {
                     Some(bytes) => Arc::new(bytes),
                     None => {
-                        // The §3 race: the holder discarded the block while
-                        // our request was in flight → eventual disk read.
+                        // The §3 race: the holder discarded the block (or the
+                        // message was lost, or the holder crashed) while our
+                        // request was in flight → eventual disk read.
                         self.shared.store_fallbacks.fetch_add(1, Ordering::Relaxed);
                         self.shared.disk_read(block)
                     }
@@ -347,6 +475,11 @@ impl NodeHandle {
     /// # Errors
     /// [`WriteError::ReadOnlyStore`] if the backing store refuses writes.
     pub fn write_block(&self, block: BlockId, data: &[u8]) -> Result<(), WriteError> {
+        assert!(
+            self.shared.is_alive(self.node),
+            "node {:?} is down",
+            self.node
+        );
         // 1. Write-through first: once peers are invalidated, any of their
         //    re-reads may fall through to the store and must see new data.
         if !self.shared.disk.write_block(block, data) {
@@ -354,15 +487,21 @@ impl NodeHandle {
         }
         // 2. Protocol write (atomic): invalidate + become master.
         let out = self.shared.cache.lock().write(self.node, block);
-        // 3. Data plane: drop superseded copies, install ours.
+        // 3. Data plane: drop superseded copies, install ours. Invalidates
+        //    route through the chaos wrapper but are never dropped (see the
+        //    fault model); they do flush any delayed traffic on their link.
         if let Some(e) = out.eviction {
             self.shared.apply_eviction(self.node, e);
         }
         for peer in out.invalidated {
-            self.shared.lan.send(peer, PeerMsg::Invalidate { block });
+            self.shared
+                .chaos
+                .send(self.node, peer, PeerMsg::Invalidate { block });
         }
         if let Some(m) = out.superseded_master {
-            self.shared.lan.send(m, PeerMsg::Invalidate { block });
+            self.shared
+                .chaos
+                .send(self.node, m, PeerMsg::Invalidate { block });
         }
         self.shared
             .store_insert(self.node, block, Arc::new(data.to_vec()));
@@ -392,6 +531,7 @@ mod tests {
                 nodes,
                 capacity_blocks: cap,
                 policy: ReplacementPolicy::MasterPreserving,
+                ..RtConfig::default()
             },
             cat,
             store,
@@ -424,7 +564,10 @@ mod tests {
         let b = h1.read_file(FileId(0));
         assert_eq!(a, b);
         let s = mw.stats();
-        assert!(s.remote_hits > 0, "second reader should hit node 0's masters");
+        assert!(
+            s.remote_hits > 0,
+            "second reader should hit node 0's masters"
+        );
         assert_eq!(mw.store_fallbacks(), 0, "no races in sequential use");
         mw.check_invariants();
         mw.shutdown();
@@ -529,6 +672,7 @@ mod tests {
                 nodes: 3,
                 capacity_blocks: 64,
                 policy: ReplacementPolicy::MasterPreserving,
+                ..RtConfig::default()
             },
             cat.clone(),
             store,
@@ -573,6 +717,7 @@ mod tests {
                 nodes: 4,
                 capacity_blocks: 32,
                 policy: ReplacementPolicy::MasterPreserving,
+                ..RtConfig::default()
             },
             cat.clone(),
             store,
@@ -606,9 +751,9 @@ mod tests {
 
     #[test]
     fn node_failure_degrades_to_store_fallback() {
-        // Failure injection: kill one node's service thread; peers whose
-        // remote hits target it must fall back to the backing store and keep
-        // returning correct bytes.
+        // Raw failure (no repair): kill one node's service thread behind the
+        // protocol's back; peers whose remote hits target it must fall back
+        // to the backing store and keep returning correct bytes.
         use crate::store::read_file_direct;
         let cat = catalog(6, 20_000);
         let store = Arc::new(SyntheticStore::new(cat.clone(), 42));
@@ -617,6 +762,7 @@ mod tests {
                 nodes: 3,
                 capacity_blocks: 64,
                 policy: ReplacementPolicy::MasterPreserving,
+                ..RtConfig::default()
             },
             cat.clone(),
             store.clone(),
@@ -626,7 +772,7 @@ mod tests {
             mw.handle(NodeId(0)).read_file(FileId(f));
         }
         // Kill node 0's service thread (simulated crash).
-        mw.shared.lan.send(NodeId(0), PeerMsg::Shutdown);
+        mw.shared.lan().send(NodeId(0), PeerMsg::Shutdown);
         // Node 1 still reads correct data for every file.
         for f in 0..6u32 {
             let got = mw.handle(NodeId(1)).read_file(FileId(f));
@@ -638,6 +784,116 @@ mod tests {
             "fallbacks must have covered the dead node"
         );
         drop(mw);
+    }
+
+    #[test]
+    fn crash_repairs_directory_and_restart_rejoins_cold() {
+        let cat = catalog(6, 20_000);
+        let store = Arc::new(SyntheticStore::new(cat.clone(), 42));
+        let mw = Middleware::start(
+            RtConfig {
+                nodes: 3,
+                capacity_blocks: 64,
+                policy: ReplacementPolicy::MasterPreserving,
+                ..RtConfig::default()
+            },
+            cat.clone(),
+            store.clone(),
+        );
+        // Node 0 masters everything; node 1 replicates files 0..3.
+        for f in 0..6u32 {
+            mw.handle(NodeId(0)).read_file(FileId(f));
+        }
+        for f in 0..3u32 {
+            mw.handle(NodeId(1)).read_file(FileId(f));
+        }
+        mw.quiesce();
+        let report = mw.crash_node(NodeId(0));
+        assert!(!mw.is_alive(NodeId(0)));
+        assert!(report.remastered > 0, "replicated files must re-master");
+        assert!(report.lost_masters > 0, "unreplicated files must be lost");
+        mw.check_invariants();
+        let s = mw.stats();
+        assert_eq!(s.node_repairs, 1);
+        assert_eq!(s.remasters, report.remastered as u64);
+        assert_eq!(s.lost_masters, report.lost_masters as u64);
+        // Survivors keep serving every file, byte-exact.
+        for f in 0..6u32 {
+            let got = mw.handle(NodeId(1)).read_file(FileId(f));
+            let want = read_file_direct(&*store, &cat, FileId(f));
+            assert_eq!(got, want, "file {f} wrong after crash repair");
+        }
+        mw.check_invariants();
+        // Restart: node 0 rejoins cold and serves correctly again.
+        mw.restart_node(NodeId(0));
+        assert!(mw.is_alive(NodeId(0)));
+        assert_eq!(
+            mw.handle(NodeId(0)).cached_as(BlockId::new(FileId(0), 0)),
+            None
+        );
+        for f in 0..6u32 {
+            let got = mw.handle(NodeId(0)).read_file(FileId(f));
+            let want = read_file_direct(&*store, &cat, FileId(f));
+            assert_eq!(got, want, "file {f} wrong after restart");
+        }
+        mw.check_invariants();
+        mw.shutdown();
+    }
+
+    #[test]
+    #[should_panic(expected = "is down")]
+    fn read_through_crashed_node_panics() {
+        let mw = start(2, 16, 2, 10_000);
+        mw.crash_node(NodeId(1));
+        let h = mw.handle(NodeId(1));
+        let _ = h.read_block(BlockId::new(FileId(0), 0));
+    }
+
+    #[test]
+    #[should_panic(expected = "already down")]
+    fn double_crash_panics() {
+        let mw = start(2, 16, 2, 10_000);
+        mw.crash_node(NodeId(1));
+        mw.crash_node(NodeId(1));
+    }
+
+    #[test]
+    fn faulty_links_never_corrupt_data() {
+        use crate::fault::{FaultPlan, LinkFaults};
+        let cat = catalog(10, 20_000);
+        let store = Arc::new(SyntheticStore::new(cat.clone(), 42));
+        let mw = Middleware::start(
+            RtConfig {
+                nodes: 3,
+                capacity_blocks: 16,
+                policy: ReplacementPolicy::MasterPreserving,
+                fetch_timeout: Duration::from_millis(50),
+                faults: Some(FaultPlan {
+                    seed: 9,
+                    link: LinkFaults {
+                        drop_prob: 0.2,
+                        dup_prob: 0.05,
+                        delay_prob: 0.1,
+                        delay_sends: 3,
+                    },
+                    crashes: Vec::new(),
+                }),
+            },
+            cat.clone(),
+            store.clone(),
+        );
+        for round in 0..3 {
+            for f in 0..10u32 {
+                let node = NodeId(((f as usize + round) % 3) as u16);
+                let got = mw.handle(node).read_file(FileId(f));
+                let want = read_file_direct(&*store, &cat, FileId(f));
+                assert_eq!(got, want, "file {f} corrupted under link faults");
+            }
+        }
+        mw.check_invariants();
+        let chaos = mw.chaos_stats();
+        assert!(chaos.dropped > 0, "20% drops must have fired");
+        mw.shutdown();
     }
 
     #[test]

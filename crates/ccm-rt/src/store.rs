@@ -107,7 +107,7 @@ impl BlockStore for SyntheticStore {
 /// write performed so far. Backs the §6 writes extension.
 pub struct MemStore {
     base: SyntheticStore,
-    overlay: parking_lot::RwLock<simcore::FxHashMap<BlockId, Vec<u8>>>,
+    overlay: simcore::sync::RwLock<simcore::FxHashMap<BlockId, Vec<u8>>>,
 }
 
 impl MemStore {
@@ -116,7 +116,7 @@ impl MemStore {
     pub fn new(catalog: Catalog, seed: u64) -> MemStore {
         MemStore {
             base: SyntheticStore::new(catalog, seed),
-            overlay: parking_lot::RwLock::new(simcore::FxHashMap::default()),
+            overlay: simcore::sync::RwLock::new(simcore::FxHashMap::default()),
         }
     }
 
@@ -217,7 +217,10 @@ mod tests {
         assert_eq!(m.dirty_blocks(), 1);
         // Untouched blocks still come from the synthetic base.
         let other = BlockId::new(FileId(2), 0);
-        assert_eq!(m.read_block(other), SyntheticStore::new(catalog(), 7).read_block(other));
+        assert_eq!(
+            m.read_block(other),
+            SyntheticStore::new(catalog(), 7).read_block(other)
+        );
     }
 
     #[test]

@@ -1,13 +1,26 @@
 //! Peer messages and the channel LAN.
 //!
-//! Each node owns an unbounded crossbeam receiver; any thread holding a
-//! [`Lan`] can address any node. Data-plane replies travel on per-request
-//! one-shot channels, as a real RPC layer would multiplex them.
+//! Each node owns an unbounded receiver; any thread holding a [`Lan`] can
+//! address any node. Data-plane replies travel on per-request one-shot
+//! channels, as a real RPC layer would multiplex them.
+//!
+//! The sender fabric is reconnectable: when a node crashes its service
+//! thread exits and drops the receiver, making every in-flight send to it
+//! fail fast; [`Lan::reconnect`] installs a fresh channel so a restarted
+//! node starts with an empty inbox (messages addressed to the dead
+//! incarnation are gone, as they would be on a real reboot).
 
 use ccm_core::{BlockId, NodeId};
-use crossbeam::channel::{unbounded, Receiver, Sender};
+use simcore::chan::{unbounded, Receiver, Sender};
+use simcore::sync::RwLock;
+use std::sync::Arc;
+use std::time::Duration;
 
 /// A message between cluster nodes.
+///
+/// `Clone` exists so a fault injector can duplicate a message in flight;
+/// the runtime itself never clones messages.
+#[derive(Clone)]
 pub enum PeerMsg {
     /// "Send me a non-master copy of `block`" — answered with the bytes, or
     /// `None` if the block is no longer held (the in-flight race of §3; the
@@ -35,6 +48,12 @@ pub enum PeerMsg {
         /// The written block.
         block: BlockId,
     },
+    /// Ack request: the service thread answers once every earlier message on
+    /// this inbox has been processed. Used to quiesce the data plane.
+    Barrier {
+        /// Where to deliver the ack.
+        reply: Sender<()>,
+    },
     /// Orderly shutdown of the node's service thread.
     Shutdown,
 }
@@ -42,7 +61,7 @@ pub enum PeerMsg {
 /// Addressable senders to every node.
 #[derive(Clone)]
 pub struct Lan {
-    peers: Vec<Sender<PeerMsg>>,
+    peers: Arc<Vec<RwLock<Sender<PeerMsg>>>>,
 }
 
 impl Lan {
@@ -53,10 +72,15 @@ impl Lan {
         let mut inboxes = Vec::with_capacity(nodes);
         for _ in 0..nodes {
             let (tx, rx) = unbounded();
-            peers.push(tx);
+            peers.push(RwLock::new(tx));
             inboxes.push(rx);
         }
-        (Lan { peers }, inboxes)
+        (
+            Lan {
+                peers: Arc::new(peers),
+            },
+            inboxes,
+        )
     }
 
     /// Number of nodes attached.
@@ -67,14 +91,29 @@ impl Lan {
     /// Send `msg` to `node`. Returns false if the node's service thread has
     /// already exited (its inbox is disconnected).
     pub fn send(&self, node: NodeId, msg: PeerMsg) -> bool {
-        self.peers[node.index()].send(msg).is_ok()
+        self.peers[node.index()].read().send(msg).is_ok()
     }
 
-    /// Request `block` from `holder` and wait for the reply.
+    /// Replace `node`'s channel with a fresh one (node restart). Messages
+    /// queued for the old incarnation are dropped with it; returns the new
+    /// receive end for the restarted service thread.
+    pub fn reconnect(&self, node: NodeId) -> Receiver<PeerMsg> {
+        let (tx, rx) = unbounded();
+        *self.peers[node.index()].write() = tx;
+        rx
+    }
+
+    /// Request `block` from `holder` and wait up to `timeout` for the reply.
     ///
-    /// `None` means either the holder no longer caches the block or its
-    /// thread is gone; callers fall back to the backing store.
-    pub fn fetch_block(&self, holder: NodeId, block: BlockId) -> Option<Vec<u8>> {
+    /// `None` means the holder no longer caches the block, its thread is
+    /// gone, or the reply did not arrive in time; callers fall back to the
+    /// backing store either way (the §3 "eventual disk read" escape hatch).
+    pub fn fetch_block(
+        &self,
+        holder: NodeId,
+        block: BlockId,
+        timeout: Duration,
+    ) -> Option<Vec<u8>> {
         let (reply_tx, reply_rx) = unbounded();
         if !self.send(
             holder,
@@ -85,7 +124,18 @@ impl Lan {
         ) {
             return None;
         }
-        reply_rx.recv().ok().flatten()
+        reply_rx.recv_timeout(timeout).ok().flatten()
+    }
+
+    /// Send a [`PeerMsg::Barrier`] to `node` and wait up to `timeout` for
+    /// the ack. True once every message enqueued before the barrier has been
+    /// processed; false if the node is dead or the ack timed out.
+    pub fn barrier(&self, node: NodeId, timeout: Duration) -> bool {
+        let (reply_tx, reply_rx) = unbounded();
+        if !self.send(node, PeerMsg::Barrier { reply: reply_tx }) {
+            return false;
+        }
+        reply_rx.recv_timeout(timeout).is_ok()
     }
 }
 
@@ -93,6 +143,8 @@ impl Lan {
 mod tests {
     use super::*;
     use ccm_core::FileId;
+
+    const TIMEOUT: Duration = Duration::from_secs(5);
 
     fn b(i: u32) -> BlockId {
         BlockId::new(FileId(0), i)
@@ -102,10 +154,28 @@ mod tests {
     fn messages_arrive_in_order() {
         let (lan, inboxes) = Lan::new(2);
         assert_eq!(lan.nodes(), 2);
-        assert!(lan.send(NodeId(1), PeerMsg::Forward { block: b(1), data: vec![1], displace: None }));
-        assert!(lan.send(NodeId(1), PeerMsg::Forward { block: b(2), data: vec![2], displace: Some(b(9)) }));
+        assert!(lan.send(
+            NodeId(1),
+            PeerMsg::Forward {
+                block: b(1),
+                data: vec![1],
+                displace: None
+            }
+        ));
+        assert!(lan.send(
+            NodeId(1),
+            PeerMsg::Forward {
+                block: b(2),
+                data: vec![2],
+                displace: Some(b(9))
+            }
+        ));
         match inboxes[1].recv().unwrap() {
-            PeerMsg::Forward { block, data, displace } => {
+            PeerMsg::Forward {
+                block,
+                data,
+                displace,
+            } => {
                 assert_eq!(block, b(1));
                 assert_eq!(data, vec![1]);
                 assert_eq!(displace, None);
@@ -132,7 +202,7 @@ mod tests {
                 _ => panic!("wrong message"),
             }
         });
-        let got = lan.fetch_block(NodeId(0), b(7));
+        let got = lan.fetch_block(NodeId(0), b(7), TIMEOUT);
         assert_eq!(got, Some(vec![42]));
         server.join().unwrap();
     }
@@ -141,7 +211,7 @@ mod tests {
     fn fetch_from_dead_node_is_none() {
         let (lan, inboxes) = Lan::new(1);
         drop(inboxes); // the service thread is gone
-        assert_eq!(lan.fetch_block(NodeId(0), b(1)), None);
+        assert_eq!(lan.fetch_block(NodeId(0), b(1), TIMEOUT), None);
         assert!(!lan.send(NodeId(0), PeerMsg::Shutdown));
     }
 
@@ -156,7 +226,69 @@ mod tests {
                 }
             }
         });
-        assert_eq!(lan.fetch_block(NodeId(0), b(1)), None);
+        assert_eq!(lan.fetch_block(NodeId(0), b(1), TIMEOUT), None);
         server.join().unwrap();
+    }
+
+    #[test]
+    fn unanswered_fetch_times_out_instead_of_hanging() {
+        let (lan, inboxes) = Lan::new(1);
+        // Nobody services the inbox: the request sits unanswered. The
+        // bounded wait returns None (disk fallback) instead of blocking.
+        let got = lan.fetch_block(NodeId(0), b(1), Duration::from_millis(20));
+        assert_eq!(got, None);
+        drop(inboxes);
+    }
+
+    #[test]
+    fn reconnect_replaces_the_inbox() {
+        let (lan, inboxes) = Lan::new(1);
+        assert!(lan.send(NodeId(0), PeerMsg::Invalidate { block: b(1) }));
+        drop(inboxes); // crash: queued message lost with the receiver
+        assert!(!lan.send(NodeId(0), PeerMsg::Shutdown));
+        let rx = lan.reconnect(NodeId(0));
+        assert!(rx.is_empty(), "restarted node must see an empty inbox");
+        assert!(lan.send(NodeId(0), PeerMsg::Invalidate { block: b(2) }));
+        match rx.recv().unwrap() {
+            PeerMsg::Invalidate { block } => assert_eq!(block, b(2)),
+            _ => panic!("wrong message"),
+        }
+    }
+
+    #[test]
+    fn barrier_acks_after_prior_messages() {
+        let (lan, inboxes) = Lan::new(1);
+        let inbox = inboxes[0].clone();
+        let server = std::thread::spawn(move || {
+            let mut forwards = 0;
+            loop {
+                match inbox.recv().unwrap() {
+                    PeerMsg::Forward { .. } => forwards += 1,
+                    PeerMsg::Barrier { reply } => {
+                        let _ = reply.send(());
+                        return forwards;
+                    }
+                    _ => panic!("wrong message"),
+                }
+            }
+        });
+        lan.send(
+            NodeId(0),
+            PeerMsg::Forward {
+                block: b(1),
+                data: vec![],
+                displace: None,
+            },
+        );
+        lan.send(
+            NodeId(0),
+            PeerMsg::Forward {
+                block: b(2),
+                data: vec![],
+                displace: None,
+            },
+        );
+        assert!(lan.barrier(NodeId(0), TIMEOUT));
+        assert_eq!(server.join().unwrap(), 2, "barrier overtook a message");
     }
 }

@@ -155,7 +155,10 @@ impl CostModel {
             ("Parsing time".into(), f(self.parse_ms)),
             (
                 "Serving time".into(),
-                format!("{:.3} + size/{:.0} ms", self.serve_base_ms, self.serve_bytes_per_ms),
+                format!(
+                    "{:.3} + size/{:.0} ms",
+                    self.serve_base_ms, self.serve_bytes_per_ms
+                ),
             ),
             (
                 "Process a file request".into(),
@@ -166,10 +169,16 @@ impl CostModel {
             ),
             ("Serve peer block request".into(), f(self.peer_block_ms)),
             ("Cache a new block".into(), f(self.cache_block_ms)),
-            ("Process an evicted master block".into(), f(self.evict_master_ms)),
+            (
+                "Process an evicted master block".into(),
+                f(self.evict_master_ms),
+            ),
             (
                 "Disk read (non-contiguous)".into(),
-                format!("{:.1} + size/{:.0} ms", self.disk_seek_ms, self.disk_bytes_per_ms),
+                format!(
+                    "{:.1} + size/{:.0} ms",
+                    self.disk_seek_ms, self.disk_bytes_per_ms
+                ),
             ),
             (
                 "Disk read (contiguous)".into(),
@@ -177,7 +186,10 @@ impl CostModel {
             ),
             (
                 "Bus transfer".into(),
-                format!("{:.3} + size/{:.0} ms", self.bus_base_ms, self.bus_bytes_per_ms),
+                format!(
+                    "{:.3} + size/{:.0} ms",
+                    self.bus_base_ms, self.bus_bytes_per_ms
+                ),
             ),
             ("Network latency".into(), f(self.net_latency_ms)),
         ]

@@ -149,7 +149,12 @@ impl Disk {
     /// and the completion is returned — schedule an event for it. If busy,
     /// the request queues and `None` is returned; it will be started by a
     /// later [`Disk::next_after_completion`].
-    pub fn submit(&mut self, now: SimTime, req: DiskRequest, costs: &CostModel) -> Option<Completion> {
+    pub fn submit(
+        &mut self,
+        now: SimTime,
+        req: DiskRequest,
+        costs: &CostModel,
+    ) -> Option<Completion> {
         self.seq += 1;
         self.queue.push_back((self.seq, req));
         self.max_queue = self.max_queue.max(self.queue.len());
@@ -177,11 +182,7 @@ impl Disk {
             DiskScheduler::Fifo => Some(0),
             DiskScheduler::Batched => {
                 // 1. A request continuing the current head run is free.
-                if let Some(i) = self
-                    .queue
-                    .iter()
-                    .position(|(_, r)| r.address == self.head)
-                {
+                if let Some(i) = self.queue.iter().position(|(_, r)| r.address == self.head) {
                     return Some(i);
                 }
                 // 2. C-LOOK: smallest address at or above the head...
@@ -288,7 +289,9 @@ mod tests {
         let costs = CostModel::default();
         let mut d = Disk::new(DiskScheduler::Fifo);
         d.submit(SimTime::ZERO, req(1, 0, 8192), &costs).unwrap();
-        assert!(d.submit(SimTime::ZERO, req(2, EXTENT, 8192), &costs).is_none());
+        assert!(d
+            .submit(SimTime::ZERO, req(2, EXTENT, 8192), &costs)
+            .is_none());
         assert_eq!(d.queue_len(), 1);
     }
 
@@ -371,7 +374,9 @@ mod tests {
             .submit(SimTime::ZERO, req(0, 5 * EXTENT, 8192), &costs)
             .unwrap();
         for (i, addr) in [(1u64, 3 * EXTENT), (2, 7 * EXTENT), (3, 6 * EXTENT)] {
-            assert!(d.submit(SimTime::ZERO, req(i, addr, 8192), &costs).is_none());
+            assert!(d
+                .submit(SimTime::ZERO, req(i, addr, 8192), &costs)
+                .is_none());
         }
         // Head is now just past 5*EXTENT: sweep order should be 6, 7, then wrap to 3.
         let mut order = Vec::new();

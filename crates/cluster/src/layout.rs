@@ -253,7 +253,10 @@ mod tests {
     #[test]
     fn tiny_file_occupies_one_extent_slot() {
         let l = FileLayout::build(&[1, 1], 1, Placement::Striped);
-        assert_eq!(l.address_of(FileId(1)) - l.address_of(FileId(0)), EXTENT_SIZE);
+        assert_eq!(
+            l.address_of(FileId(1)) - l.address_of(FileId(0)),
+            EXTENT_SIZE
+        );
         assert_eq!(l.extent_bytes(FileId(0), 0), 1);
     }
 }

@@ -107,11 +107,7 @@ impl BusySnapshot {
     /// and `later` — the paper observes that under -Basic "the first disk
     /// that is slowed down … becomes the performance bottleneck for the
     /// entire system", so the *maximum* matters, not just the mean.
-    pub fn disk_utilization_per_node(
-        &self,
-        later: &BusySnapshot,
-        window: SimDuration,
-    ) -> Vec<f64> {
+    pub fn disk_utilization_per_node(&self, later: &BusySnapshot, window: SimDuration) -> Vec<f64> {
         assert_eq!(self.disk.len(), later.disk.len(), "snapshot size mismatch");
         assert!(!window.is_zero(), "empty measurement window");
         self.disk
@@ -126,7 +122,11 @@ impl BusySnapshot {
     /// # Panics
     /// Panics if the snapshots have different node counts or the window is
     /// empty.
-    pub fn utilization_until(&self, later: &BusySnapshot, window: SimDuration) -> ResourceUtilization {
+    pub fn utilization_until(
+        &self,
+        later: &BusySnapshot,
+        window: SimDuration,
+    ) -> ResourceUtilization {
         assert_eq!(self.cpu.len(), later.cpu.len(), "snapshot size mismatch");
         assert!(!window.is_zero(), "empty measurement window");
         let avg = |a: &[SimDuration], b: &[SimDuration], scale: f64| {
@@ -186,7 +186,8 @@ mod tests {
             },
             &costs,
         );
-        c.net.send(SimTime::ZERO, NodeId(0), NodeId(1), 125_000, &costs);
+        c.net
+            .send(SimTime::ZERO, NodeId(0), NodeId(1), 125_000, &costs);
         let after = c.busy_snapshot();
         let u = before.utilization_until(&after, SimDuration::from_millis(10));
         // CPU: 5 ms on one of two nodes over 10 ms → 0.25 average.

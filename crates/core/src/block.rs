@@ -136,7 +136,10 @@ mod tests {
         let b7 = BlockId::new(f, 7);
         let b8 = BlockId::new(f, 8);
         let b9 = BlockId::new(f, 9);
-        assert!(!b7.is_contiguous_with(b8), "extent boundary breaks contiguity");
+        assert!(
+            !b7.is_contiguous_with(b8),
+            "extent boundary breaks contiguity"
+        );
         assert!(b8.is_contiguous_with(b9));
         assert!(!b8.is_contiguous_with(b8));
         assert!(!b8.is_contiguous_with(BlockId::new(FileId(4), 9)));

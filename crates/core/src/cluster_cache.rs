@@ -121,6 +121,19 @@ pub enum PrefetchOutcome {
     },
 }
 
+/// What a directory repair after a node failure did; see
+/// [`ClusterCache::fail_node`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RepairReport {
+    /// Masters of the failed node re-mastered from a surviving replica.
+    pub remastered: usize,
+    /// Masters of the failed node lost from cluster memory entirely (no
+    /// surviving replica); the blocks degrade to disk-only.
+    pub lost_masters: usize,
+    /// Replica copies held by the failed node purged from the holder lists.
+    pub replicas_purged: usize,
+}
+
 /// Side effects of making room for one incoming block.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct EvictionEffect {
@@ -166,9 +179,8 @@ impl AccessOutcome {
     pub fn eviction(&self) -> Option<EvictionEffect> {
         match self {
             AccessOutcome::LocalHit { .. } => None,
-            AccessOutcome::RemoteHit { eviction, .. } | AccessOutcome::DiskRead { eviction, .. } => {
-                *eviction
-            }
+            AccessOutcome::RemoteHit { eviction, .. }
+            | AccessOutcome::DiskRead { eviction, .. } => *eviction,
         }
     }
 }
@@ -208,6 +220,9 @@ pub struct ClusterCache {
     /// Forwards each master has survived without being referenced (only
     /// maintained under an N-chance policy; Dahlin's recirculation count).
     recirculation: FxHashMap<BlockId, u32>,
+    /// Nodes currently crashed: excluded from forwarding targets and kept
+    /// empty until [`ClusterCache::revive_node`].
+    down: Vec<bool>,
     tick: u64,
     stats: CacheStats,
 }
@@ -226,12 +241,14 @@ impl ClusterCache {
             DirectoryKind::Perfect => Directory::Perfect(PerfectDirectory::new()),
             DirectoryKind::Hint => Directory::Hint(HintDirectory::new(cfg.nodes)),
         };
+        let down = vec![false; cfg.nodes];
         ClusterCache {
             cfg,
             nodes,
             dir,
             replica_holders: FxHashMap::default(),
             recirculation: FxHashMap::default(),
+            down,
             tick: 0,
             stats: CacheStats::new(),
         }
@@ -321,6 +338,7 @@ impl ClusterCache {
     /// Access `block` from `node`, mutating cluster state and reporting what
     /// the caller must charge for. Each call advances the global LRU clock.
     pub fn access(&mut self, node: NodeId, block: BlockId) -> AccessOutcome {
+        debug_assert!(!self.down[node.index()], "access through a down node");
         self.tick += 1;
         let tick = self.tick;
         let n = node.index();
@@ -390,7 +408,7 @@ impl ClusterCache {
     fn peer_with_oldest(&self, exclude: usize) -> Option<(usize, u64)> {
         let mut best: Option<(usize, u64)> = None;
         for (i, cache) in self.nodes.iter().enumerate() {
-            if i == exclude {
+            if i == exclude || self.down[i] {
                 continue;
             }
             let age = cache.oldest_age();
@@ -577,6 +595,7 @@ impl ClusterCache {
     /// Dirty-block write-back policy is the caller's concern (the threaded
     /// runtime writes through to its backing store).
     pub fn write(&mut self, node: NodeId, block: BlockId) -> WriteOutcome {
+        debug_assert!(!self.down[node.index()], "write through a down node");
         self.tick += 1;
         let tick = self.tick;
         let n = node.index();
@@ -668,6 +687,83 @@ impl ClusterCache {
         PrefetchOutcome::Installed { eviction }
     }
 
+    /// True if `node` is currently crashed.
+    pub fn is_down(&self, node: NodeId) -> bool {
+        self.down[node.index()]
+    }
+
+    /// Repair the cluster state after `node` crashed, losing its memory.
+    ///
+    /// Every copy the node held vanishes. Its replicas are purged from the
+    /// holder lists. Each of its masters is re-mastered onto the first
+    /// surviving replica holder (deterministic: lowest node id) or, with no
+    /// surviving replica, cleared from the directory — the block degrades to
+    /// disk-only until the next read re-creates a master. Until
+    /// [`ClusterCache::revive_node`], the node is excluded from forwarding
+    /// so no new state accrues at it.
+    ///
+    /// # Panics
+    /// Panics if the node is already down.
+    pub fn fail_node(&mut self, node: NodeId) -> RepairReport {
+        let n = node.index();
+        assert!(!self.down[n], "node {node:?} is already down");
+        self.down[n] = true;
+        let contents: Vec<(BlockId, CopyKind)> = self.nodes[n]
+            .iter()
+            .map(|(block, kind, _)| (block, kind))
+            .collect();
+        let mut report = RepairReport::default();
+        for (block, kind) in contents {
+            self.nodes[n].remove(block);
+            match kind {
+                CopyKind::Replica => {
+                    self.holders_remove(block, node);
+                    report.replicas_purged += 1;
+                }
+                CopyKind::Master => {
+                    self.recirculation.remove(&block);
+                    // Down nodes hold nothing (purged when they failed), so
+                    // every listed holder is a live candidate.
+                    let survivor = self
+                        .replica_holders
+                        .get(&block)
+                        .and_then(|v| v.first().copied());
+                    match survivor {
+                        Some(h) => {
+                            let age = self.nodes[h.index()]
+                                .age_of(block)
+                                .expect("holder list out of sync");
+                            self.nodes[h.index()].promote_replica(block, age);
+                            self.holders_remove(block, h);
+                            self.dir_set(block, h);
+                            self.stats.promotions += 1;
+                            report.remastered += 1;
+                        }
+                        None => {
+                            self.dir_clear(block, node);
+                            report.lost_masters += 1;
+                        }
+                    }
+                }
+            }
+        }
+        self.stats.node_repairs += 1;
+        self.stats.remasters += report.remastered as u64;
+        self.stats.lost_masters += report.lost_masters as u64;
+        report
+    }
+
+    /// Rejoin a previously failed node with a cold cache.
+    ///
+    /// # Panics
+    /// Panics if the node is not down.
+    pub fn revive_node(&mut self, node: NodeId) {
+        let n = node.index();
+        assert!(self.down[n], "node {node:?} is not down");
+        debug_assert!(self.nodes[n].is_empty(), "down node accrued state");
+        self.down[n] = false;
+    }
+
     /// Total blocks resident across the cluster.
     pub fn resident_blocks(&self) -> usize {
         self.nodes.iter().map(|c| c.len()).sum()
@@ -688,6 +784,10 @@ impl ClusterCache {
         let mut seen_replicas: FxHashMap<BlockId, Vec<NodeId>> = FxHashMap::default();
         for (i, cache) in self.nodes.iter().enumerate() {
             cache.check_invariants();
+            assert!(
+                !self.down[i] || cache.is_empty(),
+                "down node {i} still holds blocks"
+            );
             for (block, kind, _) in cache.iter() {
                 match kind {
                     CopyKind::Master => {
@@ -695,7 +795,10 @@ impl ClusterCache {
                         assert!(prev.is_none(), "two masters for {block:?}");
                     }
                     CopyKind::Replica => {
-                        seen_replicas.entry(block).or_default().push(NodeId(i as u16));
+                        seen_replicas
+                            .entry(block)
+                            .or_default()
+                            .push(NodeId(i as u16));
                     }
                 }
             }
@@ -761,7 +864,9 @@ mod tests {
         let mut c = cluster(2, 4, ReplacementPolicy::GlobalLru);
         c.access(NodeId(0), b(1));
         match c.access(NodeId(0), b(1)) {
-            AccessOutcome::LocalHit { kind: CopyKind::Master } => {}
+            AccessOutcome::LocalHit {
+                kind: CopyKind::Master,
+            } => {}
             other => panic!("unexpected {other:?}"),
         }
         assert_eq!(c.stats().local_hits, 1);
@@ -772,7 +877,11 @@ mod tests {
         let mut c = cluster(2, 4, ReplacementPolicy::GlobalLru);
         c.access(NodeId(0), b(1));
         match c.access(NodeId(1), b(1)) {
-            AccessOutcome::RemoteHit { from, eviction: None, .. } => {
+            AccessOutcome::RemoteHit {
+                from,
+                eviction: None,
+                ..
+            } => {
                 assert_eq!(from, NodeId(0));
             }
             other => panic!("unexpected {other:?}"),
@@ -790,7 +899,9 @@ mod tests {
         c.access(NodeId(0), b(1));
         c.access(NodeId(1), b(1)); // replica at node 1
         match c.access(NodeId(1), b(1)) {
-            AccessOutcome::LocalHit { kind: CopyKind::Replica } => {}
+            AccessOutcome::LocalHit {
+                kind: CopyKind::Replica,
+            } => {}
             other => panic!("unexpected {other:?}"),
         }
     }
@@ -802,8 +913,8 @@ mod tests {
         c.access(NodeId(0), b(1));
         c.access(NodeId(1), b(2));
         c.access(NodeId(0), b(2)); // replica of b2 at node 0; cache now full
-        // New block: must evict. Master-preserving drops the replica b2 even
-        // though the master b1 is older.
+                                   // New block: must evict. Master-preserving drops the replica b2 even
+                                   // though the master b1 is older.
         let out = c.access(NodeId(0), b(3));
         let ev = out.eviction().expect("eviction expected");
         assert_eq!(ev.victim, b(2));
@@ -820,14 +931,18 @@ mod tests {
         c.access(NodeId(1), b(9)); // tick 1: node 1 master b9 (oldest in system)
         c.access(NodeId(0), b(1)); // tick 2: node 0 master b1
         c.access(NodeId(0), b(2)); // tick 3: node 0 master b2; node 0 full
-        // tick 4: node 0 needs room; victim = b1 (master, age 2). Node 1's
-        // oldest (age 1) is older, so b1 is forwarded to node 1.
+                                   // tick 4: node 0 needs room; victim = b1 (master, age 2). Node 1's
+                                   // oldest (age 1) is older, so b1 is forwarded to node 1.
         let out = c.access(NodeId(0), b(3));
         let ev = out.eviction().expect("eviction");
         assert_eq!(ev.victim, b(1));
         assert_eq!(ev.victim_kind, CopyKind::Master);
         match ev.disposition {
-            Disposition::Forwarded { to, displaced, merged_with_replica } => {
+            Disposition::Forwarded {
+                to,
+                displaced,
+                merged_with_replica,
+            } => {
                 assert_eq!(to, NodeId(1));
                 assert_eq!(displaced, None, "node 1 had spare room");
                 assert!(!merged_with_replica);
@@ -857,7 +972,11 @@ mod tests {
             }
             other => panic!("unexpected {other:?}"),
         }
-        assert_eq!(c.master_location(b(9)), None, "displaced master left memory");
+        assert_eq!(
+            c.master_location(b(9)),
+            None,
+            "displaced master left memory"
+        );
         assert_eq!(c.master_location(b(1)), Some(NodeId(1)));
         assert_eq!(c.stats().destination_drops, 1);
         c.check_invariants();
@@ -888,13 +1007,13 @@ mod tests {
         let mut c = cluster(2, 3, ReplacementPolicy::GlobalLru);
         c.access(NodeId(0), b(1)); // t1: master b1 at node 0
         c.access(NodeId(1), b(1)); // t2: replica b1 at node 1
-        // Age node 1's replica below node 0's later blocks, then force node 0
-        // to forward master b1 to node 1.
+                                   // Age node 1's replica below node 0's later blocks, then force node 0
+                                   // to forward master b1 to node 1.
         c.access(NodeId(0), b(2)); // t3
         c.access(NodeId(0), b(3)); // t4; node 0 full: b1(t2-touch? no: master touched at t2), b2, b3
-        // Node 0's LRU: b1 was touched at t2 (remote serve touches master).
+                                   // Node 0's LRU: b1 was touched at t2 (remote serve touches master).
         let out = c.access(NodeId(0), b(4)); // victim = b1 (master, age t2); peer oldest = replica b1 age t2
-        // Peer's oldest age == victim age → NOT older → drop instead of forward.
+                                             // Peer's oldest age == victim age → NOT older → drop instead of forward.
         let ev = out.eviction().unwrap();
         assert_eq!(ev.victim, b(1));
         // With equal ages the master is globally oldest-tied; it must drop.
@@ -911,7 +1030,11 @@ mod tests {
         let out = c.access(NodeId(0), b(4)); // victim b1 master age t3; peer oldest b7@t1 older → forward
         let ev = out.eviction().unwrap();
         match ev.disposition {
-            Disposition::Forwarded { to, merged_with_replica, displaced } => {
+            Disposition::Forwarded {
+                to,
+                merged_with_replica,
+                displaced,
+            } => {
                 assert_eq!(to, NodeId(1));
                 assert!(merged_with_replica, "should merge with resident replica");
                 assert_eq!(displaced, None);
@@ -933,10 +1056,10 @@ mod tests {
         c.access(NodeId(1), b(1)); // t2 replica at 1 (master touched t2)
         c.access(NodeId(1), b(2)); // t3: node 1 full (replica b1, master b2)
         c.access(NodeId(0), b(3)); // t4: node 0 full (master b1@t2, master b3)
-        // Force node 0 to evict b1: is it globally oldest? node 1 oldest =
-        // replica b1 @ t2 — ages tie, so b1 drops... to get a strict drop we
-        // need victim to be globally oldest. It ties; peer_age < age is false
-        // → drop path → promotion extension fires on surviving replica at 1.
+                                   // Force node 0 to evict b1: is it globally oldest? node 1 oldest =
+                                   // replica b1 @ t2 — ages tie, so b1 drops... to get a strict drop we
+                                   // need victim to be globally oldest. It ties; peer_age < age is false
+                                   // → drop path → promotion extension fires on surviving replica at 1.
         let out = c.access(NodeId(0), b(4));
         let ev = out.eviction().unwrap();
         assert_eq!(ev.victim, b(1));
@@ -987,12 +1110,12 @@ mod tests {
         // Node 2 learns b1 is at node 0.
         c.access(NodeId(0), b(1)); // t1 master at 0
         c.access(NodeId(2), b(1)); // t2: NoHint lookup; learns at 0
-        // Meanwhile make the master move to node 1 via forwarding.
+                                   // Meanwhile make the master move to node 1 via forwarding.
         c.access(NodeId(1), b(9)); // t3 old block at node 1
         c.access(NodeId(0), b(2)); // t4 node 0 full (b1@t2, b2@t4)
         let _ = c.access(NodeId(0), b(3)); // evict b1 → forwarded to node 1? b1 age t2 vs node1 oldest t3 — t3 > t2 so b1 is globally oldest → dropped.
-        // Accept either path; what we test is that a stale hint eventually
-        // yields a wasted hop:
+                                           // Accept either path; what we test is that a stale hint eventually
+                                           // yields a wasted hop:
         let loc = c.master_location(b(1));
         // Evict node 2's replica of b1 so its next access is not a local hit.
         c.access(NodeId(2), b(5)); // fills node 2
@@ -1018,7 +1141,7 @@ mod tests {
         let mut c = cluster(3, 1, ReplacementPolicy::NChance { chances: 1 });
         c.access(NodeId(2), b(9)); // t1: node 2 holds the system's oldest
         c.access(NodeId(0), b(1)); // t2: master b1 at node 0 (cap 1: full)
-        // t3: new block at node 0 evicts b1 -> forwarded (chance 1 used).
+                                   // t3: new block at node 0 evicts b1 -> forwarded (chance 1 used).
         let out = c.access(NodeId(0), b(2));
         match out.eviction().unwrap().disposition {
             Disposition::Forwarded { .. } => {}
@@ -1079,8 +1202,8 @@ mod tests {
         c.access(NodeId(0), b(1)); // master at 0
         c.access(NodeId(1), b(1)); // replica at 1
         c.access(NodeId(2), b(1)); // replica at 2
-        // Node 2 writes: its replica upgrades; 0's master superseded; 1's
-        // replica invalidated.
+                                   // Node 2 writes: its replica upgrades; 0's master superseded; 1's
+                                   // replica invalidated.
         let out = c.write(NodeId(2), b(1));
         assert_eq!(out.prior, Some(CopyKind::Replica));
         assert_eq!(out.superseded_master, Some(NodeId(0)));
@@ -1116,6 +1239,90 @@ mod tests {
             other => panic!("unexpected {other:?}"),
         }
         c.check_invariants();
+    }
+
+    #[test]
+    fn fail_node_remasters_from_surviving_replica() {
+        let mut c = cluster(3, 4, ReplacementPolicy::MasterPreserving);
+        c.access(NodeId(0), b(1)); // master at 0
+        c.access(NodeId(1), b(1)); // replica at 1
+        c.access(NodeId(0), b(2)); // master at 0, no replica anywhere
+        let report = c.fail_node(NodeId(0));
+        assert_eq!(report.remastered, 1, "b1 re-mastered at node 1");
+        assert_eq!(report.lost_masters, 1, "b2 lost with node 0");
+        assert_eq!(report.replicas_purged, 0);
+        assert!(c.is_down(NodeId(0)));
+        assert_eq!(c.master_location(b(1)), Some(NodeId(1)));
+        assert_eq!(c.node(NodeId(1)).lookup(b(1)), Some(CopyKind::Master));
+        assert_eq!(c.master_location(b(2)), None);
+        assert!(c.node(NodeId(0)).is_empty());
+        let s = c.stats();
+        assert_eq!(s.node_repairs, 1);
+        assert_eq!(s.remasters, 1);
+        assert_eq!(s.lost_masters, 1);
+        c.check_invariants();
+        // A lost block reads from disk again, mastered by the reader.
+        match c.access(NodeId(2), b(2)) {
+            AccessOutcome::DiskRead { .. } => {}
+            other => panic!("unexpected {other:?}"),
+        }
+        c.check_invariants();
+    }
+
+    #[test]
+    fn fail_node_purges_its_replicas() {
+        let mut c = cluster(3, 4, ReplacementPolicy::MasterPreserving);
+        c.access(NodeId(0), b(1)); // master at 0
+        c.access(NodeId(1), b(1)); // replica at 1
+        c.access(NodeId(2), b(1)); // replica at 2
+        let report = c.fail_node(NodeId(1));
+        assert_eq!(report.replicas_purged, 1);
+        assert_eq!(report.remastered, 0);
+        assert_eq!(report.lost_masters, 0);
+        // Master untouched; node 2's replica still valid.
+        assert_eq!(c.master_location(b(1)), Some(NodeId(0)));
+        assert_eq!(c.node(NodeId(2)).lookup(b(1)), Some(CopyKind::Replica));
+        c.check_invariants();
+    }
+
+    #[test]
+    fn down_node_is_not_a_forward_target() {
+        let mut c = cluster(2, 2, ReplacementPolicy::GlobalLru);
+        c.access(NodeId(1), b(9)); // t1: node 1 holds the system's oldest
+        c.access(NodeId(0), b(1)); // t2
+        c.access(NodeId(0), b(2)); // t3; node 0 full
+        c.fail_node(NodeId(1));
+        // Without the down-check, b1 (not globally oldest on ages alone)
+        // would forward to node 1; it must drop instead.
+        let out = c.access(NodeId(0), b(3));
+        let ev = out.eviction().expect("eviction");
+        assert_eq!(ev.victim, b(1));
+        assert_eq!(ev.disposition, Disposition::Dropped);
+        assert!(c.node(NodeId(1)).is_empty());
+        c.check_invariants();
+    }
+
+    #[test]
+    fn revived_node_rejoins_cold_and_works() {
+        let mut c = cluster(2, 4, ReplacementPolicy::MasterPreserving);
+        c.access(NodeId(1), b(1));
+        c.fail_node(NodeId(1));
+        c.revive_node(NodeId(1));
+        assert!(!c.is_down(NodeId(1)));
+        assert!(c.node(NodeId(1)).is_empty(), "rejoin must be cold");
+        match c.access(NodeId(1), b(1)) {
+            AccessOutcome::DiskRead { .. } => {} // its old master died with it
+            other => panic!("unexpected {other:?}"),
+        }
+        c.check_invariants();
+    }
+
+    #[test]
+    #[should_panic(expected = "already down")]
+    fn double_fail_panics() {
+        let mut c = cluster(2, 4, ReplacementPolicy::MasterPreserving);
+        c.fail_node(NodeId(1));
+        c.fail_node(NodeId(1));
     }
 
     #[test]

@@ -287,7 +287,10 @@ mod tests {
             other => panic!("unexpected: {other:?}"),
         }
         // The lookup taught node 0; a second lookup is a correct hint.
-        assert_eq!(d.lookup_from(NodeId(0), b(1)), HintLookup::Correct(NodeId(2)));
+        assert_eq!(
+            d.lookup_from(NodeId(0), b(1)),
+            HintLookup::Correct(NodeId(2))
+        );
         let s = d.stats();
         assert_eq!(s.lookups, 2);
         assert_eq!(s.correct, 1);
@@ -332,7 +335,10 @@ mod tests {
         let mut d = HintDirectory::new(3);
         d.set(b(1), NodeId(1));
         d.gossip(NodeId(2), b(1), NodeId(1));
-        assert_eq!(d.lookup_from(NodeId(2), b(1)), HintLookup::Correct(NodeId(1)));
+        assert_eq!(
+            d.lookup_from(NodeId(2), b(1)),
+            HintLookup::Correct(NodeId(1))
+        );
     }
 
     #[test]
@@ -366,8 +372,14 @@ mod tests {
         d.set(b(2), NodeId(1));
         d.exchange(NodeId(0), NodeId(1));
         // Node 0 learned about b2, node 1 about b1.
-        assert_eq!(d.lookup_from(NodeId(0), b(2)), HintLookup::Correct(NodeId(1)));
-        assert_eq!(d.lookup_from(NodeId(1), b(1)), HintLookup::Correct(NodeId(0)));
+        assert_eq!(
+            d.lookup_from(NodeId(0), b(2)),
+            HintLookup::Correct(NodeId(1))
+        );
+        assert_eq!(
+            d.lookup_from(NodeId(1), b(1)),
+            HintLookup::Correct(NodeId(0))
+        );
         // Node 2 was not part of the exchange.
         assert_eq!(
             d.lookup_from(NodeId(2), b(1)),

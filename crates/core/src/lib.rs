@@ -50,7 +50,10 @@ pub mod policy;
 pub mod stats;
 
 pub use block::{BlockId, FileId, NodeId, BLOCK_SIZE};
-pub use cluster_cache::{AccessOutcome, CacheConfig, ClusterCache, Disposition, EvictionEffect, PrefetchOutcome, WriteOutcome};
+pub use cluster_cache::{
+    AccessOutcome, CacheConfig, ClusterCache, Disposition, EvictionEffect, PrefetchOutcome,
+    RepairReport, WriteOutcome,
+};
 pub use directory::{DirectoryKind, HintLookup};
 pub use node_cache::{CopyKind, NodeCache};
 pub use policy::ReplacementPolicy;

@@ -85,7 +85,9 @@ impl NodeCache {
 
     /// Age of the resident copy of `block`, if any.
     pub fn age_of(&self, block: BlockId) -> Option<u64> {
-        self.masters.age_of(block).or_else(|| self.replicas.age_of(block))
+        self.masters
+            .age_of(block)
+            .or_else(|| self.replicas.age_of(block))
     }
 
     /// Refresh `block`'s recency to `age`. Returns the copy kind, or `None`
@@ -283,7 +285,11 @@ mod tests {
         c.check_invariants();
         assert_eq!(c.oldest_master(), Some((b(1), 10)));
         // b(3) sits between 10 and 20.
-        let ages: Vec<u64> = c.iter().filter(|(_, k, _)| *k == CopyKind::Master).map(|(_, _, a)| a).collect();
+        let ages: Vec<u64> = c
+            .iter()
+            .filter(|(_, k, _)| *k == CopyKind::Master)
+            .map(|(_, _, a)| a)
+            .collect();
         assert_eq!(ages, vec![20, 15, 10]);
     }
 
@@ -317,7 +323,15 @@ mod tests {
     fn fill_and_cycle() {
         let mut c = NodeCache::new(8);
         for i in 0..8 {
-            c.insert(b(i), if i % 2 == 0 { CopyKind::Master } else { CopyKind::Replica }, i as u64);
+            c.insert(
+                b(i),
+                if i % 2 == 0 {
+                    CopyKind::Master
+                } else {
+                    CopyKind::Replica
+                },
+                i as u64,
+            );
         }
         assert!(c.is_full());
         for i in 0..8 {

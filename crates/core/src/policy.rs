@@ -154,7 +154,10 @@ mod tests {
     #[test]
     fn forward_limits() {
         assert_eq!(ReplacementPolicy::GlobalLru.forward_limit(), u32::MAX);
-        assert_eq!(ReplacementPolicy::MasterPreserving.forward_limit(), u32::MAX);
+        assert_eq!(
+            ReplacementPolicy::MasterPreserving.forward_limit(),
+            u32::MAX
+        );
         assert_eq!(ReplacementPolicy::NChance { chances: 2 }.forward_limit(), 2);
     }
 }

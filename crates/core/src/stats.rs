@@ -35,6 +35,18 @@ pub struct CacheStats {
     pub writes: u64,
     /// Copies invalidated at other nodes by writes.
     pub invalidations: u64,
+    /// Directory repairs after node failures (`ClusterCache::fail_node`).
+    pub node_repairs: u64,
+    /// Masters of failed nodes re-mastered from a surviving replica.
+    pub remasters: u64,
+    /// Masters of failed nodes lost from cluster memory (no surviving
+    /// replica; the block degrades to disk-only until next read).
+    pub lost_masters: u64,
+    /// Reads that fell through to the backing store because the data plane
+    /// had not caught up with a protocol decision (in-flight races, lost
+    /// messages, dead peers). Maintained by the threaded runtime, not by
+    /// `ClusterCache` itself.
+    pub store_fallbacks: u64,
 }
 
 impl CacheStats {
@@ -84,6 +96,10 @@ impl CacheStats {
             prefetch_installs: self.prefetch_installs - earlier.prefetch_installs,
             writes: self.writes - earlier.writes,
             invalidations: self.invalidations - earlier.invalidations,
+            node_repairs: self.node_repairs - earlier.node_repairs,
+            remasters: self.remasters - earlier.remasters,
+            lost_masters: self.lost_masters - earlier.lost_masters,
+            store_fallbacks: self.store_fallbacks - earlier.store_fallbacks,
         }
     }
 }
@@ -148,5 +164,28 @@ mod tests {
         assert_eq!(d.disk_reads, 10);
         assert_eq!(d.forwards, 10);
         assert_eq!(d.accesses(), 30);
+    }
+
+    #[test]
+    fn delta_covers_repair_counters() {
+        let early = CacheStats {
+            node_repairs: 1,
+            remasters: 2,
+            lost_masters: 3,
+            store_fallbacks: 4,
+            ..CacheStats::default()
+        };
+        let late = CacheStats {
+            node_repairs: 3,
+            remasters: 7,
+            lost_masters: 4,
+            store_fallbacks: 10,
+            ..CacheStats::default()
+        };
+        let d = late.delta_since(&early);
+        assert_eq!(d.node_repairs, 2);
+        assert_eq!(d.remasters, 5);
+        assert_eq!(d.lost_masters, 1);
+        assert_eq!(d.store_fallbacks, 6);
     }
 }

@@ -11,11 +11,11 @@
 //! * forwarding never cascades (at most one displaced block per access);
 //! * runs are deterministic.
 
+use ccm_core::lru::LruList;
 use ccm_core::{
     AccessOutcome, BlockId, CacheConfig, ClusterCache, CopyKind, Disposition, FileId, NodeId,
     ReplacementPolicy,
 };
-use ccm_core::lru::LruList;
 use proptest::prelude::*;
 
 fn block(i: u32) -> BlockId {
@@ -150,6 +150,28 @@ proptest! {
 
 fn access_seq(nodes: u16, blocks: u32) -> impl Strategy<Value = Vec<(u16, u32)>> {
     prop::collection::vec(((0..nodes), (0..blocks)), 1..400)
+}
+
+/// One step of the crash/repair property tests: a normal access, a node
+/// crash (with directory repair), or a revival of a crashed node.
+#[derive(Debug, Clone)]
+enum ClusterOp {
+    Access(u16, u32),
+    Fail(u16),
+    Revive(u16),
+}
+
+fn cluster_ops(nodes: u16, blocks: u32) -> impl Strategy<Value = Vec<ClusterOp>> {
+    prop::collection::vec(
+        prop_oneof![
+            ((0..nodes), (0..blocks)).prop_map(|(n, b)| ClusterOp::Access(n, b)),
+            ((0..nodes), (0..blocks)).prop_map(|(n, b)| ClusterOp::Access(n, b)),
+            ((0..nodes), (0..blocks)).prop_map(|(n, b)| ClusterOp::Access(n, b)),
+            (0..nodes).prop_map(ClusterOp::Fail),
+            (0..nodes).prop_map(ClusterOp::Revive),
+        ],
+        1..300,
+    )
 }
 
 fn policies() -> impl Strategy<Value = ReplacementPolicy> {
@@ -325,6 +347,110 @@ proptest! {
             c.access(NodeId(n), block(b));
         }
         prop_assert_eq!(c.stats().forwards, 0, "0-chance must never forward");
+        c.check_invariants();
+    }
+
+    #[test]
+    fn repairs_preserve_directory_invariants(
+        ops in cluster_ops(4, 100),
+        cap in 1usize..16,
+        policy in policies(),
+    ) {
+        // Interleave accesses with node crashes (`fail_node`) and revivals;
+        // after every step the structural invariants must hold: at most one
+        // master per block, the directory exact, down nodes empty and never
+        // named as a master location, and each repair's report accounting
+        // for every master the dead node held.
+        let mut c = ClusterCache::new(CacheConfig::paper(4, cap, policy));
+        let mut down = [false; 4];
+        for op in ops {
+            match op {
+                ClusterOp::Access(n, b) => {
+                    if !down[n as usize] {
+                        c.access(NodeId(n), block(b));
+                    }
+                }
+                ClusterOp::Fail(n) => {
+                    let up = down.iter().filter(|d| !**d).count();
+                    if !down[n as usize] && up > 1 {
+                        let masters_before = c.node(NodeId(n)).num_masters();
+                        let report = c.fail_node(NodeId(n));
+                        down[n as usize] = true;
+                        prop_assert_eq!(
+                            report.remastered + report.lost_masters,
+                            masters_before,
+                            "repair must account for every master the node held"
+                        );
+                    }
+                }
+                ClusterOp::Revive(n) => {
+                    if down[n as usize] {
+                        c.revive_node(NodeId(n));
+                        down[n as usize] = false;
+                    }
+                }
+            }
+            c.check_invariants();
+            for i in 0..4u16 {
+                if down[i as usize] {
+                    prop_assert!(c.node(NodeId(i)).is_empty(), "down node must stay empty");
+                }
+            }
+        }
+        // No block's master may live on a down node.
+        for b in 0..100u32 {
+            if let Some(m) = c.master_location(block(b)) {
+                prop_assert!(!down[m.0 as usize], "master on a down node");
+            }
+        }
+        c.check_invariants();
+    }
+
+    #[test]
+    fn master_preserving_holds_across_crash_repairs(
+        ops in cluster_ops(4, 80),
+        cap in 1usize..12,
+    ) {
+        // The paper's winning policy must keep its promise — never evict a
+        // master while holding replicas — even when crash repairs have
+        // re-mastered blocks and revived nodes are refilling from cold.
+        let mut c = ClusterCache::new(CacheConfig::paper(
+            4, cap, ReplacementPolicy::MasterPreserving));
+        let mut down = [false; 4];
+        for op in ops {
+            match op {
+                ClusterOp::Access(n, b) => {
+                    if down[n as usize] {
+                        continue;
+                    }
+                    let node = NodeId(n);
+                    let replicas_before = c.node(node).num_replicas();
+                    let out = c.access(node, block(b));
+                    if let Some(ev) = out.eviction() {
+                        if ev.victim_kind == CopyKind::Master {
+                            prop_assert_eq!(
+                                replicas_before, 0,
+                                "master evicted while {} replicas were held",
+                                replicas_before
+                            );
+                        }
+                    }
+                }
+                ClusterOp::Fail(n) => {
+                    let up = down.iter().filter(|d| !**d).count();
+                    if !down[n as usize] && up > 1 {
+                        c.fail_node(NodeId(n));
+                        down[n as usize] = true;
+                    }
+                }
+                ClusterOp::Revive(n) => {
+                    if down[n as usize] {
+                        c.revive_node(NodeId(n));
+                        down[n as usize] = false;
+                    }
+                }
+            }
+        }
         c.check_invariants();
     }
 

@@ -67,9 +67,7 @@ fn serve_connection(stream: TcpStream, handle: &NodeHandle, catalog: &Catalog) {
             .filter(|&id| (id as usize) < catalog.num_files())
             .map(|id| handle.read_file(FileId(id)));
         let ok = match response {
-            Some(body) => {
-                write_response(&mut writer, 200, "OK", &body, req.keep_alive, head_only)
-            }
+            Some(body) => write_response(&mut writer, 200, "OK", &body, req.keep_alive, head_only),
             None => write_response(
                 &mut writer,
                 404,
@@ -147,12 +145,7 @@ impl HttpCluster {
     }
 }
 
-fn accept_loop(
-    listener: TcpListener,
-    handle: NodeHandle,
-    catalog: Catalog,
-    stop: Arc<AtomicBool>,
-) {
+fn accept_loop(listener: TcpListener, handle: NodeHandle, catalog: Catalog, stop: Arc<AtomicBool>) {
     let mut workers: Vec<JoinHandle<()>> = Vec::new();
     for stream in listener.incoming() {
         if stop.load(Ordering::SeqCst) {

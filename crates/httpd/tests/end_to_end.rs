@@ -17,6 +17,7 @@ fn start(nodes: usize, files: usize, size: u64, cap: usize) -> (HttpCluster, Cat
             nodes,
             capacity_blocks: cap,
             policy: ReplacementPolicy::MasterPreserving,
+            ..RtConfig::default()
         },
         catalog.clone(),
         store,
@@ -76,9 +77,7 @@ fn missing_and_malformed_requests() {
 
     // Unsupported method → 405.
     let mut stream = TcpStream::connect(addr).unwrap();
-    stream
-        .write_all(b"POST /file/0 HTTP/1.0\r\n\r\n")
-        .unwrap();
+    stream.write_all(b"POST /file/0 HTTP/1.0\r\n\r\n").unwrap();
     let mut buf = Vec::new();
     stream.read_to_end(&mut buf).unwrap();
     assert!(String::from_utf8_lossy(&buf).starts_with("HTTP/1.1 405"));
@@ -133,6 +132,7 @@ fn writes_show_up_over_http() {
             nodes: 2,
             capacity_blocks: 32,
             policy: ReplacementPolicy::MasterPreserving,
+            ..RtConfig::default()
         },
         catalog.clone(),
         store,

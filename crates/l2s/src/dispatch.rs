@@ -248,8 +248,8 @@ impl L2sSystem {
             self.stats.misses += 1;
             if self.caches[t].fits(file) {
                 let copies = &self.copies;
-                evicted = self.caches[t]
-                    .insert_with_evictions(file, tick, |f| copies[f.0 as usize]);
+                evicted =
+                    self.caches[t].insert_with_evictions(file, tick, |f| copies[f.0 as usize]);
                 for &e in &evicted {
                     self.copies[e.0 as usize] -= 1;
                 }

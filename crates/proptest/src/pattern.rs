@@ -1,0 +1,260 @@
+//! A small regex-subset compiler for pattern-string strategies.
+//!
+//! Supports the pattern shapes the workspace's fuzz tests use:
+//!
+//! * literal characters — `/`, `G`, `:` …
+//! * character classes — `[a-zA-Z0-9/_.-]`, `[ -~]` (a trailing or leading
+//!   `-` is a literal dash), with `&&[^…]` class subtraction as in
+//!   `[ -~&&[^:]]`
+//! * repetition on the preceding atom — `{m}`, `{m,n}`, `?`, `*`, `+`
+//!   (`*`/`+` are capped at 32 repeats; there is no backtracking engine
+//!   behind this, only generation)
+//!
+//! Anything outside this subset panics at compile time with the offending
+//! pattern, which turns an unsupported test pattern into an immediate,
+//! attributable failure instead of silently wrong data.
+
+use crate::TestRng;
+
+/// One generatable unit: a fixed char or a choice from a class.
+enum Atom {
+    Literal(char),
+    /// Sorted, deduplicated set of candidate characters.
+    Class(Vec<char>),
+}
+
+struct Piece {
+    atom: Atom,
+    min: u32,
+    max: u32,
+}
+
+/// A compiled pattern; see [`Pattern::compile`].
+pub struct Pattern {
+    pieces: Vec<Piece>,
+}
+
+impl Pattern {
+    /// Compile `pattern`, panicking on anything outside the supported subset.
+    pub fn compile(pattern: &str) -> Pattern {
+        let mut chars = pattern.chars().peekable();
+        let mut pieces = Vec::new();
+        while let Some(c) = chars.next() {
+            let atom = match c {
+                '[' => Atom::Class(parse_class(&mut chars, pattern)),
+                '\\' => Atom::Literal(
+                    chars
+                        .next()
+                        .unwrap_or_else(|| panic!("trailing backslash in pattern {pattern:?}")),
+                ),
+                '{' | '}' | '?' | '*' | '+' => {
+                    panic!("repetition without preceding atom in pattern {pattern:?}")
+                }
+                other => Atom::Literal(other),
+            };
+            let (min, max) = match chars.peek() {
+                Some('{') => {
+                    chars.next();
+                    parse_braces(&mut chars, pattern)
+                }
+                Some('?') => {
+                    chars.next();
+                    (0, 1)
+                }
+                Some('*') => {
+                    chars.next();
+                    (0, 32)
+                }
+                Some('+') => {
+                    chars.next();
+                    (1, 32)
+                }
+                _ => (1, 1),
+            };
+            pieces.push(Piece { atom, min, max });
+        }
+        Pattern { pieces }
+    }
+
+    /// Generate one matching string.
+    pub fn generate(&self, rng: &mut TestRng) -> String {
+        let mut out = String::new();
+        for piece in &self.pieces {
+            let reps = piece.min + rng.below(u64::from(piece.max - piece.min) + 1) as u32;
+            for _ in 0..reps {
+                match &piece.atom {
+                    Atom::Literal(c) => out.push(*c),
+                    Atom::Class(set) => {
+                        out.push(set[rng.below(set.len() as u64) as usize]);
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+/// Parse the body of a class after its opening `[`, consuming the final `]`.
+/// Handles `a-z` ranges, literal `-` at either end, and `&&[^…]` subtraction.
+fn parse_class(chars: &mut std::iter::Peekable<std::str::Chars<'_>>, pattern: &str) -> Vec<char> {
+    let include = parse_class_members(chars, pattern);
+    let mut exclude = Vec::new();
+    // The members parser stops after consuming the first `&` of `&&`; the
+    // rest of the subtraction syntax is consumed here.
+    if chars.peek() == Some(&'&') {
+        chars.next();
+        if chars.next() != Some('[') || chars.next() != Some('^') {
+            panic!("only `&&[^…]` subtraction is supported in pattern {pattern:?}");
+        }
+        exclude = parse_class_members(chars, pattern);
+        if chars.next() != Some(']') {
+            panic!("unterminated class in pattern {pattern:?}");
+        }
+    }
+    let set: Vec<char> = include
+        .into_iter()
+        .filter(|c| !exclude.contains(c))
+        .collect();
+    assert!(
+        !set.is_empty(),
+        "empty character class in pattern {pattern:?}"
+    );
+    set
+}
+
+/// Parse members up to (and consuming) the closing `]`, stopping before `&&`.
+fn parse_class_members(
+    chars: &mut std::iter::Peekable<std::str::Chars<'_>>,
+    pattern: &str,
+) -> Vec<char> {
+    let mut set = Vec::new();
+    loop {
+        let c = match chars.next() {
+            Some(']') => break,
+            Some('&') if chars.peek() == Some(&'&') => return dedup(set),
+            Some('\\') => chars
+                .next()
+                .unwrap_or_else(|| panic!("trailing backslash in pattern {pattern:?}")),
+            Some(c) => c,
+            None => panic!("unterminated class in pattern {pattern:?}"),
+        };
+        if chars.peek() == Some(&'-') {
+            // Peek past the dash: `a-z` is a range unless the dash is the
+            // final member (then both are literals).
+            let mut ahead = chars.clone();
+            ahead.next();
+            match ahead.peek() {
+                Some(']') | Some('&') | None => set.push(c),
+                Some(&hi) => {
+                    chars.next();
+                    chars.next();
+                    assert!(c <= hi, "inverted range {c}-{hi} in pattern {pattern:?}");
+                    set.extend(c..=hi);
+                }
+            }
+        } else {
+            set.push(c);
+        }
+    }
+    dedup(set)
+}
+
+fn dedup(mut set: Vec<char>) -> Vec<char> {
+    set.sort_unstable();
+    set.dedup();
+    set
+}
+
+fn parse_braces(chars: &mut std::iter::Peekable<std::str::Chars<'_>>, pattern: &str) -> (u32, u32) {
+    let mut body = String::new();
+    for c in chars.by_ref() {
+        if c == '}' {
+            let (lo, hi) = match body.split_once(',') {
+                Some((lo, hi)) => (lo, hi),
+                None => (body.as_str(), body.as_str()),
+            };
+            let parse = |s: &str| {
+                s.trim()
+                    .parse::<u32>()
+                    .unwrap_or_else(|_| panic!("bad repetition {{{body}}} in pattern {pattern:?}"))
+            };
+            let (min, max) = (parse(lo), parse(hi));
+            assert!(
+                min <= max,
+                "inverted repetition {{{body}}} in pattern {pattern:?}"
+            );
+            return (min, max);
+        }
+        body.push(c);
+    }
+    panic!("unterminated repetition in pattern {pattern:?}");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn gen(pattern: &str, seed: u64) -> String {
+        Pattern::compile(pattern).generate(&mut TestRng::new(seed))
+    }
+
+    #[test]
+    fn literal_prefix_and_class() {
+        for seed in 0..50 {
+            let s = gen("/[a-zA-Z0-9/_.-]{0,40}", seed);
+            assert!(s.starts_with('/'));
+            assert!(s.len() <= 41);
+            assert!(s
+                .chars()
+                .all(|c| c.is_ascii_alphanumeric() || "/_.-".contains(c)));
+        }
+    }
+
+    #[test]
+    fn printable_ascii_range() {
+        let mut lens = Vec::new();
+        for seed in 0..80 {
+            let s = gen("[ -~]{0,80}", seed);
+            lens.push(s.len());
+            assert!(s.chars().all(|c| (' '..='~').contains(&c)), "{s:?}");
+        }
+        assert!(lens.contains(&0) || lens.iter().any(|&l| l > 60));
+    }
+
+    #[test]
+    fn trailing_dash_is_literal() {
+        let mut saw_dash = false;
+        for seed in 0..200 {
+            let s = gen("[A-Za-z-]{1,16}", seed);
+            assert!(!s.is_empty() && s.len() <= 16);
+            assert!(s.chars().all(|c| c.is_ascii_alphabetic() || c == '-'));
+            saw_dash |= s.contains('-');
+        }
+        assert!(saw_dash, "dash never generated from [A-Za-z-]");
+    }
+
+    #[test]
+    fn class_subtraction_excludes() {
+        for seed in 0..100 {
+            let s = gen("[ -~&&[^:]]{0,30}", seed);
+            assert!(!s.contains(':'), "{s:?}");
+            assert!(s.chars().all(|c| (' '..='~').contains(&c)));
+        }
+    }
+
+    #[test]
+    fn fixed_count_and_quantifiers() {
+        assert_eq!(gen("a{3}", 1), "aaa");
+        for seed in 0..20 {
+            let s = gen("ab?c+", seed);
+            assert!(s.starts_with('a'));
+            assert!(s.ends_with('c'));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "repetition without preceding atom")]
+    fn bare_quantifier_rejected() {
+        Pattern::compile("{3}");
+    }
+}

@@ -21,18 +21,24 @@
 //!   not depend on `rand`: sequence stability across versions matters more
 //!   here than distribution breadth, and the trace generators implement their
 //!   own samplers on top of this.
+//! * [`chan`] / [`sync`] — unbounded MPMC channels and poison-free lock
+//!   wrappers for the threaded runtime. The whole workspace builds with no
+//!   external dependencies (the build environment has no registry access),
+//!   so the concurrency primitives the runtime needs live here.
 //!
 //! Nothing in this crate knows about caches, files, or networks; those live in
 //! the `ccm-cluster`, `ccm-core` and `ccm-webserver` crates.
 
 #![warn(missing_docs)]
 
+pub mod chan;
 pub mod event;
 pub mod fxhash;
 pub mod histogram;
 pub mod rng;
 pub mod service;
 pub mod stats;
+pub mod sync;
 pub mod time;
 
 pub use event::EventQueue;

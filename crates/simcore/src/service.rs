@@ -158,11 +158,7 @@ impl FiniteQueue {
     }
 
     /// Enqueue a job, or reject it if the waiting room is full.
-    pub fn schedule(
-        &mut self,
-        now: SimTime,
-        service: SimDuration,
-    ) -> Result<SimTime, Rejected> {
+    pub fn schedule(&mut self, now: SimTime, service: SimDuration) -> Result<SimTime, Rejected> {
         self.prune(now);
         // If the server is busy, exactly one in-system job is in service and
         // the rest are waiting; if it is idle, the arrival starts immediately

@@ -244,8 +244,14 @@ mod tests {
 
     #[test]
     fn fractional_millis_round_to_nearest_nanosecond() {
-        assert_eq!(SimDuration::from_millis_f64(0.1), SimDuration::from_micros(100));
-        assert_eq!(SimDuration::from_millis_f64(0.0000005), SimDuration::from_nanos(1));
+        assert_eq!(
+            SimDuration::from_millis_f64(0.1),
+            SimDuration::from_micros(100)
+        );
+        assert_eq!(
+            SimDuration::from_millis_f64(0.0000005),
+            SimDuration::from_nanos(1)
+        );
         assert_eq!(SimDuration::from_millis_f64(0.0), SimDuration::ZERO);
     }
 

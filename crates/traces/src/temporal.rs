@@ -38,7 +38,12 @@ impl TemporalSource {
     ///
     /// # Panics
     /// Panics if `locality` is outside `[0, 1]` or `capacity == 0`.
-    pub fn new(workload: Arc<Workload>, rng: Rng, locality: f64, capacity: usize) -> TemporalSource {
+    pub fn new(
+        workload: Arc<Workload>,
+        rng: Rng,
+        locality: f64,
+        capacity: usize,
+    ) -> TemporalSource {
         assert!((0.0..=1.0).contains(&locality), "locality out of [0,1]");
         assert!(capacity > 0, "zero stack capacity");
         TemporalSource {
@@ -143,9 +148,7 @@ mod tests {
         // Same head-share as direct workload sampling, statistically.
         let n = 40_000;
         let head = 200;
-        let hits = (0..n)
-            .filter(|_| t.next_request().index() < head)
-            .count();
+        let hits = (0..n).filter(|_| t.next_request().index() < head).count();
         let empirical = hits as f64 / n as f64;
         let analytic = w.request_fraction_of_top(head);
         assert!(

@@ -1,6 +1,6 @@
 //! Property-based tests for the workload substrate.
 
-use ccm_traces::{clf, FileId, SynthConfig, Workload, WorkingSetCurve};
+use ccm_traces::{clf, FileId, SynthConfig, WorkingSetCurve, Workload};
 use proptest::prelude::*;
 use simcore::Rng;
 
@@ -146,7 +146,11 @@ fn seeds_change_samples_not_statistics() {
         ..SynthConfig::default()
     };
     let a: Workload = base.clone().build();
-    let b: Workload = SynthConfig { seed: base.seed ^ 99, ..base }.build();
+    let b: Workload = SynthConfig {
+        seed: base.seed ^ 99,
+        ..base
+    }
+    .build();
     assert_ne!(a.sizes(), b.sizes());
     assert_eq!(a.total_bytes(), b.total_bytes());
     let rel = (a.avg_request_size() - b.avg_request_size()).abs() / a.avg_request_size();

@@ -54,7 +54,12 @@ enum Ev {
     /// Block-request control message arrived at the home node's disk;
     /// `span` blocks starting at `block` are read in one contiguous run
     /// (span > 1 under extent read-ahead).
-    DiskSubmit { client: u32, home: u16, block: u32, span: u32 },
+    DiskSubmit {
+        client: u32,
+        home: u16,
+        block: u32,
+        span: u32,
+    },
     /// A disk finished a transfer; `tag` encodes (client, block index).
     DiskDone { node: u16, tag: u64 },
     /// One in-flight block fetch fully finished.
@@ -187,13 +192,28 @@ impl CcmSim {
             match ev {
                 Ev::Arrived { client } => self.on_arrived(client, now),
                 Ev::BlocksReady { client } => self.advance(client, now),
-                Ev::PeerCtrl { client, from, bytes } => {
-                    let served = self
-                        .cluster
-                        .cpu(NodeId(from), now, self.cfg.costs.peer_block_time());
-                    self.queue.push(served, Ev::PeerCpuDone { client, from, bytes });
+                Ev::PeerCtrl {
+                    client,
+                    from,
+                    bytes,
+                } => {
+                    let served =
+                        self.cluster
+                            .cpu(NodeId(from), now, self.cfg.costs.peer_block_time());
+                    self.queue.push(
+                        served,
+                        Ev::PeerCpuDone {
+                            client,
+                            from,
+                            bytes,
+                        },
+                    );
                 }
-                Ev::PeerCpuDone { client, from, bytes } => {
+                Ev::PeerCpuDone {
+                    client,
+                    from,
+                    bytes,
+                } => {
                     let node = self.reqs[client as usize].node;
                     let costs = self.cfg.costs.clone();
                     let arrival =
@@ -204,12 +224,17 @@ impl CcmSim {
                 }
                 Ev::DataArrived { client } => {
                     let node = self.reqs[client as usize].node;
-                    let cached =
-                        self.cluster
-                            .cpu(node, now, self.cfg.costs.cache_block_time());
+                    let cached = self
+                        .cluster
+                        .cpu(node, now, self.cfg.costs.cache_block_time());
                     self.queue.push(cached, Ev::FetchDone { client });
                 }
-                Ev::DiskSubmit { client, home, block, span } => {
+                Ev::DiskSubmit {
+                    client,
+                    home,
+                    block,
+                    span,
+                } => {
                     self.on_disk_submit(client, home, block, span, now);
                 }
                 Ev::DiskDone { node, tag } => self.on_disk_done(node, tag, now),
@@ -249,10 +274,12 @@ impl CcmSim {
         req.pending = 0;
         req.issued = now;
         let node = req.node;
-        let arrival =
-            self.cluster
-                .net
-                .client_request(now, node, self.cfg.costs.control_msg_bytes, &self.cfg.costs);
+        let arrival = self.cluster.net.client_request(
+            now,
+            node,
+            self.cfg.costs.control_msg_bytes,
+            &self.cfg.costs,
+        );
         self.queue.push(arrival, Ev::Arrived { client });
     }
 
@@ -296,9 +323,7 @@ impl CcmSim {
             };
             if next_block >= nblocks {
                 if pending == 0 {
-                    let served = self
-                        .cluster
-                        .cpu(node, now, self.cfg.costs.serve_time(size));
+                    let served = self.cluster.cpu(node, now, self.cfg.costs.serve_time(size));
                     self.queue.push(served, Ev::ServeDone { client });
                 }
                 return;
@@ -402,8 +427,17 @@ impl CcmSim {
             // One metadata seek per 64 KB extent the run touches (§4.2).
             extents: last.extent() - first.extent() + 1,
         };
-        if let Some(c) = self.cluster.nodes[home as usize].disk.submit(now, dreq, &costs) {
-            self.queue.push(c.done, Ev::DiskDone { node: home, tag: c.tag });
+        if let Some(c) = self.cluster.nodes[home as usize]
+            .disk
+            .submit(now, dreq, &costs)
+        {
+            self.queue.push(
+                c.done,
+                Ev::DiskDone {
+                    node: home,
+                    tag: c.tag,
+                },
+            );
         }
     }
 
@@ -489,7 +523,11 @@ impl CcmSim {
     }
 
     fn total_seeks(&self) -> u64 {
-        self.cluster.nodes.iter().map(|n| n.disk.stats().seeks).sum()
+        self.cluster
+            .nodes
+            .iter()
+            .map(|n| n.disk.stats().seeks)
+            .sum()
     }
 
     fn finish(&mut self) -> RunMetrics {
@@ -563,9 +601,12 @@ mod tests {
     fn big_memory_eliminates_disk_traffic() {
         // 32 MB per node x 4 nodes >> 24 MB file set: after warm-up only
         // compulsory first-touch misses of cold-tail files remain.
-        let mut cfg =
-            SimConfig::paper(ServerKind::Ccm(CcmVariant::master_preserving()), 4, 32 << 20)
-                .quick();
+        let mut cfg = SimConfig::paper(
+            ServerKind::Ccm(CcmVariant::master_preserving()),
+            4,
+            32 << 20,
+        )
+        .quick();
         cfg.warmup_requests = 8_000;
         let m = run_ccm(&cfg, &small_workload());
         assert!(
@@ -579,7 +620,11 @@ mod tests {
     #[test]
     fn small_memory_hits_disk() {
         let m = run_variant(CcmVariant::master_preserving(), 1);
-        assert!(m.disk_rate > 0.02, "1 MB/node must miss, rate {}", m.disk_rate);
+        assert!(
+            m.disk_rate > 0.02,
+            "1 MB/node must miss, rate {}",
+            m.disk_rate
+        );
     }
 
     #[test]
@@ -621,9 +666,12 @@ mod tests {
         // With everything cached, the median request should complete in a
         // couple of milliseconds — this guards against phantom-queueing
         // regressions (booking service centers at future times).
-        let mut cfg =
-            SimConfig::paper(ServerKind::Ccm(CcmVariant::master_preserving()), 4, 32 << 20)
-                .quick();
+        let mut cfg = SimConfig::paper(
+            ServerKind::Ccm(CcmVariant::master_preserving()),
+            4,
+            32 << 20,
+        )
+        .quick();
         cfg.warmup_requests = 8_000;
         let m = run_ccm(&cfg, &small_workload());
         assert!(

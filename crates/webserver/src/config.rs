@@ -1,8 +1,8 @@
 //! Simulation run configuration.
 
 use ccm_cluster::{CostModel, DiskScheduler, Placement};
-use ccm_core::{DirectoryKind, ReplacementPolicy};
 use ccm_core::NodeId;
+use ccm_core::{DirectoryKind, ReplacementPolicy};
 
 /// Which middleware variant a CCM run uses. These are the three curves of
 /// Figure 2.
@@ -69,7 +69,9 @@ impl CcmVariant {
         let mut base = match (self.policy, self.scheduler) {
             (ReplacementPolicy::GlobalLru, DiskScheduler::Fifo) => "ccm-basic".to_string(),
             (ReplacementPolicy::GlobalLru, DiskScheduler::Batched) => "ccm-sched".to_string(),
-            (ReplacementPolicy::MasterPreserving, DiskScheduler::Fifo) => "ccm-mp-nosched".to_string(),
+            (ReplacementPolicy::MasterPreserving, DiskScheduler::Fifo) => {
+                "ccm-mp-nosched".to_string()
+            }
             (ReplacementPolicy::MasterPreserving, DiskScheduler::Batched) => "ccm-mp".to_string(),
             (ReplacementPolicy::NChance { chances }, _) => format!("ccm-nchance{chances}"),
         };

@@ -164,9 +164,9 @@ impl L2sSim {
                         let r = &self.reqs[client as usize];
                         (r.target, r.size)
                     };
-                    let served =
-                        self.cluster
-                            .cpu(target, now, self.cfg.costs.serve_time(size));
+                    let served = self
+                        .cluster
+                        .cpu(target, now, self.cfg.costs.serve_time(size));
                     self.queue.push(served, Ev::ServeDone { client });
                 }
                 Ev::DiskDone { node, tag } => self.on_disk_done(node, tag, now),
@@ -180,8 +180,7 @@ impl L2sSim {
                         let back = self.cluster.net.send(now, target, arrival, size, &costs);
                         self.queue.push(back, Ev::RelayArrived { client });
                     } else {
-                        let delivered =
-                            self.cluster.net.client_reply(now, target, size, &costs);
+                        let delivered = self.cluster.net.client_reply(now, target, size, &costs);
                         self.queue.push(delivered, Ev::Delivered { client });
                     }
                 }
@@ -191,9 +190,9 @@ impl L2sSim {
                         (r.arrival, r.size)
                     };
                     // The front node pays a second serving cost to re-send.
-                    let resent =
-                        self.cluster
-                            .cpu(arrival, now, self.cfg.costs.serve_time(size));
+                    let resent = self
+                        .cluster
+                        .cpu(arrival, now, self.cfg.costs.serve_time(size));
                     self.queue.push(resent, Ev::RelayCpuDone { client });
                 }
                 Ev::RelayCpuDone { client } => {
@@ -221,10 +220,12 @@ impl L2sSim {
         req.hit = false;
         req.issued = now;
         let node = req.arrival;
-        let arrival =
-            self.cluster
-                .net
-                .client_request(now, node, self.cfg.costs.control_msg_bytes, &self.cfg.costs);
+        let arrival = self.cluster.net.client_request(
+            now,
+            node,
+            self.cfg.costs.control_msg_bytes,
+            &self.cfg.costs,
+        );
         self.queue.push(arrival, Ev::Arrived { client });
     }
 
@@ -245,17 +246,17 @@ impl L2sSim {
             None => self.start_service(client, now),
             Some(initial) => {
                 if self.handoff {
-                    let done =
-                        self.cluster
-                            .cpu(initial, now, self.cfg.costs.handoff_time());
+                    let done = self
+                        .cluster
+                        .cpu(initial, now, self.cfg.costs.handoff_time());
                     self.queue.push(done, Ev::HandoffDone { client });
                 } else {
                     self.reqs[client as usize].relay = true;
                     let costs = self.cfg.costs.clone();
-                    let at =
-                        self.cluster
-                            .net
-                            .send_control(now, initial, outcome.target, &costs);
+                    let at = self
+                        .cluster
+                        .net
+                        .send_control(now, initial, outcome.target, &costs);
                     self.queue.push(at, Ev::CtrlAtTarget { client });
                 }
             }
@@ -283,7 +284,10 @@ impl L2sSim {
             bytes: size.max(1),
             extents: extents_of_file(size),
         };
-        if let Some(c) = self.cluster.nodes[target.index()].disk.submit(now, dreq, &costs) {
+        if let Some(c) = self.cluster.nodes[target.index()]
+            .disk
+            .submit(now, dreq, &costs)
+        {
             self.queue.push(
                 c.done,
                 Ev::DiskDone {
@@ -343,12 +347,17 @@ impl L2sSim {
         if self.cfg.think_time_ms <= 0.0 {
             return simcore::SimDuration::ZERO;
         }
-        let ms = ccm_traces::distributions::exponential(&mut self.think_rng, self.cfg.think_time_ms);
+        let ms =
+            ccm_traces::distributions::exponential(&mut self.think_rng, self.cfg.think_time_ms);
         simcore::SimDuration::from_millis_f64(ms)
     }
 
     fn total_seeks(&self) -> u64 {
-        self.cluster.nodes.iter().map(|n| n.disk.stats().seeks).sum()
+        self.cluster
+            .nodes
+            .iter()
+            .map(|n| n.disk.stats().seeks)
+            .sum()
     }
 
     fn finish(&mut self) -> RunMetrics {

@@ -37,7 +37,10 @@ fn servers() -> impl Strategy<Value = ServerKind> {
 }
 
 fn check_conservation(m: &RunMetrics, cfg: &SimConfig) {
-    assert_eq!(m.completed, cfg.measure_requests, "lost or invented requests");
+    assert_eq!(
+        m.completed, cfg.measure_requests,
+        "lost or invented requests"
+    );
     assert!(m.throughput_rps > 0.0);
     assert!(m.window_secs > 0.0);
     // Rates form a distribution.
@@ -57,7 +60,10 @@ fn check_conservation(m: &RunMetrics, cfg: &SimConfig) {
     ] {
         assert!((0.0..=1.25).contains(&u), "{name} utilization {u}");
     }
-    assert!(m.max_disk_util + 1e-9 >= m.utilization.disk, "max below mean");
+    assert!(
+        m.max_disk_util + 1e-9 >= m.utilization.disk,
+        "max below mean"
+    );
     // Latency statistics are ordered.
     assert!(m.median_response_ms <= m.mean_response_ms * 10.0);
     assert!(m.median_response_ms <= m.p95_response_ms + 1e-9);

@@ -26,6 +26,7 @@ fn main() {
             nodes: 4,
             capacity_blocks: 512, // 4 MB per node
             policy: ReplacementPolicy::MasterPreserving,
+            ..RtConfig::default()
         },
         catalog.clone(),
         store,

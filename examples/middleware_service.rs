@@ -25,6 +25,7 @@ fn main() {
             nodes: 4,
             capacity_blocks: 256, // 2 MB per node — forces cooperation
             policy: ReplacementPolicy::MasterPreserving,
+            ..RtConfig::default()
         },
         catalog,
         store,
@@ -51,12 +52,27 @@ fn main() {
     let total: u64 = workers.into_iter().map(|w| w.join().expect("worker")).sum();
 
     let s = mw.stats();
-    println!("served {:.1} MB through the cache\n", total as f64 / (1 << 20) as f64);
+    println!(
+        "served {:.1} MB through the cache\n",
+        total as f64 / (1 << 20) as f64
+    );
     println!("protocol traffic:");
     println!("  block accesses     {:>8}", s.accesses());
-    println!("  local hits         {:>8} ({:.1}%)", s.local_hits, 100.0 * s.local_hit_rate());
-    println!("  remote hits        {:>8} ({:.1}%)", s.remote_hits, 100.0 * s.remote_hit_rate());
-    println!("  disk reads         {:>8} ({:.1}%)", s.disk_reads, 100.0 * s.miss_rate());
+    println!(
+        "  local hits         {:>8} ({:.1}%)",
+        s.local_hits,
+        100.0 * s.local_hit_rate()
+    );
+    println!(
+        "  remote hits        {:>8} ({:.1}%)",
+        s.remote_hits,
+        100.0 * s.remote_hit_rate()
+    );
+    println!(
+        "  disk reads         {:>8} ({:.1}%)",
+        s.disk_reads,
+        100.0 * s.miss_rate()
+    );
     println!("  masters forwarded  {:>8}", s.forwards);
     println!("  evictions dropped  {:>8}", s.evict_drops);
     println!("  data-plane races   {:>8}", mw.store_fallbacks());

@@ -26,6 +26,7 @@ fn main() {
             nodes: 4,
             capacity_blocks: 48, // smaller than the record set: eviction live
             policy: ReplacementPolicy::MasterPreserving,
+            ..RtConfig::default()
         },
         catalog,
         store.clone(),
@@ -73,10 +74,7 @@ fn main() {
                 let block = BlockId::new(FileId(rng.next_below(64) as u32), 0);
                 let data = h.read_block(block);
                 let first = data[0];
-                assert!(
-                    data.iter().all(|&b| b == first),
-                    "torn read on {block:?}"
-                );
+                assert!(data.iter().all(|&b| b == first), "torn read on {block:?}");
                 reads += 1;
             }
             reads

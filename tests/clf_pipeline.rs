@@ -85,5 +85,8 @@ fn loaded_workload_drives_the_protocol() {
         }
     }
     cache.check_invariants();
-    assert!(cache.stats().total_hit_rate() > 0.5, "log replay should warm up");
+    assert!(
+        cache.stats().total_hit_rate() > 0.5,
+        "log replay should warm up"
+    );
 }

@@ -6,8 +6,8 @@
 //! a data plane, not different caching decisions. Under concurrency it must
 //! still deliver correct bytes, which `ccm-rt`'s own tests cover.
 
-use coopcache::core::{BlockId, CacheConfig, ClusterCache, FileId, NodeId, ReplacementPolicy};
 use coopcache::core::block::blocks_of_file;
+use coopcache::core::{BlockId, CacheConfig, ClusterCache, FileId, NodeId, ReplacementPolicy};
 use coopcache::rt::{Catalog, Middleware, RtConfig, SyntheticStore};
 use coopcache::simcore::Rng;
 use std::sync::Arc;
@@ -36,6 +36,7 @@ fn runtime_matches_protocol_stats_single_threaded() {
             nodes,
             capacity_blocks: cap,
             policy: ReplacementPolicy::MasterPreserving,
+            ..RtConfig::default()
         },
         catalog,
         store,
@@ -81,6 +82,7 @@ fn runtime_serves_a_preset_workload() {
             nodes: 4,
             capacity_blocks: 128,
             policy: ReplacementPolicy::MasterPreserving,
+            ..RtConfig::default()
         },
         catalog.clone(),
         store.clone(),
