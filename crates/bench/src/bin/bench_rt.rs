@@ -1,0 +1,226 @@
+//! Runtime transport micro-benchmark: per-block read latency and
+//! throughput of the threaded middleware on each read path — local hit,
+//! remote hit, cold disk read, and the §3 degrade path (remote miss that
+//! falls back to disk) — over both LAN backends: the in-process channel
+//! LAN and the real TCP loopback transport (`ccm-net`).
+//!
+//! Writes `BENCH_rt.json` at the repository root and prints a table.
+//!
+//! Usage: `cargo run --release -p ccm-bench --bin bench_rt [--quick]`
+
+use ccm_core::{BlockId, FileId, NodeId, ReplacementPolicy, BLOCK_SIZE};
+use ccm_net::TcpLan;
+use ccm_rt::{Catalog, FaultPlan, LinkFaults, Middleware, RtConfig, SyntheticStore};
+use std::io::Write;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Cache capacity per node, in blocks; also the per-phase working set.
+const CAPACITY: usize = 1024;
+
+#[derive(Debug, Clone, Copy)]
+enum Backend {
+    Channel,
+    Tcp,
+}
+
+impl Backend {
+    fn name(self) -> &'static str {
+        match self {
+            Backend::Channel => "channel",
+            Backend::Tcp => "tcp",
+        }
+    }
+}
+
+/// One measured phase: per-op latencies in nanoseconds.
+struct Phase {
+    scenario: &'static str,
+    samples: Vec<u64>,
+}
+
+impl Phase {
+    fn mean_ns(&self) -> f64 {
+        self.samples.iter().sum::<u64>() as f64 / self.samples.len() as f64
+    }
+
+    fn percentile_ns(&self, p: f64) -> u64 {
+        let mut s = self.samples.clone();
+        s.sort_unstable();
+        s[((s.len() - 1) as f64 * p) as usize]
+    }
+
+    fn mb_per_s(&self) -> f64 {
+        let total_ns = self.samples.iter().sum::<u64>() as f64;
+        let bytes = self.samples.len() as f64 * BLOCK_SIZE as f64;
+        bytes / (1 << 20) as f64 / (total_ns / 1e9)
+    }
+}
+
+fn start_cluster(backend: Backend, cfg: RtConfig, catalog: &Catalog) -> Middleware {
+    let store = Arc::new(SyntheticStore::new(catalog.clone(), 99));
+    match backend {
+        Backend::Channel => Middleware::start(cfg, catalog.clone(), store),
+        Backend::Tcp => {
+            let lan = Arc::new(TcpLan::loopback(cfg.nodes).expect("bind loopback"));
+            Middleware::start_on(cfg, catalog.clone(), store, lan)
+        }
+    }
+}
+
+/// Time `node` reading each block once, in order.
+fn time_reads(mw: &Middleware, node: NodeId, blocks: &[BlockId], out: &mut Vec<u64>) {
+    for &b in blocks {
+        let t = Instant::now();
+        let data = mw.handle(node).read_block(b);
+        let dt = t.elapsed().as_nanos() as u64;
+        assert_eq!(data.len(), BLOCK_SIZE as usize);
+        out.push(dt);
+    }
+}
+
+/// Run the four scenarios on one backend. Each scenario gets a fresh
+/// cluster so the cache state it measures is exactly the one named.
+fn run_backend(backend: Backend, rounds: usize) -> Vec<Phase> {
+    // One block per file keeps addressing trivial: block i = file i.
+    let catalog = Catalog::new(vec![BLOCK_SIZE; 4 * CAPACITY]);
+    let block = |i: usize| BlockId::new(FileId(i as u32), 0);
+    let set_a: Vec<BlockId> = (0..CAPACITY).map(block).collect();
+    let set_b: Vec<BlockId> = (CAPACITY..2 * CAPACITY).map(block).collect();
+    let cfg = |faults: Option<FaultPlan>| RtConfig {
+        nodes: 2,
+        capacity_blocks: CAPACITY,
+        policy: ReplacementPolicy::MasterPreserving,
+        fetch_timeout: Duration::from_secs(2),
+        faults,
+    };
+    let reader = NodeId(0);
+    let holder = NodeId(1);
+    let mut phases = Vec::new();
+
+    // Cold disk reads: nothing cached anywhere, every read faults in from
+    // the backing store (and becomes a local master).
+    {
+        let mw = start_cluster(backend, cfg(None), &catalog);
+        let mut samples = Vec::new();
+        time_reads(&mw, reader, &set_a, &mut samples);
+        assert_eq!(mw.stats().disk_reads, CAPACITY as u64);
+        phases.push(Phase {
+            scenario: "disk_read",
+            samples,
+        });
+        mw.shutdown();
+    }
+
+    // Local hits: prime once, then re-read the resident set.
+    {
+        let mw = start_cluster(backend, cfg(None), &catalog);
+        time_reads(&mw, reader, &set_a, &mut Vec::new()); // prime
+        let mut samples = Vec::new();
+        for _ in 0..rounds {
+            time_reads(&mw, reader, &set_a, &mut samples);
+        }
+        assert_eq!(mw.stats().local_hits, (rounds * CAPACITY) as u64);
+        phases.push(Phase {
+            scenario: "local_hit",
+            samples,
+        });
+        mw.shutdown();
+    }
+
+    // Remote hits: the peer masters the set, the reader fetches each block
+    // over the LAN exactly once (the fetched replicas then sit local, so
+    // every sample is a genuine peer round trip).
+    {
+        let mw = start_cluster(backend, cfg(None), &catalog);
+        time_reads(&mw, holder, &set_a, &mut Vec::new()); // peer masters A
+        let mut samples = Vec::new();
+        time_reads(&mw, reader, &set_a, &mut samples);
+        assert_eq!(mw.stats().remote_hits, CAPACITY as u64);
+        phases.push(Phase {
+            scenario: "remote_hit",
+            samples,
+        });
+        mw.shutdown();
+    }
+
+    // Degrade path (§3's "eventual disk read"): the directory points at the
+    // peer, but every peer request is dropped on the wire, so each read
+    // pays a failed remote attempt plus the disk fallback.
+    {
+        let all_drop = FaultPlan {
+            seed: 1,
+            link: LinkFaults {
+                drop_prob: 1.0,
+                dup_prob: 0.0,
+                delay_prob: 0.0,
+                delay_sends: 0,
+            },
+            crashes: Vec::new(),
+        };
+        let mw = start_cluster(backend, cfg(Some(all_drop)), &catalog);
+        time_reads(&mw, holder, &set_b, &mut Vec::new()); // peer masters B
+        let mut samples = Vec::new();
+        time_reads(&mw, reader, &set_b, &mut samples);
+        assert_eq!(mw.store_fallbacks(), CAPACITY as u64);
+        phases.push(Phase {
+            scenario: "remote_miss_fallback",
+            samples,
+        });
+        mw.shutdown();
+    }
+
+    phases
+}
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick")
+        || std::env::var("CCM_QUICK").is_ok_and(|v| v != "0" && !v.is_empty());
+    let rounds = if quick { 2 } else { 16 };
+
+    let mut json = String::from("{\n");
+    json.push_str("  \"bench\": \"bench_rt\",\n");
+    json.push_str(&format!("  \"block_size\": {BLOCK_SIZE},\n"));
+    json.push_str(&format!("  \"capacity_blocks\": {CAPACITY},\n"));
+    json.push_str("  \"nodes\": 2,\n");
+    json.push_str("  \"backends\": {\n");
+
+    println!(
+        "{:<8} {:<22} {:>9} {:>12} {:>10} {:>10} {:>10}",
+        "backend", "scenario", "samples", "mean ns/blk", "p50 ns", "p99 ns", "MB/s"
+    );
+    for (bi, backend) in [Backend::Channel, Backend::Tcp].into_iter().enumerate() {
+        let phases = run_backend(backend, rounds);
+        json.push_str(&format!("    \"{}\": {{\n", backend.name()));
+        for (pi, ph) in phases.iter().enumerate() {
+            println!(
+                "{:<8} {:<22} {:>9} {:>12.0} {:>10} {:>10} {:>10.1}",
+                backend.name(),
+                ph.scenario,
+                ph.samples.len(),
+                ph.mean_ns(),
+                ph.percentile_ns(0.50),
+                ph.percentile_ns(0.99),
+                ph.mb_per_s(),
+            );
+            json.push_str(&format!(
+                "      \"{}\": {{ \"samples\": {}, \"ns_per_block_mean\": {:.1}, \"ns_p50\": {}, \"ns_p99\": {}, \"mb_per_s\": {:.2} }}{}\n",
+                ph.scenario,
+                ph.samples.len(),
+                ph.mean_ns(),
+                ph.percentile_ns(0.50),
+                ph.percentile_ns(0.99),
+                ph.mb_per_s(),
+                if pi + 1 < phases.len() { "," } else { "" },
+            ));
+        }
+        json.push_str(&format!("    }}{}\n", if bi == 0 { "," } else { "" }));
+    }
+    json.push_str("  }\n}\n");
+
+    // Repo root, next to Cargo.toml (crates/bench/../..).
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_rt.json");
+    let mut f = std::fs::File::create(path).expect("create BENCH_rt.json");
+    f.write_all(json.as_bytes()).expect("write BENCH_rt.json");
+    println!("\nwrote {path}");
+}

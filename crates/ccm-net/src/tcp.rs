@@ -1,0 +1,687 @@
+//! `TcpLan` — the socket backend of the runtime's [`Transport`] trait.
+//!
+//! One listener per node on loopback (the per-node address a round-robin
+//! DNS would hand out), one lazily established TCP connection per ordered
+//! node pair, and the [`crate::wire`] codec in between. The in-process
+//! reply channels of [`PeerMsg`] never cross the socket: the sending side
+//! parks each reply sender in a per-connection *pending table* keyed by
+//! request id, and a reader thread resolves it when the matching
+//! [`WireMsg::BlockReply`] / [`WireMsg::BarrierAck`] comes back.
+//!
+//! ## Connection lifecycle
+//!
+//! * **Lazy connect** — the `src → dst` connection is dialed on first send.
+//!   The first frame is a [`WireMsg::Hello`] naming the wire version and
+//!   the source node; the acceptor rejects mismatched versions.
+//! * **Failure** — a write error, a reader-side EOF, or a decode error
+//!   tears the connection down: the socket is shut down both ways, every
+//!   pending reply sender is dropped (waiting requesters observe an
+//!   immediate disconnect and fall back to the backing store), and the
+//!   link enters backoff.
+//! * **Reconnect** — after a teardown the link refuses sends (fail-fast
+//!   `false`, the disk-fallback path) until a capped exponential backoff
+//!   expires, then the next send dials again.
+//! * **Crash/restart** — a crashed node's service thread drops its inbox
+//!   receiver; each demux thread pinned to that dead incarnation fails its
+//!   next delivery and closes its connection, which propagates the failure
+//!   to the sending side. [`Transport::reconnect`] (node restart) installs
+//!   a fresh inbox and severs every connection to and from the node — as a
+//!   reboot would — so stale frames can never leak into the new
+//!   incarnation; peers re-dial lazily.
+//!
+//! ## Deadlines
+//!
+//! Requests carry no wire-level deadline: the requester's bounded
+//! `recv_timeout` in [`Transport::fetch_block`] *is* the deadline, exactly
+//! as over the channel LAN (`RtConfig::fetch_timeout`). A request whose
+//! connection dies resolves early (disconnect), one whose reply is merely
+//! slow resolves at the deadline; both degrade to the §3 disk read.
+//!
+//! In-process the whole cluster shares one `TcpLan` (every listener plus
+//! every outbound link), which is what the tests and the demo binary use;
+//! the frame protocol itself carries no process-local state, so a future
+//! multi-process deployment only needs a constructor that owns one slot
+//! and dials remote addresses.
+//!
+//! [`Transport`]: ccm_rt::Transport
+//! [`Transport::fetch_block`]: ccm_rt::Transport::fetch_block
+//! [`Transport::reconnect`]: ccm_rt::Transport::reconnect
+//! [`PeerMsg`]: ccm_rt::PeerMsg
+
+use crate::wire::{read_frame, write_frame, WireMsg, WIRE_VERSION};
+use ccm_core::NodeId;
+use ccm_rt::{PeerMsg, Transport};
+use simcore::chan::{unbounded, Receiver, Sender};
+use simcore::sync::{Mutex, RwLock};
+use simcore::FxHashMap;
+use std::io::BufReader;
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Tuning knobs for the connection manager.
+#[derive(Debug, Clone, Copy)]
+pub struct TcpConfig {
+    /// Per-attempt dial timeout.
+    pub connect_timeout: Duration,
+    /// Backoff after the first failure on a link.
+    pub initial_backoff: Duration,
+    /// Backoff ceiling (doubles per consecutive failure up to this).
+    pub max_backoff: Duration,
+}
+
+impl Default for TcpConfig {
+    fn default() -> TcpConfig {
+        TcpConfig {
+            connect_timeout: Duration::from_secs(1),
+            initial_backoff: Duration::from_millis(10),
+            max_backoff: Duration::from_millis(500),
+        }
+    }
+}
+
+/// Wire/connection counters (diagnostics; monotonic).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct NetStats {
+    /// Outbound connections successfully established (incl. re-dials).
+    pub connects: u64,
+    /// Dial attempts that failed.
+    pub connect_failures: u64,
+    /// Established connections torn down (error, EOF, or node restart).
+    pub teardowns: u64,
+    /// Frames written by senders (requests, forwards, invalidates,
+    /// barriers, hellos).
+    pub frames_sent: u64,
+    /// Frames delivered to service inboxes or pending tables.
+    pub frames_received: u64,
+}
+
+/// What a reply correlates back to.
+enum Pending {
+    Block(Sender<Option<Vec<u8>>>),
+    Barrier(Sender<()>),
+}
+
+/// The per-connection table of outstanding requests. Once the connection's
+/// reply reader exits it *closes* the table; a sender that loses the race
+/// and tries to register afterwards is refused, so no entry can ever be
+/// orphaned to sit out its full timeout.
+#[derive(Default)]
+struct PendingMap {
+    closed: AtomicBool,
+    map: Mutex<FxHashMap<u64, Pending>>,
+}
+
+impl PendingMap {
+    /// Register an outstanding request; false if the connection's reader
+    /// already exited (the caller must treat the send as failed).
+    fn insert(&self, req_id: u64, p: Pending) -> bool {
+        let mut m = self.map.lock();
+        if self.closed.load(Ordering::Acquire) {
+            return false;
+        }
+        m.insert(req_id, p);
+        true
+    }
+
+    fn remove(&self, req_id: u64) -> Option<Pending> {
+        self.map.lock().remove(&req_id)
+    }
+
+    /// Refuse future registrations and drop every waiter (each observes an
+    /// immediate disconnect rather than a timeout).
+    fn close(&self) {
+        let mut m = self.map.lock();
+        self.closed.store(true, Ordering::Release);
+        m.clear();
+    }
+}
+
+type PendingTable = Arc<PendingMap>;
+
+/// An established outbound connection.
+struct Conn {
+    sock: TcpStream,
+    pending: PendingTable,
+}
+
+impl Drop for Conn {
+    fn drop(&mut self) {
+        // Unblock our reader thread and signal the peer's demux; pending
+        // entries die with the table Arc once the reader exits.
+        let _ = self.sock.shutdown(Shutdown::Both);
+    }
+}
+
+/// One directed link `src → dst`.
+struct Link {
+    conn: Option<Conn>,
+    backoff: Duration,
+    /// Sends before this instant fail fast (the link is in backoff).
+    retry_at: Option<Instant>,
+}
+
+struct NodeSlot {
+    addr: SocketAddr,
+    /// The current inbox incarnation. Demux threads pin a clone at
+    /// handshake time, so frames for a dead incarnation can never reach a
+    /// restarted node.
+    inbox: RwLock<Sender<PeerMsg>>,
+}
+
+struct TcpShared {
+    cfg: TcpConfig,
+    slots: Vec<NodeSlot>,
+    /// Row-major `src * nodes + dst`.
+    links: Vec<Mutex<Link>>,
+    next_req: AtomicU64,
+    stop: AtomicBool,
+    /// Demux/reader threads, joined on drop. Appended per connection; the
+    /// vector grows with total connections made, which is bounded by link
+    /// count times reconnects — fine for the runtime's lifetime.
+    workers: Mutex<Vec<JoinHandle<()>>>,
+    connects: AtomicU64,
+    connect_failures: AtomicU64,
+    teardowns: AtomicU64,
+    frames_sent: AtomicU64,
+    frames_received: AtomicU64,
+}
+
+impl TcpShared {
+    fn link(&self, src: NodeId, dst: NodeId) -> &Mutex<Link> {
+        &self.links[src.index() * self.slots.len() + dst.index()]
+    }
+
+    fn local_deliver(&self, dst: NodeId, msg: PeerMsg) -> bool {
+        self.slots[dst.index()].inbox.read().send(msg).is_ok()
+    }
+
+    /// Tear an established connection down and arm the backoff. No-op if
+    /// `pending` is not the link's current connection (a stale notice from
+    /// an old reader thread must not kill its successor).
+    fn teardown(&self, src: NodeId, dst: NodeId, pending: &PendingTable) {
+        let mut link = self.link(src, dst).lock();
+        let is_current = link
+            .conn
+            .as_ref()
+            .is_some_and(|c| Arc::ptr_eq(&c.pending, pending));
+        if is_current {
+            link.conn = None; // Conn::drop shuts the socket down
+            link.retry_at = Some(Instant::now() + link.backoff);
+            link.backoff = (link.backoff * 2).min(self.cfg.max_backoff);
+            self.teardowns.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+}
+
+/// The socket LAN. Construct with [`TcpLan::loopback`], hand it to
+/// `Middleware::start_on`, and the cluster's peer traffic runs over real
+/// TCP connections.
+pub struct TcpLan {
+    shared: Arc<TcpShared>,
+    acceptors: Mutex<Vec<JoinHandle<()>>>,
+}
+
+impl TcpLan {
+    /// Bind `nodes` listeners on loopback ephemeral ports with default
+    /// tuning.
+    ///
+    /// # Errors
+    /// Any socket error while binding or spawning acceptors.
+    pub fn loopback(nodes: usize) -> std::io::Result<TcpLan> {
+        TcpLan::with_config(nodes, TcpConfig::default())
+    }
+
+    /// Bind `nodes` listeners on loopback ephemeral ports.
+    ///
+    /// # Errors
+    /// Any socket error while binding or spawning acceptors.
+    pub fn with_config(nodes: usize, cfg: TcpConfig) -> std::io::Result<TcpLan> {
+        let mut listeners = Vec::with_capacity(nodes);
+        let mut slots = Vec::with_capacity(nodes);
+        for _ in 0..nodes {
+            let listener = TcpListener::bind("127.0.0.1:0")?;
+            let addr = listener.local_addr()?;
+            listeners.push(listener);
+            // Dummy incarnation: dead until `reconnect` installs a real
+            // inbox (Middleware::start_on does, for every node).
+            let (tx, _) = unbounded();
+            slots.push(NodeSlot {
+                addr,
+                inbox: RwLock::new(tx),
+            });
+        }
+        let shared = Arc::new(TcpShared {
+            cfg,
+            slots,
+            links: (0..nodes * nodes)
+                .map(|_| {
+                    Mutex::new(Link {
+                        conn: None,
+                        backoff: cfg.initial_backoff,
+                        retry_at: None,
+                    })
+                })
+                .collect(),
+            next_req: AtomicU64::new(1),
+            stop: AtomicBool::new(false),
+            workers: Mutex::new(Vec::new()),
+            connects: AtomicU64::new(0),
+            connect_failures: AtomicU64::new(0),
+            teardowns: AtomicU64::new(0),
+            frames_sent: AtomicU64::new(0),
+            frames_received: AtomicU64::new(0),
+        });
+        let acceptors = listeners
+            .into_iter()
+            .enumerate()
+            .map(|(i, listener)| {
+                let shared = shared.clone();
+                let node = NodeId(i as u16);
+                std::thread::Builder::new()
+                    .name(format!("ccm-net-accept-{i}"))
+                    .spawn(move || accept_loop(shared, node, listener))
+            })
+            .collect::<std::io::Result<Vec<_>>>()?;
+        Ok(TcpLan {
+            shared,
+            acceptors: Mutex::new(acceptors),
+        })
+    }
+
+    /// The listen address of `node`.
+    ///
+    /// # Panics
+    /// Panics if the node is out of range.
+    pub fn addr(&self, node: NodeId) -> SocketAddr {
+        self.shared.slots[node.index()].addr
+    }
+
+    /// Connection and frame counters so far.
+    pub fn net_stats(&self) -> NetStats {
+        let s = &self.shared;
+        NetStats {
+            connects: s.connects.load(Ordering::Relaxed),
+            connect_failures: s.connect_failures.load(Ordering::Relaxed),
+            teardowns: s.teardowns.load(Ordering::Relaxed),
+            frames_sent: s.frames_sent.load(Ordering::Relaxed),
+            frames_received: s.frames_received.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Ensure `src → dst` has a live connection, dialing if allowed.
+    /// Returns false while the link is in backoff or the dial fails.
+    fn ensure_conn<'a>(
+        &self,
+        link: &'a mut Link,
+        src: NodeId,
+        dst: NodeId,
+    ) -> Option<&'a mut Conn> {
+        if link.conn.is_some() {
+            return link.conn.as_mut();
+        }
+        if self.shared.stop.load(Ordering::Acquire) {
+            return None;
+        }
+        if let Some(at) = link.retry_at {
+            if Instant::now() < at {
+                return None; // fail fast: the caller degrades to disk
+            }
+        }
+        let addr = self.shared.slots[dst.index()].addr;
+        let dial =
+            TcpStream::connect_timeout(&addr, self.shared.cfg.connect_timeout).and_then(|sock| {
+                sock.set_nodelay(true)?;
+                let mut hello_sock = &sock;
+                write_frame(
+                    &mut hello_sock,
+                    &WireMsg::Hello {
+                        version: WIRE_VERSION,
+                        node: src,
+                    },
+                )?;
+                Ok(sock)
+            });
+        match dial {
+            Ok(sock) => {
+                let pending: PendingTable = Arc::new(PendingMap::default());
+                let reader_sock = match sock.try_clone() {
+                    Ok(s) => s,
+                    Err(_) => {
+                        self.shared.connect_failures.fetch_add(1, Ordering::Relaxed);
+                        link.retry_at = Some(Instant::now() + link.backoff);
+                        link.backoff = (link.backoff * 2).min(self.shared.cfg.max_backoff);
+                        return None;
+                    }
+                };
+                let shared = self.shared.clone();
+                let reader_pending = pending.clone();
+                let handle = std::thread::Builder::new()
+                    .name(format!("ccm-net-rd-{}-{}", src.index(), dst.index()))
+                    .spawn(move || reply_reader(shared, src, dst, reader_sock, reader_pending))
+                    .expect("spawn reply reader");
+                self.shared.workers.lock().push(handle);
+                self.shared.connects.fetch_add(1, Ordering::Relaxed);
+                self.shared.frames_sent.fetch_add(1, Ordering::Relaxed); // the Hello
+                link.conn = Some(Conn { sock, pending });
+                link.backoff = self.shared.cfg.initial_backoff;
+                link.retry_at = None;
+                link.conn.as_mut()
+            }
+            Err(_) => {
+                self.shared.connect_failures.fetch_add(1, Ordering::Relaxed);
+                link.retry_at = Some(Instant::now() + link.backoff);
+                link.backoff = (link.backoff * 2).min(self.shared.cfg.max_backoff);
+                None
+            }
+        }
+    }
+
+    /// Encode `msg` and write it on the link, registering a pending-table
+    /// entry for reply-bearing messages. Returns false (after teardown) on
+    /// any write failure.
+    fn send_wire(&self, src: NodeId, dst: NodeId, msg: PeerMsg) -> bool {
+        let mut link = self.shared.link(src, dst).lock();
+        let Some(conn) = self.ensure_conn(&mut link, src, dst) else {
+            return false;
+        };
+        let frame = match msg {
+            PeerMsg::BlockRequest { block, reply } => {
+                let req_id = self.shared.next_req.fetch_add(1, Ordering::Relaxed);
+                if !conn.pending.insert(req_id, Pending::Block(reply)) {
+                    let pending = conn.pending.clone();
+                    drop(link);
+                    self.shared.teardown(src, dst, &pending);
+                    return false;
+                }
+                WireMsg::BlockRequest { req_id, block }
+            }
+            PeerMsg::Forward {
+                block,
+                data,
+                displace,
+            } => WireMsg::Forward {
+                block,
+                data,
+                displace,
+            },
+            PeerMsg::Invalidate { block } => WireMsg::Invalidate { block },
+            PeerMsg::Barrier { reply } => {
+                let req_id = self.shared.next_req.fetch_add(1, Ordering::Relaxed);
+                if !conn.pending.insert(req_id, Pending::Barrier(reply)) {
+                    let pending = conn.pending.clone();
+                    drop(link);
+                    self.shared.teardown(src, dst, &pending);
+                    return false;
+                }
+                WireMsg::Barrier { req_id }
+            }
+            // Control-plane; `send` routes it locally before we get here.
+            PeerMsg::Shutdown => unreachable!("Shutdown never crosses the wire"),
+        };
+        let mut w = &conn.sock;
+        if write_frame(&mut w, &frame).is_ok() {
+            self.shared.frames_sent.fetch_add(1, Ordering::Relaxed);
+            true
+        } else {
+            // A failed write is indistinguishable from a dead peer: drop
+            // the connection (and its pending replies) and back off.
+            let pending = conn.pending.clone();
+            drop(link);
+            self.shared.teardown(src, dst, &pending);
+            false
+        }
+    }
+}
+
+impl Transport for TcpLan {
+    fn nodes(&self) -> usize {
+        self.shared.slots.len()
+    }
+
+    fn send(&self, src: NodeId, dst: NodeId, msg: PeerMsg) -> bool {
+        // Shutdown is control-plane (it stops the local service thread);
+        // self-sends short-circuit the wire the way a kernel loops back a
+        // socket to itself.
+        if src == dst || matches!(msg, PeerMsg::Shutdown) {
+            return self.shared.local_deliver(dst, msg);
+        }
+        self.send_wire(src, dst, msg)
+    }
+
+    fn reconnect(&self, node: NodeId) -> Receiver<PeerMsg> {
+        // A reboot severs the node's TCP connections in both directions.
+        // Dropping each Conn shuts its socket down, so demux threads pinned
+        // to the dead incarnation unblock and exit; links are re-armed for
+        // an immediate dial (the listener is already back up).
+        let n = self.shared.slots.len();
+        for other in 0..n {
+            for (src, dst) in [(node.index(), other), (other, node.index())] {
+                let mut link = self.shared.links[src * n + dst].lock();
+                if link.conn.take().is_some() {
+                    self.shared.teardowns.fetch_add(1, Ordering::Relaxed);
+                }
+                link.backoff = self.shared.cfg.initial_backoff;
+                link.retry_at = None;
+            }
+        }
+        let (tx, rx) = unbounded();
+        *self.shared.slots[node.index()].inbox.write() = tx;
+        rx
+    }
+
+    fn barrier(&self, node: NodeId, timeout: Duration) -> bool {
+        let deadline = Instant::now() + timeout;
+        // One wire barrier per live inbound connection: each ack proves
+        // that connection's earlier frames were demuxed and processed. The
+        // local barrier covers locally delivered messages and makes the
+        // whole call fail when the node is down.
+        let mut acks = Vec::new();
+        for src in 0..self.shared.slots.len() {
+            let src = NodeId(src as u16);
+            if src == node {
+                continue;
+            }
+            let mut link = self.shared.link(src, node).lock();
+            let Some(conn) = link.conn.as_mut() else {
+                continue; // never connected or torn down: nothing in flight
+            };
+            let req_id = self.shared.next_req.fetch_add(1, Ordering::Relaxed);
+            let (tx, rx) = unbounded();
+            if !conn.pending.insert(req_id, Pending::Barrier(tx)) {
+                continue; // connection just died; its frames died with it
+            }
+            let mut w = &conn.sock;
+            if write_frame(&mut w, &WireMsg::Barrier { req_id }).is_ok() {
+                self.shared.frames_sent.fetch_add(1, Ordering::Relaxed);
+                acks.push(rx);
+            } else {
+                let pending = conn.pending.clone();
+                drop(link);
+                self.shared.teardown(src, node, &pending);
+                // The link died: its in-flight frames are lost with it, so
+                // there is nothing left to wait for.
+            }
+        }
+        let (tx, rx) = unbounded();
+        if !self
+            .shared
+            .local_deliver(node, PeerMsg::Barrier { reply: tx })
+        {
+            return false;
+        }
+        acks.push(rx);
+        acks.into_iter().all(|rx| {
+            let left = deadline.saturating_duration_since(Instant::now());
+            rx.recv_timeout(left).is_ok()
+        })
+    }
+}
+
+impl Drop for TcpLan {
+    fn drop(&mut self) {
+        self.shared.stop.store(true, Ordering::Release);
+        // Closing every outbound connection unblocks both our reply readers
+        // (read error) and the peer demux threads (EOF).
+        for link in &self.shared.links {
+            link.lock().conn = None;
+        }
+        // Nudge each acceptor out of accept().
+        for slot in &self.shared.slots {
+            let _ = TcpStream::connect(slot.addr);
+        }
+        for a in self.acceptors.lock().drain(..) {
+            let _ = a.join();
+        }
+        let workers = std::mem::take(&mut *self.shared.workers.lock());
+        for w in workers {
+            let _ = w.join();
+        }
+    }
+}
+
+/// Accept inbound connections for `node` and spawn a demux per connection.
+fn accept_loop(shared: Arc<TcpShared>, node: NodeId, listener: TcpListener) {
+    for stream in listener.incoming() {
+        if shared.stop.load(Ordering::Acquire) {
+            break;
+        }
+        let Ok(stream) = stream else { continue };
+        let shared2 = shared.clone();
+        let handle = std::thread::Builder::new()
+            .name(format!("ccm-net-demux-{}", node.index()))
+            .spawn(move || demux_loop(shared2, node, stream))
+            .expect("spawn demux");
+        shared.workers.lock().push(handle);
+    }
+}
+
+/// Serve one inbound connection to `node`: validate the Hello, then
+/// translate wire frames into [`PeerMsg`]s for the *current* inbox
+/// incarnation, writing replies back on the same socket. Any error, EOF,
+/// or dead-inbox delivery closes the connection — the sending side
+/// observes it and re-dials after backoff.
+fn demux_loop(shared: Arc<TcpShared>, node: NodeId, stream: TcpStream) {
+    let _ = stream.set_nodelay(true);
+    // Bound the handshake so a silent connection cannot pin this thread.
+    let _ = stream.set_read_timeout(Some(Duration::from_secs(5)));
+    let mut reader = BufReader::new(match stream.try_clone() {
+        Ok(s) => s,
+        Err(_) => return,
+    });
+    match read_frame(&mut reader) {
+        Ok(Some(WireMsg::Hello { version, node: src }))
+            if version == WIRE_VERSION && src.index() < shared.slots.len() => {}
+        _ => return, // wrong protocol, wrong version, or no hello
+    }
+    let _ = stream.set_read_timeout(None);
+    shared.frames_received.fetch_add(1, Ordering::Relaxed); // the Hello
+
+    // Pin the inbox incarnation: frames from a connection established
+    // before a crash must die with the old incarnation, never leak into
+    // the restarted node's inbox.
+    let inbox = shared.slots[node.index()].inbox.read().clone();
+    // Loop until the peer closes or the stream corrupts (read_frame yields
+    // Ok(None) or Err respectively — both end the connection).
+    while let Ok(Some(frame)) = read_frame(&mut reader) {
+        shared.frames_received.fetch_add(1, Ordering::Relaxed);
+        match frame {
+            WireMsg::BlockRequest { req_id, block } => {
+                let (tx, rx) = unbounded();
+                if inbox
+                    .send(PeerMsg::BlockRequest { block, reply: tx })
+                    .is_err()
+                {
+                    break; // dead incarnation: kill the connection
+                }
+                // Blocks until the service thread answers; if the node
+                // crashes first the reply sender is dropped and this
+                // resolves to a miss immediately.
+                let data = rx.recv().ok().flatten();
+                let mut w = &stream;
+                if write_frame(&mut w, &WireMsg::BlockReply { req_id, data }).is_err() {
+                    break;
+                }
+                shared.frames_sent.fetch_add(1, Ordering::Relaxed);
+            }
+            WireMsg::Forward {
+                block,
+                data,
+                displace,
+            } => {
+                if inbox
+                    .send(PeerMsg::Forward {
+                        block,
+                        data,
+                        displace,
+                    })
+                    .is_err()
+                {
+                    break;
+                }
+            }
+            WireMsg::Invalidate { block } => {
+                if inbox.send(PeerMsg::Invalidate { block }).is_err() {
+                    break;
+                }
+            }
+            WireMsg::Barrier { req_id } => {
+                let (tx, rx) = unbounded();
+                if inbox.send(PeerMsg::Barrier { reply: tx }).is_err() {
+                    break;
+                }
+                if rx.recv().is_err() {
+                    break; // node died mid-barrier: no ack, let it time out
+                }
+                let mut w = &stream;
+                if write_frame(&mut w, &WireMsg::BarrierAck { req_id }).is_err() {
+                    break;
+                }
+                shared.frames_sent.fetch_add(1, Ordering::Relaxed);
+            }
+            // Requests travel src → dst only; a reply or second Hello on
+            // an inbound connection is protocol corruption.
+            WireMsg::Hello { .. } | WireMsg::BlockReply { .. } | WireMsg::BarrierAck { .. } => {
+                break
+            }
+        }
+    }
+    let _ = stream.shutdown(Shutdown::Both);
+}
+
+/// Resolve replies for one outbound connection. Exits on EOF or error,
+/// tearing the link down so the next send re-dials after backoff.
+fn reply_reader(
+    shared: Arc<TcpShared>,
+    src: NodeId,
+    dst: NodeId,
+    sock: TcpStream,
+    pending: PendingTable,
+) {
+    let mut reader = BufReader::new(sock);
+    loop {
+        match read_frame(&mut reader) {
+            Ok(Some(WireMsg::BlockReply { req_id, data })) => {
+                shared.frames_received.fetch_add(1, Ordering::Relaxed);
+                if let Some(Pending::Block(tx)) = pending.remove(req_id) {
+                    let _ = tx.send(data); // requester may have timed out
+                }
+            }
+            Ok(Some(WireMsg::BarrierAck { req_id })) => {
+                shared.frames_received.fetch_add(1, Ordering::Relaxed);
+                if let Some(Pending::Barrier(tx)) = pending.remove(req_id) {
+                    let _ = tx.send(());
+                }
+            }
+            // Only replies travel dst → src; anything else is protocol
+            // corruption. EOF and errors mean the peer is gone.
+            Ok(Some(_)) | Ok(None) | Err(_) => break,
+        }
+    }
+    // Drop every waiter immediately (disconnect, not timeout), then put
+    // the link into backoff if it still points at this connection.
+    pending.close();
+    shared.teardown(src, dst, &pending);
+}

@@ -1,0 +1,531 @@
+//! The wire image of [`PeerMsg`] and its hand-rolled binary codec.
+//!
+//! `PeerMsg::BlockRequest` carries an in-band reply channel — a structure
+//! that cannot leave the process. On the wire that channel becomes a
+//! request id: the requester keeps `req_id → reply sender` in a pending
+//! table (see [`crate::tcp`]) and the responder echoes the id back on
+//! [`WireMsg::BlockReply`]. [`PeerMsg::Barrier`] splits the same way into
+//! [`WireMsg::Barrier`] / [`WireMsg::BarrierAck`]. `PeerMsg::Shutdown` has
+//! no wire form at all: it is control-plane and stays node-local.
+//!
+//! ## Frame format
+//!
+//! Every frame is a little-endian length prefix followed by a tagged body
+//! (all integers little-endian):
+//!
+//! ```text
+//! frame        := len:u32  payload            len = payload length, bytes
+//! payload      := tag:u8 body
+//! tag 0 Hello        := version:u8 node:u16
+//! tag 1 BlockRequest := req_id:u64 block
+//! tag 2 BlockReply   := req_id:u64 present:u8 [len:u32 data]   (if present)
+//! tag 3 Forward      := block present:u8 [displaced_block] len:u32 data
+//! tag 4 Invalidate   := block
+//! tag 5 Barrier      := req_id:u64
+//! tag 6 BarrierAck   := req_id:u64
+//! block        := file:u32 index:u32
+//! ```
+//!
+//! A payload longer than [`MAX_FRAME`] (1 MiB — two orders of magnitude
+//! above the 8 KB block size) is rejected before allocation, so a garbage
+//! length prefix cannot balloon memory. Decoding is exact: truncated
+//! bodies, unknown tags, non-boolean `present` bytes, and trailing garbage
+//! are all errors, never silently tolerated.
+//!
+//! No registry dependencies: this codec is ~200 lines of explicit
+//! byte-shuffling, consistent with the workspace's everything-in-tree rule.
+//!
+//! [`PeerMsg`]: ccm_rt::PeerMsg
+
+use ccm_core::{BlockId, FileId, NodeId};
+use std::io::{self, Read, Write};
+
+/// Wire protocol version, carried in [`WireMsg::Hello`]; bump on any frame
+/// layout change so mismatched peers fail the handshake instead of
+/// misparsing each other.
+pub const WIRE_VERSION: u8 = 1;
+
+/// Hard upper bound on a frame payload, in bytes.
+pub const MAX_FRAME: u32 = 1 << 20;
+
+/// A peer message as it crosses the socket. The in-process reply channels
+/// of `PeerMsg` are replaced by `req_id` correlation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WireMsg {
+    /// Connection preamble: the first frame on every connection, naming the
+    /// protocol version and the connecting node.
+    Hello {
+        /// Must equal [`WIRE_VERSION`].
+        version: u8,
+        /// The connecting (source) node.
+        node: NodeId,
+    },
+    /// "Send me a non-master copy of `block`"; answered by a
+    /// [`WireMsg::BlockReply`] echoing `req_id`.
+    BlockRequest {
+        /// Correlation id, unique per connection manager.
+        req_id: u64,
+        /// The wanted block.
+        block: BlockId,
+    },
+    /// Answer to a [`WireMsg::BlockRequest`]: the bytes, or `None` if the
+    /// responder no longer holds the block (the §3 in-flight race).
+    BlockReply {
+        /// Correlation id of the request being answered.
+        req_id: u64,
+        /// The block bytes, if still held.
+        data: Option<Vec<u8>>,
+    },
+    /// An evicted master forwarded here (second chance).
+    Forward {
+        /// The forwarded block.
+        block: BlockId,
+        /// Its content.
+        data: Vec<u8>,
+        /// Block dropped at the destination to make room, if any.
+        displace: Option<BlockId>,
+    },
+    /// A write elsewhere invalidated the destination's copy of `block`.
+    Invalidate {
+        /// The written block.
+        block: BlockId,
+    },
+    /// Ack request: answered with [`WireMsg::BarrierAck`] once every earlier
+    /// frame on this connection has been processed by the service thread.
+    Barrier {
+        /// Correlation id.
+        req_id: u64,
+    },
+    /// Answer to a [`WireMsg::Barrier`].
+    BarrierAck {
+        /// Correlation id of the barrier being acked.
+        req_id: u64,
+    },
+}
+
+/// Why a payload failed to decode.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DecodeError {
+    /// The payload ended before the message did.
+    Truncated,
+    /// The first byte is not a known message tag.
+    UnknownTag(u8),
+    /// An `Option` presence byte was neither 0 nor 1.
+    BadPresence(u8),
+    /// An embedded length field disagrees with the payload size.
+    BadLength,
+    /// Bytes remained after a complete message was decoded.
+    TrailingBytes,
+}
+
+impl std::fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DecodeError::Truncated => write!(f, "payload truncated"),
+            DecodeError::UnknownTag(t) => write!(f, "unknown message tag {t}"),
+            DecodeError::BadPresence(b) => write!(f, "presence byte {b} is not 0/1"),
+            DecodeError::BadLength => write!(f, "embedded length exceeds payload"),
+            DecodeError::TrailingBytes => write!(f, "trailing bytes after message"),
+        }
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+const TAG_HELLO: u8 = 0;
+const TAG_BLOCK_REQUEST: u8 = 1;
+const TAG_BLOCK_REPLY: u8 = 2;
+const TAG_FORWARD: u8 = 3;
+const TAG_INVALIDATE: u8 = 4;
+const TAG_BARRIER: u8 = 5;
+const TAG_BARRIER_ACK: u8 = 6;
+
+fn put_block(out: &mut Vec<u8>, block: BlockId) {
+    out.extend_from_slice(&block.file.0.to_le_bytes());
+    out.extend_from_slice(&block.index.to_le_bytes());
+}
+
+fn put_bytes(out: &mut Vec<u8>, data: &[u8]) {
+    out.extend_from_slice(&(data.len() as u32).to_le_bytes());
+    out.extend_from_slice(data);
+}
+
+/// Encode `msg` into `out` (payload only, no length prefix). `out` is
+/// cleared first so a buffer can be reused across frames.
+pub fn encode(msg: &WireMsg, out: &mut Vec<u8>) {
+    out.clear();
+    match msg {
+        WireMsg::Hello { version, node } => {
+            out.push(TAG_HELLO);
+            out.push(*version);
+            out.extend_from_slice(&node.0.to_le_bytes());
+        }
+        WireMsg::BlockRequest { req_id, block } => {
+            out.push(TAG_BLOCK_REQUEST);
+            out.extend_from_slice(&req_id.to_le_bytes());
+            put_block(out, *block);
+        }
+        WireMsg::BlockReply { req_id, data } => {
+            out.push(TAG_BLOCK_REPLY);
+            out.extend_from_slice(&req_id.to_le_bytes());
+            match data {
+                None => out.push(0),
+                Some(d) => {
+                    out.push(1);
+                    put_bytes(out, d);
+                }
+            }
+        }
+        WireMsg::Forward {
+            block,
+            data,
+            displace,
+        } => {
+            out.push(TAG_FORWARD);
+            put_block(out, *block);
+            match displace {
+                None => out.push(0),
+                Some(d) => {
+                    out.push(1);
+                    put_block(out, *d);
+                }
+            }
+            put_bytes(out, data);
+        }
+        WireMsg::Invalidate { block } => {
+            out.push(TAG_INVALIDATE);
+            put_block(out, *block);
+        }
+        WireMsg::Barrier { req_id } => {
+            out.push(TAG_BARRIER);
+            out.extend_from_slice(&req_id.to_le_bytes());
+        }
+        WireMsg::BarrierAck { req_id } => {
+            out.push(TAG_BARRIER_ACK);
+            out.extend_from_slice(&req_id.to_le_bytes());
+        }
+    }
+    debug_assert!(out.len() <= MAX_FRAME as usize, "frame exceeds MAX_FRAME");
+}
+
+/// A cursor over a payload being decoded.
+struct Cursor<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn take(&mut self, n: usize) -> Result<&'a [u8], DecodeError> {
+        let end = self.pos.checked_add(n).ok_or(DecodeError::Truncated)?;
+        if end > self.buf.len() {
+            return Err(DecodeError::Truncated);
+        }
+        let s = &self.buf[self.pos..end];
+        self.pos = end;
+        Ok(s)
+    }
+
+    fn u8(&mut self) -> Result<u8, DecodeError> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u16(&mut self) -> Result<u16, DecodeError> {
+        Ok(u16::from_le_bytes(self.take(2)?.try_into().unwrap()))
+    }
+
+    fn u32(&mut self) -> Result<u32, DecodeError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    fn u64(&mut self) -> Result<u64, DecodeError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    fn block(&mut self) -> Result<BlockId, DecodeError> {
+        let file = FileId(self.u32()?);
+        let index = self.u32()?;
+        Ok(BlockId::new(file, index))
+    }
+
+    fn presence(&mut self) -> Result<bool, DecodeError> {
+        match self.u8()? {
+            0 => Ok(false),
+            1 => Ok(true),
+            b => Err(DecodeError::BadPresence(b)),
+        }
+    }
+
+    fn bytes(&mut self) -> Result<Vec<u8>, DecodeError> {
+        let len = self.u32()? as usize;
+        // The embedded length can never legitimately exceed the payload
+        // that carries it; checking before `take` keeps the error precise.
+        if len > self.buf.len() - self.pos {
+            return Err(DecodeError::BadLength);
+        }
+        Ok(self.take(len)?.to_vec())
+    }
+}
+
+/// Decode one payload produced by [`encode`]. The whole buffer must be
+/// exactly one message.
+pub fn decode(payload: &[u8]) -> Result<WireMsg, DecodeError> {
+    let mut c = Cursor {
+        buf: payload,
+        pos: 0,
+    };
+    let msg = match c.u8()? {
+        TAG_HELLO => WireMsg::Hello {
+            version: c.u8()?,
+            node: NodeId(c.u16()?),
+        },
+        TAG_BLOCK_REQUEST => WireMsg::BlockRequest {
+            req_id: c.u64()?,
+            block: c.block()?,
+        },
+        TAG_BLOCK_REPLY => {
+            let req_id = c.u64()?;
+            let data = if c.presence()? {
+                Some(c.bytes()?)
+            } else {
+                None
+            };
+            WireMsg::BlockReply { req_id, data }
+        }
+        TAG_FORWARD => {
+            let block = c.block()?;
+            let displace = if c.presence()? {
+                Some(c.block()?)
+            } else {
+                None
+            };
+            let data = c.bytes()?;
+            WireMsg::Forward {
+                block,
+                data,
+                displace,
+            }
+        }
+        TAG_INVALIDATE => WireMsg::Invalidate { block: c.block()? },
+        TAG_BARRIER => WireMsg::Barrier { req_id: c.u64()? },
+        TAG_BARRIER_ACK => WireMsg::BarrierAck { req_id: c.u64()? },
+        t => return Err(DecodeError::UnknownTag(t)),
+    };
+    if c.pos != payload.len() {
+        return Err(DecodeError::TrailingBytes);
+    }
+    Ok(msg)
+}
+
+/// Write `msg` as one length-prefixed frame and flush it.
+pub fn write_frame(w: &mut impl Write, msg: &WireMsg) -> io::Result<()> {
+    let mut payload = Vec::new();
+    encode(msg, &mut payload);
+    let mut frame = Vec::with_capacity(4 + payload.len());
+    frame.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    frame.extend_from_slice(&payload);
+    // One write call per frame: frames from concurrent writers must not
+    // interleave mid-frame (the TCP layer serializes writers per link, but
+    // a single syscall keeps the invariant obvious and cheap).
+    w.write_all(&frame)?;
+    w.flush()
+}
+
+/// Read one length-prefixed frame. `Ok(None)` on clean EOF at a frame
+/// boundary; mid-frame EOF, an oversized length prefix, and any
+/// [`DecodeError`] surface as `io::ErrorKind::InvalidData` /
+/// `UnexpectedEof` errors.
+pub fn read_frame(r: &mut impl Read) -> io::Result<Option<WireMsg>> {
+    let mut len_buf = [0u8; 4];
+    // Distinguish "connection ended between frames" (fine) from "ended in
+    // the middle of one" (corruption).
+    match r.read(&mut len_buf) {
+        Ok(0) => return Ok(None),
+        Ok(n) => r.read_exact(&mut len_buf[n..])?,
+        Err(e) if e.kind() == io::ErrorKind::Interrupted => {
+            r.read_exact(&mut len_buf)?;
+        }
+        Err(e) => return Err(e),
+    }
+    let len = u32::from_le_bytes(len_buf);
+    if len > MAX_FRAME {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("frame length {len} exceeds MAX_FRAME {MAX_FRAME}"),
+        ));
+    }
+    let mut payload = vec![0u8; len as usize];
+    r.read_exact(&mut payload)?;
+    decode(&payload)
+        .map(Some)
+        .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, format!("bad frame: {e}")))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn b(f: u32, i: u32) -> BlockId {
+        BlockId::new(FileId(f), i)
+    }
+
+    fn roundtrip(msg: WireMsg) {
+        let mut buf = Vec::new();
+        encode(&msg, &mut buf);
+        assert_eq!(decode(&buf), Ok(msg));
+    }
+
+    #[test]
+    fn every_variant_round_trips() {
+        roundtrip(WireMsg::Hello {
+            version: WIRE_VERSION,
+            node: NodeId(7),
+        });
+        roundtrip(WireMsg::BlockRequest {
+            req_id: u64::MAX,
+            block: b(3, 9),
+        });
+        roundtrip(WireMsg::BlockReply {
+            req_id: 0,
+            data: None,
+        });
+        roundtrip(WireMsg::BlockReply {
+            req_id: 1,
+            data: Some(vec![0xAB; 8192]),
+        });
+        roundtrip(WireMsg::Forward {
+            block: b(1, 2),
+            data: vec![],
+            displace: None,
+        });
+        roundtrip(WireMsg::Forward {
+            block: b(u32::MAX, u32::MAX),
+            data: vec![1, 2, 3],
+            displace: Some(b(4, 5)),
+        });
+        roundtrip(WireMsg::Invalidate { block: b(0, 0) });
+        roundtrip(WireMsg::Barrier { req_id: 42 });
+        roundtrip(WireMsg::BarrierAck { req_id: 42 });
+    }
+
+    #[test]
+    fn every_truncation_is_rejected() {
+        let msgs = [
+            WireMsg::Hello {
+                version: 1,
+                node: NodeId(1),
+            },
+            WireMsg::BlockRequest {
+                req_id: 5,
+                block: b(1, 2),
+            },
+            WireMsg::BlockReply {
+                req_id: 5,
+                data: Some(vec![9; 17]),
+            },
+            WireMsg::Forward {
+                block: b(1, 2),
+                data: vec![7; 33],
+                displace: Some(b(3, 4)),
+            },
+            WireMsg::Invalidate { block: b(1, 2) },
+            WireMsg::Barrier { req_id: 1 },
+        ];
+        let mut buf = Vec::new();
+        for msg in &msgs {
+            encode(msg, &mut buf);
+            for cut in 0..buf.len() {
+                assert!(
+                    decode(&buf[..cut]).is_err(),
+                    "truncation to {cut} of {msg:?} must fail"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn trailing_garbage_is_rejected() {
+        let mut buf = Vec::new();
+        encode(&WireMsg::Barrier { req_id: 3 }, &mut buf);
+        buf.push(0);
+        assert_eq!(decode(&buf), Err(DecodeError::TrailingBytes));
+    }
+
+    #[test]
+    fn unknown_tag_is_rejected() {
+        assert_eq!(decode(&[200]), Err(DecodeError::UnknownTag(200)));
+        assert_eq!(decode(&[]), Err(DecodeError::Truncated));
+    }
+
+    #[test]
+    fn bad_presence_byte_is_rejected() {
+        let mut buf = Vec::new();
+        encode(
+            &WireMsg::BlockReply {
+                req_id: 1,
+                data: None,
+            },
+            &mut buf,
+        );
+        *buf.last_mut().unwrap() = 2;
+        assert_eq!(decode(&buf), Err(DecodeError::BadPresence(2)));
+    }
+
+    #[test]
+    fn lying_length_field_is_rejected() {
+        let mut buf = Vec::new();
+        encode(
+            &WireMsg::BlockReply {
+                req_id: 1,
+                data: Some(vec![1, 2, 3]),
+            },
+            &mut buf,
+        );
+        // Inflate the embedded data length beyond the payload.
+        let len_at = buf.len() - 3 - 4;
+        buf[len_at..len_at + 4].copy_from_slice(&u32::MAX.to_le_bytes());
+        assert_eq!(decode(&buf), Err(DecodeError::BadLength));
+    }
+
+    #[test]
+    fn frames_round_trip_over_a_stream() {
+        let msgs = vec![
+            WireMsg::Hello {
+                version: WIRE_VERSION,
+                node: NodeId(2),
+            },
+            WireMsg::Forward {
+                block: b(8, 1),
+                data: vec![5; 100],
+                displace: None,
+            },
+            WireMsg::BarrierAck { req_id: 77 },
+        ];
+        let mut stream = Vec::new();
+        for m in &msgs {
+            write_frame(&mut stream, m).unwrap();
+        }
+        let mut r = stream.as_slice();
+        for m in &msgs {
+            assert_eq!(read_frame(&mut r).unwrap().as_ref(), Some(m));
+        }
+        assert_eq!(read_frame(&mut r).unwrap(), None, "clean EOF");
+    }
+
+    #[test]
+    fn oversized_frame_is_rejected_before_allocation() {
+        let mut stream = Vec::new();
+        stream.extend_from_slice(&(MAX_FRAME + 1).to_le_bytes());
+        stream.extend_from_slice(&[0; 16]);
+        let err = read_frame(&mut stream.as_slice()).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+    }
+
+    #[test]
+    fn mid_frame_eof_is_an_error_not_none() {
+        let mut stream = Vec::new();
+        write_frame(&mut stream, &WireMsg::Barrier { req_id: 9 }).unwrap();
+        stream.truncate(stream.len() - 2);
+        let mut r = stream.as_slice();
+        assert!(read_frame(&mut r).is_err());
+    }
+}

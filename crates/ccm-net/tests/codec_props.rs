@@ -1,0 +1,133 @@
+//! Property tests for the wire codec: every [`WireMsg`] survives an
+//! encode/decode round trip bit-exactly, and the decoder rejects — without
+//! panicking or over-reading — every truncation of a valid frame and
+//! arbitrary garbage.
+
+use ccm_core::{BlockId, FileId, NodeId};
+use ccm_net::{decode, encode, DecodeError, WireMsg};
+use proptest::prelude::*;
+
+/// A strategy over full-range block ids.
+fn block() -> impl Strategy<Value = BlockId> {
+    (any::<u32>(), any::<u32>()).prop_map(|(f, i)| BlockId::new(FileId(f), i))
+}
+
+/// A strategy over payload bytes (empty through a few KB; the codec is
+/// length-driven, so size coverage matters more than content).
+fn payload() -> impl Strategy<Value = Vec<u8>> {
+    prop::collection::vec(any::<u8>(), 0..4096)
+}
+
+/// A strategy covering every message variant.
+fn wire_msg() -> impl Strategy<Value = WireMsg> {
+    prop_oneof![
+        (any::<u8>(), any::<u16>()).prop_map(|(version, node)| WireMsg::Hello {
+            version,
+            node: NodeId(node),
+        }),
+        (any::<u64>(), block()).prop_map(|(req_id, block)| WireMsg::BlockRequest { req_id, block }),
+        (any::<u64>(), prop::option::of(payload()))
+            .prop_map(|(req_id, data)| WireMsg::BlockReply { req_id, data }),
+        (block(), payload(), prop::option::of(block())).prop_map(|(block, data, displace)| {
+            WireMsg::Forward {
+                block,
+                data,
+                displace,
+            }
+        }),
+        block().prop_map(|block| WireMsg::Invalidate { block }),
+        any::<u64>().prop_map(|req_id| WireMsg::Barrier { req_id }),
+        any::<u64>().prop_map(|req_id| WireMsg::BarrierAck { req_id }),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    /// Encode → decode is the identity for every variant.
+    #[test]
+    fn roundtrip_is_identity(msg in wire_msg()) {
+        let mut buf = Vec::new();
+        encode(&msg, &mut buf);
+        prop_assert_eq!(decode(&buf), Ok(msg));
+    }
+
+    /// Every strict prefix of a valid payload is rejected as truncated —
+    /// never accepted, never panicking, never reading past the slice.
+    #[test]
+    fn every_truncation_is_rejected(msg in wire_msg()) {
+        let mut buf = Vec::new();
+        encode(&msg, &mut buf);
+        for cut in 0..buf.len() {
+            let got = decode(&buf[..cut]);
+            prop_assert!(
+                got.is_err(),
+                "prefix of {} of {} bytes decoded to {:?}",
+                cut,
+                buf.len(),
+                got
+            );
+        }
+    }
+
+    /// Appending garbage to a valid payload is rejected: a frame must be
+    /// consumed exactly.
+    #[test]
+    fn trailing_garbage_is_rejected(msg in wire_msg(), junk in 1u8..=255) {
+        let mut buf = Vec::new();
+        encode(&msg, &mut buf);
+        buf.push(junk);
+        prop_assert_eq!(decode(&buf), Err(DecodeError::TrailingBytes));
+    }
+
+    /// Arbitrary byte soup never panics the decoder; whatever it returns is
+    /// a total function of the input.
+    #[test]
+    fn garbage_never_panics(bytes in prop::collection::vec(any::<u8>(), 0..512)) {
+        let first = decode(&bytes);
+        prop_assert_eq!(decode(&bytes), first);
+    }
+
+    /// A corrupted tag byte outside the known range is an UnknownTag error.
+    #[test]
+    fn unknown_tags_are_rejected(msg in wire_msg(), tag in 7u8..=255) {
+        let mut buf = Vec::new();
+        encode(&msg, &mut buf);
+        buf[0] = tag;
+        prop_assert_eq!(decode(&buf), Err(DecodeError::UnknownTag(tag)));
+    }
+}
+
+/// Extreme values survive the round trip (belt to the property's suspenders:
+/// these exact corners always run, regardless of generator luck).
+#[test]
+fn corner_values_roundtrip() {
+    let corners = [
+        WireMsg::Hello {
+            version: u8::MAX,
+            node: NodeId(u16::MAX),
+        },
+        WireMsg::BlockRequest {
+            req_id: u64::MAX,
+            block: BlockId::new(FileId(u32::MAX), u32::MAX),
+        },
+        WireMsg::BlockReply {
+            req_id: 0,
+            data: Some(Vec::new()),
+        },
+        WireMsg::BlockReply {
+            req_id: u64::MAX,
+            data: None,
+        },
+        WireMsg::Forward {
+            block: BlockId::new(FileId(0), 0),
+            data: vec![0xAB; 8192],
+            displace: Some(BlockId::new(FileId(u32::MAX), 0)),
+        },
+    ];
+    for msg in corners {
+        let mut buf = Vec::new();
+        encode(&msg, &mut buf);
+        assert_eq!(decode(&buf), Ok(msg));
+    }
+}

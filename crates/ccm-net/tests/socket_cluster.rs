@@ -1,0 +1,260 @@
+//! Socket-mode integration tests: the cooperative caching runtime over
+//! [`TcpLan`] must behave exactly like it does over the in-process channel
+//! LAN, and peer links must survive a node crash/restart cycle.
+//!
+//! The acceptance oracle is strict: driving the *same* deterministic trace
+//! workload through a channel-LAN cluster and a TCP cluster must produce
+//! bit-identical bytes for every read and identical protocol statistics.
+
+use ccm_core::{BlockId, CacheStats, FileId, NodeId, ReplacementPolicy};
+use ccm_net::TcpLan;
+use ccm_rt::store::read_file_direct;
+use ccm_rt::{Catalog, Middleware, RtConfig, SyntheticStore, Transport};
+use ccm_traces::SynthConfig;
+use simcore::Rng;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// The shared trace workload: small Zipf-popular files sized so a few span
+/// multiple blocks, total comfortably above one node's cache capacity.
+fn workload_sizes() -> Vec<u64> {
+    let wl = SynthConfig {
+        name: "socket-acceptance".into(),
+        n_files: 48,
+        mean_size: 9_000.0,
+        total_bytes: Some(1 << 20),
+        seed: 42,
+        ..SynthConfig::default()
+    }
+    .build();
+    wl.sizes().to_vec()
+}
+
+fn cluster_config(nodes: usize) -> RtConfig {
+    RtConfig {
+        nodes,
+        capacity_blocks: 24,
+        policy: ReplacementPolicy::MasterPreserving,
+        fetch_timeout: Duration::from_secs(2),
+        faults: None,
+    }
+}
+
+/// Drive `ops` deterministic single-threaded reads (same seed → same node
+/// and file sequence), asserting the integrity oracle on every read and
+/// folding all delivered bytes into an FNV-1a digest. Quiesces after every
+/// operation so the statistics are a pure function of the op history.
+fn drive(
+    mw: &Middleware,
+    store: &SyntheticStore,
+    catalog: &Catalog,
+    nodes: usize,
+    ops: u64,
+    seed: u64,
+) -> (u64, CacheStats, u64) {
+    let wl = SynthConfig {
+        name: "socket-acceptance".into(),
+        n_files: 48,
+        mean_size: 9_000.0,
+        total_bytes: Some(1 << 20),
+        seed: 42,
+        ..SynthConfig::default()
+    }
+    .build();
+    let mut rng = Rng::new(seed).substream(3);
+    let mut digest = 0xcbf2_9ce4_8422_2325u64;
+    for op in 0..ops {
+        let node = NodeId(rng.next_below(nodes as u64) as u16);
+        let file = FileId(wl.sample(&mut rng).0);
+        let got = mw.handle(node).read_file(file);
+        let want = read_file_direct(store, catalog, file);
+        assert_eq!(got, want, "op {op}: file {file:?} corrupted");
+        for b in &got {
+            digest ^= *b as u64;
+            digest = digest.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        mw.quiesce();
+    }
+    mw.check_invariants();
+    (digest, mw.stats(), mw.store_fallbacks())
+}
+
+/// Acceptance: a 4-node cluster serving the trace workload over TCP
+/// delivers bit-identical bytes — and identical protocol statistics — to
+/// the same cluster over the channel LAN.
+#[test]
+fn tcp_cluster_matches_channel_lan_bit_for_bit() {
+    let nodes = 4;
+    let ops = 250;
+    let catalog = Catalog::new(workload_sizes());
+    let store = Arc::new(SyntheticStore::new(catalog.clone(), 7));
+
+    let chan_mw = Middleware::start(cluster_config(nodes), catalog.clone(), store.clone());
+    let chan = drive(&chan_mw, &store, &catalog, nodes, ops, 11);
+    chan_mw.shutdown();
+
+    let lan = Arc::new(TcpLan::loopback(nodes).expect("bind loopback listeners"));
+    let tcp_mw = Middleware::start_on(
+        cluster_config(nodes),
+        catalog.clone(),
+        store.clone(),
+        lan.clone(),
+    );
+    let tcp = drive(&tcp_mw, &store, &catalog, nodes, ops, 11);
+    tcp_mw.shutdown();
+
+    assert_eq!(chan.0, tcp.0, "byte digests diverge between backends");
+    assert_eq!(
+        chan.1, tcp.1,
+        "protocol statistics diverge between backends"
+    );
+    assert_eq!(chan.2, tcp.2, "fallback counts diverge between backends");
+    // The workload must actually exercise the wire: remote fetches happened
+    // and the TCP backend moved real frames.
+    assert!(
+        tcp.1.remote_hits > 0,
+        "no remote hits: wire never exercised"
+    );
+    let ns = lan.net_stats();
+    assert!(ns.connects > 0, "no TCP connections were established");
+    assert!(
+        ns.frames_sent > ns.connects,
+        "no data frames beyond the hellos"
+    );
+}
+
+/// Satellite (d): crash a node mid-stream, restart it, and the peer links
+/// re-establish — remote fetches through the revived node succeed with
+/// exact bytes and no extra disk fallbacks.
+#[test]
+fn peer_link_reestablishes_after_crash_and_restart() {
+    let nodes = 4;
+    let catalog = Catalog::new(vec![40_000; 12]);
+    let store = Arc::new(SyntheticStore::new(catalog.clone(), 13));
+    let lan = Arc::new(TcpLan::loopback(nodes).expect("bind loopback listeners"));
+    let mw = Middleware::start_on(
+        cluster_config(nodes),
+        catalog.clone(),
+        store.clone(),
+        lan.clone(),
+    );
+    let victim = NodeId(1);
+    let reader = NodeId(0);
+
+    // Warm the wire: victim masters file 2, reader fetches it remotely.
+    let f = FileId(2);
+    mw.handle(victim).read_file(f);
+    let got = mw.handle(reader).read_file(f);
+    assert_eq!(got, read_file_direct(&*store, &catalog, f));
+    assert!(mw.stats().remote_hits > 0, "warm-up never hit the wire");
+    let before = lan.net_stats();
+    assert!(before.connects > 0);
+
+    // Crash mid-stream: in-flight connections to and from the victim die.
+    mw.crash_node(victim);
+    assert!(!mw.is_alive(victim));
+    mw.check_invariants();
+    mw.restart_node(victim);
+    assert!(mw.is_alive(victim));
+    mw.check_invariants();
+    let after_restart = lan.net_stats();
+    assert!(
+        after_restart.teardowns > before.teardowns,
+        "restart must sever the victim's connections"
+    );
+
+    // The revived node masters a fresh file; a remote fetch of it forces a
+    // new dial over the previously severed link.
+    let g = FileId(7);
+    mw.handle(victim).read_file(g);
+    let fallbacks_before = mw.store_fallbacks();
+    let hits_before = mw.stats().remote_hits;
+    let got = mw.handle(reader).read_file(g);
+    assert_eq!(
+        got,
+        read_file_direct(&*store, &catalog, g),
+        "post-restart remote read corrupted"
+    );
+    assert!(
+        mw.stats().remote_hits > hits_before,
+        "post-restart read did not travel the re-established link"
+    );
+    assert_eq!(
+        mw.store_fallbacks(),
+        fallbacks_before,
+        "re-established link must serve without disk fallback"
+    );
+    assert!(
+        lan.net_stats().connects > after_restart.connects,
+        "no re-dial happened"
+    );
+
+    // And the reverse direction: the revived node fetches from a peer.
+    let h = FileId(9);
+    mw.handle(reader).read_file(h);
+    let got = mw.handle(victim).read_file(h);
+    assert_eq!(got, read_file_direct(&*store, &catalog, h));
+    mw.quiesce();
+    mw.check_invariants();
+    mw.shutdown();
+}
+
+/// Raw transport behavior, no middleware: a live service answers block
+/// requests and barriers; a dead inbox (crashed incarnation) makes the
+/// requester observe a disconnect well before its deadline — the degrade-
+/// to-disk path is fast, not a hang.
+#[test]
+fn dead_incarnation_degrades_fast_instead_of_hanging() {
+    let lan = Arc::new(TcpLan::loopback(2).expect("bind loopback listeners"));
+    let _rx0 = lan.reconnect(NodeId(0));
+    let rx1 = lan.reconnect(NodeId(1));
+    let block = BlockId::new(FileId(3), 1);
+
+    // A minimal node-1 service: answer block requests with a recognizable
+    // payload until the inbox dies.
+    let service = std::thread::spawn(move || {
+        while let Ok(msg) = rx1.recv() {
+            match msg {
+                ccm_rt::PeerMsg::BlockRequest { block, reply } => {
+                    let _ = reply.send(Some(vec![block.index as u8; 16]));
+                }
+                ccm_rt::PeerMsg::Barrier { reply } => {
+                    let _ = reply.send(());
+                }
+                ccm_rt::PeerMsg::Shutdown => break,
+                _ => {}
+            }
+        }
+    });
+
+    let got = lan.fetch_block(NodeId(0), NodeId(1), block, Duration::from_secs(2));
+    assert_eq!(got, Some(vec![1u8; 16]), "live fetch over TCP failed");
+    assert!(lan.barrier(NodeId(1), Duration::from_secs(2)));
+
+    // Kill the incarnation: the service drains its inbox and exits.
+    assert!(lan.send(NodeId(1), NodeId(1), ccm_rt::PeerMsg::Shutdown));
+    service.join().expect("service thread");
+
+    // The demux can no longer deliver, so the connection dies and the
+    // requester sees a disconnect (None) — quickly, not at the deadline.
+    let start = Instant::now();
+    let got = lan.fetch_block(NodeId(0), NodeId(1), block, Duration::from_secs(5));
+    assert_eq!(got, None, "dead incarnation must miss");
+    assert!(
+        start.elapsed() < Duration::from_secs(4),
+        "dead-peer fetch should disconnect early, took {:?}",
+        start.elapsed()
+    );
+
+    // Immediately after the teardown the link is in backoff: sends fail
+    // fast (the caller's disk-fallback path), they do not stall.
+    let start = Instant::now();
+    let got = lan.fetch_block(NodeId(0), NodeId(1), block, Duration::from_secs(5));
+    assert_eq!(got, None);
+    assert!(
+        start.elapsed() < Duration::from_secs(4),
+        "backoff send should fail fast, took {:?}",
+        start.elapsed()
+    );
+    assert!(lan.net_stats().teardowns >= 1);
+}

@@ -30,11 +30,12 @@
 //! on the same link, then delivered after them — reordering expressed in
 //! message counts rather than time, which keeps it deterministic.
 
-use crate::transport::{Lan, PeerMsg};
+use crate::transport::{PeerMsg, Transport};
 use ccm_core::{BlockId, NodeId};
 use simcore::sync::Mutex;
 use simcore::Rng;
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 use std::time::Duration;
 
 /// Per-link fault probabilities.
@@ -154,9 +155,13 @@ struct LinkState {
     held: Vec<(u64, PeerMsg)>,
 }
 
-/// A [`Lan`] with a [`FaultPlan`] applied to its data-plane traffic.
+/// A [`Transport`] wrapper with a [`FaultPlan`] applied to its data-plane
+/// traffic. Faults are injected on the sending side, *before* the inner
+/// transport — so over the channel LAN a dropped message never enters the
+/// inbox, and over `ccm-net`'s `TcpLan` it never reaches the socket. The
+/// same plan therefore induces the same fault schedule on every backend.
 pub struct ChaosLan {
-    inner: Lan,
+    inner: Arc<dyn Transport>,
     faults: LinkFaults,
     /// Row-major `src * nodes + dst`; empty when `faults.is_none()`.
     links: Vec<Mutex<LinkState>>,
@@ -167,7 +172,7 @@ pub struct ChaosLan {
 
 impl ChaosLan {
     /// Wrap `inner`, injecting the link faults of `plan`.
-    pub fn new(inner: Lan, plan: &FaultPlan) -> ChaosLan {
+    pub fn new(inner: Arc<dyn Transport>, plan: &FaultPlan) -> ChaosLan {
         let nodes = inner.nodes();
         let links = if plan.link.is_none() {
             Vec::new()
@@ -195,8 +200,8 @@ impl ChaosLan {
     }
 
     /// The fault-free transport underneath.
-    pub fn inner(&self) -> &Lan {
-        &self.inner
+    pub fn inner(&self) -> &dyn Transport {
+        &*self.inner
     }
 
     /// Number of nodes attached.
@@ -222,7 +227,7 @@ impl ChaosLan {
     /// returns true — the sender cannot tell (that is the fault).
     pub fn send(&self, src: NodeId, dst: NodeId, msg: PeerMsg) -> bool {
         if self.links.is_empty() {
-            return self.inner.send(dst, msg);
+            return self.inner.send(src, dst, msg);
         }
         let chaos_eligible = matches!(msg, PeerMsg::BlockRequest { .. } | PeerMsg::Forward { .. });
         let mut link = self.link(src, dst).lock();
@@ -230,8 +235,8 @@ impl ChaosLan {
             // Reliable messages must not overtake held data-plane traffic on
             // their link (an Invalidate arriving before a stale Forward of
             // the same block would later be undone by it).
-            Self::release_all(&mut link, &self.inner, dst);
-            return self.inner.send(dst, msg);
+            Self::release_all(&mut link, &*self.inner, src, dst);
+            return self.inner.send(src, dst, msg);
         }
         link.sends += 1;
         let delivered = if link.rng.chance(self.faults.drop_prob) {
@@ -239,8 +244,8 @@ impl ChaosLan {
             true // lost in the network; the sender cannot tell
         } else if link.rng.chance(self.faults.dup_prob) {
             self.duplicated.fetch_add(1, Ordering::Relaxed);
-            let ok = self.inner.send(dst, msg.clone());
-            self.inner.send(dst, msg);
+            let ok = self.inner.send(src, dst, msg.clone());
+            self.inner.send(src, dst, msg);
             ok
         } else if link.rng.chance(self.faults.delay_prob) {
             self.delayed.fetch_add(1, Ordering::Relaxed);
@@ -248,12 +253,12 @@ impl ChaosLan {
             link.held.push((release_at, msg));
             true
         } else {
-            self.inner.send(dst, msg)
+            self.inner.send(src, dst, msg)
         };
         // Held messages whose wait expired leave *after* the current one —
         // that is the reordering.
         let due = link.sends;
-        Self::release_due(&mut link, &self.inner, dst, due);
+        Self::release_due(&mut link, &*self.inner, src, dst, due);
         delivered
     }
 
@@ -268,7 +273,7 @@ impl ChaosLan {
         timeout: Duration,
     ) -> Option<Vec<u8>> {
         if self.links.is_empty() {
-            return self.inner.fetch_block(holder, block, timeout);
+            return self.inner.fetch_block(src, holder, block, timeout);
         }
         let (reply_tx, reply_rx) = simcore::chan::unbounded();
         if !self.send(
@@ -288,28 +293,35 @@ impl ChaosLan {
     /// quiescing the data plane between measurement points.
     pub fn flush(&self) {
         for (i, link) in self.links.iter().enumerate() {
+            let src = NodeId((i / self.inner.nodes()) as u16);
             let dst = NodeId((i % self.inner.nodes()) as u16);
-            Self::release_all(&mut link.lock(), &self.inner, dst);
+            Self::release_all(&mut link.lock(), &*self.inner, src, dst);
         }
     }
 
-    fn release_due(link: &mut LinkState, inner: &Lan, dst: NodeId, due: u64) {
+    fn release_due(
+        link: &mut LinkState,
+        inner: &dyn Transport,
+        src: NodeId,
+        dst: NodeId,
+        due: u64,
+    ) {
         // Held lists are tiny (a few messages); a linear sweep keeps release
         // order identical to hold order.
         let mut i = 0;
         while i < link.held.len() {
             if link.held[i].0 <= due {
                 let (_, msg) = link.held.remove(i);
-                inner.send(dst, msg);
+                inner.send(src, dst, msg);
             } else {
                 i += 1;
             }
         }
     }
 
-    fn release_all(link: &mut LinkState, inner: &Lan, dst: NodeId) {
+    fn release_all(link: &mut LinkState, inner: &dyn Transport, src: NodeId, dst: NodeId) {
         for (_, msg) in link.held.drain(..) {
-            inner.send(dst, msg);
+            inner.send(src, dst, msg);
         }
     }
 }
@@ -317,6 +329,7 @@ impl ChaosLan {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::transport::Lan;
     use ccm_core::FileId;
 
     fn b(i: u32) -> BlockId {
@@ -344,7 +357,7 @@ mod tests {
     #[test]
     fn quiet_plan_is_pass_through() {
         let (lan, inboxes) = Lan::new(2);
-        let chaos = ChaosLan::new(lan, &FaultPlan::quiet(1));
+        let chaos = ChaosLan::new(Arc::new(lan), &FaultPlan::quiet(1));
         for i in 0..100 {
             assert!(chaos.send(NodeId(0), NodeId(1), fwd(i)));
         }
@@ -364,7 +377,7 @@ mod tests {
                 },
                 crashes: Vec::new(),
             };
-            let chaos = ChaosLan::new(lan, &plan);
+            let chaos = ChaosLan::new(Arc::new(lan), &plan);
             for i in 0..200 {
                 chaos.send(NodeId(0), NodeId(1), fwd(i));
             }
@@ -392,7 +405,7 @@ mod tests {
             },
             crashes: Vec::new(),
         };
-        let chaos = ChaosLan::new(lan, &plan);
+        let chaos = ChaosLan::new(Arc::new(lan), &plan);
         for i in 0..100 {
             chaos.send(NodeId(0), NodeId(1), fwd(i));
         }
@@ -415,7 +428,7 @@ mod tests {
             },
             crashes: Vec::new(),
         };
-        let chaos = ChaosLan::new(lan, &plan);
+        let chaos = ChaosLan::new(Arc::new(lan), &plan);
         for i in 0..50 {
             chaos.send(NodeId(0), NodeId(1), fwd(i));
         }
@@ -437,7 +450,7 @@ mod tests {
             },
             crashes: Vec::new(),
         };
-        let chaos = ChaosLan::new(lan, &plan);
+        let chaos = ChaosLan::new(Arc::new(lan), &plan);
         chaos.send(NodeId(0), NodeId(1), fwd(1)); // held
         assert!(inboxes[1].is_empty(), "forward should be held");
         chaos.send(NodeId(0), NodeId(1), PeerMsg::Invalidate { block: b(1) });
@@ -463,7 +476,7 @@ mod tests {
             },
             crashes: Vec::new(),
         };
-        let chaos = ChaosLan::new(lan, &plan);
+        let chaos = ChaosLan::new(Arc::new(lan), &plan);
         let got = chaos.fetch_block(NodeId(0), NodeId(1), b(4), Duration::from_millis(20));
         assert_eq!(
             got, None,

@@ -37,3 +37,4 @@ pub mod transport;
 pub use fault::{ChaosLan, ChaosStats, CrashEvent, FaultPlan, LinkFaults};
 pub use runtime::{Middleware, NodeHandle, RtConfig, WriteError};
 pub use store::{BlockStore, Catalog, MemStore, SyntheticStore};
+pub use transport::{Lan, PeerMsg, Transport};

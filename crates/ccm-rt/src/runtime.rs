@@ -16,7 +16,7 @@
 
 use crate::fault::{ChaosLan, FaultPlan};
 use crate::store::{BlockStore, Catalog};
-use crate::transport::{Lan, PeerMsg};
+use crate::transport::{Lan, PeerMsg, Transport};
 use ccm_core::{
     AccessOutcome, BlockId, CacheConfig, CacheStats, ClusterCache, CopyKind, Disposition,
     EvictionEffect, FileId, NodeId, RepairReport, ReplacementPolicy,
@@ -93,7 +93,7 @@ struct Shared {
 }
 
 impl Shared {
-    fn lan(&self) -> &Lan {
+    fn lan(&self) -> &dyn Transport {
         self.chaos.inner()
     }
 
@@ -204,16 +204,42 @@ fn service_loop(shared: Arc<Shared>, node: NodeId, inbox: Receiver<PeerMsg>) {
 }
 
 impl Middleware {
-    /// Spawn a cluster: `cfg.nodes` service threads over `catalog` backed by
-    /// `disk`.
+    /// Spawn a cluster over the in-process channel LAN: `cfg.nodes` service
+    /// threads over `catalog` backed by `disk`.
     ///
     /// # Panics
     /// Panics on a zero-node or zero-capacity configuration (via
     /// [`ClusterCache::new`]).
     pub fn start(cfg: RtConfig, catalog: Catalog, disk: Arc<dyn BlockStore>) -> Middleware {
-        let (lan, inboxes) = Lan::new(cfg.nodes);
+        let lan = Arc::new(Lan::with_nodes(cfg.nodes));
+        Middleware::start_on(cfg, catalog, disk, lan)
+    }
+
+    /// Spawn a cluster over an externally built transport — the channel
+    /// [`Lan`], `ccm-net`'s `TcpLan`, or anything else implementing
+    /// [`Transport`]. The middleware claims each node's inbox through
+    /// [`Transport::reconnect`] and runs identically over every backend;
+    /// `cfg.faults` composes on top of whichever transport is given.
+    ///
+    /// # Panics
+    /// Panics if `transport.nodes() != cfg.nodes`, and on a zero-node or
+    /// zero-capacity configuration (via [`ClusterCache::new`]).
+    pub fn start_on(
+        cfg: RtConfig,
+        catalog: Catalog,
+        disk: Arc<dyn BlockStore>,
+        transport: Arc<dyn Transport>,
+    ) -> Middleware {
+        assert_eq!(
+            transport.nodes(),
+            cfg.nodes,
+            "transport size does not match cfg.nodes"
+        );
+        let inboxes: Vec<_> = (0..cfg.nodes)
+            .map(|i| transport.reconnect(NodeId(i as u16)))
+            .collect();
         let plan = cfg.faults.unwrap_or_else(|| FaultPlan::quiet(0));
-        let chaos = ChaosLan::new(lan, &plan);
+        let chaos = ChaosLan::new(transport, &plan);
         let cache = ClusterCache::new(CacheConfig::paper(
             cfg.nodes,
             cfg.capacity_blocks,
@@ -302,7 +328,8 @@ impl Middleware {
         );
         // The Shutdown races ahead of the join: once the thread exits, its
         // receiver drops and in-flight sends to it start failing fast.
-        self.shared.lan().send(node, PeerMsg::Shutdown);
+        // (Shutdown is control-plane: every transport delivers it locally.)
+        self.shared.lan().send(node, node, PeerMsg::Shutdown);
         let handle = self.threads.lock()[node.index()]
             .take()
             .expect("alive node must have a thread");
@@ -353,7 +380,8 @@ impl Middleware {
     fn stop_threads(&self, strict: bool) {
         for i in 0..self.nodes() {
             // Sends to already-crashed nodes fail harmlessly.
-            self.shared.lan().send(NodeId(i as u16), PeerMsg::Shutdown);
+            let node = NodeId(i as u16);
+            self.shared.lan().send(node, node, PeerMsg::Shutdown);
         }
         for slot in self.threads.lock().iter_mut() {
             if let Some(t) = slot.take() {
@@ -684,7 +712,9 @@ mod tests {
         // Node 2 overwrites block 1 of file 0.
         let block = BlockId::new(FileId(0), 1);
         let new_data = vec![0xAB; cat.block_bytes(block) as usize];
-        mw.handle(NodeId(2)).write_block(block, &new_data).unwrap();
+        mw.handle(NodeId(2))
+            .write_block(block, &new_data)
+            .expect("MemStore accepts writes");
         // Every node now reads the new bytes.
         for n in 0..3u16 {
             let got = mw.handle(NodeId(n)).read_block(block);
@@ -734,7 +764,8 @@ mod tests {
                         let file = FileId(f);
                         let block = BlockId::new(file, 0);
                         let payload = vec![round ^ t as u8; cat.block_bytes(block) as usize];
-                        h.write_block(block, &payload).unwrap();
+                        h.write_block(block, &payload)
+                            .expect("MemStore accepts writes");
                         let got = h.read_block(block);
                         assert_eq!(&*got, &payload, "writer read back stale data");
                     }
@@ -772,7 +803,9 @@ mod tests {
             mw.handle(NodeId(0)).read_file(FileId(f));
         }
         // Kill node 0's service thread (simulated crash).
-        mw.shared.lan().send(NodeId(0), PeerMsg::Shutdown);
+        mw.shared
+            .lan()
+            .send(NodeId(0), NodeId(0), PeerMsg::Shutdown);
         // Node 1 still reads correct data for every file.
         for f in 0..6u32 {
             let got = mw.handle(NodeId(1)).read_file(FileId(f));

@@ -1,14 +1,26 @@
-//! Peer messages and the channel LAN.
+//! Peer messages, the transport abstraction, and the channel LAN.
 //!
-//! Each node owns an unbounded receiver; any thread holding a [`Lan`] can
-//! address any node. Data-plane replies travel on per-request one-shot
-//! channels, as a real RPC layer would multiplex them.
+//! [`Transport`] is the seam between the middleware and whatever carries its
+//! peer traffic. Two backends implement it: the in-process channel [`Lan`]
+//! defined here (the original emulated LAN), and `ccm-net`'s `TcpLan`, which
+//! moves the same [`PeerMsg`] traffic over real TCP sockets. [`Middleware`],
+//! the `ChaosLan` fault injector, and `ccm-httpd` are all written against
+//! the trait and run unchanged over either backend.
+//!
+//! In the channel backend each node owns an unbounded receiver; any thread
+//! holding a [`Lan`] can address any node. Data-plane replies travel on
+//! per-request one-shot channels, as a real RPC layer would multiplex them.
+//! (A socket backend cannot ship a channel sender across the wire; it keeps
+//! the same in-process reply channels node-local and correlates the wire
+//! halves by request id — see `ccm-net`.)
 //!
 //! The sender fabric is reconnectable: when a node crashes its service
 //! thread exits and drops the receiver, making every in-flight send to it
-//! fail fast; [`Lan::reconnect`] installs a fresh channel so a restarted
-//! node starts with an empty inbox (messages addressed to the dead
-//! incarnation are gone, as they would be on a real reboot).
+//! fail fast; [`Transport::reconnect`] installs a fresh channel so a
+//! restarted node starts with an empty inbox (messages addressed to the
+//! dead incarnation are gone, as they would be on a real reboot).
+//!
+//! [`Middleware`]: crate::runtime::Middleware
 
 use ccm_core::{BlockId, NodeId};
 use simcore::chan::{unbounded, Receiver, Sender};
@@ -58,6 +70,73 @@ pub enum PeerMsg {
     Shutdown,
 }
 
+/// What the middleware needs from a peer transport.
+///
+/// Implementations deliver [`PeerMsg`]s into per-node inboxes; the
+/// middleware owns the service threads that drain them. The channel [`Lan`]
+/// is the in-process backend; `ccm-net::TcpLan` is the socket backend.
+///
+/// Contract:
+///
+/// * `send` is fire-and-forget. `false` means the transport *knows* the
+///   destination cannot receive (dead incarnation, link down); `true` means
+///   the message was handed to the fabric — it may still be lost in flight.
+/// * [`PeerMsg::Shutdown`] is control-plane and must be delivered locally
+///   (never over a wire): it stops the destination's service thread, which
+///   a real remote peer has no business doing.
+/// * `reconnect` starts a fresh inbox incarnation for `node`, both at
+///   startup and after a crash; messages addressed to the previous
+///   incarnation must never reach the new one.
+pub trait Transport: Send + Sync + 'static {
+    /// Number of nodes attached.
+    fn nodes(&self) -> usize;
+
+    /// Deliver `msg` from `src` into `dst`'s inbox. Returns false if the
+    /// destination is known unreachable.
+    fn send(&self, src: NodeId, dst: NodeId, msg: PeerMsg) -> bool;
+
+    /// Install a fresh inbox for `node` (startup and node restart) and
+    /// return its receive end for the node's service thread.
+    fn reconnect(&self, node: NodeId) -> Receiver<PeerMsg>;
+
+    /// Request `block` from `holder` on behalf of `src`, waiting at most
+    /// `timeout`. `None` means the holder no longer caches the block, is
+    /// unreachable, or the reply did not arrive in time; callers fall back
+    /// to the backing store either way (the §3 "eventual disk read" escape
+    /// hatch).
+    fn fetch_block(
+        &self,
+        src: NodeId,
+        holder: NodeId,
+        block: BlockId,
+        timeout: Duration,
+    ) -> Option<Vec<u8>> {
+        let (reply_tx, reply_rx) = unbounded();
+        if !self.send(
+            src,
+            holder,
+            PeerMsg::BlockRequest {
+                block,
+                reply: reply_tx,
+            },
+        ) {
+            return None;
+        }
+        reply_rx.recv_timeout(timeout).ok().flatten()
+    }
+
+    /// Quiesce `node`: ack once every message previously handed to the
+    /// fabric for `node` has been processed by its service thread. False if
+    /// the node is dead or the ack timed out.
+    fn barrier(&self, node: NodeId, timeout: Duration) -> bool {
+        let (reply_tx, reply_rx) = unbounded();
+        if !self.send(node, node, PeerMsg::Barrier { reply: reply_tx }) {
+            return false;
+        }
+        reply_rx.recv_timeout(timeout).is_ok()
+    }
+}
+
 /// Addressable senders to every node.
 #[derive(Clone)]
 pub struct Lan {
@@ -81,6 +160,13 @@ impl Lan {
             },
             inboxes,
         )
+    }
+
+    /// Build the LAN without handing out inboxes; service threads obtain
+    /// theirs through [`Transport::reconnect`] (the path `Middleware`
+    /// startup uses for every backend).
+    pub fn with_nodes(nodes: usize) -> Lan {
+        Lan::new(nodes).0
     }
 
     /// Number of nodes attached.
@@ -136,6 +222,36 @@ impl Lan {
             return false;
         }
         reply_rx.recv_timeout(timeout).is_ok()
+    }
+}
+
+impl Transport for Lan {
+    fn nodes(&self) -> usize {
+        Lan::nodes(self)
+    }
+
+    // All senders share one inbox per node, so the source is irrelevant —
+    // the channel fabric is a perfect crossbar.
+    fn send(&self, _src: NodeId, dst: NodeId, msg: PeerMsg) -> bool {
+        Lan::send(self, dst, msg)
+    }
+
+    fn reconnect(&self, node: NodeId) -> Receiver<PeerMsg> {
+        Lan::reconnect(self, node)
+    }
+
+    fn fetch_block(
+        &self,
+        _src: NodeId,
+        holder: NodeId,
+        block: BlockId,
+        timeout: Duration,
+    ) -> Option<Vec<u8>> {
+        Lan::fetch_block(self, holder, block, timeout)
+    }
+
+    fn barrier(&self, node: NodeId, timeout: Duration) -> bool {
+        Lan::barrier(self, node, timeout)
     }
 }
 

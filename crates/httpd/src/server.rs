@@ -11,7 +11,7 @@
 
 use crate::http::{read_request, route_file, write_response, ParseError};
 use ccm_core::{FileId, NodeId};
-use ccm_rt::{BlockStore, Catalog, Middleware, NodeHandle, RtConfig};
+use ccm_rt::{BlockStore, Catalog, Middleware, NodeHandle, RtConfig, Transport};
 use std::io::BufReader;
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -91,8 +91,33 @@ impl HttpCluster {
     /// Panics if a loopback socket cannot be bound (no such environment is
     /// supported).
     pub fn start(cfg: RtConfig, catalog: Catalog, store: Arc<dyn BlockStore>) -> HttpCluster {
-        let nodes = cfg.nodes;
-        let middleware = Arc::new(Middleware::start(cfg, catalog.clone(), store));
+        let middleware = Middleware::start(cfg, catalog.clone(), store);
+        HttpCluster::over(middleware, catalog)
+    }
+
+    /// Like [`HttpCluster::start`], but with the peer LAN supplied by the
+    /// caller — e.g. `ccm-net`'s `TcpLan` for a cluster whose cache
+    /// cooperation runs over real sockets, not in-process channels. The
+    /// HTTP layer is identical either way; only the transport underneath
+    /// the middleware changes.
+    ///
+    /// # Panics
+    /// Panics if a loopback socket cannot be bound, or if `transport` does
+    /// not match `cfg.nodes`.
+    pub fn start_on(
+        cfg: RtConfig,
+        catalog: Catalog,
+        store: Arc<dyn BlockStore>,
+        transport: Arc<dyn Transport>,
+    ) -> HttpCluster {
+        let middleware = Middleware::start_on(cfg, catalog.clone(), store, transport);
+        HttpCluster::over(middleware, catalog)
+    }
+
+    /// Spawn the per-node HTTP listeners over an already-running cluster.
+    fn over(middleware: Middleware, catalog: Catalog) -> HttpCluster {
+        let nodes = middleware.nodes();
+        let middleware = Arc::new(middleware);
         let stop = Arc::new(AtomicBool::new(false));
         let mut addrs = Vec::with_capacity(nodes);
         let mut acceptors = Vec::with_capacity(nodes);
