@@ -10,6 +10,7 @@
 
 use ccm_core::{BlockId, FileId, NodeId, ReplacementPolicy, BLOCK_SIZE};
 use ccm_net::TcpLan;
+use ccm_obs::{Hop, Registry, Stopwatch, TraceRing};
 use ccm_rt::{Catalog, FaultPlan, LinkFaults, Middleware, RtConfig, SyntheticStore};
 use std::io::Write;
 use std::sync::Arc;
@@ -93,6 +94,7 @@ fn run_backend(backend: Backend, rounds: usize) -> Vec<Phase> {
         policy: ReplacementPolicy::MasterPreserving,
         fetch_timeout: Duration::from_secs(2),
         faults,
+        obs: None,
     };
     let reader = NodeId(0);
     let holder = NodeId(1);
@@ -173,6 +175,87 @@ fn run_backend(backend: Backend, rounds: usize) -> Vec<Phase> {
     phases
 }
 
+/// The observability section of the report: the per-event cost of the
+/// instrumentation primitives, an instrumented all-local-hit read for
+/// scale, and the registry's protocol counters from that run. Running the
+/// bench twice — default and `--features obs-off` — and diffing the two
+/// reports' `local_hit_instrumented` values is the recorded overhead
+/// delta (`obs_off` says which build produced the file).
+fn obs_section(rounds: usize) -> String {
+    let catalog = Catalog::new(vec![BLOCK_SIZE; CAPACITY]);
+    let block = |i: usize| BlockId::new(FileId(i as u32), 0);
+    let blocks: Vec<BlockId> = (0..CAPACITY).map(block).collect();
+    let registry = Registry::new();
+    let store = Arc::new(SyntheticStore::new(catalog.clone(), 99));
+    let mw = Middleware::start(
+        RtConfig {
+            nodes: 2,
+            capacity_blocks: CAPACITY,
+            policy: ReplacementPolicy::MasterPreserving,
+            fetch_timeout: Duration::from_secs(2),
+            faults: None,
+            obs: Some(registry.clone()),
+        },
+        catalog,
+        store,
+    );
+    let reader = NodeId(0);
+    time_reads(&mw, reader, &blocks, &mut Vec::new()); // prime
+    let mut samples = Vec::new();
+    for _ in 0..rounds {
+        time_reads(&mw, reader, &blocks, &mut samples);
+    }
+    let read_ns = samples.iter().sum::<u64>() as f64 / samples.len() as f64;
+    mw.quiesce();
+    let snap = mw.obs_snapshot();
+    mw.shutdown();
+
+    // Per-event primitive costs, same loops as the ccm-rt overhead guard.
+    const ITERS: usize = 200_000;
+    let c = registry.counter("bench_obs_probe_total", "probe", &[]);
+    let h = registry.histogram("bench_obs_probe_ns", "probe", &[]);
+    let t = Instant::now();
+    for _ in 0..ITERS {
+        let sw = Stopwatch::start();
+        c.inc();
+        sw.stop(&h);
+    }
+    let metric_ns = t.elapsed().as_nanos() as f64 / ITERS as f64;
+    let ring = TraceRing::new(4096);
+    let t = Instant::now();
+    for i in 0..ITERS {
+        let req = ring.next_req_id();
+        ring.push(
+            req,
+            0,
+            Hop::Dispatch {
+                file: i as u32,
+                block: 0,
+            },
+        );
+        ring.push(req, 0, Hop::Serve { bytes: 8192 });
+    }
+    let trace_ns = t.elapsed().as_nanos() as f64 / ITERS as f64;
+
+    println!(
+        "\nobs: local-hit (instrumented) {read_ns:.0} ns/blk; per event: metrics {metric_ns:.0} ns, \
+         tracing {trace_ns:.0} ns (obs-off={})",
+        cfg!(feature = "obs-off"),
+    );
+    format!(
+        "  \"obs\": {{ \"obs_off\": {}, \"local_hit_instrumented_ns\": {:.1}, \
+         \"metric_event_ns\": {:.1}, \"trace_event_ns\": {:.1}, \
+         \"reads_total\": {}, \"evictions_total\": {}, \"store_fallbacks_total\": {} }}\n",
+        cfg!(feature = "obs-off"),
+        read_ns,
+        metric_ns,
+        trace_ns,
+        snap.counter_sum("ccm_rt_reads_total"),
+        snap.counter_sum("ccm_rt_evictions_total"),
+        snap.counter_sum("ccm_rt_store_fallbacks_total"),
+    )
+}
+
 fn main() {
     let quick = std::env::args().any(|a| a == "--quick")
         || std::env::var("CCM_QUICK").is_ok_and(|v| v != "0" && !v.is_empty());
@@ -216,7 +299,9 @@ fn main() {
         }
         json.push_str(&format!("    }}{}\n", if bi == 0 { "," } else { "" }));
     }
-    json.push_str("  }\n}\n");
+    json.push_str("  },\n");
+    json.push_str(&obs_section(rounds));
+    json.push_str("}\n");
 
     // Repo root, next to Cargo.toml (crates/bench/../..).
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_rt.json");

@@ -3,11 +3,19 @@
 //! one client thread per node and verifying every byte against the
 //! backing-store ground truth.
 //!
-//! Usage: `cargo run --release -p ccm-net --bin socket_cluster [nodes] [ops]`
+//! Usage: `cargo run --release -p ccm-net --bin socket_cluster [nodes] [ops] [--serve]`
 //! (defaults: 4 nodes, 4000 reads total).
+//!
+//! With `--serve` the workload runs through per-node HTTP front ends
+//! (`GET /file/<id>`) instead of direct middleware handles, and the
+//! process then stays up serving `/metrics` (Prometheus text) and
+//! `/debug/trace` (JSON) on every node — point `ccmtop` or `curl` at the
+//! printed addresses; Ctrl-C to exit.
 
 use ccm_core::{FileId, NodeId, ReplacementPolicy, BLOCK_SIZE};
+use ccm_httpd::HttpCluster;
 use ccm_net::TcpLan;
+use ccm_obs::Registry;
 use ccm_rt::store::read_file_direct;
 use ccm_rt::{Catalog, Middleware, RtConfig, SyntheticStore};
 use ccm_traces::SynthConfig;
@@ -16,14 +24,11 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 fn main() {
-    let nodes: usize = std::env::args()
-        .nth(1)
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(4);
-    let ops: u64 = std::env::args()
-        .nth(2)
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(4_000);
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let serve = args.iter().any(|a| a == "--serve");
+    args.retain(|a| a != "--serve");
+    let nodes: usize = args.first().and_then(|s| s.parse().ok()).unwrap_or(4);
+    let ops: u64 = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(4_000);
     assert!(nodes >= 2, "a cluster needs at least 2 nodes");
 
     // A small web-trace stand-in: Zipf popularity, log-normal body sizes.
@@ -47,18 +52,30 @@ fn main() {
     // cooperation (remote hits, eviction forwarding) must carry the load.
     let capacity_blocks = (total_blocks / (2 * nodes)).max(8);
 
-    let lan = Arc::new(TcpLan::loopback(nodes).expect("bind loopback listeners"));
+    // One registry spans every layer: the TCP transport's per-link series,
+    // the middleware's hit-class counters, and (with --serve) the HTTP
+    // front end's latency histograms all land in the same /metrics page.
+    let registry = Registry::new();
+    let lan = Arc::new(TcpLan::loopback_obs(nodes, &registry).expect("bind loopback listeners"));
     for i in 0..nodes {
-        println!("node {i}: listening on {}", lan.addr(NodeId(i as u16)));
+        println!("node {i}: peer transport on {}", lan.addr(NodeId(i as u16)));
     }
+    let cfg = RtConfig {
+        nodes,
+        capacity_blocks,
+        policy: ReplacementPolicy::MasterPreserving,
+        fetch_timeout: Duration::from_secs(2),
+        faults: None,
+        obs: Some(registry.clone()),
+    };
+
+    if serve {
+        serve_http(cfg, catalog, store, lan, ops);
+        return;
+    }
+
     let mw = Arc::new(Middleware::start_on(
-        RtConfig {
-            nodes,
-            capacity_blocks,
-            policy: ReplacementPolicy::MasterPreserving,
-            fetch_timeout: Duration::from_secs(2),
-            faults: None,
-        },
+        cfg,
         catalog.clone(),
         store.clone(),
         lan.clone(),
@@ -120,4 +137,44 @@ fn main() {
     );
     println!("every byte verified against the backing store — cluster OK");
     drop(mw);
+}
+
+/// `--serve`: HTTP front ends over the TCP peer transport. Warms the
+/// cluster with `ops` verified HTTP reads, then serves until killed.
+fn serve_http(
+    cfg: RtConfig,
+    catalog: Catalog,
+    store: Arc<SyntheticStore>,
+    lan: Arc<TcpLan>,
+    ops: u64,
+) {
+    let nodes = cfg.nodes;
+    let cluster = HttpCluster::start_on(cfg, catalog.clone(), store.clone(), lan);
+    println!();
+    for (i, addr) in cluster.addrs().iter().enumerate() {
+        println!("node {i}: http://{addr}  (GET /file/<id>, /metrics, /debug/trace)");
+    }
+
+    let check_store = store.clone();
+    let check_catalog = catalog.clone();
+    let report = ccm_httpd::client::load_run(
+        cluster.addrs(),
+        catalog.num_files() as u32,
+        nodes,
+        (ops as usize) / nodes,
+        move |id, body| body == read_file_direct(&*check_store, &check_catalog, FileId(id)),
+    );
+    println!(
+        "\nwarmup: {} HTTP reads ok, {} failed — bodies verified against the backing store",
+        report.ok, report.failed
+    );
+    let addrs: Vec<String> = cluster.addrs().iter().map(|a| a.to_string()).collect();
+    println!(
+        "scrape:  cargo run -p ccm-obs --bin ccmtop -- {}",
+        addrs.join(" ")
+    );
+    println!("serving until killed (Ctrl-C)");
+    loop {
+        std::thread::park();
+    }
 }

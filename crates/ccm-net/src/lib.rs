@@ -44,4 +44,6 @@ pub mod tcp;
 pub mod wire;
 
 pub use tcp::{NetStats, TcpConfig, TcpLan};
-pub use wire::{decode, encode, read_frame, write_frame, DecodeError, WireMsg, WIRE_VERSION};
+pub use wire::{
+    decode, encode, read_frame, read_frame_counted, write_frame, DecodeError, WireMsg, WIRE_VERSION,
+};

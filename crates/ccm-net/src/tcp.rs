@@ -48,8 +48,9 @@
 //! [`Transport::reconnect`]: ccm_rt::Transport::reconnect
 //! [`PeerMsg`]: ccm_rt::PeerMsg
 
-use crate::wire::{read_frame, write_frame, WireMsg, WIRE_VERSION};
+use crate::wire::{read_frame_counted, write_frame, WireMsg, WIRE_VERSION};
 use ccm_core::NodeId;
+use ccm_obs::{Counter, Gauge, Registry};
 use ccm_rt::{PeerMsg, Transport};
 use simcore::chan::{unbounded, Receiver, Sender};
 use simcore::sync::{Mutex, RwLock};
@@ -98,6 +99,111 @@ pub struct NetStats {
     pub frames_received: u64,
 }
 
+/// Per-directed-pair wire metric handles. Traffic metrics count at the
+/// end that observes them — `frames_out`/`bytes_out` at the writing node,
+/// `frames_in`/`bytes_in` at the reading node — so for a healthy link the
+/// `{src,dst}` series converge from both sides. The connection-shaped
+/// metrics (dials, teardowns, pending depth, backoff, degrades) live on
+/// the pair as dialed, `src → dst`.
+struct LinkObs {
+    frames_out: Counter,
+    bytes_out: Counter,
+    frames_in: Counter,
+    bytes_in: Counter,
+    dials: Counter,
+    dial_failures: Counter,
+    teardowns: Counter,
+    /// Sends refused or failed on this link; each one degrades the caller
+    /// to the §3 backing-store read.
+    degrades: Counter,
+    pending_replies: Gauge,
+    backoff_ms: Gauge,
+}
+
+/// All per-pair handles, registered once at construction so the data path
+/// never touches the registry.
+struct NetObs {
+    /// Row-major `from * nodes + to`; `None` on the diagonal (self-sends
+    /// short-circuit the wire entirely).
+    links: Vec<Option<LinkObs>>,
+    nodes: usize,
+}
+
+impl NetObs {
+    fn new(registry: &Registry, nodes: usize) -> NetObs {
+        let mut links = Vec::with_capacity(nodes * nodes);
+        for from in 0..nodes {
+            for to in 0..nodes {
+                if from == to {
+                    links.push(None);
+                    continue;
+                }
+                let (f, t) = (from.to_string(), to.to_string());
+                let l = [("src", f.as_str()), ("dst", t.as_str())];
+                links.push(Some(LinkObs {
+                    frames_out: registry.counter(
+                        "ccm_net_frames_out_total",
+                        "Wire frames written, by direction",
+                        &l,
+                    ),
+                    bytes_out: registry.counter(
+                        "ccm_net_bytes_out_total",
+                        "Wire bytes written (length prefixes included), by direction",
+                        &l,
+                    ),
+                    frames_in: registry.counter(
+                        "ccm_net_frames_in_total",
+                        "Wire frames read, by direction",
+                        &l,
+                    ),
+                    bytes_in: registry.counter(
+                        "ccm_net_bytes_in_total",
+                        "Wire bytes read (length prefixes included), by direction",
+                        &l,
+                    ),
+                    dials: registry.counter(
+                        "ccm_net_dials_total",
+                        "Dial attempts on this link",
+                        &l,
+                    ),
+                    dial_failures: registry.counter(
+                        "ccm_net_dial_failures_total",
+                        "Dial attempts that failed",
+                        &l,
+                    ),
+                    teardowns: registry.counter(
+                        "ccm_net_teardowns_total",
+                        "Established connections torn down (error, EOF, or restart)",
+                        &l,
+                    ),
+                    degrades: registry.counter(
+                        "ccm_net_degrades_total",
+                        "Sends refused or failed on this link (caller degrades to the backing store)",
+                        &l,
+                    ),
+                    pending_replies: registry.gauge(
+                        "ccm_net_pending_replies",
+                        "Requests awaiting a wire reply on this link",
+                        &l,
+                    ),
+                    backoff_ms: registry.gauge(
+                        "ccm_net_backoff_ms",
+                        "Reconnect backoff being served (0 while the link is healthy)",
+                        &l,
+                    ),
+                }));
+            }
+        }
+        NetObs { links, nodes }
+    }
+
+    fn pair(&self, from: NodeId, to: NodeId) -> &LinkObs {
+        self.links[from.index() * self.nodes + to.index()]
+            .as_ref()
+            .expect("the wire never carries self-sends")
+    }
+}
+
 /// What a reply correlates back to.
 enum Pending {
     Block(Sender<Option<Vec<u8>>>),
@@ -131,11 +237,14 @@ impl PendingMap {
     }
 
     /// Refuse future registrations and drop every waiter (each observes an
-    /// immediate disconnect rather than a timeout).
-    fn close(&self) {
+    /// immediate disconnect rather than a timeout). Returns how many
+    /// waiters were dropped so the caller can settle the pending gauge.
+    fn close(&self) -> usize {
         let mut m = self.map.lock();
         self.closed.store(true, Ordering::Release);
+        let dropped = m.len();
         m.clear();
+        dropped
     }
 }
 
@@ -187,6 +296,7 @@ struct TcpShared {
     teardowns: AtomicU64,
     frames_sent: AtomicU64,
     frames_received: AtomicU64,
+    obs: NetObs,
 }
 
 impl TcpShared {
@@ -210,6 +320,9 @@ impl TcpShared {
         if is_current {
             link.conn = None; // Conn::drop shuts the socket down
             link.retry_at = Some(Instant::now() + link.backoff);
+            let o = self.obs.pair(src, dst);
+            o.teardowns.inc();
+            o.backoff_ms.set(link.backoff.as_millis() as i64);
             link.backoff = (link.backoff * 2).min(self.cfg.max_backoff);
             self.teardowns.fetch_add(1, Ordering::Relaxed);
         }
@@ -234,11 +347,35 @@ impl TcpLan {
         TcpLan::with_config(nodes, TcpConfig::default())
     }
 
+    /// [`TcpLan::loopback`], registering per-link wire metrics
+    /// (`ccm_net_*`) on `registry`. Pass the same registry through
+    /// `RtConfig::obs` and every layer's series land in one snapshot.
+    ///
+    /// # Errors
+    /// Any socket error while binding or spawning acceptors.
+    pub fn loopback_obs(nodes: usize, registry: &Registry) -> std::io::Result<TcpLan> {
+        TcpLan::with_config_obs(nodes, TcpConfig::default(), registry)
+    }
+
     /// Bind `nodes` listeners on loopback ephemeral ports.
     ///
     /// # Errors
     /// Any socket error while binding or spawning acceptors.
     pub fn with_config(nodes: usize, cfg: TcpConfig) -> std::io::Result<TcpLan> {
+        // A private registry: the counters still count (NetStats reads
+        // them through the same handles), the series just go nowhere.
+        TcpLan::with_config_obs(nodes, cfg, &Registry::default())
+    }
+
+    /// [`TcpLan::with_config`] with per-link wire metrics on `registry`.
+    ///
+    /// # Errors
+    /// Any socket error while binding or spawning acceptors.
+    pub fn with_config_obs(
+        nodes: usize,
+        cfg: TcpConfig,
+        registry: &Registry,
+    ) -> std::io::Result<TcpLan> {
         let mut listeners = Vec::with_capacity(nodes);
         let mut slots = Vec::with_capacity(nodes);
         for _ in 0..nodes {
@@ -273,6 +410,7 @@ impl TcpLan {
             teardowns: AtomicU64::new(0),
             frames_sent: AtomicU64::new(0),
             frames_received: AtomicU64::new(0),
+            obs: NetObs::new(registry, nodes),
         });
         let acceptors = listeners
             .into_iter()
@@ -331,26 +469,30 @@ impl TcpLan {
             }
         }
         let addr = self.shared.slots[dst.index()].addr;
+        let obs = self.shared.obs.pair(src, dst);
+        obs.dials.inc();
         let dial =
             TcpStream::connect_timeout(&addr, self.shared.cfg.connect_timeout).and_then(|sock| {
                 sock.set_nodelay(true)?;
                 let mut hello_sock = &sock;
-                write_frame(
+                let hello_bytes = write_frame(
                     &mut hello_sock,
                     &WireMsg::Hello {
                         version: WIRE_VERSION,
                         node: src,
                     },
                 )?;
-                Ok(sock)
+                Ok((sock, hello_bytes))
             });
         match dial {
-            Ok(sock) => {
+            Ok((sock, hello_bytes)) => {
                 let pending: PendingTable = Arc::new(PendingMap::default());
                 let reader_sock = match sock.try_clone() {
                     Ok(s) => s,
                     Err(_) => {
                         self.shared.connect_failures.fetch_add(1, Ordering::Relaxed);
+                        obs.dial_failures.inc();
+                        obs.backoff_ms.set(link.backoff.as_millis() as i64);
                         link.retry_at = Some(Instant::now() + link.backoff);
                         link.backoff = (link.backoff * 2).min(self.shared.cfg.max_backoff);
                         return None;
@@ -365,6 +507,9 @@ impl TcpLan {
                 self.shared.workers.lock().push(handle);
                 self.shared.connects.fetch_add(1, Ordering::Relaxed);
                 self.shared.frames_sent.fetch_add(1, Ordering::Relaxed); // the Hello
+                obs.frames_out.inc();
+                obs.bytes_out.add(hello_bytes as u64);
+                obs.backoff_ms.set(0);
                 link.conn = Some(Conn { sock, pending });
                 link.backoff = self.shared.cfg.initial_backoff;
                 link.retry_at = None;
@@ -372,6 +517,8 @@ impl TcpLan {
             }
             Err(_) => {
                 self.shared.connect_failures.fetch_add(1, Ordering::Relaxed);
+                obs.dial_failures.inc();
+                obs.backoff_ms.set(link.backoff.as_millis() as i64);
                 link.retry_at = Some(Instant::now() + link.backoff);
                 link.backoff = (link.backoff * 2).min(self.shared.cfg.max_backoff);
                 None
@@ -383,8 +530,10 @@ impl TcpLan {
     /// entry for reply-bearing messages. Returns false (after teardown) on
     /// any write failure.
     fn send_wire(&self, src: NodeId, dst: NodeId, msg: PeerMsg) -> bool {
+        let obs = self.shared.obs.pair(src, dst);
         let mut link = self.shared.link(src, dst).lock();
         let Some(conn) = self.ensure_conn(&mut link, src, dst) else {
+            obs.degrades.inc();
             return false;
         };
         let frame = match msg {
@@ -393,9 +542,11 @@ impl TcpLan {
                 if !conn.pending.insert(req_id, Pending::Block(reply)) {
                     let pending = conn.pending.clone();
                     drop(link);
+                    obs.degrades.inc();
                     self.shared.teardown(src, dst, &pending);
                     return false;
                 }
+                obs.pending_replies.adjust(1);
                 WireMsg::BlockRequest { req_id, block }
             }
             PeerMsg::Forward {
@@ -413,25 +564,34 @@ impl TcpLan {
                 if !conn.pending.insert(req_id, Pending::Barrier(reply)) {
                     let pending = conn.pending.clone();
                     drop(link);
+                    obs.degrades.inc();
                     self.shared.teardown(src, dst, &pending);
                     return false;
                 }
+                obs.pending_replies.adjust(1);
                 WireMsg::Barrier { req_id }
             }
             // Control-plane; `send` routes it locally before we get here.
             PeerMsg::Shutdown => unreachable!("Shutdown never crosses the wire"),
         };
         let mut w = &conn.sock;
-        if write_frame(&mut w, &frame).is_ok() {
-            self.shared.frames_sent.fetch_add(1, Ordering::Relaxed);
-            true
-        } else {
-            // A failed write is indistinguishable from a dead peer: drop
-            // the connection (and its pending replies) and back off.
-            let pending = conn.pending.clone();
-            drop(link);
-            self.shared.teardown(src, dst, &pending);
-            false
+        match write_frame(&mut w, &frame) {
+            Ok(n) => {
+                self.shared.frames_sent.fetch_add(1, Ordering::Relaxed);
+                obs.frames_out.inc();
+                obs.bytes_out.add(n as u64);
+                true
+            }
+            Err(_) => {
+                // A failed write is indistinguishable from a dead peer:
+                // drop the connection (and its pending replies) and back
+                // off.
+                let pending = conn.pending.clone();
+                drop(link);
+                obs.degrades.inc();
+                self.shared.teardown(src, dst, &pending);
+                false
+            }
         }
     }
 }
@@ -459,12 +619,18 @@ impl Transport for TcpLan {
         let n = self.shared.slots.len();
         for other in 0..n {
             for (src, dst) in [(node.index(), other), (other, node.index())] {
+                if src == dst {
+                    continue;
+                }
                 let mut link = self.shared.links[src * n + dst].lock();
+                let pair = self.shared.obs.pair(NodeId(src as u16), NodeId(dst as u16));
                 if link.conn.take().is_some() {
                     self.shared.teardowns.fetch_add(1, Ordering::Relaxed);
+                    pair.teardowns.inc();
                 }
                 link.backoff = self.shared.cfg.initial_backoff;
                 link.retry_at = None;
+                pair.backoff_ms.set(0);
             }
         }
         let (tx, rx) = unbounded();
@@ -493,9 +659,13 @@ impl Transport for TcpLan {
             if !conn.pending.insert(req_id, Pending::Barrier(tx)) {
                 continue; // connection just died; its frames died with it
             }
+            let obs = self.shared.obs.pair(src, node);
+            obs.pending_replies.adjust(1);
             let mut w = &conn.sock;
-            if write_frame(&mut w, &WireMsg::Barrier { req_id }).is_ok() {
+            if let Ok(n) = write_frame(&mut w, &WireMsg::Barrier { req_id }) {
                 self.shared.frames_sent.fetch_add(1, Ordering::Relaxed);
+                obs.frames_out.inc();
+                obs.bytes_out.add(n as u64);
                 acks.push(rx);
             } else {
                 let pending = conn.pending.clone();
@@ -571,13 +741,22 @@ fn demux_loop(shared: Arc<TcpShared>, node: NodeId, stream: TcpStream) {
         Ok(s) => s,
         Err(_) => return,
     });
-    match read_frame(&mut reader) {
-        Ok(Some(WireMsg::Hello { version, node: src }))
-            if version == WIRE_VERSION && src.index() < shared.slots.len() => {}
-        _ => return, // wrong protocol, wrong version, or no hello
-    }
+    let (src, hello_bytes) = match read_frame_counted(&mut reader) {
+        Ok(Some((WireMsg::Hello { version, node: src }, n)))
+            if version == WIRE_VERSION && src.index() < shared.slots.len() && src != node =>
+        {
+            (src, n)
+        }
+        _ => return, // wrong protocol, wrong version, self-dial, or no hello
+    };
     let _ = stream.set_read_timeout(None);
     shared.frames_received.fetch_add(1, Ordering::Relaxed); // the Hello
+                                                            // Inbound traffic counts on the pair it traveled, `src → node`;
+                                                            // replies we write back count on `node → src`.
+    let in_obs = shared.obs.pair(src, node);
+    let out_obs = shared.obs.pair(node, src);
+    in_obs.frames_in.inc();
+    in_obs.bytes_in.add(hello_bytes);
 
     // Pin the inbox incarnation: frames from a connection established
     // before a crash must die with the old incarnation, never leak into
@@ -585,8 +764,10 @@ fn demux_loop(shared: Arc<TcpShared>, node: NodeId, stream: TcpStream) {
     let inbox = shared.slots[node.index()].inbox.read().clone();
     // Loop until the peer closes or the stream corrupts (read_frame yields
     // Ok(None) or Err respectively — both end the connection).
-    while let Ok(Some(frame)) = read_frame(&mut reader) {
+    while let Ok(Some((frame, frame_bytes))) = read_frame_counted(&mut reader) {
         shared.frames_received.fetch_add(1, Ordering::Relaxed);
+        in_obs.frames_in.inc();
+        in_obs.bytes_in.add(frame_bytes);
         match frame {
             WireMsg::BlockRequest { req_id, block } => {
                 let (tx, rx) = unbounded();
@@ -601,10 +782,12 @@ fn demux_loop(shared: Arc<TcpShared>, node: NodeId, stream: TcpStream) {
                 // resolves to a miss immediately.
                 let data = rx.recv().ok().flatten();
                 let mut w = &stream;
-                if write_frame(&mut w, &WireMsg::BlockReply { req_id, data }).is_err() {
+                let Ok(n) = write_frame(&mut w, &WireMsg::BlockReply { req_id, data }) else {
                     break;
-                }
+                };
                 shared.frames_sent.fetch_add(1, Ordering::Relaxed);
+                out_obs.frames_out.inc();
+                out_obs.bytes_out.add(n as u64);
             }
             WireMsg::Forward {
                 block,
@@ -636,10 +819,12 @@ fn demux_loop(shared: Arc<TcpShared>, node: NodeId, stream: TcpStream) {
                     break; // node died mid-barrier: no ack, let it time out
                 }
                 let mut w = &stream;
-                if write_frame(&mut w, &WireMsg::BarrierAck { req_id }).is_err() {
+                let Ok(n) = write_frame(&mut w, &WireMsg::BarrierAck { req_id }) else {
                     break;
-                }
+                };
                 shared.frames_sent.fetch_add(1, Ordering::Relaxed);
+                out_obs.frames_out.inc();
+                out_obs.bytes_out.add(n as u64);
             }
             // Requests travel src → dst only; a reply or second Hello on
             // an inbound connection is protocol corruption.
@@ -661,17 +846,27 @@ fn reply_reader(
     pending: PendingTable,
 ) {
     let mut reader = BufReader::new(sock);
+    // Replies travel `dst → src`; the pending gauge lives on the link as
+    // dialed, `src → dst`.
+    let in_obs = shared.obs.pair(dst, src);
+    let link_obs = shared.obs.pair(src, dst);
     loop {
-        match read_frame(&mut reader) {
-            Ok(Some(WireMsg::BlockReply { req_id, data })) => {
+        match read_frame_counted(&mut reader) {
+            Ok(Some((WireMsg::BlockReply { req_id, data }, n))) => {
                 shared.frames_received.fetch_add(1, Ordering::Relaxed);
+                in_obs.frames_in.inc();
+                in_obs.bytes_in.add(n);
                 if let Some(Pending::Block(tx)) = pending.remove(req_id) {
+                    link_obs.pending_replies.adjust(-1);
                     let _ = tx.send(data); // requester may have timed out
                 }
             }
-            Ok(Some(WireMsg::BarrierAck { req_id })) => {
+            Ok(Some((WireMsg::BarrierAck { req_id }, n))) => {
                 shared.frames_received.fetch_add(1, Ordering::Relaxed);
+                in_obs.frames_in.inc();
+                in_obs.bytes_in.add(n);
                 if let Some(Pending::Barrier(tx)) = pending.remove(req_id) {
+                    link_obs.pending_replies.adjust(-1);
                     let _ = tx.send(());
                 }
             }
@@ -682,6 +877,7 @@ fn reply_reader(
     }
     // Drop every waiter immediately (disconnect, not timeout), then put
     // the link into backoff if it still points at this connection.
-    pending.close();
+    let dropped = pending.close();
+    link_obs.pending_replies.adjust(-(dropped as i64));
     shared.teardown(src, dst, &pending);
 }

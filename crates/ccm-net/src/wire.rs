@@ -316,8 +316,10 @@ pub fn decode(payload: &[u8]) -> Result<WireMsg, DecodeError> {
     Ok(msg)
 }
 
-/// Write `msg` as one length-prefixed frame and flush it.
-pub fn write_frame(w: &mut impl Write, msg: &WireMsg) -> io::Result<()> {
+/// Write `msg` as one length-prefixed frame and flush it. Returns the
+/// total bytes put on the wire (length prefix included) so callers can
+/// account traffic without re-encoding.
+pub fn write_frame(w: &mut impl Write, msg: &WireMsg) -> io::Result<usize> {
     let mut payload = Vec::new();
     encode(msg, &mut payload);
     let mut frame = Vec::with_capacity(4 + payload.len());
@@ -327,7 +329,8 @@ pub fn write_frame(w: &mut impl Write, msg: &WireMsg) -> io::Result<()> {
     // interleave mid-frame (the TCP layer serializes writers per link, but
     // a single syscall keeps the invariant obvious and cheap).
     w.write_all(&frame)?;
-    w.flush()
+    w.flush()?;
+    Ok(frame.len())
 }
 
 /// Read one length-prefixed frame. `Ok(None)` on clean EOF at a frame
@@ -335,6 +338,13 @@ pub fn write_frame(w: &mut impl Write, msg: &WireMsg) -> io::Result<()> {
 /// [`DecodeError`] surface as `io::ErrorKind::InvalidData` /
 /// `UnexpectedEof` errors.
 pub fn read_frame(r: &mut impl Read) -> io::Result<Option<WireMsg>> {
+    Ok(read_frame_counted(r)?.map(|(msg, _)| msg))
+}
+
+/// [`read_frame`], but also reporting how many bytes the frame occupied on
+/// the wire (length prefix included) — the read-side counterpart of
+/// [`write_frame`]'s return value.
+pub fn read_frame_counted(r: &mut impl Read) -> io::Result<Option<(WireMsg, u64)>> {
     let mut len_buf = [0u8; 4];
     // Distinguish "connection ended between frames" (fine) from "ended in
     // the middle of one" (corruption).
@@ -356,7 +366,7 @@ pub fn read_frame(r: &mut impl Read) -> io::Result<Option<WireMsg>> {
     let mut payload = vec![0u8; len as usize];
     r.read_exact(&mut payload)?;
     decode(&payload)
-        .map(Some)
+        .map(|msg| Some((msg, 4 + len as u64)))
         .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, format!("bad frame: {e}")))
 }
 

@@ -62,6 +62,7 @@ fn run_torture(seed: u64, nodes: usize, ops: u64, quiesce_each_op: bool) -> Tort
             policy: ReplacementPolicy::MasterPreserving,
             fetch_timeout: Duration::from_millis(100),
             faults: Some(plan),
+            obs: None,
         },
         catalog.clone(),
         store.clone(),
@@ -173,6 +174,7 @@ fn concurrent_readers_survive_crashes_over_lossy_tcp() {
                 policy: ReplacementPolicy::MasterPreserving,
                 fetch_timeout: Duration::from_millis(100),
                 faults: Some(plan),
+                obs: None,
             },
             catalog.clone(),
             store.clone(),

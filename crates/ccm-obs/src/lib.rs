@@ -1,0 +1,31 @@
+//! Observability for the cooperative caching runtime.
+//!
+//! Three small pieces, designed so the hot block path pays one relaxed
+//! atomic increment and nothing else:
+//!
+//! - [`metrics`]: a lock-free [`Registry`] of [`Counter`]s, [`Gauge`]s,
+//!   and fixed-bucket log-scale [`Histogram`]s (the bucketing scheme is
+//!   `simcore::Histogram`'s, frozen at 512 buckets so snapshots from
+//!   different nodes always merge).
+//! - [`trace`]: a bounded per-cluster [`TraceRing`] of structured
+//!   block-path hops (dispatch → peer fetch → disk fallback → serve),
+//!   dumpable as JSON on demand or on chaos-invariant failure.
+//! - [`prom`]: Prometheus text exposition of a registry [`Snapshot`], and
+//!   the minimal parser the `ccmtop` scraper uses.
+//!
+//! Building with `--features obs-off` compiles gauges, histograms,
+//! stopwatches, and trace rings down to nothing (counters stay live; see
+//! [`metrics`] for why) — the overhead-guard bench compares the two
+//! builds.
+
+#![warn(missing_docs)]
+
+pub mod metrics;
+pub mod prom;
+pub mod trace;
+
+pub use metrics::{
+    Counter, Gauge, Histogram, HistogramSnapshot, MetricSnapshot, Registry, Snapshot, Stopwatch,
+    Value, HISTOGRAM_BUCKETS,
+};
+pub use trace::{Hop, TraceEvent, TraceRing};

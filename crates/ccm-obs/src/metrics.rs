@@ -1,0 +1,654 @@
+//! The lock-free metrics core: counters, gauges, log-bucketed latency
+//! histograms, and the [`Registry`] that owns their identities.
+//!
+//! Handles are cheap `Arc`s over atomics, created once at component startup
+//! and then updated from the hot path without any lock: a counter increment
+//! is one relaxed atomic add, a histogram record is three. The registry is
+//! only locked at registration and scrape time, never per event.
+//!
+//! With the `obs-off` feature, gauges, histograms, stopwatches, and the
+//! registry's bookkeeping compile to nothing — the overhead-guard bench
+//! builds against it to measure the instrumentation delta. Counters stay
+//! live even then: several are semantically load-bearing (the runtime's
+//! store-fallback count feeds `CacheStats`), and their cost is exactly the
+//! one relaxed atomic increment the design budgets for the hot path.
+
+use simcore::sync::Mutex;
+#[cfg(not(feature = "obs-off"))]
+use std::sync::atomic::AtomicI64;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Sub-buckets per power-of-two octave (same scheme as
+/// `simcore::Histogram`): 16 gives ≤ ~6% relative quantile error.
+const SUBBUCKET_BITS: u32 = 4;
+const SUBBUCKETS: u64 = 1 << SUBBUCKET_BITS;
+
+/// Fixed bucket count. Indices saturate into the last bucket, which with 16
+/// sub-buckets per octave covers values up to ~2^35 ns (≈ 34 s) exactly and
+/// lumps everything larger together.
+pub const HISTOGRAM_BUCKETS: usize = 512;
+
+/// Fine-bucket index of `value` (monotonic, saturating).
+#[cfg_attr(feature = "obs-off", allow(dead_code))]
+#[inline]
+pub(crate) fn bucket_index(value: u64) -> usize {
+    let idx = if value < SUBBUCKETS {
+        value as usize
+    } else {
+        let octave = 63 - value.leading_zeros() as u64;
+        let sub = (value >> (octave - SUBBUCKET_BITS as u64)) - SUBBUCKETS;
+        ((octave - SUBBUCKET_BITS as u64 + 1) * SUBBUCKETS + sub) as usize
+    };
+    idx.min(HISTOGRAM_BUCKETS - 1)
+}
+
+/// Lower bound of the value range covered by fine bucket `idx`.
+#[inline]
+pub(crate) fn bucket_low(idx: usize) -> u64 {
+    let idx = idx as u64;
+    if idx < SUBBUCKETS {
+        return idx;
+    }
+    let octave = idx / SUBBUCKETS + SUBBUCKET_BITS as u64 - 1;
+    let sub = idx % SUBBUCKETS;
+    (SUBBUCKETS + sub) << (octave - SUBBUCKET_BITS as u64)
+}
+
+/// Smallest value that saturates into the final bucket (diagnostics/tests).
+pub fn saturation_threshold() -> u64 {
+    bucket_low(HISTOGRAM_BUCKETS - 1)
+}
+
+/// A monotonically increasing counter. One relaxed atomic add per event.
+///
+/// Counters are live in every build, including `obs-off` — see the module
+/// docs for why.
+#[derive(Clone, Debug, Default)]
+pub struct Counter(Arc<AtomicU64>);
+
+impl Counter {
+    /// A counter not attached to any registry (starts at zero).
+    pub fn new() -> Counter {
+        Counter::default()
+    }
+
+    /// Add one.
+    #[inline]
+    pub fn inc(&self) {
+        self.0.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Add `n`.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    #[inline]
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A settable signed gauge (occupancies, depths, link states).
+#[cfg(not(feature = "obs-off"))]
+#[derive(Clone, Debug, Default)]
+pub struct Gauge(Arc<AtomicI64>);
+
+/// A settable signed gauge (`obs-off`: compiled to nothing).
+#[cfg(feature = "obs-off")]
+#[derive(Clone, Debug, Default)]
+pub struct Gauge;
+
+#[cfg(not(feature = "obs-off"))]
+impl Gauge {
+    /// A gauge not attached to any registry (starts at zero).
+    pub fn new() -> Gauge {
+        Gauge::default()
+    }
+
+    /// Set the gauge.
+    #[inline]
+    pub fn set(&self, v: i64) {
+        self.0.store(v, Ordering::Relaxed);
+    }
+
+    /// Adjust the gauge by `d` (may be negative).
+    #[inline]
+    pub fn adjust(&self, d: i64) {
+        self.0.fetch_add(d, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    #[inline]
+    pub fn get(&self) -> i64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(feature = "obs-off")]
+impl Gauge {
+    /// A gauge not attached to any registry.
+    pub fn new() -> Gauge {
+        Gauge
+    }
+
+    /// No-op (`obs-off`).
+    #[inline]
+    pub fn set(&self, _v: i64) {}
+
+    /// No-op (`obs-off`).
+    #[inline]
+    pub fn adjust(&self, _d: i64) {}
+
+    /// Always zero (`obs-off`).
+    #[inline]
+    pub fn get(&self) -> i64 {
+        0
+    }
+}
+
+#[cfg(not(feature = "obs-off"))]
+#[derive(Debug)]
+struct HistogramCore {
+    buckets: Vec<AtomicU64>, // HISTOGRAM_BUCKETS long
+    count: AtomicU64,
+    sum: AtomicU64,
+}
+
+/// A fixed-bucket, log-scale histogram recordable from any thread: three
+/// relaxed atomic adds per sample, no allocation, no lock.
+#[cfg(not(feature = "obs-off"))]
+#[derive(Clone, Debug)]
+pub struct Histogram(Arc<HistogramCore>);
+
+/// A fixed-bucket, log-scale histogram (`obs-off`: compiled to nothing).
+#[cfg(feature = "obs-off")]
+#[derive(Clone, Debug, Default)]
+pub struct Histogram;
+
+#[cfg(not(feature = "obs-off"))]
+impl Default for Histogram {
+    fn default() -> Histogram {
+        Histogram(Arc::new(HistogramCore {
+            buckets: (0..HISTOGRAM_BUCKETS).map(|_| AtomicU64::new(0)).collect(),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+        }))
+    }
+}
+
+#[cfg(not(feature = "obs-off"))]
+impl Histogram {
+    /// A histogram not attached to any registry (empty).
+    pub fn new() -> Histogram {
+        Histogram::default()
+    }
+
+    /// Record one value (nanoseconds, by convention).
+    #[inline]
+    pub fn record(&self, value: u64) {
+        self.0.buckets[bucket_index(value)].fetch_add(1, Ordering::Relaxed);
+        self.0.count.fetch_add(1, Ordering::Relaxed);
+        self.0.sum.fetch_add(value, Ordering::Relaxed);
+    }
+
+    /// A point-in-time copy of the distribution.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        HistogramSnapshot {
+            buckets: self
+                .0
+                .buckets
+                .iter()
+                .map(|b| b.load(Ordering::Relaxed))
+                .collect(),
+            count: self.0.count.load(Ordering::Relaxed),
+            sum: self.0.sum.load(Ordering::Relaxed),
+        }
+    }
+}
+
+#[cfg(feature = "obs-off")]
+impl Histogram {
+    /// A histogram not attached to any registry.
+    pub fn new() -> Histogram {
+        Histogram
+    }
+
+    /// No-op (`obs-off`).
+    #[inline]
+    pub fn record(&self, _value: u64) {}
+
+    /// Always empty (`obs-off`).
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        HistogramSnapshot::empty()
+    }
+}
+
+/// A started latency measurement; `stop` records the elapsed nanoseconds.
+/// Under `obs-off` no clock is read at all.
+#[cfg(not(feature = "obs-off"))]
+#[derive(Debug)]
+pub struct Stopwatch(std::time::Instant);
+
+/// A started latency measurement (`obs-off`: compiled to nothing).
+#[cfg(feature = "obs-off")]
+#[derive(Debug)]
+pub struct Stopwatch;
+
+#[cfg(not(feature = "obs-off"))]
+impl Stopwatch {
+    /// Start timing now.
+    #[inline]
+    pub fn start() -> Stopwatch {
+        Stopwatch(std::time::Instant::now())
+    }
+
+    /// Record the elapsed nanoseconds into `h` and return them.
+    #[inline]
+    pub fn stop(self, h: &Histogram) -> u64 {
+        let ns = self.0.elapsed().as_nanos() as u64;
+        h.record(ns);
+        ns
+    }
+}
+
+#[cfg(feature = "obs-off")]
+impl Stopwatch {
+    /// Start timing (`obs-off`: reads no clock).
+    #[inline]
+    pub fn start() -> Stopwatch {
+        Stopwatch
+    }
+
+    /// No-op; returns zero (`obs-off`).
+    #[inline]
+    pub fn stop(self, _h: &Histogram) -> u64 {
+        0
+    }
+}
+
+/// A point-in-time copy of a [`Histogram`]'s distribution. Plain data:
+/// mergeable across nodes, queryable for quantiles, serializable by the
+/// exposition layer.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// Fine bucket occupancy ([`HISTOGRAM_BUCKETS`] entries).
+    pub buckets: Vec<u64>,
+    /// Number of recorded samples.
+    pub count: u64,
+    /// Sum of recorded values (saturating only at u64 range).
+    pub sum: u64,
+}
+
+impl HistogramSnapshot {
+    /// An empty snapshot.
+    pub fn empty() -> HistogramSnapshot {
+        HistogramSnapshot {
+            buckets: vec![0; HISTOGRAM_BUCKETS],
+            count: 0,
+            sum: 0,
+        }
+    }
+
+    /// Number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Arithmetic mean (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Approximate `q`-quantile as the lower bound of the bucket holding
+    /// that rank (0 when empty; the final bucket also absorbs saturated
+    /// samples, so its lower bound is the largest answer possible).
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let target = ((q * self.count as f64).ceil() as u64).max(1);
+        let mut seen = 0;
+        for (idx, &c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if seen >= target {
+                return bucket_low(idx);
+            }
+        }
+        bucket_low(HISTOGRAM_BUCKETS - 1)
+    }
+
+    /// Merge another snapshot into this one (e.g. per-node distributions
+    /// into a cluster-wide one).
+    ///
+    /// # Panics
+    /// Panics if the bucket layouts differ (cannot happen between snapshots
+    /// from this crate: the layout is a compile-time constant).
+    pub fn merge(&mut self, other: &HistogramSnapshot) {
+        assert_eq!(
+            self.buckets.len(),
+            other.buckets.len(),
+            "histogram bucket layouts differ"
+        );
+        for (a, &b) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.sum = self.sum.saturating_add(other.sum);
+    }
+}
+
+/// The value read from one metric at scrape time.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Value {
+    /// Monotonic counter.
+    Counter(u64),
+    /// Instantaneous gauge.
+    Gauge(i64),
+    /// Latency/size distribution.
+    Histogram(HistogramSnapshot),
+}
+
+/// One metric with its identity, read at scrape time.
+#[derive(Clone, Debug, PartialEq)]
+pub struct MetricSnapshot {
+    /// Metric family name (Prometheus conventions: `ccm_<area>_<what>`,
+    /// counters suffixed `_total`, values in base units named in the
+    /// suffix, e.g. `_ns`).
+    pub name: String,
+    /// One-line description.
+    pub help: String,
+    /// Label pairs, sorted by key.
+    pub labels: Vec<(String, String)>,
+    /// The value.
+    pub value: Value,
+}
+
+/// A consistent scrape of a whole registry, sorted by `(name, labels)`.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct Snapshot {
+    /// All registered metrics.
+    pub metrics: Vec<MetricSnapshot>,
+}
+
+impl Snapshot {
+    /// The sorted, deduplicated set of family names (diagnostics; parity
+    /// tests compare these across transport backends).
+    pub fn family_names(&self) -> Vec<String> {
+        let mut names: Vec<String> = self.metrics.iter().map(|m| m.name.clone()).collect();
+        names.dedup();
+        names
+    }
+
+    /// Find one metric by family name and exact label set.
+    pub fn find(&self, name: &str, labels: &[(&str, &str)]) -> Option<&MetricSnapshot> {
+        self.metrics.iter().find(|m| {
+            m.name == name
+                && m.labels.len() == labels.len()
+                && m.labels
+                    .iter()
+                    .zip(labels.iter())
+                    .all(|((k, v), (lk, lv))| k == lk && v == lv)
+        })
+    }
+
+    /// Sum every counter in the family `name` (0 if absent).
+    pub fn counter_sum(&self, name: &str) -> u64 {
+        self.metrics
+            .iter()
+            .filter(|m| m.name == name)
+            .filter_map(|m| match m.value {
+                Value::Counter(v) => Some(v),
+                _ => None,
+            })
+            .sum()
+    }
+}
+
+enum Handle {
+    Counter(Counter),
+    Gauge(Gauge),
+    Histogram(Histogram),
+}
+
+impl Handle {
+    fn kind(&self) -> &'static str {
+        match self {
+            Handle::Counter(_) => "counter",
+            Handle::Gauge(_) => "gauge",
+            Handle::Histogram(_) => "histogram",
+        }
+    }
+}
+
+struct Entry {
+    name: String,
+    help: String,
+    labels: Vec<(String, String)>,
+    handle: Handle,
+}
+
+/// The metric registry: owns metric identities, hands out update handles,
+/// and produces [`Snapshot`]s for exposition. Cheap to clone (shared
+/// interior); one registry per process or per cluster is the intended
+/// shape, with components labeling their series (`node`, `peer`, `class`).
+#[derive(Clone, Default)]
+pub struct Registry {
+    inner: Arc<Mutex<Vec<Entry>>>,
+}
+
+impl std::fmt::Debug for Registry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Registry({} metrics)", self.inner.lock().len())
+    }
+}
+
+fn sorted_labels(labels: &[(&str, &str)]) -> Vec<(String, String)> {
+    let mut l: Vec<(String, String)> = labels
+        .iter()
+        .map(|(k, v)| (k.to_string(), v.to_string()))
+        .collect();
+    l.sort();
+    l
+}
+
+impl Registry {
+    /// An empty registry.
+    pub fn new() -> Registry {
+        Registry::default()
+    }
+
+    fn register(
+        &self,
+        name: &str,
+        help: &str,
+        labels: &[(&str, &str)],
+        make: impl FnOnce() -> Handle,
+    ) -> Handle {
+        let labels = sorted_labels(labels);
+        let mut entries = self.inner.lock();
+        if let Some(e) = entries
+            .iter()
+            .find(|e| e.name == name && e.labels == labels)
+        {
+            let handle = match &e.handle {
+                Handle::Counter(c) => Handle::Counter(c.clone()),
+                Handle::Gauge(g) => Handle::Gauge(g.clone()),
+                Handle::Histogram(h) => Handle::Histogram(h.clone()),
+            };
+            let wanted = make();
+            assert_eq!(
+                handle.kind(),
+                wanted.kind(),
+                "metric {name} re-registered as a different type"
+            );
+            return handle;
+        }
+        let handle = make();
+        let clone = match &handle {
+            Handle::Counter(c) => Handle::Counter(c.clone()),
+            Handle::Gauge(g) => Handle::Gauge(g.clone()),
+            Handle::Histogram(h) => Handle::Histogram(h.clone()),
+        };
+        entries.push(Entry {
+            name: name.to_string(),
+            help: help.to_string(),
+            labels,
+            handle: clone,
+        });
+        handle
+    }
+
+    /// Register (or re-fetch) a counter.
+    ///
+    /// # Panics
+    /// Panics if `(name, labels)` is already registered as another type.
+    pub fn counter(&self, name: &str, help: &str, labels: &[(&str, &str)]) -> Counter {
+        match self.register(name, help, labels, || Handle::Counter(Counter::new())) {
+            Handle::Counter(c) => c,
+            _ => unreachable!("register checked the kind"),
+        }
+    }
+
+    /// Register (or re-fetch) a gauge.
+    ///
+    /// # Panics
+    /// Panics if `(name, labels)` is already registered as another type.
+    pub fn gauge(&self, name: &str, help: &str, labels: &[(&str, &str)]) -> Gauge {
+        match self.register(name, help, labels, || Handle::Gauge(Gauge::new())) {
+            Handle::Gauge(g) => g,
+            _ => unreachable!("register checked the kind"),
+        }
+    }
+
+    /// Register (or re-fetch) a histogram.
+    ///
+    /// # Panics
+    /// Panics if `(name, labels)` is already registered as another type.
+    pub fn histogram(&self, name: &str, help: &str, labels: &[(&str, &str)]) -> Histogram {
+        match self.register(name, help, labels, || Handle::Histogram(Histogram::new())) {
+            Handle::Histogram(h) => h,
+            _ => unreachable!("register checked the kind"),
+        }
+    }
+
+    /// Read every metric. Sorted by `(name, labels)` so the output is
+    /// deterministic regardless of registration order.
+    pub fn snapshot(&self) -> Snapshot {
+        let entries = self.inner.lock();
+        let mut metrics: Vec<MetricSnapshot> = entries
+            .iter()
+            .map(|e| MetricSnapshot {
+                name: e.name.clone(),
+                help: e.help.clone(),
+                labels: e.labels.clone(),
+                value: match &e.handle {
+                    Handle::Counter(c) => Value::Counter(c.get()),
+                    Handle::Gauge(g) => Value::Gauge(g.get()),
+                    Handle::Histogram(h) => Value::Histogram(h.snapshot()),
+                },
+            })
+            .collect();
+        metrics.sort_by(|a, b| (&a.name, &a.labels).cmp(&(&b.name, &b.labels)));
+        Snapshot { metrics }
+    }
+}
+
+#[cfg(all(test, not(feature = "obs-off")))]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_counts() {
+        let r = Registry::new();
+        let c = r.counter("x_total", "x", &[]);
+        c.inc();
+        c.add(4);
+        assert_eq!(c.get(), 5);
+        let snap = r.snapshot();
+        assert_eq!(snap.metrics.len(), 1);
+        assert_eq!(snap.metrics[0].value, Value::Counter(5));
+    }
+
+    #[test]
+    fn reregistration_returns_the_same_series() {
+        let r = Registry::new();
+        let a = r.counter("x_total", "x", &[("node", "0")]);
+        let b = r.counter("x_total", "x", &[("node", "0")]);
+        a.inc();
+        b.inc();
+        assert_eq!(a.get(), 2);
+        assert_eq!(r.snapshot().metrics.len(), 1);
+        // A different label set is a different series.
+        let c = r.counter("x_total", "x", &[("node", "1")]);
+        c.inc();
+        assert_eq!(r.snapshot().metrics.len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "different type")]
+    fn type_mismatch_panics() {
+        let r = Registry::new();
+        let _ = r.counter("x", "x", &[]);
+        let _ = r.gauge("x", "x", &[]);
+    }
+
+    #[test]
+    fn gauge_sets_and_adjusts() {
+        let g = Gauge::new();
+        g.set(7);
+        g.adjust(-2);
+        assert_eq!(g.get(), 5);
+    }
+
+    #[test]
+    fn snapshot_is_sorted_deterministically() {
+        let r = Registry::new();
+        r.counter("b_total", "b", &[]).inc();
+        r.counter("a_total", "a", &[("node", "1")]).inc();
+        r.counter("a_total", "a", &[("node", "0")]).inc();
+        let names: Vec<(String, Vec<(String, String)>)> = r
+            .snapshot()
+            .metrics
+            .into_iter()
+            .map(|m| (m.name, m.labels))
+            .collect();
+        assert_eq!(names[0].0, "a_total");
+        assert_eq!(names[0].1, vec![("node".to_string(), "0".to_string())]);
+        assert_eq!(names[1].1, vec![("node".to_string(), "1".to_string())]);
+        assert_eq!(names[2].0, "b_total");
+    }
+
+    #[test]
+    fn histogram_records_and_quantiles() {
+        let h = Histogram::new();
+        for v in 1..=1000u64 {
+            h.record(v);
+        }
+        let s = h.snapshot();
+        assert_eq!(s.count(), 1000);
+        let med = s.quantile(0.5) as f64;
+        assert!((med - 500.0).abs() / 500.0 < 0.07, "median={med}");
+        assert!((s.mean() - 500.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn bucket_index_is_monotonic_and_saturates() {
+        let mut last = 0;
+        for v in 0..200_000u64 {
+            let i = bucket_index(v);
+            assert!(i >= last);
+            last = i;
+        }
+        assert_eq!(bucket_index(u64::MAX), HISTOGRAM_BUCKETS - 1);
+        assert_eq!(bucket_index(saturation_threshold()), HISTOGRAM_BUCKETS - 1);
+    }
+}

@@ -1,0 +1,298 @@
+//! Block-path trace events: a bounded per-node ring buffer of structured
+//! hops, so a failing chaos run (or a curious operator) can reconstruct
+//! exactly what one request did — dispatch, peer fetch, disk fallback,
+//! serve — with monotonic timestamps, instead of printf archaeology.
+//!
+//! Pushes are cheap: one relaxed atomic to claim a slot plus one
+//! uncontended-in-practice slot lock (writers only collide on wrap-around).
+//! Under `obs-off` the whole ring compiles to nothing.
+
+#[cfg(not(feature = "obs-off"))]
+use simcore::sync::Mutex;
+#[cfg(not(feature = "obs-off"))]
+use std::sync::atomic::{AtomicU64, Ordering};
+#[cfg(not(feature = "obs-off"))]
+use std::sync::Arc;
+
+/// One hop in a block request's life. Variants mirror the runtime's read
+/// path; `node`/`from`/`to` are raw node indices.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Hop {
+    /// A request entered the middleware for `(file, block)`.
+    Dispatch {
+        /// File the block belongs to.
+        file: u32,
+        /// Block index within the file.
+        block: u32,
+    },
+    /// The block was resident in the local store.
+    LocalHit,
+    /// The directory said `from` holds the block; a peer fetch was issued.
+    PeerFetch {
+        /// Node the fetch was sent to.
+        from: u16,
+    },
+    /// The peer fetch came back with `bytes` bytes.
+    PeerReply {
+        /// Payload size of the reply.
+        bytes: u64,
+    },
+    /// The peer fetch failed (timeout/crash/drop); degrading to disk — the
+    /// paper's §3 "eventual disk read" escape hatch.
+    DiskFallback,
+    /// The directory had no cached copy; read from the backing store.
+    DiskRead,
+    /// An eviction forwarded this block to `to` (second-chance hop).
+    Forward {
+        /// Node the evicted block was forwarded to.
+        to: u16,
+    },
+    /// The request completed; `bytes` returned to the caller.
+    Serve {
+        /// Bytes handed back.
+        bytes: u64,
+    },
+}
+
+impl Hop {
+    /// Short machine-readable name (JSON `hop` field).
+    pub fn name(&self) -> &'static str {
+        match self {
+            Hop::Dispatch { .. } => "dispatch",
+            Hop::LocalHit => "local_hit",
+            Hop::PeerFetch { .. } => "peer_fetch",
+            Hop::PeerReply { .. } => "peer_reply",
+            Hop::DiskFallback => "disk_fallback",
+            Hop::DiskRead => "disk_read",
+            Hop::Forward { .. } => "forward",
+            Hop::Serve { .. } => "serve",
+        }
+    }
+}
+
+/// One recorded trace event.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TraceEvent {
+    /// Request id (from [`TraceRing::next_req_id`]); groups hops.
+    pub req_id: u64,
+    /// Node index the hop happened on.
+    pub node: u16,
+    /// Monotonic nanoseconds since the ring was created.
+    pub at_ns: u64,
+    /// What happened.
+    pub hop: Hop,
+}
+
+impl TraceEvent {
+    /// Render as a single flat JSON object.
+    pub fn to_json(&self) -> String {
+        let mut s = format!(
+            "{{\"req_id\":{},\"node\":{},\"at_ns\":{},\"hop\":\"{}\"",
+            self.req_id,
+            self.node,
+            self.at_ns,
+            self.hop.name()
+        );
+        match &self.hop {
+            Hop::Dispatch { file, block } => {
+                s.push_str(&format!(",\"file\":{file},\"block\":{block}"));
+            }
+            Hop::PeerFetch { from } => s.push_str(&format!(",\"from\":{from}")),
+            Hop::PeerReply { bytes } | Hop::Serve { bytes } => {
+                s.push_str(&format!(",\"bytes\":{bytes}"));
+            }
+            Hop::Forward { to } => s.push_str(&format!(",\"to\":{to}")),
+            Hop::LocalHit | Hop::DiskFallback | Hop::DiskRead => {}
+        }
+        s.push('}');
+        s
+    }
+}
+
+#[cfg(not(feature = "obs-off"))]
+struct RingInner {
+    slots: Vec<Mutex<Option<TraceEvent>>>,
+    next: AtomicU64,
+    next_req: AtomicU64,
+    epoch: std::time::Instant,
+}
+
+/// A bounded, overwrite-oldest ring of [`TraceEvent`]s. Cheap to clone
+/// (shared interior); the runtime keeps one per cluster with events
+/// labeled by node.
+#[cfg(not(feature = "obs-off"))]
+#[derive(Clone)]
+pub struct TraceRing(Arc<RingInner>);
+
+/// A bounded trace ring (`obs-off`: compiled to nothing).
+#[cfg(feature = "obs-off")]
+#[derive(Clone)]
+pub struct TraceRing;
+
+impl std::fmt::Debug for TraceRing {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "TraceRing(cap={})", self.capacity())
+    }
+}
+
+#[cfg(not(feature = "obs-off"))]
+impl TraceRing {
+    /// A ring holding the most recent `capacity` events (min 1).
+    pub fn new(capacity: usize) -> TraceRing {
+        let capacity = capacity.max(1);
+        TraceRing(Arc::new(RingInner {
+            slots: (0..capacity).map(|_| Mutex::new(None)).collect(),
+            next: AtomicU64::new(0),
+            next_req: AtomicU64::new(0),
+            epoch: std::time::Instant::now(),
+        }))
+    }
+
+    /// Slots in the ring.
+    pub fn capacity(&self) -> usize {
+        self.0.slots.len()
+    }
+
+    /// A fresh, ring-unique request id (starts at 1; 0 is never issued, so
+    /// callers can use it as "untraced").
+    pub fn next_req_id(&self) -> u64 {
+        self.0.next_req.fetch_add(1, Ordering::Relaxed) + 1
+    }
+
+    /// Monotonic nanoseconds since the ring was created.
+    pub fn now_ns(&self) -> u64 {
+        self.0.epoch.elapsed().as_nanos() as u64
+    }
+
+    /// Record a hop for `req_id` on `node`, timestamped now.
+    pub fn push(&self, req_id: u64, node: u16, hop: Hop) {
+        let at_ns = self.now_ns();
+        let idx = self.0.next.fetch_add(1, Ordering::Relaxed) as usize % self.0.slots.len();
+        *self.0.slots[idx].lock() = Some(TraceEvent {
+            req_id,
+            node,
+            at_ns,
+            hop,
+        });
+    }
+
+    /// All retained events, oldest first.
+    pub fn dump(&self) -> Vec<TraceEvent> {
+        let mut events: Vec<TraceEvent> = self
+            .0
+            .slots
+            .iter()
+            .filter_map(|s| s.lock().clone())
+            .collect();
+        events.sort_by_key(|e| (e.at_ns, e.req_id));
+        events
+    }
+
+    /// Retained events for one request id, oldest first.
+    pub fn dump_for(&self, req_id: u64) -> Vec<TraceEvent> {
+        let mut events = self.dump();
+        events.retain(|e| e.req_id == req_id);
+        events
+    }
+
+    /// The whole retained ring as a JSON document:
+    /// `{"capacity":N,"events":[...]}`.
+    pub fn dump_json(&self) -> String {
+        let events = self.dump();
+        let mut s = format!("{{\"capacity\":{},\"events\":[", self.capacity());
+        for (i, e) in events.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            s.push_str(&e.to_json());
+        }
+        s.push_str("]}");
+        s
+    }
+}
+
+#[cfg(feature = "obs-off")]
+impl TraceRing {
+    /// A ring (`obs-off`: retains nothing).
+    pub fn new(_capacity: usize) -> TraceRing {
+        TraceRing
+    }
+
+    /// Always zero (`obs-off`).
+    pub fn capacity(&self) -> usize {
+        0
+    }
+
+    /// Always zero, the "untraced" id (`obs-off`).
+    pub fn next_req_id(&self) -> u64 {
+        0
+    }
+
+    /// Always zero (`obs-off`).
+    pub fn now_ns(&self) -> u64 {
+        0
+    }
+
+    /// No-op (`obs-off`).
+    pub fn push(&self, _req_id: u64, _node: u16, _hop: Hop) {}
+
+    /// Always empty (`obs-off`).
+    pub fn dump(&self) -> Vec<TraceEvent> {
+        Vec::new()
+    }
+
+    /// Always empty (`obs-off`).
+    pub fn dump_for(&self, _req_id: u64) -> Vec<TraceEvent> {
+        Vec::new()
+    }
+
+    /// An empty document (`obs-off`).
+    pub fn dump_json(&self) -> String {
+        "{\"capacity\":0,\"events\":[]}".to_string()
+    }
+}
+
+#[cfg(all(test, not(feature = "obs-off")))]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_and_dump_round_trips() {
+        let ring = TraceRing::new(16);
+        let id = ring.next_req_id();
+        assert_eq!(id, 1);
+        ring.push(id, 0, Hop::Dispatch { file: 3, block: 1 });
+        ring.push(id, 0, Hop::PeerFetch { from: 2 });
+        ring.push(id, 0, Hop::DiskFallback);
+        ring.push(id, 0, Hop::Serve { bytes: 4096 });
+        let events = ring.dump_for(id);
+        assert_eq!(events.len(), 4);
+        assert_eq!(events[0].hop, Hop::Dispatch { file: 3, block: 1 });
+        assert_eq!(events[3].hop, Hop::Serve { bytes: 4096 });
+        // Timestamps are monotone within a single-threaded pusher.
+        assert!(events.windows(2).all(|w| w[0].at_ns <= w[1].at_ns));
+    }
+
+    #[test]
+    fn ring_overwrites_oldest() {
+        let ring = TraceRing::new(4);
+        for i in 0..10u64 {
+            ring.push(i, 0, Hop::LocalHit);
+        }
+        let events = ring.dump();
+        assert_eq!(events.len(), 4);
+        let ids: Vec<u64> = events.iter().map(|e| e.req_id).collect();
+        assert_eq!(ids, vec![6, 7, 8, 9]);
+    }
+
+    #[test]
+    fn json_is_flat_and_tagged() {
+        let ring = TraceRing::new(4);
+        ring.push(7, 1, Hop::PeerFetch { from: 0 });
+        let json = ring.dump_json();
+        assert!(json.starts_with("{\"capacity\":4,\"events\":["));
+        assert!(json.contains("\"req_id\":7"));
+        assert!(json.contains("\"hop\":\"peer_fetch\""));
+        assert!(json.contains("\"from\":0"));
+    }
+}

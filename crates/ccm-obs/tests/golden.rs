@@ -1,0 +1,116 @@
+//! Golden tests for the Prometheus text exposition: the rendered page is
+//! part of the observable surface (scraped by `ccmtop`, curl, and any real
+//! Prometheus), so its exact shape is pinned here. A formatting change —
+//! bucket grid, label ordering, HELP/TYPE placement — must show up as a
+//! deliberate diff to this file, not as a silent scrape break.
+
+#![cfg(not(feature = "obs-off"))]
+
+use ccm_obs::prom::{parse, render, LE_BOUNDS_NS};
+use ccm_obs::Registry;
+
+/// The exact page for a small registry covering all three metric kinds.
+///
+/// The two histogram samples pin the fine→coarse bucket condensation:
+/// 5µs lives in fine bucket [4864, 5120), whose whole range first fits
+/// under the 10µs bound; 2ms lives in [1966080, 2031616), which straddles
+/// the 1ms..10ms decade and is therefore counted conservatively at 10ms.
+#[test]
+fn rendered_page_matches_golden() {
+    let r = Registry::new();
+    r.counter("demo_requests_total", "demo requests", &[("node", "0")])
+        .add(7);
+    r.counter("demo_requests_total", "demo requests", &[("node", "1")])
+        .add(2);
+    r.gauge("demo_inflight", "requests in flight", &[]).set(-3);
+    let h = r.histogram("demo_latency_ns", "demo latency", &[("class", "hit")]);
+    h.record(5_000);
+    h.record(2_000_000);
+
+    let golden = "\
+# HELP demo_inflight requests in flight
+# TYPE demo_inflight gauge
+demo_inflight -3
+# HELP demo_latency_ns demo latency
+# TYPE demo_latency_ns histogram
+demo_latency_ns_bucket{class=\"hit\",le=\"1000\"} 0
+demo_latency_ns_bucket{class=\"hit\",le=\"10000\"} 1
+demo_latency_ns_bucket{class=\"hit\",le=\"100000\"} 1
+demo_latency_ns_bucket{class=\"hit\",le=\"1000000\"} 1
+demo_latency_ns_bucket{class=\"hit\",le=\"10000000\"} 2
+demo_latency_ns_bucket{class=\"hit\",le=\"100000000\"} 2
+demo_latency_ns_bucket{class=\"hit\",le=\"1000000000\"} 2
+demo_latency_ns_bucket{class=\"hit\",le=\"10000000000\"} 2
+demo_latency_ns_bucket{class=\"hit\",le=\"+Inf\"} 2
+demo_latency_ns_sum{class=\"hit\"} 2005000
+demo_latency_ns_count{class=\"hit\"} 2
+# HELP demo_requests_total demo requests
+# TYPE demo_requests_total counter
+demo_requests_total{node=\"0\"} 7
+demo_requests_total{node=\"1\"} 2
+";
+    assert_eq!(render(&r.snapshot()), golden);
+
+    // And the page must round-trip through the scrape-side parser.
+    let samples = parse(golden).expect("golden page must parse");
+    assert_eq!(samples.len(), 14);
+}
+
+/// Rendering is a pure function of the snapshot: registration order must
+/// not leak into the page.
+#[test]
+fn render_is_independent_of_registration_order() {
+    let build = |flip: bool| {
+        let r = Registry::new();
+        let nodes: [&str; 2] = if flip { ["1", "0"] } else { ["0", "1"] };
+        for n in nodes {
+            r.counter("demo_requests_total", "demo requests", &[("node", n)])
+                .inc();
+        }
+        r.gauge("demo_inflight", "requests in flight", &[]).set(4);
+        render(&r.snapshot())
+    };
+    assert_eq!(build(false), build(true));
+}
+
+/// An empty histogram still renders its full bucket grid (all zero), so a
+/// scraper sees the family shape before the first sample arrives.
+#[test]
+fn empty_histogram_renders_full_zero_grid() {
+    let r = Registry::new();
+    r.histogram("quiet_ns", "never recorded", &[]);
+    let text = render(&r.snapshot());
+    let samples = parse(&text).expect("parse");
+    let buckets: Vec<&ccm_obs::prom::Sample> = samples
+        .iter()
+        .filter(|s| s.name == "quiet_ns_bucket")
+        .collect();
+    assert_eq!(buckets.len(), LE_BOUNDS_NS.len() + 1, "decade grid + +Inf");
+    assert!(buckets.iter().all(|s| s.value == 0.0));
+    let count = samples.iter().find(|s| s.name == "quiet_ns_count").unwrap();
+    assert_eq!(count.value, 0.0);
+}
+
+/// Edge cases of the conservative condensation. A zero-valued sample fits
+/// under the smallest bound. A sample exactly *at* a coarse bound lands in
+/// a fine bucket extending past it, so it is deferred to the next decade:
+/// coarse buckets may undercount near their boundary but never overcount,
+/// and `+Inf` is always exact.
+#[test]
+fn boundary_samples_are_counted_conservatively() {
+    let r = Registry::new();
+    let h = r.histogram("edge_ns", "edges", &[]);
+    h.record(0);
+    h.record(1_000); // exactly the first coarse bound
+    let samples = parse(&render(&r.snapshot())).expect("parse");
+    let at = |le: &str| {
+        samples
+            .iter()
+            .find(|s| s.name == "edge_ns_bucket" && s.label("le") == Some(le))
+            .unwrap_or_else(|| panic!("missing le={le}"))
+            .value
+    };
+    assert_eq!(at("1000"), 1.0, "only the zero sample is provably ≤ 1µs");
+    assert_eq!(at("10000"), 2.0, "the 1µs sample surfaces one decade up");
+    assert_eq!(at("+Inf"), 2.0);
+}

@@ -32,9 +32,9 @@
 
 use crate::transport::{PeerMsg, Transport};
 use ccm_core::{BlockId, NodeId};
+use ccm_obs::{Counter, Registry};
 use simcore::sync::Mutex;
 use simcore::Rng;
-use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -165,14 +165,26 @@ pub struct ChaosLan {
     faults: LinkFaults,
     /// Row-major `src * nodes + dst`; empty when `faults.is_none()`.
     links: Vec<Mutex<LinkState>>,
-    dropped: AtomicU64,
-    duplicated: AtomicU64,
-    delayed: AtomicU64,
+    dropped: Counter,
+    duplicated: Counter,
+    delayed: Counter,
 }
 
 impl ChaosLan {
-    /// Wrap `inner`, injecting the link faults of `plan`.
+    /// Wrap `inner`, injecting the link faults of `plan`. Fault counters go
+    /// onto a private registry; use [`ChaosLan::with_registry`] to expose
+    /// them on a shared one (the middleware does).
     pub fn new(inner: Arc<dyn Transport>, plan: &FaultPlan) -> ChaosLan {
+        ChaosLan::with_registry(inner, plan, &Registry::new())
+    }
+
+    /// Wrap `inner`, registering the injected-fault counters
+    /// (`ccm_chaos_{dropped,duplicated,delayed}_total`) on `registry`.
+    pub fn with_registry(
+        inner: Arc<dyn Transport>,
+        plan: &FaultPlan,
+        registry: &Registry,
+    ) -> ChaosLan {
         let nodes = inner.nodes();
         let links = if plan.link.is_none() {
             Vec::new()
@@ -193,9 +205,21 @@ impl ChaosLan {
             inner,
             faults: plan.link,
             links,
-            dropped: AtomicU64::new(0),
-            duplicated: AtomicU64::new(0),
-            delayed: AtomicU64::new(0),
+            dropped: registry.counter(
+                "ccm_chaos_dropped_total",
+                "Chaos-eligible messages silently dropped by fault injection",
+                &[],
+            ),
+            duplicated: registry.counter(
+                "ccm_chaos_duplicated_total",
+                "Messages delivered twice by fault injection",
+                &[],
+            ),
+            delayed: registry.counter(
+                "ccm_chaos_delayed_total",
+                "Messages held back for reordering by fault injection",
+                &[],
+            ),
         }
     }
 
@@ -212,9 +236,9 @@ impl ChaosLan {
     /// Faults injected so far.
     pub fn chaos_stats(&self) -> ChaosStats {
         ChaosStats {
-            dropped: self.dropped.load(Ordering::Relaxed),
-            duplicated: self.duplicated.load(Ordering::Relaxed),
-            delayed: self.delayed.load(Ordering::Relaxed),
+            dropped: self.dropped.get(),
+            duplicated: self.duplicated.get(),
+            delayed: self.delayed.get(),
         }
     }
 
@@ -240,15 +264,15 @@ impl ChaosLan {
         }
         link.sends += 1;
         let delivered = if link.rng.chance(self.faults.drop_prob) {
-            self.dropped.fetch_add(1, Ordering::Relaxed);
+            self.dropped.inc();
             true // lost in the network; the sender cannot tell
         } else if link.rng.chance(self.faults.dup_prob) {
-            self.duplicated.fetch_add(1, Ordering::Relaxed);
+            self.duplicated.inc();
             let ok = self.inner.send(src, dst, msg.clone());
             self.inner.send(src, dst, msg);
             ok
         } else if link.rng.chance(self.faults.delay_prob) {
-            self.delayed.fetch_add(1, Ordering::Relaxed);
+            self.delayed.inc();
             let release_at = link.sends + self.faults.delay_sends;
             link.held.push((release_at, msg));
             true

@@ -23,6 +23,9 @@
 //! * [`fault`] — deterministic fault injection: seeded fault plans and the
 //!   chaos transport wrapper that drops, duplicates, and reorders data-plane
 //!   messages.
+//! * [`obs`] — the runtime's metric handles on the `ccm-obs` registry
+//!   (hit-class counters, fetch-latency histograms, occupancy gauges) and
+//!   the block-path trace ring.
 //! * [`runtime`] — node service threads, the shared protocol state, node
 //!   crash/restart, and the public [`runtime::Middleware`] /
 //!   [`runtime::NodeHandle`] API.
@@ -30,11 +33,13 @@
 #![warn(missing_docs)]
 
 pub mod fault;
+pub mod obs;
 pub mod runtime;
 pub mod store;
 pub mod transport;
 
 pub use fault::{ChaosLan, ChaosStats, CrashEvent, FaultPlan, LinkFaults};
+pub use obs::ReadClass;
 pub use runtime::{Middleware, NodeHandle, RtConfig, WriteError};
 pub use store::{BlockStore, Catalog, MemStore, SyntheticStore};
 pub use transport::{Lan, PeerMsg, Transport};

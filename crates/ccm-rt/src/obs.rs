@@ -1,0 +1,151 @@
+//! The runtime's metric handles: every counter, gauge, and histogram the
+//! middleware updates, registered once at cluster start so the read path
+//! never touches the registry — it pays one relaxed atomic per event.
+//!
+//! Metric catalog (see DESIGN.md "Observability" for the full naming
+//! conventions):
+//!
+//! | name | type | labels |
+//! |------|------|--------|
+//! | `ccm_rt_reads_total` | counter | `node`, `class` = `local`/`remote`/`disk`/`fallback` |
+//! | `ccm_rt_evictions_total` | counter | `node` |
+//! | `ccm_rt_forwards_total` | counter | `node` |
+//! | `ccm_rt_store_fallbacks_total` | counter | `node` |
+//! | `ccm_rt_store_blocks` | gauge | `node` |
+//! | `ccm_rt_directory_blocks` | gauge | — |
+//! | `ccm_rt_fetch_latency_ns` | histogram | `class` |
+//!
+//! The read `class` is the *data-plane* outcome: a protocol-level remote
+//! hit whose bytes had to come from the backing store (the §3 race) counts
+//! as `fallback`, not `remote` — unlike `CacheStats`, which tallies the
+//! protocol decision. The two views reconcile through
+//! `ccm_rt_store_fallbacks_total`, which is the exact migration of the old
+//! `Middleware::store_fallbacks` atomic (all fallback sites, including
+//! eviction forwarding's disk re-read).
+
+use ccm_core::NodeId;
+use ccm_obs::{Counter, Gauge, Histogram, Registry, TraceRing};
+
+/// How many block-path trace events the per-cluster ring retains.
+pub const TRACE_RING_CAPACITY: usize = 4096;
+
+/// The four data-plane read outcomes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReadClass {
+    /// Bytes served from the node's own store.
+    Local,
+    /// Bytes fetched from a peer.
+    Remote,
+    /// Directory said disk; planned backing-store read.
+    Disk,
+    /// Data plane fell through to the backing store (§3 race).
+    Fallback,
+}
+
+impl ReadClass {
+    /// Label value.
+    pub fn name(self) -> &'static str {
+        match self {
+            ReadClass::Local => "local",
+            ReadClass::Remote => "remote",
+            ReadClass::Disk => "disk",
+            ReadClass::Fallback => "fallback",
+        }
+    }
+}
+
+/// Per-node handles.
+pub(crate) struct NodeObs {
+    pub reads: [Counter; 4], // indexed by ReadClass as usize
+    pub evictions: Counter,
+    pub forwards: Counter,
+    pub store_fallbacks: Counter,
+    pub store_blocks: Gauge,
+}
+
+/// All of the runtime's metric handles plus the trace ring.
+pub(crate) struct RtObs {
+    pub registry: Registry,
+    pub trace: TraceRing,
+    pub nodes: Vec<NodeObs>,
+    /// Fetch latency histograms indexed by ReadClass as usize.
+    pub fetch_ns: [Histogram; 4],
+    pub directory_blocks: Gauge,
+}
+
+const CLASSES: [ReadClass; 4] = [
+    ReadClass::Local,
+    ReadClass::Remote,
+    ReadClass::Disk,
+    ReadClass::Fallback,
+];
+
+impl RtObs {
+    pub fn new(registry: Registry, nodes: usize) -> RtObs {
+        let node_obs = (0..nodes)
+            .map(|i| {
+                let n = NodeId(i as u16);
+                let node = n.index().to_string();
+                let l = [("node", node.as_str())];
+                NodeObs {
+                    reads: CLASSES.map(|c| {
+                        registry.counter(
+                            "ccm_rt_reads_total",
+                            "Block reads by data-plane outcome class",
+                            &[("node", node.as_str()), ("class", c.name())],
+                        )
+                    }),
+                    evictions: registry.counter(
+                        "ccm_rt_evictions_total",
+                        "Cache eviction decisions applied by this node",
+                        &l,
+                    ),
+                    forwards: registry.counter(
+                        "ccm_rt_forwards_total",
+                        "Evicted masters forwarded to a peer (second chance)",
+                        &l,
+                    ),
+                    store_fallbacks: registry.counter(
+                        "ccm_rt_store_fallbacks_total",
+                        "Data-plane races resolved through the backing store (the paper's 'eventual disk read')",
+                        &l,
+                    ),
+                    store_blocks: registry.gauge(
+                        "ccm_rt_store_blocks",
+                        "Blocks resident in this node's data store",
+                        &l,
+                    ),
+                }
+            })
+            .collect();
+        let fetch_ns = CLASSES.map(|c| {
+            registry.histogram(
+                "ccm_rt_fetch_latency_ns",
+                "Block read latency by data-plane outcome class",
+                &[("class", c.name())],
+            )
+        });
+        let directory_blocks = registry.gauge(
+            "ccm_rt_directory_blocks",
+            "Blocks tracked by the global directory (refreshed at snapshot time)",
+            &[],
+        );
+        RtObs {
+            registry,
+            trace: TraceRing::new(TRACE_RING_CAPACITY),
+            nodes: node_obs,
+            fetch_ns,
+            directory_blocks,
+        }
+    }
+
+    #[inline]
+    pub fn node(&self, node: NodeId) -> &NodeObs {
+        &self.nodes[node.index()]
+    }
+
+    /// Sum of every node's store-fallback counter (the old aggregate view).
+    pub fn store_fallbacks(&self) -> u64 {
+        self.nodes.iter().map(|n| n.store_fallbacks.get()).sum()
+    }
+}

@@ -15,16 +15,18 @@
 //! makes the frequency of that path observable.
 
 use crate::fault::{ChaosLan, FaultPlan};
+use crate::obs::{ReadClass, RtObs};
 use crate::store::{BlockStore, Catalog};
 use crate::transport::{Lan, PeerMsg, Transport};
 use ccm_core::{
     AccessOutcome, BlockId, CacheConfig, CacheStats, ClusterCache, CopyKind, Disposition,
     EvictionEffect, FileId, NodeId, RepairReport, ReplacementPolicy,
 };
+use ccm_obs::{Hop, Registry, Snapshot, Stopwatch, TraceRing};
 use simcore::chan::Receiver;
 use simcore::sync::Mutex;
 use simcore::FxHashMap;
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Duration;
@@ -61,6 +63,10 @@ pub struct RtConfig {
     pub fetch_timeout: Duration,
     /// Link-level fault injection, if any (testing).
     pub faults: Option<FaultPlan>,
+    /// Metric registry the cluster reports into. `None` creates a private
+    /// one (reachable via [`Middleware::registry`]); pass a shared registry
+    /// to co-locate runtime, transport, and HTTP metrics in one scrape.
+    pub obs: Option<Registry>,
 }
 
 impl Default for RtConfig {
@@ -71,6 +77,7 @@ impl Default for RtConfig {
             policy: ReplacementPolicy::MasterPreserving,
             fetch_timeout: Duration::from_secs(2),
             faults: None,
+            obs: None,
         }
     }
 }
@@ -87,9 +94,11 @@ struct Shared {
     /// targeting a dying node before its repair completes.
     alive: Vec<AtomicBool>,
     fetch_timeout: Duration,
-    /// Reads that had to fall through to the backing store because the data
-    /// plane had not caught up with a protocol decision.
-    store_fallbacks: AtomicU64,
+    /// Metric handles and the block-path trace ring. Store fallbacks (reads
+    /// that had to fall through to the backing store because the data plane
+    /// had not caught up with a protocol decision) live here too, as
+    /// per-node counters.
+    obs: RtObs,
 }
 
 impl Shared {
@@ -102,11 +111,16 @@ impl Shared {
     }
 
     fn store_insert(&self, node: NodeId, block: BlockId, data: Arc<Vec<u8>>) {
-        self.stores[node.index()].lock().insert(block, data);
+        let mut store = self.stores[node.index()].lock();
+        store.insert(block, data);
+        self.obs.node(node).store_blocks.set(store.len() as i64);
     }
 
     fn store_take(&self, node: NodeId, block: BlockId) -> Option<Arc<Vec<u8>>> {
-        self.stores[node.index()].lock().remove(&block)
+        let mut store = self.stores[node.index()].lock();
+        let out = store.remove(&block);
+        self.obs.node(node).store_blocks.set(store.len() as i64);
+        out
     }
 
     fn store_get(&self, node: NodeId, block: BlockId) -> Option<Arc<Vec<u8>>> {
@@ -117,8 +131,11 @@ impl Shared {
         Arc::new(self.disk.read_block(block))
     }
 
-    /// Move data in sympathy with an eviction decision.
-    fn apply_eviction(&self, evictor: NodeId, effect: EvictionEffect) {
+    /// Move data in sympathy with an eviction decision. `req` is the trace
+    /// request id of the read that triggered the eviction (0 = untraced,
+    /// e.g. a write-path eviction).
+    fn apply_eviction(&self, evictor: NodeId, effect: EvictionEffect, req: u64) {
+        self.obs.node(evictor).evictions.inc();
         match effect.disposition {
             Disposition::Dropped | Disposition::DroppedWithPromotion { .. } => {
                 // Promotion keeps the holder's existing bytes; the evictor's
@@ -130,6 +147,7 @@ impl Shared {
                 displaced,
                 merged_with_replica,
             } => {
+                self.obs.node(evictor).forwards.inc();
                 let data = self.store_take(evictor, effect.victim);
                 if merged_with_replica {
                     // The destination already holds the bytes as a replica.
@@ -139,9 +157,16 @@ impl Shared {
                 // destination will fall back to the backing store on demand;
                 // re-reading here keeps its store warm instead.
                 let data = data.unwrap_or_else(|| {
-                    self.store_fallbacks.fetch_add(1, Ordering::Relaxed);
+                    self.obs.node(evictor).store_fallbacks.inc();
                     self.disk_read(effect.victim)
                 });
+                self.obs.trace.push(
+                    req,
+                    evictor.index() as u16,
+                    Hop::Forward {
+                        to: to.index() as u16,
+                    },
+                );
                 self.chaos.send(
                     evictor,
                     to,
@@ -189,6 +214,7 @@ fn service_loop(shared: Arc<Shared>, node: NodeId, inbox: Receiver<PeerMsg>) {
                     store.remove(&d);
                 }
                 store.insert(block, Arc::new(data));
+                shared.obs.node(node).store_blocks.set(store.len() as i64);
             }
             PeerMsg::Invalidate { block } => {
                 shared.store_take(node, block);
@@ -239,7 +265,8 @@ impl Middleware {
             .map(|i| transport.reconnect(NodeId(i as u16)))
             .collect();
         let plan = cfg.faults.unwrap_or_else(|| FaultPlan::quiet(0));
-        let chaos = ChaosLan::new(transport, &plan);
+        let registry = cfg.obs.unwrap_or_default();
+        let chaos = ChaosLan::with_registry(transport, &plan, &registry);
         let cache = ClusterCache::new(CacheConfig::paper(
             cfg.nodes,
             cfg.capacity_blocks,
@@ -255,7 +282,7 @@ impl Middleware {
             chaos,
             alive: (0..cfg.nodes).map(|_| AtomicBool::new(true)).collect(),
             fetch_timeout: cfg.fetch_timeout,
-            store_fallbacks: AtomicU64::new(0),
+            obs: RtObs::new(registry, cfg.nodes),
         });
         let threads = inboxes
             .into_iter()
@@ -291,21 +318,44 @@ impl Middleware {
     }
 
     /// Protocol counters so far, with the runtime's store-fallback count
-    /// merged in.
+    /// merged in (read from the metric registry, where the counters live).
     pub fn stats(&self) -> CacheStats {
         let mut s = self.shared.cache.lock().stats();
-        s.store_fallbacks = self.shared.store_fallbacks.load(Ordering::Relaxed);
+        s.store_fallbacks = self.shared.obs.store_fallbacks();
         s
     }
 
     /// Data-plane races resolved through the backing store.
+    ///
+    /// Compatibility shim: the count now lives on the metric registry as
+    /// the per-node `ccm_rt_store_fallbacks_total` family; this returns its
+    /// sum, exactly the old aggregate.
     pub fn store_fallbacks(&self) -> u64 {
-        self.shared.store_fallbacks.load(Ordering::Relaxed)
+        self.shared.obs.store_fallbacks()
     }
 
     /// Link faults injected so far (all zero without a fault plan).
     pub fn chaos_stats(&self) -> crate::fault::ChaosStats {
         self.shared.chaos.chaos_stats()
+    }
+
+    /// The metric registry this cluster reports into (the one passed via
+    /// [`RtConfig::obs`], or a private one).
+    pub fn registry(&self) -> &Registry {
+        &self.shared.obs.registry
+    }
+
+    /// The per-cluster block-path trace ring.
+    pub fn trace(&self) -> &TraceRing {
+        &self.shared.obs.trace
+    }
+
+    /// Refresh snapshot-time gauges (directory occupancy; takes the cache
+    /// lock briefly) and scrape the registry.
+    pub fn obs_snapshot(&self) -> Snapshot {
+        let resident = self.shared.cache.lock().resident_blocks();
+        self.shared.obs.directory_blocks.set(resident as i64);
+        self.shared.obs.registry.snapshot()
     }
 
     /// True if `node`'s service thread is running.
@@ -335,6 +385,7 @@ impl Middleware {
             .expect("alive node must have a thread");
         handle.join().expect("node thread panicked");
         self.shared.stores[node.index()].lock().clear();
+        self.shared.obs.node(node).store_blocks.set(0);
         self.shared.cache.lock().fail_node(node)
     }
 
@@ -420,31 +471,64 @@ impl NodeHandle {
     /// # Panics
     /// Panics if this handle's node is crashed.
     pub fn read_block(&self, block: BlockId) -> Arc<Vec<u8>> {
+        self.read_block_traced(block).0
+    }
+
+    /// Read one block, also returning its trace-ring request id so the
+    /// block-path hops can be pulled from [`Middleware::trace`] afterwards
+    /// (0 means untraced — the `obs-off` build).
+    ///
+    /// # Panics
+    /// Panics if this handle's node is crashed.
+    pub fn read_block_traced(&self, block: BlockId) -> (Arc<Vec<u8>>, u64) {
         assert!(
             self.shared.is_alive(self.node),
             "node {:?} is down",
             self.node
         );
+        let obs = &self.shared.obs;
+        let me = self.node.index() as u16;
+        let req = obs.trace.next_req_id();
+        obs.trace.push(
+            req,
+            me,
+            Hop::Dispatch {
+                file: block.file.0,
+                block: block.index,
+            },
+        );
+        let sw = Stopwatch::start();
         let outcome = self.shared.cache.lock().access(self.node, block);
-        match outcome {
+        let (data, class) = match outcome {
             AccessOutcome::LocalHit { kind } => {
                 let _ = kind;
                 match self.shared.store_get(self.node, block) {
-                    Some(data) => data,
+                    Some(data) => {
+                        obs.trace.push(req, me, Hop::LocalHit);
+                        (data, ReadClass::Local)
+                    }
                     None => {
                         // Our bytes are still in flight (concurrent fetch of
                         // the same block); the backing store is authoritative.
-                        self.shared.store_fallbacks.fetch_add(1, Ordering::Relaxed);
+                        obs.node(self.node).store_fallbacks.inc();
+                        obs.trace.push(req, me, Hop::DiskFallback);
                         let data = self.shared.disk_read(block);
                         self.shared.store_insert(self.node, block, data.clone());
-                        data
+                        (data, ReadClass::Fallback)
                     }
                 }
             }
             AccessOutcome::RemoteHit { from, eviction, .. } => {
                 if let Some(e) = eviction {
-                    self.shared.apply_eviction(self.node, e);
+                    self.shared.apply_eviction(self.node, e, req);
                 }
+                obs.trace.push(
+                    req,
+                    me,
+                    Hop::PeerFetch {
+                        from: from.index() as u16,
+                    },
+                );
                 // A holder that died since the directory decision cannot
                 // answer; skip the round trip and its timeout.
                 let fetched = if self.shared.is_alive(from) {
@@ -454,28 +538,49 @@ impl NodeHandle {
                 } else {
                     None
                 };
-                let data = match fetched {
-                    Some(bytes) => Arc::new(bytes),
+                let (data, class) = match fetched {
+                    Some(bytes) => {
+                        obs.trace.push(
+                            req,
+                            me,
+                            Hop::PeerReply {
+                                bytes: bytes.len() as u64,
+                            },
+                        );
+                        (Arc::new(bytes), ReadClass::Remote)
+                    }
                     None => {
                         // The §3 race: the holder discarded the block (or the
                         // message was lost, or the holder crashed) while our
                         // request was in flight → eventual disk read.
-                        self.shared.store_fallbacks.fetch_add(1, Ordering::Relaxed);
-                        self.shared.disk_read(block)
+                        obs.node(self.node).store_fallbacks.inc();
+                        obs.trace.push(req, me, Hop::DiskFallback);
+                        (self.shared.disk_read(block), ReadClass::Fallback)
                     }
                 };
                 self.shared.store_insert(self.node, block, data.clone());
-                data
+                (data, class)
             }
             AccessOutcome::DiskRead { eviction, .. } => {
                 if let Some(e) = eviction {
-                    self.shared.apply_eviction(self.node, e);
+                    self.shared.apply_eviction(self.node, e, req);
                 }
+                obs.trace.push(req, me, Hop::DiskRead);
                 let data = self.shared.disk_read(block);
                 self.shared.store_insert(self.node, block, data.clone());
-                data
+                (data, ReadClass::Disk)
             }
-        }
+        };
+        sw.stop(&obs.fetch_ns[class as usize]);
+        obs.node(self.node).reads[class as usize].inc();
+        obs.trace.push(
+            req,
+            me,
+            Hop::Serve {
+                bytes: data.len() as u64,
+            },
+        );
+        (data, req)
     }
 
     /// Read a whole file through the cooperative cache.
@@ -483,12 +588,25 @@ impl NodeHandle {
     /// # Panics
     /// Panics if the file is outside the catalog.
     pub fn read_file(&self, file: FileId) -> Vec<u8> {
+        self.read_file_traced(file).0
+    }
+
+    /// Read a whole file, also returning the trace-ring request id of each
+    /// block read (for post-mortem trace dumps; all 0 under `obs-off`).
+    ///
+    /// # Panics
+    /// Panics if the file is outside the catalog.
+    pub fn read_file_traced(&self, file: FileId) -> (Vec<u8>, Vec<u64>) {
         let size = self.shared.catalog.size_of(file) as usize;
+        let blocks = self.shared.catalog.blocks_of(file);
         let mut out = Vec::with_capacity(size);
-        for b in 0..self.shared.catalog.blocks_of(file) {
-            out.extend_from_slice(&self.read_block(BlockId::new(file, b)));
+        let mut reqs = Vec::with_capacity(blocks as usize);
+        for b in 0..blocks {
+            let (data, req) = self.read_block_traced(BlockId::new(file, b));
+            out.extend_from_slice(&data);
+            reqs.push(req);
         }
-        out
+        (out, reqs)
     }
 
     /// Overwrite one whole block through the cooperative cache (the §6
@@ -519,7 +637,7 @@ impl NodeHandle {
         //    route through the chaos wrapper but are never dropped (see the
         //    fault model); they do flush any delayed traffic on their link.
         if let Some(e) = out.eviction {
-            self.shared.apply_eviction(self.node, e);
+            self.shared.apply_eviction(self.node, e, 0);
         }
         for peer in out.invalidated {
             self.shared
@@ -911,6 +1029,7 @@ mod tests {
                     },
                     crashes: Vec::new(),
                 }),
+                obs: None,
             },
             cat.clone(),
             store.clone(),
@@ -934,5 +1053,123 @@ mod tests {
     fn out_of_range_handle_panics() {
         let mw = start(2, 16, 2, 10_000);
         let _ = mw.handle(NodeId(5));
+    }
+
+    #[test]
+    fn registry_counts_read_classes() {
+        let mw = start(2, 64, 2, 20_000);
+        let blocks = mw.catalog().blocks_of(FileId(0)) as u64;
+        mw.handle(NodeId(0)).read_file(FileId(0)); // disk
+        mw.handle(NodeId(0)).read_file(FileId(0)); // local
+        mw.handle(NodeId(1)).read_file(FileId(0)); // remote
+        let snap = mw.obs_snapshot();
+        let class = |node: &str, class: &str| match snap
+            .find("ccm_rt_reads_total", &[("class", class), ("node", node)])
+            .map(|m| &m.value)
+        {
+            Some(ccm_obs::Value::Counter(v)) => *v,
+            other => panic!("missing counter: {other:?}"),
+        };
+        assert_eq!(class("0", "disk"), blocks);
+        assert_eq!(class("0", "local"), blocks);
+        assert_eq!(class("1", "remote"), blocks);
+        assert_eq!(class("1", "disk"), 0);
+        // Snapshot-time gauge: the directory tracks both nodes' copies.
+        assert!(matches!(
+            snap.find("ccm_rt_directory_blocks", &[]).map(|m| &m.value),
+            Some(&ccm_obs::Value::Gauge(g)) if g as u64 == 2 * blocks
+        ));
+        mw.shutdown();
+    }
+
+    #[test]
+    fn stats_shim_equals_registry_fallback_counters() {
+        // Equivalence pin for the store_fallbacks migration: the legacy
+        // accessors and the registry family must always agree. Kill a
+        // node's service thread behind the protocol's back to force
+        // fallbacks (same shape as node_failure_degrades_to_store_fallback).
+        let cat = catalog(6, 20_000);
+        let store = Arc::new(SyntheticStore::new(cat.clone(), 42));
+        let mw = Middleware::start(
+            RtConfig {
+                nodes: 3,
+                capacity_blocks: 64,
+                policy: ReplacementPolicy::MasterPreserving,
+                fetch_timeout: Duration::from_millis(50),
+                ..RtConfig::default()
+            },
+            cat,
+            store,
+        );
+        for f in 0..6u32 {
+            mw.handle(NodeId(0)).read_file(FileId(f));
+        }
+        mw.shared
+            .lan()
+            .send(NodeId(0), NodeId(0), PeerMsg::Shutdown);
+        for f in 0..6u32 {
+            mw.handle(NodeId(1)).read_file(FileId(f));
+        }
+        let direct = mw.store_fallbacks();
+        assert!(direct > 0, "dead node must force fallbacks");
+        assert_eq!(mw.stats().store_fallbacks, direct);
+        assert_eq!(
+            mw.obs_snapshot()
+                .counter_sum("ccm_rt_store_fallbacks_total"),
+            direct
+        );
+        drop(mw);
+    }
+
+    #[cfg(not(feature = "obs-off"))]
+    #[test]
+    fn trace_ring_records_the_block_path() {
+        use ccm_obs::Hop;
+        let mw = start(2, 64, 1, 20_000);
+        // Remote-hit path: node 0 masters the block, node 1 fetches it.
+        let block = BlockId::new(FileId(0), 0);
+        mw.handle(NodeId(0)).read_block(block);
+        let (_, req) = mw.handle(NodeId(1)).read_block_traced(block);
+        assert!(req > 0, "instrumented build must assign request ids");
+        let hops: Vec<Hop> = mw
+            .trace()
+            .dump_for(req)
+            .into_iter()
+            .map(|e| e.hop)
+            .collect();
+        assert_eq!(
+            hops[0],
+            Hop::Dispatch { file: 0, block: 0 },
+            "first hop is the dispatch"
+        );
+        assert!(hops.contains(&Hop::PeerFetch { from: 0 }));
+        assert!(matches!(hops.last(), Some(Hop::Serve { .. })));
+        // The dump is valid JSON-ish and mentions the request.
+        let json = mw.trace().dump_json();
+        assert!(json.contains(&format!("\"req_id\":{req}")));
+        mw.shutdown();
+    }
+
+    #[cfg(not(feature = "obs-off"))]
+    #[test]
+    fn fetch_latency_histograms_fill_by_class() {
+        let mw = start(2, 64, 2, 20_000);
+        mw.handle(NodeId(0)).read_file(FileId(0));
+        mw.handle(NodeId(0)).read_file(FileId(0));
+        mw.handle(NodeId(1)).read_file(FileId(0));
+        let snap = mw.obs_snapshot();
+        for class in ["local", "remote", "disk"] {
+            match snap
+                .find("ccm_rt_fetch_latency_ns", &[("class", class)])
+                .map(|m| &m.value)
+            {
+                Some(ccm_obs::Value::Histogram(h)) => {
+                    assert!(h.count() > 0, "class {class} must have samples");
+                    assert!(h.quantile(0.5) > 0, "latencies are nonzero");
+                }
+                other => panic!("missing histogram for {class}: {other:?}"),
+            }
+        }
+        mw.shutdown();
     }
 }

@@ -19,6 +19,7 @@ fn start(faults: Option<FaultPlan>) -> (Middleware, Catalog, Arc<SyntheticStore>
             policy: ReplacementPolicy::MasterPreserving,
             fetch_timeout: Duration::from_millis(25),
             faults,
+            obs: None,
         },
         catalog.clone(),
         store.clone(),

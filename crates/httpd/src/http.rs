@@ -93,7 +93,8 @@ pub fn read_request(reader: &mut impl BufRead) -> Result<Request, ParseError> {
     })
 }
 
-/// Write a response head (and, unless `head_only`, the body).
+/// Write a response head (and, unless `head_only`, the body) with an
+/// `application/octet-stream` content type — what file bodies are.
 pub fn write_response(
     w: &mut impl Write,
     status: u16,
@@ -102,9 +103,31 @@ pub fn write_response(
     keep_alive: bool,
     head_only: bool,
 ) -> std::io::Result<()> {
+    write_response_typed(
+        w,
+        status,
+        reason,
+        "application/octet-stream",
+        body,
+        keep_alive,
+        head_only,
+    )
+}
+
+/// [`write_response`] with an explicit content type (the observability
+/// endpoints serve Prometheus text and JSON, not octet streams).
+pub fn write_response_typed(
+    w: &mut impl Write,
+    status: u16,
+    reason: &str,
+    content_type: &str,
+    body: &[u8],
+    keep_alive: bool,
+    head_only: bool,
+) -> std::io::Result<()> {
     write!(
         w,
-        "HTTP/1.1 {status} {reason}\r\nContent-Length: {}\r\nContent-Type: application/octet-stream\r\nConnection: {}\r\n\r\n",
+        "HTTP/1.1 {status} {reason}\r\nContent-Length: {}\r\nContent-Type: {content_type}\r\nConnection: {}\r\n\r\n",
         body.len(),
         if keep_alive { "keep-alive" } else { "close" },
     )?;

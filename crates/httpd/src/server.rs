@@ -8,9 +8,16 @@
 //!
 //! Connections are handled thread-per-connection with keep-alive; shutdown
 //! closes the listeners and joins every worker.
+//!
+//! Besides `/file/<id>`, every node serves two observability endpoints:
+//! `GET /metrics` (the cluster registry in Prometheus text exposition) and
+//! `GET /debug/trace` (the block-path trace ring as JSON). In one process
+//! all nodes share one registry, so any node's `/metrics` shows the whole
+//! cluster — exactly what a scraper pointed at round-robin DNS would see.
 
-use crate::http::{read_request, route_file, write_response, ParseError};
+use crate::http::{read_request, route_file, write_response, write_response_typed, ParseError};
 use ccm_core::{FileId, NodeId};
+use ccm_obs::{Counter, Gauge, Histogram, Registry, Stopwatch};
 use ccm_rt::{BlockStore, Catalog, Middleware, NodeHandle, RtConfig, Transport};
 use std::io::BufReader;
 use std::net::{SocketAddr, TcpListener, TcpStream};
@@ -26,7 +33,59 @@ pub struct HttpCluster {
     acceptors: Vec<JoinHandle<()>>,
 }
 
-fn serve_connection(stream: TcpStream, handle: &NodeHandle, catalog: &Catalog) {
+/// Response status classes tallied per node (3xx never occurs here).
+const STATUS_CLASSES: [&str; 3] = ["2xx", "4xx", "5xx"];
+
+/// Per-node HTTP-layer metric handles.
+struct HttpObs {
+    latency_ns: Histogram,
+    inflight: Gauge,
+    responses: [Counter; 3], // indexed like STATUS_CLASSES
+}
+
+impl HttpObs {
+    fn new(registry: &Registry, node: NodeId) -> HttpObs {
+        let n = node.index().to_string();
+        HttpObs {
+            latency_ns: registry.histogram(
+                "ccm_http_request_latency_ns",
+                "Request handling latency, parse to response written",
+                &[("node", n.as_str())],
+            ),
+            inflight: registry.gauge(
+                "ccm_http_inflight",
+                "Requests currently being handled",
+                &[("node", n.as_str())],
+            ),
+            responses: STATUS_CLASSES.map(|class| {
+                registry.counter(
+                    "ccm_http_responses_total",
+                    "Responses written, by status class",
+                    &[("node", n.as_str()), ("status", class)],
+                )
+            }),
+        }
+    }
+
+    fn count(&self, status: u16) {
+        let idx = match status / 100 {
+            2 => 0,
+            4 => 1,
+            _ => 2,
+        };
+        self.responses[idx].inc();
+    }
+}
+
+/// Everything one node's connection workers need.
+struct NodeCtx {
+    handle: NodeHandle,
+    catalog: Catalog,
+    middleware: Arc<Middleware>,
+    obs: HttpObs,
+}
+
+fn serve_connection(stream: TcpStream, ctx: &NodeCtx) {
     // Keep slow clients from pinning worker threads forever, and avoid
     // Nagle/delayed-ACK stalls on small request/response exchanges.
     let _ = stream.set_read_timeout(Some(std::time::Duration::from_secs(5)));
@@ -42,43 +101,92 @@ fn serve_connection(stream: TcpStream, handle: &NodeHandle, catalog: &Catalog) {
             Err(ParseError::ConnectionClosed) => return,
             Err(_) => {
                 let _ = write_response(&mut writer, 400, "Bad Request", b"", false, false);
+                ctx.obs.count(400);
                 return;
             }
         };
-        let head_only = match req.method.as_str() {
-            "GET" => false,
-            "HEAD" => true,
-            _ => {
-                let ok = write_response(
-                    &mut writer,
-                    405,
-                    "Method Not Allowed",
-                    b"",
-                    req.keep_alive,
-                    false,
-                );
-                if ok.is_err() || !req.keep_alive {
-                    return;
-                }
-                continue;
-            }
-        };
-        let response = route_file(&req.path)
-            .filter(|&id| (id as usize) < catalog.num_files())
-            .map(|id| handle.read_file(FileId(id)));
-        let ok = match response {
-            Some(body) => write_response(&mut writer, 200, "OK", &body, req.keep_alive, head_only),
-            None => write_response(
-                &mut writer,
-                404,
-                "Not Found",
-                b"no such file",
-                req.keep_alive,
-                head_only,
-            ),
-        };
+        let sw = Stopwatch::start();
+        ctx.obs.inflight.adjust(1);
+        let (ok, status) = handle_request(&mut writer, &req, ctx);
+        ctx.obs.inflight.adjust(-1);
+        sw.stop(&ctx.obs.latency_ns);
+        ctx.obs.count(status);
         if ok.is_err() || !req.keep_alive {
             return;
+        }
+    }
+}
+
+/// Dispatch one parsed request and write its response; returns the write
+/// result and the status code for accounting.
+fn handle_request(
+    writer: &mut TcpStream,
+    req: &crate::http::Request,
+    ctx: &NodeCtx,
+) -> (std::io::Result<()>, u16) {
+    let head_only = match req.method.as_str() {
+        "GET" => false,
+        "HEAD" => true,
+        _ => {
+            let ok = write_response(
+                writer,
+                405,
+                "Method Not Allowed",
+                b"",
+                req.keep_alive,
+                false,
+            );
+            return (ok, 405);
+        }
+    };
+    match req.path.as_str() {
+        "/metrics" => {
+            let body = ccm_obs::prom::render(&ctx.middleware.obs_snapshot());
+            let ok = write_response_typed(
+                writer,
+                200,
+                "OK",
+                "text/plain; version=0.0.4; charset=utf-8",
+                body.as_bytes(),
+                req.keep_alive,
+                head_only,
+            );
+            (ok, 200)
+        }
+        "/debug/trace" => {
+            let body = ctx.middleware.trace().dump_json();
+            let ok = write_response_typed(
+                writer,
+                200,
+                "OK",
+                "application/json",
+                body.as_bytes(),
+                req.keep_alive,
+                head_only,
+            );
+            (ok, 200)
+        }
+        path => {
+            let response = route_file(path)
+                .filter(|&id| (id as usize) < ctx.catalog.num_files())
+                .map(|id| ctx.handle.read_file(FileId(id)));
+            match response {
+                Some(body) => (
+                    write_response(writer, 200, "OK", &body, req.keep_alive, head_only),
+                    200,
+                ),
+                None => (
+                    write_response(
+                        writer,
+                        404,
+                        "Not Found",
+                        b"no such file",
+                        req.keep_alive,
+                        head_only,
+                    ),
+                    404,
+                ),
+            }
         }
     }
 }
@@ -125,13 +233,18 @@ impl HttpCluster {
         for n in 0..nodes {
             let listener = TcpListener::bind("127.0.0.1:0").expect("bind loopback");
             addrs.push(listener.local_addr().expect("local addr"));
-            let handle = middleware.handle(NodeId(n as u16));
-            let catalog = catalog.clone();
+            let node = NodeId(n as u16);
+            let ctx = NodeCtx {
+                handle: middleware.handle(node),
+                catalog: catalog.clone(),
+                middleware: middleware.clone(),
+                obs: HttpObs::new(middleware.registry(), node),
+            };
             let stop = stop.clone();
             acceptors.push(
                 std::thread::Builder::new()
                     .name(format!("httpd-node-{n}"))
-                    .spawn(move || accept_loop(listener, handle, catalog, stop))
+                    .spawn(move || accept_loop(listener, ctx, stop))
                     .expect("spawn acceptor"),
             );
         }
@@ -170,19 +283,19 @@ impl HttpCluster {
     }
 }
 
-fn accept_loop(listener: TcpListener, handle: NodeHandle, catalog: Catalog, stop: Arc<AtomicBool>) {
+fn accept_loop(listener: TcpListener, ctx: NodeCtx, stop: Arc<AtomicBool>) {
+    let ctx = Arc::new(ctx);
     let mut workers: Vec<JoinHandle<()>> = Vec::new();
     for stream in listener.incoming() {
         if stop.load(Ordering::SeqCst) {
             break;
         }
         let Ok(stream) = stream else { continue };
-        let handle = handle.clone();
-        let catalog = catalog.clone();
+        let ctx = ctx.clone();
         workers.push(
             std::thread::Builder::new()
                 .name("httpd-conn".into())
-                .spawn(move || serve_connection(stream, &handle, &catalog))
+                .spawn(move || serve_connection(stream, &ctx))
                 .expect("spawn worker"),
         );
         // Opportunistically reap finished workers to bound the vector.

@@ -1,0 +1,112 @@
+//! The two observability endpoints, exercised over real sockets: a scrape
+//! of `/metrics` must parse as Prometheus text and carry the cache,
+//! transport-facing, and HTTP families; `/debug/trace` must return the
+//! block-path ring as JSON.
+
+#![cfg(not(feature = "obs-off"))]
+
+use ccm_core::ReplacementPolicy;
+use ccm_httpd::client::get;
+use ccm_httpd::HttpCluster;
+use ccm_obs::prom::parse;
+use ccm_rt::{Catalog, RtConfig, SyntheticStore};
+use std::collections::BTreeSet;
+use std::sync::Arc;
+
+fn start(nodes: usize) -> HttpCluster {
+    let catalog = Catalog::new(vec![20_000u64; 6]);
+    let store = Arc::new(SyntheticStore::new(catalog.clone(), 42));
+    HttpCluster::start(
+        RtConfig {
+            nodes,
+            capacity_blocks: 64,
+            policy: ReplacementPolicy::MasterPreserving,
+            ..RtConfig::default()
+        },
+        catalog,
+        store,
+    )
+}
+
+#[test]
+fn metrics_scrape_parses_and_reflects_traffic() {
+    let cluster = start(2);
+    // Warm on node 0, then read through node 1: that makes local, disk,
+    // and remote classes all non-zero somewhere in the cluster.
+    for f in 0..6 {
+        assert_eq!(
+            get(cluster.addrs()[0], &format!("/file/{f}"))
+                .unwrap()
+                .status,
+            200
+        );
+    }
+    for f in 0..6 {
+        assert_eq!(
+            get(cluster.addrs()[1], &format!("/file/{f}"))
+                .unwrap()
+                .status,
+            200
+        );
+    }
+
+    let r = get(cluster.addrs()[1], "/metrics").unwrap();
+    assert_eq!(r.status, 200);
+    let text = String::from_utf8(r.body).expect("metrics page is UTF-8");
+    let samples = parse(&text).expect("page must parse as Prometheus text");
+
+    let names: BTreeSet<&str> = samples.iter().map(|s| s.name.as_str()).collect();
+    for family in [
+        "ccm_rt_reads_total",
+        "ccm_rt_fetch_latency_ns_bucket",
+        "ccm_rt_store_blocks",
+        "ccm_http_request_latency_ns_bucket",
+        "ccm_http_responses_total",
+        "ccm_http_inflight",
+    ] {
+        assert!(names.contains(family), "scrape missing {family}:\n{text}");
+    }
+
+    // Every HTTP request made above (the scrape itself is counted after it
+    // renders, so it is not in its own page) appears in the 2xx counters.
+    let ok_responses: f64 = samples
+        .iter()
+        .filter(|s| s.name == "ccm_http_responses_total" && s.label("status") == Some("2xx"))
+        .map(|s| s.value)
+        .sum();
+    assert!(
+        ok_responses >= 12.0,
+        "expected ≥12 2xx responses, saw {ok_responses}"
+    );
+
+    // The single process shares one registry, so both nodes' series are on
+    // the one page — including a remote hit recorded under node 1.
+    let remote = samples
+        .iter()
+        .find(|s| {
+            s.name == "ccm_rt_reads_total"
+                && s.label("class") == Some("remote")
+                && s.label("node") == Some("1")
+        })
+        .expect("remote-hit series for node 1");
+    assert!(remote.value > 0.0, "node 1 reads must include remote hits");
+    cluster.shutdown();
+}
+
+#[test]
+fn debug_trace_returns_ring_as_json() {
+    let cluster = start(2);
+    get(cluster.addrs()[0], "/file/0").unwrap();
+    get(cluster.addrs()[1], "/file/0").unwrap();
+
+    let r = get(cluster.addrs()[0], "/debug/trace").unwrap();
+    assert_eq!(r.status, 200);
+    let body = String::from_utf8(r.body).expect("trace dump is UTF-8");
+    assert!(body.starts_with("{\"capacity\":"), "got: {body:.80}");
+    // The reads above must have left dispatch and serve hops in the ring,
+    // and the cross-node read a peer fetch.
+    for hop in ["\"dispatch\"", "\"serve\"", "\"peer_fetch\""] {
+        assert!(body.contains(hop), "trace dump missing {hop} hop:\n{body}");
+    }
+    cluster.shutdown();
+}

@@ -21,6 +21,7 @@
 //! | [`rt`] | `ccm-rt` | The protocol as a running, threaded middleware |
 //! | [`net`] | `ccm-net` | TCP peer transport: wire codec plus the `TcpLan` socket backend |
 //! | [`httpd`] | `ccm-httpd` | An HTTP/1.x file server on the middleware (real sockets) |
+//! | [`obs`] | `ccm-obs` | Observability: lock-free metrics registry, block-path trace ring, Prometheus exposition, `ccmtop` |
 //!
 //! ## Quick start
 //!
@@ -72,6 +73,7 @@ pub use ccm_core as core;
 pub use ccm_httpd as httpd;
 pub use ccm_l2s as l2s;
 pub use ccm_net as net;
+pub use ccm_obs as obs;
 pub use ccm_rt as rt;
 pub use ccm_traces as traces;
 pub use ccm_webserver as webserver;

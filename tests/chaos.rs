@@ -29,6 +29,18 @@ struct TortureOutcome {
     restarts: usize,
 }
 
+/// On an integrity failure, print the block-path trace ring entries for the
+/// offending request ids before panicking — the hop sequence (dispatch →
+/// peer fetch → fallback → serve) is the first thing a diagnosis needs.
+/// Under `obs-off` the ring is compiled out and this prints nothing.
+fn dump_trace(mw: &Middleware, reqs: &[u64]) {
+    for &req in reqs {
+        for ev in mw.trace().dump_for(req) {
+            eprintln!("trace: {}", ev.to_json());
+        }
+    }
+}
+
 /// Build the run's fixture deterministically from `seed`: a catalog of small
 /// files and a synthetic store holding their ground-truth bytes.
 fn fixture(seed: u64) -> (Catalog, Arc<SyntheticStore>) {
@@ -57,6 +69,7 @@ fn run_torture(seed: u64, nodes: usize, ops: u64, quiesce_each_op: bool) -> Tort
             // Short so a dropped request degrades to a disk read quickly.
             fetch_timeout: Duration::from_millis(25),
             faults: Some(plan),
+            obs: None,
         },
         catalog.clone(),
         store.clone(),
@@ -96,12 +109,15 @@ fn run_torture(seed: u64, nodes: usize, ops: u64, quiesce_each_op: bool) -> Tort
             .collect();
         let node = live[op_rng.next_below(live.len() as u64) as usize];
         let file = FileId(op_rng.next_below(n_files) as u32);
-        let got = mw.handle(node).read_file(file);
+        let (got, reqs) = mw.handle(node).read_file_traced(file);
         let want = read_file_direct(&*store, &catalog, file);
-        assert_eq!(
-            got, want,
-            "seed {seed} op {op}: file {file:?} corrupted under faults"
-        );
+        if got != want {
+            dump_trace(&mw, &reqs);
+            panic!(
+                "seed {seed} op {op}: file {file:?} corrupted under faults \
+                 (block-path trace for request ids {reqs:?} dumped above)"
+            );
+        }
         if quiesce_each_op {
             mw.quiesce();
         }
@@ -187,6 +203,7 @@ fn concurrent_readers_survive_crashes_and_lossy_links() {
                 policy: ReplacementPolicy::MasterPreserving,
                 fetch_timeout: Duration::from_millis(25),
                 faults: Some(plan),
+                obs: None,
             },
             catalog.clone(),
             store.clone(),
@@ -203,12 +220,15 @@ fn concurrent_readers_survive_crashes_and_lossy_links() {
                     let mut rng = Rng::new(seed).substream(100 + node.index() as u64);
                     for op in 0..200 {
                         let file = FileId(rng.next_below(n_files) as u32);
-                        let got = mw.handle(node).read_file(file);
+                        let (got, reqs) = mw.handle(node).read_file_traced(file);
                         let want = read_file_direct(&*store, &catalog, file);
-                        assert_eq!(
-                            got, want,
-                            "seed {seed} node {node:?} op {op}: corrupted bytes"
-                        );
+                        if got != want {
+                            dump_trace(&mw, &reqs);
+                            panic!(
+                                "seed {seed} node {node:?} op {op}: corrupted bytes \
+                                 (trace for request ids {reqs:?} dumped above)"
+                            );
+                        }
                     }
                 })
             })
