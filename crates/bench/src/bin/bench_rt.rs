@@ -11,7 +11,11 @@
 use ccm_core::{BlockId, FileId, NodeId, ReplacementPolicy, BLOCK_SIZE};
 use ccm_net::TcpLan;
 use ccm_obs::{Hop, Registry, Stopwatch, TraceRing};
-use ccm_rt::{Catalog, FaultPlan, LinkFaults, Middleware, RtConfig, SyntheticStore};
+use ccm_rt::store::BlockStore;
+use ccm_rt::{
+    Catalog, DiskConfig, DiskMechanics, DiskService, FaultPlan, FileStore, LinkFaults, Middleware,
+    RtConfig, SchedPolicy, SyntheticStore,
+};
 use std::io::Write;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -94,6 +98,7 @@ fn run_backend(backend: Backend, rounds: usize) -> Vec<Phase> {
         policy: ReplacementPolicy::MasterPreserving,
         fetch_timeout: Duration::from_secs(2),
         faults,
+        disk: Default::default(),
         obs: None,
     };
     let reader = NodeId(0);
@@ -159,6 +164,7 @@ fn run_backend(backend: Backend, rounds: usize) -> Vec<Phase> {
                 delay_sends: 0,
             },
             crashes: Vec::new(),
+            disk: Default::default(),
         };
         let mw = start_cluster(backend, cfg(Some(all_drop)), &catalog);
         time_reads(&mw, holder, &set_b, &mut Vec::new()); // peer masters B
@@ -173,6 +179,150 @@ fn run_backend(backend: Backend, rounds: usize) -> Vec<Phase> {
     }
 
     phases
+}
+
+/// The disk-subsystem section of the report, exercising `ccm-disk`'s
+/// service directly (no middleware in the loop):
+///
+/// * **interleaved streams** — several client threads each scan one file
+///   sequentially with a small async window, so the shared request queue
+///   sees the paper's worst case: perfectly interleaved sequential streams.
+///   Seek mechanics are emulated (`DiskMechanics`), so FIFO pays a seek on
+///   nearly every request while the batched (CcmSched-style) scheduler
+///   keeps each stream's run contiguous — fewer seeks *and* more MB/s.
+/// * **coalescing** — many clients demand the same blocks concurrently;
+///   with coalescing on, each block costs one physical read.
+/// * **store backends** — a sequential scan through the service over the
+///   synthetic store vs. the real file-backed store.
+fn disk_section(quick: bool) -> String {
+    // --- interleaved sequential streams: FIFO vs batched ------------------
+    let streams = 8usize;
+    let blocks_per_file = if quick { 16u32 } else { 64 };
+    let catalog = Catalog::new(vec![BLOCK_SIZE * blocks_per_file as u64; streams]);
+    let store = Arc::new(SyntheticStore::new(catalog.clone(), 7));
+    let mech = DiskMechanics {
+        seek: Duration::from_micros(150),
+        read_latency: Duration::from_micros(20),
+    };
+    let run_streams = |policy: SchedPolicy| {
+        let svc = Arc::new(DiskService::start(
+            store.clone(),
+            catalog.clone(),
+            DiskConfig {
+                scheduler: policy,
+                readahead: 0, // same physical reads under both policies
+                mechanics: Some(mech),
+                ..DiskConfig::default()
+            },
+        ));
+        let t = Instant::now();
+        let clients: Vec<_> = (0..streams)
+            .map(|f| {
+                let svc = svc.clone();
+                std::thread::spawn(move || {
+                    let mut window = std::collections::VecDeque::new();
+                    for i in 0..blocks_per_file {
+                        window.push_back(svc.read_async(BlockId::new(FileId(f as u32), i)));
+                        if window.len() >= 4 {
+                            window.pop_front().unwrap().recv().unwrap().unwrap();
+                        }
+                    }
+                    for rx in window {
+                        rx.recv().unwrap().unwrap();
+                    }
+                })
+            })
+            .collect();
+        for c in clients {
+            c.join().unwrap();
+        }
+        let secs = t.elapsed().as_secs_f64();
+        let stats = svc.stats();
+        let mb = (streams as u64 * blocks_per_file as u64 * BLOCK_SIZE) as f64 / (1 << 20) as f64;
+        (stats.seeks, secs * 1e3, mb / secs)
+    };
+    let (fifo_seeks, fifo_ms, fifo_mbs) = run_streams(SchedPolicy::Fifo);
+    let (bat_seeks, bat_ms, bat_mbs) = run_streams(SchedPolicy::Batched);
+    assert!(
+        bat_seeks < fifo_seeks,
+        "batched must out-schedule FIFO on interleaved streams ({bat_seeks} vs {fifo_seeks} seeks)"
+    );
+    println!(
+        "\ndisk: {streams} interleaved streams x {blocks_per_file} blocks: \
+         fifo {fifo_seeks} seeks {fifo_ms:.1} ms ({fifo_mbs:.1} MB/s), \
+         batched {bat_seeks} seeks {bat_ms:.1} ms ({bat_mbs:.1} MB/s)"
+    );
+
+    // --- miss coalescing: many clients, same blocks -----------------------
+    let co_blocks = if quick { 8u32 } else { 32 };
+    let clients = 8usize;
+    let run_coalesce = |coalesce: bool| {
+        let svc = Arc::new(DiskService::start(
+            store.clone(),
+            catalog.clone(),
+            DiskConfig {
+                coalesce,
+                readahead: 0,
+                mechanics: Some(DiskMechanics {
+                    seek: Duration::ZERO,
+                    read_latency: Duration::from_micros(100),
+                }),
+                ..DiskConfig::default()
+            },
+        ));
+        let t = Instant::now();
+        for i in 0..co_blocks {
+            let b = BlockId::new(FileId(0), i);
+            let waiting: Vec<_> = (0..clients).map(|_| svc.read_async(b)).collect();
+            for rx in waiting {
+                rx.recv().unwrap().unwrap();
+            }
+        }
+        (
+            svc.stats().physical_demand_reads,
+            t.elapsed().as_secs_f64() * 1e3,
+        )
+    };
+    let (on_reads, on_ms) = run_coalesce(true);
+    let (off_reads, off_ms) = run_coalesce(false);
+    assert_eq!(on_reads, co_blocks as u64, "coalescing: one read per block");
+    println!(
+        "disk: coalescing {clients} clients x {co_blocks} blocks: \
+         on {on_reads} physical reads {on_ms:.1} ms, off {off_reads} reads {off_ms:.1} ms"
+    );
+
+    // --- synthetic vs file-backed store -----------------------------------
+    let scan = |store: Arc<dyn BlockStore>| {
+        let svc = DiskService::start(store, catalog.clone(), DiskConfig::default());
+        let t = Instant::now();
+        let mut n = 0u64;
+        for f in 0..streams {
+            for i in 0..blocks_per_file {
+                svc.read(BlockId::new(FileId(f as u32), i)).unwrap();
+                n += 1;
+            }
+        }
+        t.elapsed().as_nanos() as f64 / n as f64
+    };
+    let synth_ns = scan(store.clone());
+    let dir = std::env::temp_dir().join(format!("ccm-bench-disk-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let fs = FileStore::create(&dir, &catalog, &*store).expect("create file store");
+    let file_ns = scan(Arc::new(fs));
+    let _ = std::fs::remove_dir_all(&dir);
+    println!(
+        "disk: sequential scan: synthetic {synth_ns:.0} ns/blk, file-backed {file_ns:.0} ns/blk"
+    );
+
+    format!(
+        "  \"disk\": {{\n    \"interleaved_streams\": {{ \"streams\": {streams}, \"blocks_per_stream\": {blocks_per_file}, \
+\"fifo\": {{ \"seeks\": {fifo_seeks}, \"ms\": {fifo_ms:.1}, \"mb_per_s\": {fifo_mbs:.2} }}, \
+\"batched\": {{ \"seeks\": {bat_seeks}, \"ms\": {bat_ms:.1}, \"mb_per_s\": {bat_mbs:.2} }} }},\n    \
+\"coalescing\": {{ \"clients\": {clients}, \"blocks\": {co_blocks}, \
+\"on\": {{ \"physical_reads\": {on_reads}, \"ms\": {on_ms:.1} }}, \
+\"off\": {{ \"physical_reads\": {off_reads}, \"ms\": {off_ms:.1} }} }},\n    \
+\"store\": {{ \"synthetic_ns_per_block\": {synth_ns:.0}, \"file_ns_per_block\": {file_ns:.0} }}\n  }},\n"
+    )
 }
 
 /// The observability section of the report: the per-event cost of the
@@ -194,6 +344,7 @@ fn obs_section(rounds: usize) -> String {
             policy: ReplacementPolicy::MasterPreserving,
             fetch_timeout: Duration::from_secs(2),
             faults: None,
+            disk: Default::default(),
             obs: Some(registry.clone()),
         },
         catalog,
@@ -300,6 +451,7 @@ fn main() {
         json.push_str(&format!("    }}{}\n", if bi == 0 { "," } else { "" }));
     }
     json.push_str("  },\n");
+    json.push_str(&disk_section(quick));
     json.push_str(&obs_section(rounds));
     json.push_str("}\n");
 

@@ -1,0 +1,139 @@
+//! A real file-backed [`BlockStore`]: the catalog's blocks live at
+//! [`DiskLayout`] addresses inside one data file under a data directory.
+//!
+//! Layout on disk:
+//!
+//! * `manifest.txt` — format tag plus the catalog's per-file sizes, so
+//!   [`FileStore::open`] can rebuild the exact same [`Catalog`] and
+//!   [`DiskLayout`] after a restart;
+//! * `blocks.dat` — every block at `layout.addr_of(block)`; each block
+//!   owns a full 8 KB slot but only `catalog.block_bytes(block)` bytes of
+//!   it are meaningful (partial tails stay partial on the wire and in
+//!   memory).
+//!
+//! Reads use positional I/O (`read_exact_at`), so concurrent readers need
+//! no locking; writes go straight through (`write_all_at`), making the
+//! store a valid target for the §6 write-through extension.
+
+use crate::layout::DiskLayout;
+use crate::store::{BlockStore, Catalog};
+use ccm_core::BlockId;
+use std::fs::{File, OpenOptions};
+use std::io::{self, Read, Write};
+use std::os::unix::fs::FileExt;
+use std::path::Path;
+
+const MANIFEST: &str = "manifest.txt";
+const DATA: &str = "blocks.dat";
+const FORMAT_TAG: &str = "ccm-filestore v1";
+
+/// A block store over one real data file. See the module docs for the
+/// on-disk layout.
+pub struct FileStore {
+    data: File,
+    catalog: Catalog,
+    layout: DiskLayout,
+}
+
+impl FileStore {
+    /// Create (or overwrite) a store under `dir`, populated with every
+    /// block of `init`'s content for `catalog`.
+    pub fn create(dir: &Path, catalog: &Catalog, init: &dyn BlockStore) -> io::Result<FileStore> {
+        std::fs::create_dir_all(dir)?;
+        let layout = DiskLayout::new(catalog);
+        let mut manifest = File::create(dir.join(MANIFEST))?;
+        let mut text = String::from(FORMAT_TAG);
+        text.push('\n');
+        for size in catalog.sizes() {
+            text.push_str(&size.to_string());
+            text.push('\n');
+        }
+        manifest.write_all(text.as_bytes())?;
+        manifest.sync_all()?;
+
+        let data = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create(true)
+            .truncate(true)
+            .open(dir.join(DATA))?;
+        data.set_len(layout.total_bytes())?;
+        for f in 0..catalog.num_files() {
+            let file = ccm_core::FileId(f as u32);
+            for i in 0..catalog.blocks_of(file) {
+                let block = BlockId::new(file, i);
+                data.write_all_at(&init.read_block(block), layout.addr_of(block))?;
+            }
+        }
+        data.sync_all()?;
+        Ok(FileStore {
+            data,
+            catalog: catalog.clone(),
+            layout,
+        })
+    }
+
+    /// Reopen a store previously [`FileStore::create`]d under `dir`,
+    /// rebuilding the catalog from the manifest.
+    pub fn open(dir: &Path) -> io::Result<FileStore> {
+        let mut text = String::new();
+        File::open(dir.join(MANIFEST))?.read_to_string(&mut text)?;
+        let mut lines = text.lines();
+        if lines.next() != Some(FORMAT_TAG) {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                "not a ccm-filestore data dir (bad manifest tag)",
+            ));
+        }
+        let sizes: Vec<u64> = lines
+            .map(|l| {
+                l.trim()
+                    .parse::<u64>()
+                    .map_err(|_| io::Error::new(io::ErrorKind::InvalidData, "bad size in manifest"))
+            })
+            .collect::<io::Result<_>>()?;
+        let catalog = Catalog::new(sizes);
+        let layout = DiskLayout::new(&catalog);
+        let data = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .open(dir.join(DATA))?;
+        if data.metadata()?.len() < layout.total_bytes() {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                "data file shorter than the manifest's layout",
+            ));
+        }
+        Ok(FileStore {
+            data,
+            catalog,
+            layout,
+        })
+    }
+
+    /// The catalog this store serves (reconstructed from the manifest when
+    /// opened).
+    pub fn catalog(&self) -> &Catalog {
+        &self.catalog
+    }
+}
+
+impl BlockStore for FileStore {
+    fn read_block(&self, block: BlockId) -> Vec<u8> {
+        let len = self.catalog.block_bytes(block) as usize;
+        let mut buf = vec![0u8; len];
+        self.data
+            .read_exact_at(&mut buf, self.layout.addr_of(block))
+            .expect("positional read inside the laid-out data file");
+        buf
+    }
+
+    fn write_block(&self, block: BlockId, data: &[u8]) -> bool {
+        if data.len() as u64 != self.catalog.block_bytes(block) {
+            return false;
+        }
+        self.data
+            .write_all_at(data, self.layout.addr_of(block))
+            .is_ok()
+    }
+}

@@ -1,0 +1,143 @@
+//! FileStore acceptance: byte-for-byte agreement with the synthetic
+//! ground truth, partial tails, concurrent readers, write-through, and
+//! recovery by reopening the same data dir.
+
+use ccm_core::block::BLOCK_SIZE;
+use ccm_core::{BlockId, FileId};
+use ccm_disk::{read_file_direct, BlockStore, Catalog, FileStore, SyntheticStore};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// A fresh scratch dir per test (no tempfile crate in-tree); removed by
+/// the caller when the assertion survives.
+fn scratch(tag: &str) -> PathBuf {
+    static SEQ: AtomicU64 = AtomicU64::new(0);
+    let d = std::env::temp_dir().join(format!(
+        "ccm-disk-test-{tag}-{}-{}",
+        std::process::id(),
+        SEQ.fetch_add(1, Ordering::Relaxed)
+    ));
+    let _ = std::fs::remove_dir_all(&d);
+    d
+}
+
+fn fixture() -> (Catalog, SyntheticStore) {
+    // Empty file, sub-block file, exact multiple, ragged tail, >1 extent.
+    let catalog = Catalog::new(vec![
+        0,
+        100,
+        BLOCK_SIZE,
+        BLOCK_SIZE * 2 + 17,
+        BLOCK_SIZE * 9 + 1,
+    ]);
+    let store = SyntheticStore::new(catalog.clone(), 0xF11E);
+    (catalog, store)
+}
+
+#[test]
+fn round_trips_every_block_against_synthetic_content() {
+    let (catalog, synth) = fixture();
+    let dir = scratch("roundtrip");
+    let fs = FileStore::create(&dir, &catalog, &synth).expect("create store");
+    for f in 0..catalog.num_files() {
+        let file = FileId(f as u32);
+        for i in 0..catalog.blocks_of(file) {
+            let b = BlockId::new(file, i);
+            assert_eq!(
+                fs.read_block(b),
+                synth.read_block(b),
+                "file {f} block {i} corrupted through the data file"
+            );
+        }
+        assert_eq!(
+            read_file_direct(&fs, &catalog, file),
+            read_file_direct(&synth, &catalog, file),
+        );
+    }
+    std::fs::remove_dir_all(&dir).expect("cleanup");
+}
+
+#[test]
+fn partial_tail_blocks_keep_their_exact_length() {
+    let (catalog, synth) = fixture();
+    let dir = scratch("tail");
+    let fs = FileStore::create(&dir, &catalog, &synth).expect("create store");
+    assert_eq!(fs.read_block(BlockId::new(FileId(1), 0)).len(), 100);
+    assert_eq!(fs.read_block(BlockId::new(FileId(3), 2)).len(), 17);
+    assert_eq!(fs.read_block(BlockId::new(FileId(4), 9)).len(), 1);
+    assert_eq!(fs.read_block(BlockId::new(FileId(0), 0)).len(), 0);
+    std::fs::remove_dir_all(&dir).expect("cleanup");
+}
+
+#[test]
+fn concurrent_readers_see_consistent_bytes() {
+    let (catalog, synth) = fixture();
+    let dir = scratch("concurrent");
+    let fs = Arc::new(FileStore::create(&dir, &catalog, &synth).expect("create store"));
+    let synth = Arc::new(synth);
+    let handles: Vec<_> = (0..8)
+        .map(|t| {
+            let fs = fs.clone();
+            let synth = synth.clone();
+            let catalog = catalog.clone();
+            std::thread::spawn(move || {
+                let mut rng = simcore::Rng::new(t);
+                for _ in 0..200 {
+                    let file = FileId(rng.next_below(catalog.num_files() as u64) as u32);
+                    let i = rng.next_below(catalog.blocks_of(file) as u64) as u32;
+                    let b = BlockId::new(file, i);
+                    assert_eq!(fs.read_block(b), synth.read_block(b));
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().expect("reader thread");
+    }
+    drop(fs);
+    std::fs::remove_dir_all(&dir).expect("cleanup");
+}
+
+#[test]
+fn reopen_recovers_catalog_and_content() {
+    let (catalog, synth) = fixture();
+    let dir = scratch("reopen");
+    let mutated = BlockId::new(FileId(3), 1);
+    let payload = vec![0xAB; BLOCK_SIZE as usize];
+    {
+        let fs = FileStore::create(&dir, &catalog, &synth).expect("create store");
+        assert!(fs.write_block(mutated, &payload), "store is writable");
+    }
+    // A fresh process would only have the data dir: reopen must rebuild
+    // the same catalog and serve both pristine and written blocks.
+    let fs = FileStore::open(&dir).expect("reopen store");
+    assert_eq!(fs.catalog().sizes(), catalog.sizes());
+    assert_eq!(fs.read_block(mutated), payload, "write survived reopen");
+    let pristine = BlockId::new(FileId(4), 3);
+    assert_eq!(fs.read_block(pristine), synth.read_block(pristine));
+    std::fs::remove_dir_all(&dir).expect("cleanup");
+}
+
+#[test]
+fn write_block_rejects_wrong_lengths() {
+    let (catalog, synth) = fixture();
+    let dir = scratch("wrlen");
+    let fs = FileStore::create(&dir, &catalog, &synth).expect("create store");
+    // File 3's tail is 17 bytes: a full-block write must be refused, the
+    // exact-length write accepted.
+    let tail = BlockId::new(FileId(3), 2);
+    assert!(!fs.write_block(tail, &[0u8; BLOCK_SIZE as usize]));
+    assert!(fs.write_block(tail, &[7u8; 17]));
+    assert_eq!(fs.read_block(tail), vec![7u8; 17]);
+    std::fs::remove_dir_all(&dir).expect("cleanup");
+}
+
+#[test]
+fn open_rejects_a_non_store_dir() {
+    let dir = scratch("badmanifest");
+    std::fs::create_dir_all(&dir).expect("mkdir");
+    std::fs::write(dir.join("manifest.txt"), "something else\n").expect("write");
+    assert!(FileStore::open(&dir).is_err());
+    std::fs::remove_dir_all(&dir).expect("cleanup");
+}

@@ -3,8 +3,15 @@
 //! one client thread per node and verifying every byte against the
 //! backing-store ground truth.
 //!
-//! Usage: `cargo run --release -p ccm-net --bin socket_cluster [nodes] [ops] [--serve]`
-//! (defaults: 4 nodes, 4000 reads total).
+//! Usage: `cargo run --release -p ccm-net --bin socket_cluster [nodes] [ops] [--serve]
+//! [--file-store <dir>]` (defaults: 4 nodes, 4000 reads total).
+//!
+//! With `--file-store <dir>` the cluster is backed by a real on-disk block
+//! store (`ccm-disk`'s `FileStore`): the first run populates `<dir>` from
+//! the synthetic ground truth, later runs reopen it, and every node's
+//! misses go through its asynchronous disk service against actual file
+//! I/O. Byte verification still holds — the file store must serve exactly
+//! the synthetic content it was populated with.
 //!
 //! With `--serve` the workload runs through per-node HTTP front ends
 //! (`GET /file/<id>`) instead of direct middleware handles, and the
@@ -16,8 +23,8 @@ use ccm_core::{FileId, NodeId, ReplacementPolicy, BLOCK_SIZE};
 use ccm_httpd::HttpCluster;
 use ccm_net::TcpLan;
 use ccm_obs::Registry;
-use ccm_rt::store::read_file_direct;
-use ccm_rt::{Catalog, Middleware, RtConfig, SyntheticStore};
+use ccm_rt::store::{read_file_direct, BlockStore};
+use ccm_rt::{Catalog, FileStore, Middleware, RtConfig, SyntheticStore};
 use ccm_traces::SynthConfig;
 use simcore::Rng;
 use std::sync::Arc;
@@ -27,6 +34,12 @@ fn main() {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
     let serve = args.iter().any(|a| a == "--serve");
     args.retain(|a| a != "--serve");
+    let file_store_dir = args.iter().position(|a| a == "--file-store").map(|i| {
+        assert!(i + 1 < args.len(), "--file-store needs a directory");
+        let dir = args[i + 1].clone();
+        args.drain(i..=i + 1);
+        dir
+    });
     let nodes: usize = args.first().and_then(|s| s.parse().ok()).unwrap_or(4);
     let ops: u64 = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(4_000);
     assert!(nodes >= 2, "a cluster needs at least 2 nodes");
@@ -42,7 +55,29 @@ fn main() {
     }
     .build();
     let catalog = Catalog::new(wl.sizes().to_vec());
-    let store = Arc::new(SyntheticStore::new(catalog.clone(), 0xD3110));
+    let synth = SyntheticStore::new(catalog.clone(), 0xD3110);
+    // The middleware reads the same [`BlockStore`] either way; the file
+    // store just makes every miss a real positional read of blocks.dat.
+    let store: Arc<dyn BlockStore> = match &file_store_dir {
+        Some(dir) => {
+            let dir = std::path::Path::new(dir);
+            let fs = if dir.join("manifest.txt").exists() {
+                println!("reopening file-backed store under {}", dir.display());
+                FileStore::open(dir).expect("open file store")
+            } else {
+                println!("populating file-backed store under {}", dir.display());
+                FileStore::create(dir, &catalog, &synth).expect("create file store")
+            };
+            assert_eq!(
+                fs.catalog().sizes(),
+                catalog.sizes(),
+                "existing store under {} serves a different catalog",
+                dir.display()
+            );
+            Arc::new(fs)
+        }
+        None => Arc::new(synth),
+    };
     let total_blocks: usize = wl
         .sizes()
         .iter()
@@ -66,6 +101,7 @@ fn main() {
         policy: ReplacementPolicy::MasterPreserving,
         fetch_timeout: Duration::from_secs(2),
         faults: None,
+        disk: Default::default(),
         obs: Some(registry.clone()),
     };
 
@@ -144,7 +180,7 @@ fn main() {
 fn serve_http(
     cfg: RtConfig,
     catalog: Catalog,
-    store: Arc<SyntheticStore>,
+    store: Arc<dyn BlockStore>,
     lan: Arc<TcpLan>,
     ops: u64,
 ) {

@@ -19,7 +19,7 @@
 use ccm_core::{CacheStats, FileId, NodeId, ReplacementPolicy};
 use ccm_net::TcpLan;
 use ccm_rt::store::read_file_direct;
-use ccm_rt::{Catalog, ChaosStats, FaultPlan, Middleware, RtConfig, SyntheticStore};
+use ccm_rt::{Catalog, ChaosStats, DiskFaults, FaultPlan, Middleware, RtConfig, SyntheticStore};
 use simcore::Rng;
 use std::sync::Arc;
 use std::time::Duration;
@@ -31,6 +31,8 @@ struct TortureOutcome {
     chaos: ChaosStats,
     crashes: usize,
     restarts: usize,
+    /// Injected disk I/O errors absorbed by the synchronous store retry.
+    disk_fallbacks: u64,
 }
 
 /// Same fixture family as the channel-mode harness: small files, synthetic
@@ -49,10 +51,16 @@ fn fixture(seed: u64) -> (Catalog, Arc<SyntheticStore>) {
 /// (the replayability mode). The fetch timeout is wider than the channel
 /// harness's 25 ms: a real loopback round trip plus scheduling noise must
 /// never be mistaken for a lost message.
-fn run_torture(seed: u64, nodes: usize, ops: u64, quiesce_each_op: bool) -> TortureOutcome {
+fn run_torture(
+    seed: u64,
+    nodes: usize,
+    ops: u64,
+    quiesce_each_op: bool,
+    disk: DiskFaults,
+) -> TortureOutcome {
     let (catalog, store) = fixture(seed);
     let n_files = catalog.num_files() as u64;
-    let plan = FaultPlan::torture(seed, nodes, ops);
+    let plan = FaultPlan::torture(seed, nodes, ops).with_disk(disk);
     let crashes_planned = plan.crashes.clone();
     let lan = Arc::new(TcpLan::loopback(nodes).expect("bind loopback listeners"));
     let mw = Middleware::start_on(
@@ -62,6 +70,7 @@ fn run_torture(seed: u64, nodes: usize, ops: u64, quiesce_each_op: bool) -> Tort
             policy: ReplacementPolicy::MasterPreserving,
             fetch_timeout: Duration::from_millis(100),
             faults: Some(plan),
+            disk: Default::default(),
             obs: None,
         },
         catalog.clone(),
@@ -110,6 +119,7 @@ fn run_torture(seed: u64, nodes: usize, ops: u64, quiesce_each_op: bool) -> Tort
         chaos: mw.chaos_stats(),
         crashes,
         restarts,
+        disk_fallbacks: mw.disk_error_fallbacks(),
     };
     mw.shutdown();
     out
@@ -121,7 +131,7 @@ fn run_torture(seed: u64, nodes: usize, ops: u64, quiesce_each_op: bool) -> Tort
 #[test]
 fn every_seed_delivers_exact_bytes_over_tcp_under_torture() {
     for seed in 0..4 {
-        let out = run_torture(seed, 4, 120, false);
+        let out = run_torture(seed, 4, 120, false, DiskFaults::NONE);
         assert!(out.chaos.dropped > 0, "seed {seed}: drops must fire");
         assert_eq!(out.crashes, 1, "seed {seed}: plan schedules one crash");
         assert_eq!(out.restarts, 1, "seed {seed}: crashed node must rejoin");
@@ -139,12 +149,36 @@ fn every_seed_delivers_exact_bytes_over_tcp_under_torture() {
 #[test]
 fn same_seed_is_bit_identical_across_tcp_runs() {
     for seed in [3, 11] {
-        let a = run_torture(seed, 4, 100, true);
-        let b = run_torture(seed, 4, 100, true);
+        let a = run_torture(seed, 4, 100, true, DiskFaults::NONE);
+        let b = run_torture(seed, 4, 100, true, DiskFaults::NONE);
         assert_eq!(a, b, "seed {seed}: socket reruns must be bit-identical");
         assert!(a.chaos.dropped > 0);
         assert_eq!(a.crashes, 1);
     }
+}
+
+/// Disk faults layered onto the socket torture: every node's disk service
+/// injects slow reads and I/O errors while the TCP links drop and reorder
+/// traffic, yet every byte delivered over the wire stays exact, and the
+/// quiesced replay reproduces the disk-fallback count bit-for-bit.
+#[test]
+fn disk_faults_over_tcp_stay_exact_and_replayable() {
+    let disk = DiskFaults {
+        slow_prob: 0.05,
+        slow: Duration::from_millis(2),
+        error_prob: 0.25,
+    };
+    let out = run_torture(17, 4, 80, false, disk);
+    assert!(out.chaos.dropped > 0, "link faults must fire");
+    assert!(
+        out.disk_fallbacks > 0,
+        "injected disk errors must surface as store retries"
+    );
+
+    let a = run_torture(21, 4, 80, true, disk);
+    let b = run_torture(21, 4, 80, true, disk);
+    assert_eq!(a, b, "disk-faulted socket reruns must be bit-identical");
+    assert!(a.disk_fallbacks > 0);
 }
 
 /// Concurrent stress over sockets: reader threads hammer never-crashed
@@ -174,6 +208,7 @@ fn concurrent_readers_survive_crashes_over_lossy_tcp() {
                 policy: ReplacementPolicy::MasterPreserving,
                 fetch_timeout: Duration::from_millis(100),
                 faults: Some(plan),
+                disk: Default::default(),
                 obs: None,
             },
             catalog.clone(),

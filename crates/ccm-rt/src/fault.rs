@@ -32,6 +32,7 @@
 
 use crate::transport::{PeerMsg, Transport};
 use ccm_core::{BlockId, NodeId};
+use ccm_disk::DiskFaults;
 use ccm_obs::{Counter, Registry};
 use simcore::sync::Mutex;
 use simcore::Rng;
@@ -90,6 +91,9 @@ pub struct FaultPlan {
     pub link: LinkFaults,
     /// Node crash/restart schedule (applied by the harness, in order).
     pub crashes: Vec<CrashEvent>,
+    /// Disk-level faults (slow reads, I/O errors) applied by every node's
+    /// disk service; decisions are a pure hash of `(seed, block)`.
+    pub disk: DiskFaults,
 }
 
 impl FaultPlan {
@@ -99,6 +103,7 @@ impl FaultPlan {
             seed,
             link: LinkFaults::NONE,
             crashes: Vec::new(),
+            disk: DiskFaults::NONE,
         }
     }
 
@@ -127,7 +132,15 @@ impl FaultPlan {
                 at_op,
                 restart_at_op: Some(restart_at_op),
             }],
+            disk: DiskFaults::NONE,
         }
+    }
+
+    /// The same plan with disk faults layered on: a copy of `self` whose
+    /// node disk services will also inject slow reads and I/O errors.
+    pub fn with_disk(mut self, disk: DiskFaults) -> FaultPlan {
+        self.disk = disk;
+        self
     }
 
     fn link_rng(&self, src: NodeId, dst: NodeId) -> Rng {
@@ -400,6 +413,7 @@ mod tests {
                     ..LinkFaults::NONE
                 },
                 crashes: Vec::new(),
+                disk: DiskFaults::NONE,
             };
             let chaos = ChaosLan::new(Arc::new(lan), &plan);
             for i in 0..200 {
@@ -428,6 +442,7 @@ mod tests {
                 ..LinkFaults::NONE
             },
             crashes: Vec::new(),
+            disk: DiskFaults::NONE,
         };
         let chaos = ChaosLan::new(Arc::new(lan), &plan);
         for i in 0..100 {
@@ -451,6 +466,7 @@ mod tests {
                 ..LinkFaults::NONE
             },
             crashes: Vec::new(),
+            disk: DiskFaults::NONE,
         };
         let chaos = ChaosLan::new(Arc::new(lan), &plan);
         for i in 0..50 {
@@ -473,6 +489,7 @@ mod tests {
                 ..LinkFaults::NONE
             },
             crashes: Vec::new(),
+            disk: DiskFaults::NONE,
         };
         let chaos = ChaosLan::new(Arc::new(lan), &plan);
         chaos.send(NodeId(0), NodeId(1), fwd(1)); // held
@@ -499,6 +516,7 @@ mod tests {
                 ..LinkFaults::NONE
             },
             crashes: Vec::new(),
+            disk: DiskFaults::NONE,
         };
         let chaos = ChaosLan::new(Arc::new(lan), &plan);
         let got = chaos.fetch_block(NodeId(0), NodeId(1), b(4), Duration::from_millis(20));

@@ -18,7 +18,9 @@
 //! fall through to the backing store.
 //!
 //! * [`store`] — the backing "disk": a [`store::BlockStore`] trait plus a
-//!   deterministic synthetic implementation and the file catalog.
+//!   deterministic synthetic implementation and the file catalog
+//!   (re-exported from `ccm-disk`, which also provides the asynchronous
+//!   [`DiskService`] every node's misses are queued through).
 //! * [`transport`] — peer messages and the channel LAN.
 //! * [`fault`] — deterministic fault injection: seeded fault plans and the
 //!   chaos transport wrapper that drops, duplicates, and reorders data-plane
@@ -38,6 +40,9 @@ pub mod runtime;
 pub mod store;
 pub mod transport;
 
+pub use ccm_disk::{
+    DiskConfig, DiskFaults, DiskMechanics, DiskService, DiskStats, FileStore, SchedPolicy,
+};
 pub use fault::{ChaosLan, ChaosStats, CrashEvent, FaultPlan, LinkFaults};
 pub use obs::ReadClass;
 pub use runtime::{Middleware, NodeHandle, RtConfig, WriteError};

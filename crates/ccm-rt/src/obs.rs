@@ -11,6 +11,7 @@
 //! | `ccm_rt_evictions_total` | counter | `node` |
 //! | `ccm_rt_forwards_total` | counter | `node` |
 //! | `ccm_rt_store_fallbacks_total` | counter | `node` |
+//! | `ccm_rt_disk_error_fallbacks_total` | counter | `node` |
 //! | `ccm_rt_store_blocks` | gauge | `node` |
 //! | `ccm_rt_directory_blocks` | gauge | — |
 //! | `ccm_rt_fetch_latency_ns` | histogram | `class` |
@@ -60,6 +61,7 @@ pub(crate) struct NodeObs {
     pub evictions: Counter,
     pub forwards: Counter,
     pub store_fallbacks: Counter,
+    pub disk_error_fallbacks: Counter,
     pub store_blocks: Gauge,
 }
 
@@ -110,6 +112,11 @@ impl RtObs {
                         "Data-plane races resolved through the backing store (the paper's 'eventual disk read')",
                         &l,
                     ),
+                    disk_error_fallbacks: registry.counter(
+                        "ccm_rt_disk_error_fallbacks_total",
+                        "Disk-service reads that failed (injected I/O error) and were retried synchronously against the store",
+                        &l,
+                    ),
                     store_blocks: registry.gauge(
                         "ccm_rt_store_blocks",
                         "Blocks resident in this node's data store",
@@ -147,5 +154,13 @@ impl RtObs {
     /// Sum of every node's store-fallback counter (the old aggregate view).
     pub fn store_fallbacks(&self) -> u64 {
         self.nodes.iter().map(|n| n.store_fallbacks.get()).sum()
+    }
+
+    /// Sum of every node's disk-error-fallback counter.
+    pub fn disk_error_fallbacks(&self) -> u64 {
+        self.nodes
+            .iter()
+            .map(|n| n.disk_error_fallbacks.get())
+            .sum()
     }
 }

@@ -22,6 +22,7 @@ use ccm_core::{
     AccessOutcome, BlockId, CacheConfig, CacheStats, ClusterCache, CopyKind, Disposition,
     EvictionEffect, FileId, NodeId, RepairReport, ReplacementPolicy,
 };
+use ccm_disk::{DiskConfig, DiskService, DiskStats};
 use ccm_obs::{Hop, Registry, Snapshot, Stopwatch, TraceRing};
 use simcore::chan::Receiver;
 use simcore::sync::Mutex;
@@ -63,6 +64,11 @@ pub struct RtConfig {
     pub fetch_timeout: Duration,
     /// Link-level fault injection, if any (testing).
     pub faults: Option<FaultPlan>,
+    /// Per-node disk service configuration: scheduler policy, worker count,
+    /// queue bound, coalescing, and readahead. Every miss and degraded
+    /// fallback is read through a node's [`DiskService`] rather than
+    /// touching the [`BlockStore`] inline.
+    pub disk: DiskConfig,
     /// Metric registry the cluster reports into. `None` creates a private
     /// one (reachable via [`Middleware::registry`]); pass a shared registry
     /// to co-locate runtime, transport, and HTTP metrics in one scrape.
@@ -77,6 +83,7 @@ impl Default for RtConfig {
             policy: ReplacementPolicy::MasterPreserving,
             fetch_timeout: Duration::from_secs(2),
             faults: None,
+            disk: DiskConfig::default(),
             obs: None,
         }
     }
@@ -88,6 +95,10 @@ struct Shared {
     cache: Mutex<ClusterCache>,
     stores: Vec<NodeStore>,
     disk: Arc<dyn BlockStore>,
+    /// One asynchronous disk service per node: queued, scheduled,
+    /// coalesced reads against `disk`. Kept by value so dropping `Shared`
+    /// joins the worker threads.
+    disks: Vec<DiskService>,
     catalog: Catalog,
     chaos: ChaosLan,
     /// Liveness flags: cleared first thing on crash so readers stop
@@ -127,8 +138,19 @@ impl Shared {
         self.stores[node.index()].lock().get(&block).cloned()
     }
 
-    fn disk_read(&self, block: BlockId) -> Arc<Vec<u8>> {
-        Arc::new(self.disk.read_block(block))
+    /// Read `block` through `node`'s disk service (queued behind its
+    /// scheduler, coalesced with concurrent misses of the same block). An
+    /// injected I/O error is absorbed here: the read retries synchronously
+    /// against the backing store, which cannot fail, so disk faults degrade
+    /// latency but never the bytes served.
+    fn disk_read(&self, node: NodeId, block: BlockId) -> Arc<Vec<u8>> {
+        match self.disks[node.index()].read(block) {
+            Ok(data) => data,
+            Err(_) => {
+                self.obs.node(node).disk_error_fallbacks.inc();
+                Arc::new(self.disk.read_block(block))
+            }
+        }
     }
 
     /// Move data in sympathy with an eviction decision. `req` is the trace
@@ -158,7 +180,7 @@ impl Shared {
                 // re-reading here keeps its store warm instead.
                 let data = data.unwrap_or_else(|| {
                     self.obs.node(evictor).store_fallbacks.inc();
-                    self.disk_read(effect.victim)
+                    self.disk_read(evictor, effect.victim)
                 });
                 self.obs.trace.push(
                     req,
@@ -272,12 +294,25 @@ impl Middleware {
             cfg.capacity_blocks,
             cfg.policy,
         ));
+        let disks: Vec<DiskService> = (0..cfg.nodes)
+            .map(|i| {
+                DiskService::start_observed(
+                    disk.clone(),
+                    catalog.clone(),
+                    cfg.disk.clone(),
+                    Some((plan.seed, plan.disk)),
+                    Some(&registry),
+                    &i.to_string(),
+                )
+            })
+            .collect();
         let shared = Arc::new(Shared {
             cache: Mutex::new(cache),
             stores: (0..cfg.nodes)
                 .map(|_| Mutex::new(FxHashMap::default()))
                 .collect(),
             disk,
+            disks,
             catalog,
             chaos,
             alive: (0..cfg.nodes).map(|_| AtomicBool::new(true)).collect(),
@@ -332,6 +367,22 @@ impl Middleware {
     /// sum, exactly the old aggregate.
     pub fn store_fallbacks(&self) -> u64 {
         self.shared.obs.store_fallbacks()
+    }
+
+    /// `node`'s disk-service statistics: physical reads, coalesce and
+    /// readahead hits, queue high-water mark, injected faults.
+    ///
+    /// # Panics
+    /// Panics if the node is out of range.
+    pub fn disk_stats(&self, node: NodeId) -> DiskStats {
+        self.shared.disks[node.index()].stats()
+    }
+
+    /// Disk-service reads that failed with an injected I/O error and were
+    /// satisfied synchronously from the backing store instead (summed over
+    /// nodes; deterministic for a fixed plan and quiesced history).
+    pub fn disk_error_fallbacks(&self) -> u64 {
+        self.shared.obs.disk_error_fallbacks()
     }
 
     /// Link faults injected so far (all zero without a fault plan).
@@ -512,7 +563,7 @@ impl NodeHandle {
                         // the same block); the backing store is authoritative.
                         obs.node(self.node).store_fallbacks.inc();
                         obs.trace.push(req, me, Hop::DiskFallback);
-                        let data = self.shared.disk_read(block);
+                        let data = self.shared.disk_read(self.node, block);
                         self.shared.store_insert(self.node, block, data.clone());
                         (data, ReadClass::Fallback)
                     }
@@ -555,7 +606,7 @@ impl NodeHandle {
                         // request was in flight → eventual disk read.
                         obs.node(self.node).store_fallbacks.inc();
                         obs.trace.push(req, me, Hop::DiskFallback);
-                        (self.shared.disk_read(block), ReadClass::Fallback)
+                        (self.shared.disk_read(self.node, block), ReadClass::Fallback)
                     }
                 };
                 self.shared.store_insert(self.node, block, data.clone());
@@ -566,7 +617,7 @@ impl NodeHandle {
                     self.shared.apply_eviction(self.node, e, req);
                 }
                 obs.trace.push(req, me, Hop::DiskRead);
-                let data = self.shared.disk_read(block);
+                let data = self.shared.disk_read(self.node, block);
                 self.shared.store_insert(self.node, block, data.clone());
                 (data, ReadClass::Disk)
             }
@@ -630,6 +681,12 @@ impl NodeHandle {
         //    re-reads may fall through to the store and must see new data.
         if !self.shared.disk.write_block(block, data) {
             return Err(WriteError::ReadOnlyStore);
+        }
+        // Superseded bytes must not linger in (or keep flowing into) any
+        // disk service's readahead cache, and no later miss may coalesce
+        // onto a still-in-flight pre-write read of this block.
+        for svc in &self.shared.disks {
+            svc.invalidate(block);
         }
         // 2. Protocol write (atomic): invalidate + become master.
         let out = self.shared.cache.lock().write(self.node, block);
@@ -1028,7 +1085,9 @@ mod tests {
                         delay_sends: 3,
                     },
                     crashes: Vec::new(),
+                    disk: Default::default(),
                 }),
+                disk: DiskConfig::default(),
                 obs: None,
             },
             cat.clone(),

@@ -1,235 +1,10 @@
 //! The backing store — the "home disk" of the runtime.
 //!
-//! The middleware is storage-agnostic: anything implementing [`BlockStore`]
-//! can back it (a real file system, an object store, …). For tests, examples
-//! and benchmarks, [`SyntheticStore`] generates deterministic per-block
-//! content so end-to-end integrity can be verified byte-for-byte: whatever
-//! path a block takes through the cluster (local hit, peer fetch, forwarded
-//! master, store fallback), the bytes delivered must equal the bytes the
-//! store would produce.
+//! The store abstraction ([`BlockStore`], [`Catalog`], the deterministic
+//! [`SyntheticStore`], the writable [`MemStore`], and the file-backed
+//! [`FileStore`]) now lives in the `ccm-disk` crate alongside the
+//! asynchronous disk service that drives it; this module re-exports it so
+//! existing `ccm_rt::store::…` paths keep working unchanged.
 
-use ccm_core::block::{block_bytes, blocks_of_file};
-use ccm_core::{BlockId, FileId};
-use std::sync::Arc;
-
-/// The file population served by a middleware instance.
-#[derive(Debug, Clone)]
-pub struct Catalog {
-    sizes: Arc<[u64]>,
-}
-
-impl Catalog {
-    /// A catalog over files with the given sizes (file id = index).
-    pub fn new(sizes: impl Into<Arc<[u64]>>) -> Catalog {
-        Catalog {
-            sizes: sizes.into(),
-        }
-    }
-
-    /// Number of files.
-    pub fn num_files(&self) -> usize {
-        self.sizes.len()
-    }
-
-    /// Size of `file`, in bytes.
-    ///
-    /// # Panics
-    /// Panics if the file is out of range.
-    pub fn size_of(&self, file: FileId) -> u64 {
-        self.sizes[file.0 as usize]
-    }
-
-    /// Number of blocks of `file`.
-    pub fn blocks_of(&self, file: FileId) -> u32 {
-        blocks_of_file(self.size_of(file))
-    }
-
-    /// Bytes occupied by one block of `file`.
-    pub fn block_bytes(&self, block: BlockId) -> u64 {
-        block_bytes(self.size_of(block.file), block.index)
-    }
-}
-
-/// Authoritative block content — the disk under the cache.
-pub trait BlockStore: Send + Sync + 'static {
-    /// Read one block's bytes. Between writes (if any), repeated reads of
-    /// the same block must return identical bytes.
-    fn read_block(&self, block: BlockId) -> Vec<u8>;
-
-    /// Durably overwrite one block (the §6 writes extension uses
-    /// write-through). Returns false if the store is read-only — the
-    /// default, matching the paper's read-only request streams.
-    fn write_block(&self, _block: BlockId, _data: &[u8]) -> bool {
-        false
-    }
-}
-
-/// Deterministic synthetic content: block bytes derived from the block id.
-#[derive(Debug, Clone)]
-pub struct SyntheticStore {
-    catalog: Catalog,
-    seed: u64,
-}
-
-impl SyntheticStore {
-    /// A store over `catalog` whose content is derived from `seed`.
-    pub fn new(catalog: Catalog, seed: u64) -> SyntheticStore {
-        SyntheticStore { catalog, seed }
-    }
-
-    /// The catalog this store serves.
-    pub fn catalog(&self) -> &Catalog {
-        &self.catalog
-    }
-}
-
-impl BlockStore for SyntheticStore {
-    fn read_block(&self, block: BlockId) -> Vec<u8> {
-        let len = self.catalog.block_bytes(block) as usize;
-        let mut state = self
-            .seed
-            .wrapping_add((block.file.0 as u64) << 32 | block.index as u64);
-        let mut out = Vec::with_capacity(len);
-        while out.len() < len {
-            let word = simcore::rng::splitmix64(&mut state);
-            for b in word.to_le_bytes() {
-                if out.len() == len {
-                    break;
-                }
-                out.push(b);
-            }
-        }
-        out
-    }
-}
-
-/// A writable store: deterministic synthetic content overlaid with every
-/// write performed so far. Backs the §6 writes extension.
-pub struct MemStore {
-    base: SyntheticStore,
-    overlay: simcore::sync::RwLock<simcore::FxHashMap<BlockId, Vec<u8>>>,
-}
-
-impl MemStore {
-    /// A writable store over `catalog`, initially containing the same
-    /// synthetic content as [`SyntheticStore`] with this `seed`.
-    pub fn new(catalog: Catalog, seed: u64) -> MemStore {
-        MemStore {
-            base: SyntheticStore::new(catalog, seed),
-            overlay: simcore::sync::RwLock::new(simcore::FxHashMap::default()),
-        }
-    }
-
-    /// Blocks overwritten so far.
-    pub fn dirty_blocks(&self) -> usize {
-        self.overlay.read().len()
-    }
-}
-
-impl BlockStore for MemStore {
-    fn read_block(&self, block: BlockId) -> Vec<u8> {
-        if let Some(d) = self.overlay.read().get(&block) {
-            return d.clone();
-        }
-        self.base.read_block(block)
-    }
-
-    fn write_block(&self, block: BlockId, data: &[u8]) -> bool {
-        self.overlay.write().insert(block, data.to_vec());
-        true
-    }
-}
-
-/// Assemble a whole file's bytes straight from a store (reference path for
-/// integrity checks).
-pub fn read_file_direct(store: &dyn BlockStore, catalog: &Catalog, file: FileId) -> Vec<u8> {
-    let mut out = Vec::with_capacity(catalog.size_of(file) as usize);
-    for b in 0..catalog.blocks_of(file) {
-        out.extend_from_slice(&store.read_block(BlockId::new(file, b)));
-    }
-    out
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-    use ccm_core::block::BLOCK_SIZE;
-
-    fn catalog() -> Catalog {
-        Catalog::new(vec![100, BLOCK_SIZE, BLOCK_SIZE * 2 + 17, 0])
-    }
-
-    #[test]
-    fn catalog_math() {
-        let c = catalog();
-        assert_eq!(c.num_files(), 4);
-        assert_eq!(c.size_of(FileId(0)), 100);
-        assert_eq!(c.blocks_of(FileId(0)), 1);
-        assert_eq!(c.blocks_of(FileId(2)), 3);
-        assert_eq!(c.block_bytes(BlockId::new(FileId(2), 2)), 17);
-        assert_eq!(c.blocks_of(FileId(3)), 1, "empty file still has a frame");
-    }
-
-    #[test]
-    fn synthetic_content_is_deterministic() {
-        let s1 = SyntheticStore::new(catalog(), 7);
-        let s2 = SyntheticStore::new(catalog(), 7);
-        let b = BlockId::new(FileId(2), 1);
-        assert_eq!(s1.read_block(b), s2.read_block(b));
-        assert_eq!(s1.read_block(b).len(), BLOCK_SIZE as usize);
-    }
-
-    #[test]
-    fn different_blocks_differ() {
-        let s = SyntheticStore::new(catalog(), 7);
-        let a = s.read_block(BlockId::new(FileId(2), 0));
-        let b = s.read_block(BlockId::new(FileId(2), 1));
-        assert_ne!(a, b);
-    }
-
-    #[test]
-    fn different_seeds_differ() {
-        let a = SyntheticStore::new(catalog(), 1).read_block(BlockId::new(FileId(1), 0));
-        let b = SyntheticStore::new(catalog(), 2).read_block(BlockId::new(FileId(1), 0));
-        assert_ne!(a, b);
-    }
-
-    #[test]
-    fn partial_tail_block_is_short() {
-        let s = SyntheticStore::new(catalog(), 7);
-        assert_eq!(s.read_block(BlockId::new(FileId(0), 0)).len(), 100);
-    }
-
-    #[test]
-    fn synthetic_store_is_read_only() {
-        let s = SyntheticStore::new(catalog(), 7);
-        assert!(!s.write_block(BlockId::new(FileId(0), 0), &[1, 2, 3]));
-    }
-
-    #[test]
-    fn mem_store_overlays_writes() {
-        let m = MemStore::new(catalog(), 7);
-        let b = BlockId::new(FileId(1), 0);
-        let before = m.read_block(b);
-        assert!(m.write_block(b, &[9; 16]));
-        assert_eq!(m.read_block(b), vec![9; 16]);
-        assert_ne!(m.read_block(b), before);
-        assert_eq!(m.dirty_blocks(), 1);
-        // Untouched blocks still come from the synthetic base.
-        let other = BlockId::new(FileId(2), 0);
-        assert_eq!(
-            m.read_block(other),
-            SyntheticStore::new(catalog(), 7).read_block(other)
-        );
-    }
-
-    #[test]
-    fn read_file_direct_concatenates_blocks() {
-        let c = catalog();
-        let s = SyntheticStore::new(c.clone(), 7);
-        let whole = read_file_direct(&s, &c, FileId(2));
-        assert_eq!(whole.len(), (BLOCK_SIZE * 2 + 17) as usize);
-        let first = s.read_block(BlockId::new(FileId(2), 0));
-        assert_eq!(&whole[..first.len()], &first[..]);
-    }
-}
+pub use ccm_disk::store::{read_file_direct, BlockStore, Catalog, MemStore, SyntheticStore};
+pub use ccm_disk::FileStore;

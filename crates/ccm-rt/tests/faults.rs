@@ -19,6 +19,7 @@ fn start(faults: Option<FaultPlan>) -> (Middleware, Catalog, Arc<SyntheticStore>
             policy: ReplacementPolicy::MasterPreserving,
             fetch_timeout: Duration::from_millis(25),
             faults,
+            disk: Default::default(),
             obs: None,
         },
         catalog.clone(),
@@ -41,6 +42,7 @@ fn total_message_loss_degrades_to_disk_but_stays_correct() {
             delay_sends: 0,
         },
         crashes: Vec::new(),
+        disk: Default::default(),
     };
     let (mw, catalog, store) = start(Some(plan));
     for f in 0..12u32 {

@@ -48,6 +48,7 @@ fn instrumented_read_path_stays_within_noise() {
             policy: ReplacementPolicy::MasterPreserving,
             fetch_timeout: Duration::from_secs(2),
             faults: None,
+            disk: Default::default(),
             obs: Some(Registry::new()),
         },
         catalog,

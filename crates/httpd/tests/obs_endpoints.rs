@@ -63,9 +63,30 @@ fn metrics_scrape_parses_and_reflects_traffic() {
         "ccm_http_request_latency_ns_bucket",
         "ccm_http_responses_total",
         "ccm_http_inflight",
+        // The per-node disk services report into the same registry.
+        "ccm_disk_requests_total",
+        "ccm_disk_reads_total",
+        "ccm_disk_read_latency_ns_bucket",
+        "ccm_disk_queue_depth",
     ] {
         assert!(names.contains(family), "scrape missing {family}:\n{text}");
     }
+
+    // The warm-up misses above were physical demand reads through node 0's
+    // disk service, labeled with the node that owns the queue.
+    let disk_demand: f64 = samples
+        .iter()
+        .filter(|s| {
+            s.name == "ccm_disk_reads_total"
+                && s.label("kind") == Some("demand")
+                && s.label("node") == Some("0")
+        })
+        .map(|s| s.value)
+        .sum();
+    assert!(
+        disk_demand > 0.0,
+        "node 0's disk service must have served the warm-up misses"
+    );
 
     // Every HTTP request made above (the scrape itself is counted after it
     // renders, so it is not in its own page) appears in the 2xx counters.

@@ -19,6 +19,7 @@
 //! | [`l2s`] | `ccm-l2s` | The content- and load-aware baseline server |
 //! | [`webserver`] | `ccm-webserver` | The simulated cluster web servers and metrics |
 //! | [`rt`] | `ccm-rt` | The protocol as a running, threaded middleware |
+//! | [`disk`] | `ccm-disk` | Asynchronous disk I/O: contiguity scheduling (CcmSched-style), miss coalescing, readahead, and a real file-backed block store |
 //! | [`net`] | `ccm-net` | TCP peer transport: wire codec plus the `TcpLan` socket backend |
 //! | [`httpd`] | `ccm-httpd` | An HTTP/1.x file server on the middleware (real sockets) |
 //! | [`obs`] | `ccm-obs` | Observability: lock-free metrics registry, block-path trace ring, Prometheus exposition, `ccmtop` |
@@ -70,6 +71,7 @@
 
 pub use ccm_cluster as cluster;
 pub use ccm_core as core;
+pub use ccm_disk as disk;
 pub use ccm_httpd as httpd;
 pub use ccm_l2s as l2s;
 pub use ccm_net as net;

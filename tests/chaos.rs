@@ -15,7 +15,9 @@
 
 use coopcache::core::{CacheStats, FileId, NodeId, ReplacementPolicy};
 use coopcache::rt::store::read_file_direct;
-use coopcache::rt::{Catalog, ChaosStats, FaultPlan, Middleware, RtConfig, SyntheticStore};
+use coopcache::rt::{
+    Catalog, ChaosStats, DiskFaults, FaultPlan, Middleware, RtConfig, SyntheticStore,
+};
 use coopcache::simcore::Rng;
 use std::sync::Arc;
 use std::time::Duration;
@@ -27,6 +29,8 @@ struct TortureOutcome {
     chaos: ChaosStats,
     crashes: usize,
     restarts: usize,
+    /// Injected disk I/O errors absorbed by the synchronous store retry.
+    disk_fallbacks: u64,
 }
 
 /// On an integrity failure, print the block-path trace ring entries for the
@@ -56,10 +60,16 @@ fn fixture(seed: u64) -> (Catalog, Arc<SyntheticStore>) {
 /// every read. With `quiesce_each_op` the data plane is drained after every
 /// operation, which makes the statistics a deterministic function of the
 /// seed (the replayability mode).
-fn run_torture(seed: u64, nodes: usize, ops: u64, quiesce_each_op: bool) -> TortureOutcome {
+fn run_torture(
+    seed: u64,
+    nodes: usize,
+    ops: u64,
+    quiesce_each_op: bool,
+    disk: DiskFaults,
+) -> TortureOutcome {
     let (catalog, store) = fixture(seed);
     let n_files = catalog.num_files() as u64;
-    let plan = FaultPlan::torture(seed, nodes, ops);
+    let plan = FaultPlan::torture(seed, nodes, ops).with_disk(disk);
     let crashes_planned = plan.crashes.clone();
     let mw = Middleware::start(
         RtConfig {
@@ -69,6 +79,7 @@ fn run_torture(seed: u64, nodes: usize, ops: u64, quiesce_each_op: bool) -> Tort
             // Short so a dropped request degrades to a disk read quickly.
             fetch_timeout: Duration::from_millis(25),
             faults: Some(plan),
+            disk: Default::default(),
             obs: None,
         },
         catalog.clone(),
@@ -129,6 +140,7 @@ fn run_torture(seed: u64, nodes: usize, ops: u64, quiesce_each_op: bool) -> Tort
         chaos: mw.chaos_stats(),
         crashes,
         restarts,
+        disk_fallbacks: mw.disk_error_fallbacks(),
     };
     mw.shutdown();
     out
@@ -139,7 +151,7 @@ fn run_torture(seed: u64, nodes: usize, ops: u64, quiesce_each_op: bool) -> Tort
 #[test]
 fn every_seed_delivers_exact_bytes_under_torture() {
     for seed in 0..8 {
-        let out = run_torture(seed, 3, 160, false);
+        let out = run_torture(seed, 3, 160, false, DiskFaults::NONE);
         assert!(out.chaos.dropped > 0, "seed {seed}: drops must fire");
         assert_eq!(out.crashes, 1, "seed {seed}: plan schedules one crash");
         assert_eq!(out.restarts, 1, "seed {seed}: crashed node must rejoin");
@@ -156,8 +168,8 @@ fn every_seed_delivers_exact_bytes_under_torture() {
 #[test]
 fn same_seed_is_bit_identical_across_runs() {
     for seed in [3, 11] {
-        let a = run_torture(seed, 3, 120, true);
-        let b = run_torture(seed, 3, 120, true);
+        let a = run_torture(seed, 3, 120, true, DiskFaults::NONE);
+        let b = run_torture(seed, 3, 120, true, DiskFaults::NONE);
         assert_eq!(a, b, "seed {seed}: reruns must be bit-identical");
         assert!(a.chaos.dropped > 0);
         assert_eq!(a.crashes, 1);
@@ -169,12 +181,57 @@ fn same_seed_is_bit_identical_across_runs() {
 #[test]
 fn seeds_explore_different_fault_schedules() {
     let outs: Vec<ChaosStats> = (0..4)
-        .map(|s| run_torture(s, 3, 120, false).chaos)
+        .map(|s| run_torture(s, 3, 120, false, DiskFaults::NONE).chaos)
         .collect();
     assert!(
         outs.windows(2).any(|w| w[0] != w[1]),
         "all seeds injected identical faults: {outs:?}"
     );
+}
+
+/// Disk faults on top of the link faults: every node's disk service injects
+/// slow reads and I/O errors (decided by a pure hash of the plan seed and
+/// the block), yet every delivered byte must still equal the ground truth —
+/// an injected error degrades to a synchronous store retry, never to
+/// corruption.
+#[test]
+fn disk_faults_never_corrupt_bytes_under_torture() {
+    let disk = DiskFaults {
+        slow_prob: 0.05,
+        slow: Duration::from_millis(2),
+        error_prob: 0.25,
+    };
+    for seed in 0..4 {
+        let out = run_torture(seed, 3, 120, false, disk);
+        assert!(out.chaos.dropped > 0, "seed {seed}: link faults must fire");
+        assert!(
+            out.disk_fallbacks > 0,
+            "seed {seed}: injected disk errors must surface as store retries"
+        );
+        assert_eq!(out.crashes, 1);
+        assert_eq!(out.restarts, 1);
+    }
+}
+
+/// Replayability with disk faults in the mix: the error-marked block set is
+/// a pure function of the seed, so the quiesced driver must reproduce the
+/// exact disk-fallback count along with every other statistic.
+#[test]
+fn disk_fault_replay_is_bit_identical() {
+    let disk = DiskFaults {
+        slow_prob: 0.10,
+        slow: Duration::from_millis(1),
+        error_prob: 0.30,
+    };
+    for seed in [5, 13] {
+        let a = run_torture(seed, 3, 100, true, disk);
+        let b = run_torture(seed, 3, 100, true, disk);
+        assert_eq!(
+            a, b,
+            "seed {seed}: disk-faulted reruns must be bit-identical"
+        );
+        assert!(a.disk_fallbacks > 0, "seed {seed}: error faults must fire");
+    }
 }
 
 /// Concurrent stress: reader threads hammer never-crashed nodes while the
@@ -203,6 +260,7 @@ fn concurrent_readers_survive_crashes_and_lossy_links() {
                 policy: ReplacementPolicy::MasterPreserving,
                 fetch_timeout: Duration::from_millis(25),
                 faults: Some(plan),
+                disk: Default::default(),
                 obs: None,
             },
             catalog.clone(),
