@@ -1,0 +1,76 @@
+//! `bench_load` — the live-cluster load matrix: every trace preset replayed
+//! through a running middleware cluster on both LAN backends, with the
+//! paper's closed-loop-client methodology, written to `BENCH_load.json`.
+//!
+//! Each cell is a full `ccm-load` run: N closed-loop clients per node
+//! replay the preset's recorded stream, warm-up requests are discarded,
+//! and the report carries throughput, latency quantiles, the hit-class
+//! breakdown over the measurement window, and the reconciliation verdict
+//! (driver counts vs. protocol stats vs. `ccm_rt_reads_total`).
+//!
+//! `--quick` (or `CCM_QUICK=1`): two presets, shorter streams — the CI
+//! smoke configuration.
+
+use ccm_load::{run, run_on, LoadSpec};
+use ccm_net::TcpLan;
+use ccm_traces::Preset;
+use std::io::Write;
+use std::sync::Arc;
+
+fn spec_for(preset: Preset, quick: bool) -> LoadSpec {
+    let mut spec = LoadSpec::new(preset);
+    if quick {
+        spec.head_files = Some(150);
+        spec.warmup_requests = 150;
+        spec.measure_requests = 300;
+    }
+    spec
+}
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick")
+        || std::env::var("CCM_QUICK").is_ok_and(|v| v != "0" && !v.is_empty());
+    let presets: &[Preset] = if quick {
+        &[Preset::Calgary, Preset::Rutgers]
+    } else {
+        &Preset::all()
+    };
+
+    let mut cells = Vec::new();
+    for &preset in presets {
+        let spec = spec_for(preset, quick);
+        for backend in ["channel", "tcp"] {
+            let report = match backend {
+                "channel" => run(&spec),
+                _ => {
+                    let lan =
+                        Arc::new(TcpLan::loopback(spec.nodes).expect("bind loopback listeners"));
+                    run_on(&spec, lan, "tcp")
+                }
+            };
+            println!("{}", report.summary());
+            assert!(
+                report.reconciled,
+                "{} {}: driver and runtime counters disagree",
+                backend, report.preset
+            );
+            cells.push(report);
+        }
+    }
+
+    let mut json = String::from("{\n  \"bench\": \"bench_load\",\n");
+    json.push_str(&format!("  \"quick\": {quick},\n"));
+    json.push_str("  \"cells\": [\n");
+    for (i, report) in cells.iter().enumerate() {
+        json.push_str("    ");
+        json.push_str(&report.to_json());
+        json.push_str(if i + 1 < cells.len() { ",\n" } else { "\n" });
+    }
+    json.push_str("  ]\n}\n");
+
+    // Repo root, next to Cargo.toml (crates/bench/../..).
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_load.json");
+    let mut f = std::fs::File::create(path).expect("create BENCH_load.json");
+    f.write_all(json.as_bytes()).expect("write BENCH_load.json");
+    println!("\nwrote {path}");
+}

@@ -1,0 +1,152 @@
+//! The run report: one JSON cell per `(backend, preset)` run.
+
+use ccm_core::CacheStats;
+use ccm_obs::LatencySummary;
+
+/// Everything one load run produced. Split in two:
+///
+/// * the **deterministic section** ([`LoadReport::deterministic_json`]):
+///   the spec echo plus every seed-determined observation — request/block/
+///   byte counts, payload digest, protocol counters over the measurement
+///   window, reconciliation verdict. For a deterministic run this is
+///   bit-identical across reruns of the same seed.
+/// * the **timing section** (wall-clock throughput and latency quantiles),
+///   appended by [`LoadReport::to_json`] — real time, different every run.
+#[derive(Debug, Clone)]
+pub struct LoadReport {
+    /// Transport label (`channel` / `tcp`).
+    pub backend: String,
+    /// Workload name, head truncation included (e.g. `calgary-head300`).
+    pub preset: String,
+    /// Replacement policy label.
+    pub policy: String,
+    /// Cluster size.
+    pub nodes: usize,
+    /// Closed-loop clients per node.
+    pub clients_per_node: usize,
+    /// Per-node cache capacity in blocks.
+    pub capacity_blocks: usize,
+    /// Warm-up requests replayed before the window.
+    pub warmup_requests: usize,
+    /// Requests inside the measurement window.
+    pub measure_requests: usize,
+    /// Stream/store seed.
+    pub seed: u64,
+    /// Whether the run was the single-threaded deterministic replay.
+    pub deterministic: bool,
+
+    /// Block accesses in the window (driver count).
+    pub blocks: u64,
+    /// Payload bytes delivered in the window.
+    pub bytes: u64,
+    /// Order-insensitive FNV-1a digest of the window's payload (XOR over
+    /// the per-client stream digests).
+    pub digest: u64,
+    /// Protocol counters, delta over the measurement window.
+    pub measured: CacheStats,
+    /// Driver counts, protocol counters, and the runtime's
+    /// `ccm_rt_reads_total` registry deltas all agreed.
+    pub reconciled: bool,
+    /// `Some(ok)` when the run served HTTP and scraped `/metrics` mid-run
+    /// (`ok` = the load and runtime families were present); `None` when
+    /// the scrape was not requested.
+    pub metrics_scrape: Option<bool>,
+
+    /// Measurement-window wall time, seconds.
+    pub elapsed_s: f64,
+    /// Requests per second over the window.
+    pub rps: f64,
+    /// Payload megabytes per second over the window.
+    pub mb_per_s: f64,
+    /// Per-request latency over the window.
+    pub latency: LatencySummary,
+}
+
+impl LoadReport {
+    /// Cluster-memory hit ratio (local + remote) over the window.
+    pub fn total_hit_ratio(&self) -> f64 {
+        self.measured.total_hit_rate()
+    }
+
+    /// The deterministic fields as a comma-terminated JSON fragment.
+    fn deterministic_fields(&self) -> String {
+        let m = &self.measured;
+        format!(
+            concat!(
+                "\"backend\": \"{}\", \"preset\": \"{}\", \"policy\": \"{}\", ",
+                "\"nodes\": {}, \"clients_per_node\": {}, \"capacity_blocks\": {}, ",
+                "\"warmup_requests\": {}, \"measure_requests\": {}, \"seed\": {}, ",
+                "\"deterministic\": {}, ",
+                "\"blocks\": {}, \"bytes\": {}, \"digest\": \"{:#018x}\", ",
+                "\"local_hits\": {}, \"remote_hits\": {}, \"disk_reads\": {}, ",
+                "\"store_fallbacks\": {}, \"forwards\": {}, ",
+                "\"local_hit_ratio\": {:.6}, \"total_hit_ratio\": {:.6}, ",
+                "\"reconciled\": {}"
+            ),
+            self.backend,
+            self.preset,
+            self.policy,
+            self.nodes,
+            self.clients_per_node,
+            self.capacity_blocks,
+            self.warmup_requests,
+            self.measure_requests,
+            self.seed,
+            self.deterministic,
+            self.blocks,
+            self.bytes,
+            self.digest,
+            m.local_hits,
+            m.remote_hits,
+            m.disk_reads,
+            m.store_fallbacks,
+            m.forwards,
+            m.local_hit_rate(),
+            m.total_hit_rate(),
+            self.reconciled,
+        )
+    }
+
+    /// The seed-determined projection of the report: bit-identical across
+    /// reruns of the same deterministic spec (no wall-clock fields).
+    pub fn deterministic_json(&self) -> String {
+        format!("{{ {} }}", self.deterministic_fields())
+    }
+
+    /// The full cell: deterministic section plus throughput and latency.
+    pub fn to_json(&self) -> String {
+        let scrape = match self.metrics_scrape {
+            Some(ok) => ok.to_string(),
+            None => "null".to_string(),
+        };
+        format!(
+            "{{ {}, \"metrics_scrape\": {}, \"elapsed_s\": {:.3}, \"rps\": {:.1}, \
+             \"mb_per_s\": {:.2}, \"latency_ns\": {} }}",
+            self.deterministic_fields(),
+            scrape,
+            self.elapsed_s,
+            self.rps,
+            self.mb_per_s,
+            self.latency.to_json(),
+        )
+    }
+
+    /// One human line for progress output.
+    pub fn summary(&self) -> String {
+        format!(
+            "{:<8} {:<18} {:<17} cap {:>4}: {:>7.1} req/s, {:>6.2} MB/s, \
+             p50 {:>8} ns, p99 {:>8} ns, hit {:>5.1}% ({:.1}% local), fallbacks {}",
+            self.backend,
+            self.preset,
+            self.policy,
+            self.capacity_blocks,
+            self.rps,
+            self.mb_per_s,
+            self.latency.p50_ns,
+            self.latency.p99_ns,
+            100.0 * self.measured.total_hit_rate(),
+            100.0 * self.measured.local_hit_rate(),
+            self.measured.store_fallbacks,
+        )
+    }
+}

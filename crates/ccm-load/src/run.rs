@@ -1,0 +1,373 @@
+//! The live driver: replay a recorded request stream against a running
+//! cluster with closed-loop clients, verify every byte, and reconcile the
+//! report against the runtime's own counters.
+
+use std::net::SocketAddr;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use ccm_core::block::blocks_of_file;
+use ccm_core::{FileId as CoreFileId, NodeId};
+use ccm_httpd::HttpCluster;
+use ccm_obs::{Counter, Histogram, LatencySummary, Registry, Snapshot, Stopwatch};
+use ccm_rt::store::read_file_direct;
+use ccm_rt::{BlockStore, Catalog, Middleware, RtConfig, SyntheticStore, Transport};
+use ccm_traces::FileId as TraceFileId;
+use simcore::Rng;
+
+use crate::report::LoadReport;
+use crate::spec::LoadSpec;
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01B3;
+
+fn fnv1a(digest: &mut u64, bytes: &[u8]) {
+    for &b in bytes {
+        *digest ^= b as u64;
+        *digest = digest.wrapping_mul(FNV_PRIME);
+    }
+}
+
+/// The cluster front end a run drives: the bare middleware, or the
+/// middleware behind per-node HTTP listeners when the spec asks for a
+/// live `/metrics` scrape.
+enum Front {
+    Bare(Middleware),
+    Http(HttpCluster),
+}
+
+impl Front {
+    fn mw(&self) -> &Middleware {
+        match self {
+            Front::Bare(mw) => mw,
+            Front::Http(c) => c.middleware(),
+        }
+    }
+
+    fn scrape_addr(&self) -> Option<SocketAddr> {
+        match self {
+            Front::Bare(_) => None,
+            Front::Http(c) => Some(c.addrs()[0]),
+        }
+    }
+
+    fn shutdown(self) {
+        match self {
+            Front::Bare(mw) => mw.shutdown(),
+            Front::Http(c) => c.shutdown(),
+        }
+    }
+}
+
+/// What one phase (warm-up or measurement) delivered. Digests are XOR
+/// folds over the per-client stream digests, so the value is independent
+/// of client interleaving — the concurrent and deterministic modes agree.
+#[derive(Clone, Copy)]
+struct PhaseOut {
+    blocks: u64,
+    bytes: u64,
+    digest: u64,
+}
+
+/// One closed-loop step: time the cluster read, verify it against the
+/// backing store's ground truth, fold the payload into the digest.
+#[allow(clippy::too_many_arguments)]
+fn serve_one(
+    mw: &Middleware,
+    node: NodeId,
+    store: &dyn BlockStore,
+    catalog: &Catalog,
+    req: TraceFileId,
+    latency: &Histogram,
+    requests: &Counter,
+    out: &mut PhaseOut,
+) {
+    let file = CoreFileId(req.0);
+    let sw = Stopwatch::start();
+    let got = mw.handle(node).read_file(file);
+    sw.stop(latency);
+    requests.inc();
+    let want = read_file_direct(store, catalog, file);
+    assert!(
+        got == want,
+        "corrupt serve: file {} returned {} bytes (want {})",
+        req.0,
+        got.len(),
+        want.len()
+    );
+    out.blocks += blocks_of_file(want.len() as u64) as u64;
+    out.bytes += want.len() as u64;
+    fnv1a(&mut out.digest, &got);
+}
+
+/// Drive one phase of the stream. `phase_start` is the global index of
+/// `reqs[0]`, so request `i` always lands on node `i % nodes` no matter
+/// how the phase is split across clients: client `k` of `K` serves the
+/// phase indices `j ≡ k (mod K)`, and because `K` is a multiple of the
+/// node count its node `(phase_start + k) % nodes` is fixed — `K / nodes`
+/// closed-loop clients per node, exactly the paper's client model.
+#[allow(clippy::too_many_arguments)]
+fn drive_phase(
+    mw: &Middleware,
+    store: &Arc<SyntheticStore>,
+    catalog: &Catalog,
+    reqs: &[TraceFileId],
+    phase_start: usize,
+    nodes: usize,
+    clients: usize,
+    deterministic: bool,
+    latency: &Histogram,
+    requests: &Counter,
+    scrape: Option<SocketAddr>,
+) -> (PhaseOut, Option<bool>) {
+    let part = |k: usize| {
+        let node = NodeId(((phase_start + k) % nodes) as u16);
+        let mut out = PhaseOut {
+            blocks: 0,
+            bytes: 0,
+            digest: FNV_OFFSET,
+        };
+        for j in (k..reqs.len()).step_by(clients) {
+            serve_one(
+                mw, node, &**store, catalog, reqs[j], latency, requests, &mut out,
+            );
+        }
+        out
+    };
+
+    let fold = |parts: Vec<PhaseOut>| {
+        parts.into_iter().fold(
+            PhaseOut {
+                blocks: 0,
+                bytes: 0,
+                digest: 0,
+            },
+            |mut acc, p| {
+                acc.blocks += p.blocks;
+                acc.bytes += p.bytes;
+                acc.digest ^= p.digest;
+                acc
+            },
+        )
+    };
+
+    if deterministic {
+        // In-order replay, but folded into the same per-client digest
+        // slots the concurrent mode uses, so digests match across modes.
+        let mut parts = vec![
+            PhaseOut {
+                blocks: 0,
+                bytes: 0,
+                digest: FNV_OFFSET,
+            };
+            clients
+        ];
+        for (j, req) in reqs.iter().enumerate() {
+            let node = NodeId(((phase_start + j) % nodes) as u16);
+            serve_one(
+                mw,
+                node,
+                &**store,
+                catalog,
+                *req,
+                latency,
+                requests,
+                &mut parts[j % clients],
+            );
+        }
+        let scraped = scrape.map(scrape_ok);
+        (fold(parts), scraped)
+    } else {
+        std::thread::scope(|s| {
+            let joins: Vec<_> = (0..clients).map(|k| s.spawn(move || part(k))).collect();
+            // Scrape while the clients are in flight: the run report's
+            // `metrics_scrape` certifies the exposition is live mid-load.
+            let scraped = scrape.map(scrape_ok);
+            let parts = joins
+                .into_iter()
+                .map(|j| j.join().expect("load client panicked"))
+                .collect();
+            (fold(parts), scraped)
+        })
+    }
+}
+
+/// `GET /metrics` from one node and check that both the driver's and the
+/// runtime's counter families are present.
+fn scrape_ok(addr: SocketAddr) -> bool {
+    match ccm_httpd::client::get(addr, "/metrics") {
+        Ok(r) => {
+            let body = String::from_utf8_lossy(&r.body);
+            r.status == 200
+                && body.contains("ccm_load_requests_total")
+                && body.contains("ccm_rt_reads_total")
+        }
+        Err(_) => false,
+    }
+}
+
+/// Per-class deltas of `ccm_rt_reads_total` between two registry
+/// snapshots, in `[local, remote, disk, fallback]` order.
+fn class_deltas(warm: &Snapshot, done: &Snapshot) -> [u64; 4] {
+    let d = |class: &str| {
+        done.counter_sum_where("ccm_rt_reads_total", "class", class)
+            - warm.counter_sum_where("ccm_rt_reads_total", "class", class)
+    };
+    [d("local"), d("remote"), d("disk"), d("fallback")]
+}
+
+/// Run `spec` over the in-process channel LAN.
+pub fn run(spec: &LoadSpec) -> LoadReport {
+    run_inner(spec, "channel", None)
+}
+
+/// Run `spec` over a caller-built transport (e.g. `ccm-net`'s `TcpLan`),
+/// labelling the report's `backend` field with `backend`.
+pub fn run_on(spec: &LoadSpec, transport: Arc<dyn Transport>, backend: &str) -> LoadReport {
+    run_inner(spec, backend, Some(transport))
+}
+
+fn run_inner(spec: &LoadSpec, backend: &str, transport: Option<Arc<dyn Transport>>) -> LoadReport {
+    assert!(spec.nodes > 0, "empty cluster");
+    assert!(spec.clients_per_node > 0, "no clients");
+    assert!(spec.measure_requests > 0, "empty measurement window");
+
+    let wl = spec.workload();
+    let stream = wl.record(spec.total_requests(), &mut Rng::new(spec.seed).substream(1));
+    let catalog = Catalog::new(wl.sizes().to_vec());
+    let store = Arc::new(SyntheticStore::new(catalog.clone(), spec.seed));
+    let registry = Registry::new();
+    let cfg = RtConfig {
+        nodes: spec.nodes,
+        capacity_blocks: spec.capacity_blocks,
+        policy: spec.policy,
+        fetch_timeout: Duration::from_secs(2),
+        obs: Some(registry.clone()),
+        ..RtConfig::default()
+    };
+    let front = match (transport, spec.serve_metrics) {
+        (None, false) => Front::Bare(Middleware::start(cfg, catalog.clone(), store.clone())),
+        (None, true) => Front::Http(HttpCluster::start(cfg, catalog.clone(), store.clone())),
+        (Some(t), false) => {
+            Front::Bare(Middleware::start_on(cfg, catalog.clone(), store.clone(), t))
+        }
+        (Some(t), true) => Front::Http(HttpCluster::start_on(
+            cfg,
+            catalog.clone(),
+            store.clone(),
+            t,
+        )),
+    };
+    let mw = front.mw();
+    let clients = spec.total_clients();
+
+    let phase_latency = |phase: &str| {
+        registry.histogram(
+            "ccm_load_request_latency_ns",
+            "End-to-end file-read latency as the load generator sees it",
+            &[("phase", phase)],
+        )
+    };
+    let phase_requests = |phase: &str| {
+        registry.counter(
+            "ccm_load_requests_total",
+            "Requests the load generator completed",
+            &[("phase", phase)],
+        )
+    };
+
+    // Warm-up: populate the caches, then drop the counters on the floor.
+    let (warm_reqs, measure_reqs) = stream.split_at(spec.warmup_requests);
+    drive_phase(
+        mw,
+        &store,
+        &catalog,
+        warm_reqs,
+        0,
+        spec.nodes,
+        clients,
+        spec.deterministic,
+        &phase_latency("warmup"),
+        &phase_requests("warmup"),
+        None,
+    );
+    mw.quiesce();
+    let warm_stats = mw.stats();
+    let warm_snap = mw.obs_snapshot();
+
+    // Measurement window.
+    let latency = phase_latency("measure");
+    let started = Instant::now();
+    let (out, scraped) = drive_phase(
+        mw,
+        &store,
+        &catalog,
+        measure_reqs,
+        spec.warmup_requests,
+        spec.nodes,
+        clients,
+        spec.deterministic,
+        &latency,
+        &phase_requests("measure"),
+        front.scrape_addr(),
+    );
+    let elapsed = started.elapsed().as_secs_f64().max(1e-9);
+    mw.quiesce();
+    mw.check_invariants();
+    let measured = mw.stats().delta_since(&warm_stats);
+    let done_snap = mw.obs_snapshot();
+
+    // Reconcile the driver's own counts against the protocol stats and
+    // the runtime's read-class registry. Every block read ticks exactly
+    // one registry class; protocol stats count decisions, so per-class
+    // equality is exact precisely when no data-plane fallback raced.
+    let [local, remote, disk, fallback] = class_deltas(&warm_snap, &done_snap);
+    let mut reconciled = local + remote + disk + fallback == out.blocks
+        && measured.accesses() == out.blocks
+        && fallback == measured.store_fallbacks;
+    if measured.store_fallbacks == 0 {
+        reconciled &= local == measured.local_hits
+            && remote == measured.remote_hits
+            && disk == measured.disk_reads;
+    }
+    if spec.deterministic {
+        assert_eq!(
+            measured.store_fallbacks, 0,
+            "deterministic replay must not race the data plane"
+        );
+        assert!(
+            reconciled,
+            "deterministic replay failed reconciliation: driver {} blocks, \
+             registry {:?}, stats {:?}",
+            out.blocks,
+            [local, remote, disk, fallback],
+            measured
+        );
+    }
+
+    let latency = LatencySummary::of(&latency.snapshot());
+    let report = LoadReport {
+        backend: backend.to_string(),
+        preset: wl.name().to_string(),
+        policy: spec.policy_label().to_string(),
+        nodes: spec.nodes,
+        clients_per_node: spec.clients_per_node,
+        capacity_blocks: spec.capacity_blocks,
+        warmup_requests: spec.warmup_requests,
+        measure_requests: spec.measure_requests,
+        seed: spec.seed,
+        deterministic: spec.deterministic,
+        blocks: out.blocks,
+        bytes: out.bytes,
+        digest: out.digest,
+        measured,
+        reconciled,
+        metrics_scrape: scraped,
+        elapsed_s: elapsed,
+        rps: measure_reqs.len() as f64 / elapsed,
+        mb_per_s: out.bytes as f64 / (1024.0 * 1024.0) / elapsed,
+        latency,
+    };
+    front.shutdown();
+    report
+}

@@ -1,0 +1,89 @@
+//! The load-run specification.
+
+use ccm_core::ReplacementPolicy;
+use ccm_traces::{Preset, Workload};
+
+/// Everything that determines a load run, gathered so a report can echo
+/// it and a rerun can reproduce it.
+#[derive(Debug, Clone)]
+pub struct LoadSpec {
+    /// Which calibrated trace preset to replay.
+    pub preset: Preset,
+    /// Restrict the preset to its `n` hottest files (see
+    /// [`Workload::head`]); `None` replays the full catalog. Live-cluster
+    /// tests use a few hundred files so the synthetic store stays cheap
+    /// while the Zipf shape (and the policy ordering it drives) survives.
+    pub head_files: Option<usize>,
+    /// Cluster size.
+    pub nodes: usize,
+    /// Closed-loop clients per node (ignored in deterministic mode, which
+    /// drives one request at a time).
+    pub clients_per_node: usize,
+    /// Per-node cache capacity in blocks — the memory axis of the paper's
+    /// figures.
+    pub capacity_blocks: usize,
+    /// Replacement policy under test.
+    pub policy: ReplacementPolicy,
+    /// Requests replayed to warm the caches before measurement.
+    pub warmup_requests: usize,
+    /// Requests replayed inside the measurement window.
+    pub measure_requests: usize,
+    /// Seed for the recorded request stream and the synthetic store.
+    pub seed: u64,
+    /// Single-threaded in-order replay: protocol statistics become a pure
+    /// function of the stream (and match [`simulate`](crate::simulate)
+    /// exactly); wall-clock figures lose meaning but stay reported.
+    pub deterministic: bool,
+    /// Run the cluster behind per-node HTTP front ends and scrape one
+    /// node's `/metrics` mid-run, recording whether the load and runtime
+    /// metric families were live ([`LoadReport::metrics_scrape`]).
+    pub serve_metrics: bool,
+}
+
+impl LoadSpec {
+    /// A small default cell for `preset`: 4 nodes, 8 clients each, a
+    /// 300-file head, cache scaled so cooperation matters.
+    pub fn new(preset: Preset) -> LoadSpec {
+        LoadSpec {
+            preset,
+            head_files: Some(300),
+            nodes: 4,
+            clients_per_node: 8,
+            capacity_blocks: 64,
+            policy: ReplacementPolicy::MasterPreserving,
+            warmup_requests: 600,
+            measure_requests: 1_200,
+            seed: 0x10AD,
+            deterministic: false,
+            serve_metrics: false,
+        }
+    }
+
+    /// The workload this spec replays (head truncation applied).
+    ///
+    /// # Panics
+    /// Panics if `head_files` is zero or exceeds the preset's catalog.
+    pub fn workload(&self) -> Workload {
+        let full = self.preset.workload();
+        match self.head_files {
+            Some(n) => full.head(n),
+            None => full,
+        }
+    }
+
+    /// Warm-up plus measurement requests.
+    pub fn total_requests(&self) -> usize {
+        self.warmup_requests + self.measure_requests
+    }
+
+    /// Total client threads in the concurrent mode.
+    pub fn total_clients(&self) -> usize {
+        self.nodes * self.clients_per_node
+    }
+
+    /// The policy's figure label (`master-preserving`, `n-chance`,
+    /// `global-lru`).
+    pub fn policy_label(&self) -> &'static str {
+        self.policy.label()
+    }
+}

@@ -1,0 +1,107 @@
+//! ccm-load against live clusters: determinism, mode invariance, metrics.
+
+use std::sync::Arc;
+
+use ccm_load::{run, run_on, simulate, LoadSpec};
+use ccm_net::TcpLan;
+use ccm_traces::Preset;
+
+/// A cell small enough for CI but big enough to evict and cooperate.
+fn small_spec() -> LoadSpec {
+    let mut spec = LoadSpec::new(Preset::Calgary);
+    spec.head_files = Some(120);
+    spec.nodes = 3;
+    spec.clients_per_node = 2;
+    spec.capacity_blocks = 48;
+    spec.warmup_requests = 150;
+    spec.measure_requests = 300;
+    spec.seed = 0xC0FFEE;
+    spec
+}
+
+#[test]
+fn deterministic_run_matches_the_simulator() {
+    let mut spec = small_spec();
+    spec.deterministic = true;
+    let live = run(&spec);
+    let sim = simulate(&spec);
+    assert_eq!(live.measured, sim.measured);
+    assert_eq!(live.blocks, sim.blocks);
+    assert_eq!(live.bytes, sim.bytes);
+    assert_eq!(live.measured.store_fallbacks, 0);
+    assert!(live.reconciled);
+    assert!(live.measured.remote_hits > 0, "no cooperation exercised");
+}
+
+#[test]
+fn deterministic_report_is_bit_identical_across_reruns() {
+    let mut spec = small_spec();
+    spec.deterministic = true;
+    let a = run(&spec);
+    let b = run(&spec);
+    assert_eq!(a.deterministic_json(), b.deterministic_json());
+}
+
+#[test]
+fn concurrent_mode_delivers_the_same_bytes_as_deterministic() {
+    let mut spec = small_spec();
+    spec.deterministic = true;
+    let det = run(&spec);
+    spec.deterministic = false;
+    let conc = run(&spec);
+    // Interleaving changes the protocol's decisions, never the payload.
+    assert_eq!(conc.digest, det.digest);
+    assert_eq!(conc.bytes, det.bytes);
+    assert_eq!(conc.blocks, det.blocks);
+    assert!(conc.reconciled, "driver and runtime counters disagree");
+    assert!(conc.rps > 0.0);
+    assert_eq!(conc.latency.count, spec.measure_requests as u64);
+}
+
+#[test]
+fn serve_metrics_scrapes_a_live_exposition() {
+    let mut spec = small_spec();
+    spec.warmup_requests = 60;
+    spec.measure_requests = 120;
+    spec.serve_metrics = true;
+    let report = run(&spec);
+    assert_eq!(report.metrics_scrape, Some(true));
+    assert!(report.reconciled);
+}
+
+#[test]
+fn tcp_backend_matches_channel_deterministically() {
+    let mut spec = small_spec();
+    spec.deterministic = true;
+    spec.warmup_requests = 80;
+    spec.measure_requests = 160;
+    let channel = run(&spec);
+    let lan = Arc::new(TcpLan::loopback(spec.nodes).expect("bind loopback"));
+    let tcp = run_on(&spec, lan, "tcp");
+    assert_eq!(tcp.backend, "tcp");
+    assert_eq!(tcp.measured, channel.measured);
+    assert_eq!(tcp.digest, channel.digest);
+    assert_eq!(tcp.bytes, channel.bytes);
+    assert!(tcp.reconciled);
+}
+
+#[test]
+fn report_json_round_trips_the_key_fields() {
+    let mut spec = small_spec();
+    spec.deterministic = true;
+    spec.warmup_requests = 60;
+    spec.measure_requests = 120;
+    let report = run(&spec);
+    let det = report.deterministic_json();
+    let full = report.to_json();
+    for json in [&det, &full] {
+        assert!(json.contains("\"backend\": \"channel\""));
+        assert!(json.contains("\"preset\": \"calgary-head120\""));
+        assert!(json.contains(&format!("\"digest\": \"{:#018x}\"", report.digest)));
+        assert!(json.contains("\"reconciled\": true"));
+    }
+    assert!(!det.contains("elapsed_s"));
+    assert!(full.contains("\"elapsed_s\""));
+    assert!(full.contains("\"latency_ns\""));
+    assert!(!report.summary().is_empty());
+}

@@ -4,7 +4,8 @@
 //! backing-store ground truth.
 //!
 //! Usage: `cargo run --release -p ccm-net --bin socket_cluster [nodes] [ops] [--serve]
-//! [--file-store <dir>]` (defaults: 4 nodes, 4000 reads total).
+//! [--file-store <dir>] [--replay <preset>]` (defaults: 4 nodes, 4000 reads
+//! total).
 //!
 //! With `--file-store <dir>` the cluster is backed by a real on-disk block
 //! store (`ccm-disk`'s `FileStore`): the first run populates `<dir>` from
@@ -12,6 +13,13 @@
 //! misses go through its asynchronous disk service against actual file
 //! I/O. Byte verification still holds — the file store must serve exactly
 //! the synthetic content it was populated with.
+//!
+//! With `--replay <preset>` (calgary, clarknet, nasa, rutgers) the run is
+//! handed to `ccm-load`: the preset's recorded trace stream replayed over
+//! this cluster by closed-loop clients with a warm-up/measurement split,
+//! every byte verified, and the reconciled run report printed as JSON —
+//! the same cell format `bench_load` writes to `BENCH_load.json`, with
+//! `[ops]` sizing the measurement window.
 //!
 //! With `--serve` the workload runs through per-node HTTP front ends
 //! (`GET /file/<id>`) instead of direct middleware handles, and the
@@ -21,11 +29,12 @@
 
 use ccm_core::{FileId, NodeId, ReplacementPolicy, BLOCK_SIZE};
 use ccm_httpd::HttpCluster;
+use ccm_load::LoadSpec;
 use ccm_net::TcpLan;
 use ccm_obs::Registry;
 use ccm_rt::store::{read_file_direct, BlockStore};
 use ccm_rt::{Catalog, FileStore, Middleware, RtConfig, SyntheticStore};
-use ccm_traces::SynthConfig;
+use ccm_traces::{Preset, SynthConfig};
 use simcore::Rng;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -40,9 +49,23 @@ fn main() {
         args.drain(i..=i + 1);
         dir
     });
+    let replay = args.iter().position(|a| a == "--replay").map(|i| {
+        assert!(
+            i + 1 < args.len(),
+            "--replay needs a preset name (calgary, clarknet, nasa, rutgers)"
+        );
+        let name = args[i + 1].clone();
+        args.drain(i..=i + 1);
+        name
+    });
     let nodes: usize = args.first().and_then(|s| s.parse().ok()).unwrap_or(4);
     let ops: u64 = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(4_000);
     assert!(nodes >= 2, "a cluster needs at least 2 nodes");
+
+    if let Some(name) = replay {
+        replay_preset(&name, nodes, ops);
+        return;
+    }
 
     // A small web-trace stand-in: Zipf popularity, log-normal body sizes.
     let wl = SynthConfig {
@@ -173,6 +196,40 @@ fn main() {
     );
     println!("every byte verified against the backing store — cluster OK");
     drop(mw);
+}
+
+/// `--replay <preset>`: hand the cluster to `ccm-load` — closed-loop
+/// clients replay the preset's recorded stream over a fresh `TcpLan`, the
+/// driver verifies every byte, and the reconciled run report is printed
+/// as one `BENCH_load.json`-style JSON cell.
+fn replay_preset(name: &str, nodes: usize, ops: u64) {
+    let preset = Preset::all()
+        .into_iter()
+        .find(|p| p.name() == name)
+        .unwrap_or_else(|| {
+            panic!("unknown preset {name:?}; expected calgary, clarknet, nasa or rutgers")
+        });
+    let mut spec = LoadSpec::new(preset);
+    spec.nodes = nodes;
+    spec.measure_requests = ops as usize;
+    spec.warmup_requests = (ops / 2) as usize;
+    let lan = Arc::new(TcpLan::loopback(nodes).expect("bind loopback listeners"));
+    for i in 0..nodes {
+        println!("node {i}: peer transport on {}", lan.addr(NodeId(i as u16)));
+    }
+    println!(
+        "replaying {} over TCP: {} nodes x {} clients, {} warm-up + {} measured requests\n",
+        preset.name(),
+        nodes,
+        spec.clients_per_node,
+        spec.warmup_requests,
+        spec.measure_requests,
+    );
+    let report = ccm_load::run_on(&spec, lan, "tcp");
+    println!("{}", report.summary());
+    println!("{}", report.to_json());
+    assert!(report.reconciled, "driver and runtime counters disagree");
+    println!("\nevery byte verified against the backing store — replay OK");
 }
 
 /// `--serve`: HTTP front ends over the TCP peer transport. Warms the

@@ -15,115 +15,24 @@
 //! request still degrades to an instant disconnect — never a TCP-level
 //! stall — and the fault schedule is byte-for-byte the one the channel
 //! backend sees.
+//!
+//! The driver is `ccm-testkit`'s [`run_torture`] with [`Backend::Tcp`] —
+//! the same code path the channel-mode `tests/chaos.rs` runs, including
+//! the repair-counter reconciliation and traced integrity reads the two
+//! harnesses used to diverge on. The fetch timeout is wider than the
+//! channel harness's: a real loopback round trip plus scheduling noise
+//! must never be mistaken for a lost message.
 
-use ccm_core::{CacheStats, FileId, NodeId, ReplacementPolicy};
+use ccm_core::{FileId, NodeId, ReplacementPolicy};
 use ccm_net::TcpLan;
 use ccm_rt::store::read_file_direct;
-use ccm_rt::{Catalog, ChaosStats, DiskFaults, FaultPlan, Middleware, RtConfig, SyntheticStore};
+use ccm_rt::{DiskFaults, FaultPlan, Middleware, RtConfig};
+use ccm_testkit::{fixture, run_torture, Backend};
 use simcore::Rng;
 use std::sync::Arc;
 use std::time::Duration;
 
-/// Everything observable from one torture run.
-#[derive(Debug, PartialEq)]
-struct TortureOutcome {
-    stats: CacheStats,
-    chaos: ChaosStats,
-    crashes: usize,
-    restarts: usize,
-    /// Injected disk I/O errors absorbed by the synchronous store retry.
-    disk_fallbacks: u64,
-}
-
-/// Same fixture family as the channel-mode harness: small files, synthetic
-/// ground truth derived from the seed.
-fn fixture(seed: u64) -> (Catalog, Arc<SyntheticStore>) {
-    let mut rng = Rng::new(seed).substream(1);
-    let sizes: Vec<u64> = (0..40).map(|_| 1 + rng.next_below(24_000)).collect();
-    let catalog = Catalog::new(sizes);
-    let store = Arc::new(SyntheticStore::new(catalog.clone(), seed));
-    (catalog, store)
-}
-
-/// Drive `ops` single-threaded reads through a faulted *socket* cluster,
-/// executing the plan's crash schedule and asserting the integrity oracle
-/// on every read. `quiesce_each_op` makes the statistics deterministic
-/// (the replayability mode). The fetch timeout is wider than the channel
-/// harness's 25 ms: a real loopback round trip plus scheduling noise must
-/// never be mistaken for a lost message.
-fn run_torture(
-    seed: u64,
-    nodes: usize,
-    ops: u64,
-    quiesce_each_op: bool,
-    disk: DiskFaults,
-) -> TortureOutcome {
-    let (catalog, store) = fixture(seed);
-    let n_files = catalog.num_files() as u64;
-    let plan = FaultPlan::torture(seed, nodes, ops).with_disk(disk);
-    let crashes_planned = plan.crashes.clone();
-    let lan = Arc::new(TcpLan::loopback(nodes).expect("bind loopback listeners"));
-    let mw = Middleware::start_on(
-        RtConfig {
-            nodes,
-            capacity_blocks: 24,
-            policy: ReplacementPolicy::MasterPreserving,
-            fetch_timeout: Duration::from_millis(100),
-            faults: Some(plan),
-            disk: Default::default(),
-            obs: None,
-        },
-        catalog.clone(),
-        store.clone(),
-        lan.clone(),
-    );
-
-    let mut op_rng = Rng::new(seed).substream(2);
-    let mut down = vec![false; nodes];
-    let (mut crashes, mut restarts) = (0usize, 0usize);
-    for op in 0..ops {
-        for ev in &crashes_planned {
-            if ev.at_op == op {
-                mw.crash_node(ev.node);
-                down[ev.node.index()] = true;
-                crashes += 1;
-                mw.check_invariants();
-            }
-            if ev.restart_at_op == Some(op) {
-                mw.restart_node(ev.node);
-                down[ev.node.index()] = false;
-                restarts += 1;
-                mw.check_invariants();
-            }
-        }
-        let live: Vec<NodeId> = (0..nodes)
-            .filter(|&i| !down[i])
-            .map(|i| NodeId(i as u16))
-            .collect();
-        let node = live[op_rng.next_below(live.len() as u64) as usize];
-        let file = FileId(op_rng.next_below(n_files) as u32);
-        let got = mw.handle(node).read_file(file);
-        let want = read_file_direct(&*store, &catalog, file);
-        assert_eq!(
-            got, want,
-            "seed {seed} op {op}: file {file:?} corrupted under faults over TCP"
-        );
-        if quiesce_each_op {
-            mw.quiesce();
-        }
-    }
-    mw.quiesce();
-    mw.check_invariants();
-    let out = TortureOutcome {
-        stats: mw.stats(),
-        chaos: mw.chaos_stats(),
-        crashes,
-        restarts,
-        disk_fallbacks: mw.disk_error_fallbacks(),
-    };
-    mw.shutdown();
-    out
-}
+const BACKEND: Backend = Backend::Tcp;
 
 /// The integrity oracle over sockets: drops, duplication, reordering, and a
 /// crash/restart per seed — every byte must still be exact, and the crashed
@@ -131,7 +40,7 @@ fn run_torture(
 #[test]
 fn every_seed_delivers_exact_bytes_over_tcp_under_torture() {
     for seed in 0..4 {
-        let out = run_torture(seed, 4, 120, false, DiskFaults::NONE);
+        let out = run_torture(BACKEND, seed, 4, 120, false, DiskFaults::NONE);
         assert!(out.chaos.dropped > 0, "seed {seed}: drops must fire");
         assert_eq!(out.crashes, 1, "seed {seed}: plan schedules one crash");
         assert_eq!(out.restarts, 1, "seed {seed}: crashed node must rejoin");
@@ -149,8 +58,8 @@ fn every_seed_delivers_exact_bytes_over_tcp_under_torture() {
 #[test]
 fn same_seed_is_bit_identical_across_tcp_runs() {
     for seed in [3, 11] {
-        let a = run_torture(seed, 4, 100, true, DiskFaults::NONE);
-        let b = run_torture(seed, 4, 100, true, DiskFaults::NONE);
+        let a = run_torture(BACKEND, seed, 4, 100, true, DiskFaults::NONE);
+        let b = run_torture(BACKEND, seed, 4, 100, true, DiskFaults::NONE);
         assert_eq!(a, b, "seed {seed}: socket reruns must be bit-identical");
         assert!(a.chaos.dropped > 0);
         assert_eq!(a.crashes, 1);
@@ -168,15 +77,15 @@ fn disk_faults_over_tcp_stay_exact_and_replayable() {
         slow: Duration::from_millis(2),
         error_prob: 0.25,
     };
-    let out = run_torture(17, 4, 80, false, disk);
+    let out = run_torture(BACKEND, 17, 4, 80, false, disk);
     assert!(out.chaos.dropped > 0, "link faults must fire");
     assert!(
         out.disk_fallbacks > 0,
         "injected disk errors must surface as store retries"
     );
 
-    let a = run_torture(21, 4, 80, true, disk);
-    let b = run_torture(21, 4, 80, true, disk);
+    let a = run_torture(BACKEND, 21, 4, 80, true, disk);
+    let b = run_torture(BACKEND, 21, 4, 80, true, disk);
     assert_eq!(a, b, "disk-faulted socket reruns must be bit-identical");
     assert!(a.disk_fallbacks > 0);
 }
@@ -206,7 +115,7 @@ fn concurrent_readers_survive_crashes_over_lossy_tcp() {
                 nodes,
                 capacity_blocks: 24,
                 policy: ReplacementPolicy::MasterPreserving,
-                fetch_timeout: Duration::from_millis(100),
+                fetch_timeout: BACKEND.torture_fetch_timeout(),
                 faults: Some(plan),
                 disk: Default::default(),
                 obs: None,

@@ -5,30 +5,16 @@
 //! The acceptance oracle is strict: driving the *same* deterministic trace
 //! workload through a channel-LAN cluster and a TCP cluster must produce
 //! bit-identical bytes for every read and identical protocol statistics.
+//! The workload and the digest-folding driver are `ccm-testkit`'s
+//! [`acceptance_workload`] and [`drive`] — one copy, both backends.
 
-use ccm_core::{BlockId, CacheStats, FileId, NodeId, ReplacementPolicy};
+use ccm_core::{BlockId, FileId, NodeId, ReplacementPolicy};
 use ccm_net::TcpLan;
 use ccm_rt::store::read_file_direct;
 use ccm_rt::{Catalog, Middleware, RtConfig, SyntheticStore, Transport};
-use ccm_traces::SynthConfig;
-use simcore::Rng;
+use ccm_testkit::{acceptance_workload, drive, start_cluster, Backend};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
-
-/// The shared trace workload: small Zipf-popular files sized so a few span
-/// multiple blocks, total comfortably above one node's cache capacity.
-fn workload_sizes() -> Vec<u64> {
-    let wl = SynthConfig {
-        name: "socket-acceptance".into(),
-        n_files: 48,
-        mean_size: 9_000.0,
-        total_bytes: Some(1 << 20),
-        seed: 42,
-        ..SynthConfig::default()
-    }
-    .build();
-    wl.sizes().to_vec()
-}
 
 fn cluster_config(nodes: usize) -> RtConfig {
     RtConfig {
@@ -42,45 +28,6 @@ fn cluster_config(nodes: usize) -> RtConfig {
     }
 }
 
-/// Drive `ops` deterministic single-threaded reads (same seed → same node
-/// and file sequence), asserting the integrity oracle on every read and
-/// folding all delivered bytes into an FNV-1a digest. Quiesces after every
-/// operation so the statistics are a pure function of the op history.
-fn drive(
-    mw: &Middleware,
-    store: &SyntheticStore,
-    catalog: &Catalog,
-    nodes: usize,
-    ops: u64,
-    seed: u64,
-) -> (u64, CacheStats, u64) {
-    let wl = SynthConfig {
-        name: "socket-acceptance".into(),
-        n_files: 48,
-        mean_size: 9_000.0,
-        total_bytes: Some(1 << 20),
-        seed: 42,
-        ..SynthConfig::default()
-    }
-    .build();
-    let mut rng = Rng::new(seed).substream(3);
-    let mut digest = 0xcbf2_9ce4_8422_2325u64;
-    for op in 0..ops {
-        let node = NodeId(rng.next_below(nodes as u64) as u16);
-        let file = FileId(wl.sample(&mut rng).0);
-        let got = mw.handle(node).read_file(file);
-        let want = read_file_direct(store, catalog, file);
-        assert_eq!(got, want, "op {op}: file {file:?} corrupted");
-        for b in &got {
-            digest ^= *b as u64;
-            digest = digest.wrapping_mul(0x0000_0100_0000_01B3);
-        }
-        mw.quiesce();
-    }
-    mw.check_invariants();
-    (digest, mw.stats(), mw.store_fallbacks())
-}
-
 /// Acceptance: a 4-node cluster serving the trace workload over TCP
 /// delivers bit-identical bytes — and identical protocol statistics — to
 /// the same cluster over the channel LAN.
@@ -88,33 +35,45 @@ fn drive(
 fn tcp_cluster_matches_channel_lan_bit_for_bit() {
     let nodes = 4;
     let ops = 250;
-    let catalog = Catalog::new(workload_sizes());
+    let wl = acceptance_workload();
+    let catalog = Catalog::new(wl.sizes().to_vec());
     let store = Arc::new(SyntheticStore::new(catalog.clone(), 7));
 
-    let chan_mw = Middleware::start(cluster_config(nodes), catalog.clone(), store.clone());
-    let chan = drive(&chan_mw, &store, &catalog, nodes, ops, 11);
-    chan_mw.shutdown();
-
-    let lan = Arc::new(TcpLan::loopback(nodes).expect("bind loopback listeners"));
-    let tcp_mw = Middleware::start_on(
+    let chan_cluster = start_cluster(
+        Backend::Channel,
         cluster_config(nodes),
         catalog.clone(),
         store.clone(),
-        lan.clone(),
     );
-    let tcp = drive(&tcp_mw, &store, &catalog, nodes, ops, 11);
-    tcp_mw.shutdown();
+    let chan = drive(&chan_cluster, &*store, &catalog, &wl, nodes, ops, 11);
+    chan_cluster.shutdown();
 
-    assert_eq!(chan.0, tcp.0, "byte digests diverge between backends");
+    let tcp_cluster = start_cluster(
+        Backend::Tcp,
+        cluster_config(nodes),
+        catalog.clone(),
+        store.clone(),
+    );
+    let lan = tcp_cluster.lan.clone().expect("tcp backend keeps its lan");
+    let tcp = drive(&tcp_cluster, &*store, &catalog, &wl, nodes, ops, 11);
+    tcp_cluster.shutdown();
+
     assert_eq!(
-        chan.1, tcp.1,
+        chan.digest, tcp.digest,
+        "byte digests diverge between backends"
+    );
+    assert_eq!(
+        chan.stats, tcp.stats,
         "protocol statistics diverge between backends"
     );
-    assert_eq!(chan.2, tcp.2, "fallback counts diverge between backends");
+    assert_eq!(
+        chan.fallbacks, tcp.fallbacks,
+        "fallback counts diverge between backends"
+    );
     // The workload must actually exercise the wire: remote fetches happened
     // and the TCP backend moved real frames.
     assert!(
-        tcp.1.remote_hits > 0,
+        tcp.stats.remote_hits > 0,
         "no remote hits: wire never exercised"
     );
     let ns = lan.net_stats();

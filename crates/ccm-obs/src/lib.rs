@@ -22,10 +22,12 @@
 
 pub mod metrics;
 pub mod prom;
+pub mod report;
 pub mod trace;
 
 pub use metrics::{
     Counter, Gauge, Histogram, HistogramSnapshot, MetricSnapshot, Registry, Snapshot, Stopwatch,
     Value, HISTOGRAM_BUCKETS,
 };
+pub use report::LatencySummary;
 pub use trace::{Hop, TraceEvent, TraceRing};

@@ -411,6 +411,39 @@ impl Snapshot {
             })
             .sum()
     }
+
+    /// Sum the counters in family `name` whose label set contains
+    /// `key=value` (0 if none match). This is the per-class aggregation run
+    /// reports use: e.g. all nodes' `ccm_rt_reads_total{class="remote"}`
+    /// series folded into one number.
+    pub fn counter_sum_where(&self, name: &str, key: &str, value: &str) -> u64 {
+        self.metrics
+            .iter()
+            .filter(|m| m.name == name && m.labels.iter().any(|(k, v)| k == key && v == value))
+            .filter_map(|m| match m.value {
+                Value::Counter(v) => Some(v),
+                _ => None,
+            })
+            .sum()
+    }
+
+    /// Merge every histogram in family `name` whose label set contains
+    /// `key=value` into one distribution (empty if none match) — per-node
+    /// latency series folded into the cluster-wide distribution a run
+    /// report quotes quantiles from.
+    pub fn histogram_merged_where(&self, name: &str, key: &str, value: &str) -> HistogramSnapshot {
+        let mut merged = HistogramSnapshot::empty();
+        for m in self
+            .metrics
+            .iter()
+            .filter(|m| m.name == name && m.labels.iter().any(|(k, v)| k == key && v == value))
+        {
+            if let Value::Histogram(h) = &m.value {
+                merged.merge(h);
+            }
+        }
+        merged
+    }
 }
 
 enum Handle {
@@ -638,6 +671,33 @@ mod tests {
         let med = s.quantile(0.5) as f64;
         assert!((med - 500.0).abs() / 500.0 < 0.07, "median={med}");
         assert!((s.mean() - 500.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn filtered_sums_and_merges() {
+        let r = Registry::new();
+        r.counter("reads_total", "r", &[("node", "0"), ("class", "local")])
+            .add(3);
+        r.counter("reads_total", "r", &[("node", "1"), ("class", "local")])
+            .add(4);
+        r.counter("reads_total", "r", &[("node", "0"), ("class", "remote")])
+            .add(5);
+        let snap = r.snapshot();
+        assert_eq!(snap.counter_sum_where("reads_total", "class", "local"), 7);
+        assert_eq!(snap.counter_sum_where("reads_total", "class", "remote"), 5);
+        assert_eq!(snap.counter_sum_where("reads_total", "class", "nope"), 0);
+        assert_eq!(snap.counter_sum("reads_total"), 12);
+
+        let h0 = r.histogram("lat_ns", "l", &[("node", "0"), ("phase", "measure")]);
+        let h1 = r.histogram("lat_ns", "l", &[("node", "1"), ("phase", "measure")]);
+        h0.record(10);
+        h0.record(20);
+        h1.record(30);
+        let merged = r
+            .snapshot()
+            .histogram_merged_where("lat_ns", "phase", "measure");
+        assert_eq!(merged.count(), 3);
+        assert_eq!(merged.sum, 60);
     }
 
     #[test]

@@ -1,0 +1,87 @@
+//! Run-report rendering over metric snapshots.
+//!
+//! The load generator (and any future benchmark) quotes latency from
+//! [`Histogram`](crate::Histogram) snapshots; [`LatencySummary`] is the
+//! fixed set of figures a report cell carries — count, mean, p50/p95/p99 —
+//! with a hand-rolled JSON rendering matching the repo's `BENCH_*.json`
+//! convention (no serde in the workspace).
+
+use crate::metrics::HistogramSnapshot;
+
+/// Count, mean, and tail quantiles of one latency distribution, in
+/// nanoseconds. Quantiles carry the histogram's log-bucket resolution
+/// (≤ ~6% relative error), which is what a throughput report needs.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LatencySummary {
+    /// Recorded samples.
+    pub count: u64,
+    /// Arithmetic mean, ns.
+    pub mean_ns: f64,
+    /// Median, ns.
+    pub p50_ns: u64,
+    /// 95th percentile, ns.
+    pub p95_ns: u64,
+    /// 99th percentile, ns.
+    pub p99_ns: u64,
+}
+
+impl LatencySummary {
+    /// Summarize a histogram snapshot (all-zero when empty).
+    pub fn of(h: &HistogramSnapshot) -> LatencySummary {
+        LatencySummary {
+            count: h.count(),
+            mean_ns: h.mean(),
+            p50_ns: h.quantile(0.50),
+            p95_ns: h.quantile(0.95),
+            p99_ns: h.quantile(0.99),
+        }
+    }
+
+    /// One JSON object, e.g.
+    /// `{ "count": 800, "mean_ns": 8123.4, "p50_ns": 7680, ... }`.
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{ \"count\": {}, \"mean_ns\": {:.1}, \"p50_ns\": {}, \"p95_ns\": {}, \"p99_ns\": {} }}",
+            self.count, self.mean_ns, self.p50_ns, self.p95_ns, self.p99_ns
+        )
+    }
+}
+
+#[cfg(all(test, not(feature = "obs-off")))]
+mod tests {
+    use super::*;
+    use crate::metrics::Histogram;
+
+    #[test]
+    fn summarizes_a_distribution() {
+        let h = Histogram::new();
+        for v in 1..=1_000u64 {
+            h.record(v);
+        }
+        let s = LatencySummary::of(&h.snapshot());
+        assert_eq!(s.count, 1_000);
+        assert!((s.mean_ns - 500.5).abs() < 1e-9);
+        let p50 = s.p50_ns as f64;
+        assert!((p50 - 500.0).abs() / 500.0 < 0.07, "p50={p50}");
+        assert!(s.p50_ns <= s.p95_ns && s.p95_ns <= s.p99_ns);
+    }
+
+    #[test]
+    fn empty_is_all_zero() {
+        let s = LatencySummary::of(&HistogramSnapshot::empty());
+        assert_eq!(s.count, 0);
+        assert_eq!(s.mean_ns, 0.0);
+        assert_eq!(s.p99_ns, 0);
+    }
+
+    #[test]
+    fn json_shape_is_stable() {
+        let h = Histogram::new();
+        h.record(8);
+        let json = LatencySummary::of(&h.snapshot()).to_json();
+        assert_eq!(
+            json,
+            "{ \"count\": 1, \"mean_ns\": 8.0, \"p50_ns\": 8, \"p95_ns\": 8, \"p99_ns\": 8 }"
+        );
+    }
+}

@@ -1,0 +1,366 @@
+//! Shared fixtures for tests that drive a *live* `ccm-rt` cluster.
+//!
+//! Before this crate, the cluster spin-up, the torture driver, and the
+//! deterministic trace-feed/digest driver were copy-pasted across
+//! `tests/chaos.rs`, `ccm-net/tests/socket_chaos.rs`, and
+//! `ccm-net/tests/socket_cluster.rs`, drifting in small ways (only the
+//! channel harness dumped block-path traces; only the TCP harness checked
+//! wire stats). This crate is the single copy, parameterized by
+//! [`Backend`]:
+//!
+//! * [`start_cluster`] — a middleware cluster on either LAN backend, with
+//!   the `TcpLan` handle kept reachable for wire assertions.
+//! * [`fixture`] — the seeded catalog + synthetic store the chaos suites
+//!   share.
+//! * [`run_torture`] — the fault-injection driver with both oracles
+//!   (integrity vs. ground truth on every read, bit-identical replay when
+//!   quiesced), now with trace-ring dumps and repair-counter
+//!   reconciliation on *both* backends.
+//! * [`drive`] — the deterministic single-threaded trace feed folding
+//!   every delivered byte into an FNV-1a digest (the cross-backend
+//!   acceptance oracle).
+//!
+//! This is a dev-dependency crate: it links `ccm-net` so one enum can
+//! start either transport, and the resulting dev-dep cycles are fine —
+//! Cargo builds libs without dev-dependencies.
+
+#![warn(missing_docs)]
+
+use ccm_core::{CacheStats, FileId, NodeId, ReplacementPolicy};
+use ccm_net::TcpLan;
+use ccm_rt::store::read_file_direct;
+use ccm_rt::{
+    BlockStore, Catalog, ChaosStats, DiskFaults, FaultPlan, Middleware, RtConfig, SyntheticStore,
+};
+use ccm_traces::Workload;
+use simcore::Rng;
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Which LAN carries the cluster's peer traffic.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Backend {
+    /// The in-process channel LAN (`ccm-rt`'s built-in transport).
+    Channel,
+    /// Real loopback TCP via `ccm-net`.
+    Tcp,
+}
+
+impl Backend {
+    /// Both backends, channel first.
+    pub fn all() -> [Backend; 2] {
+        [Backend::Channel, Backend::Tcp]
+    }
+
+    /// Label used in reports and assertion messages.
+    pub fn name(self) -> &'static str {
+        match self {
+            Backend::Channel => "channel",
+            Backend::Tcp => "tcp",
+        }
+    }
+
+    /// The fetch timeout the torture harness uses on this backend: short
+    /// on the channel LAN so a dropped request degrades to disk quickly,
+    /// wider over TCP so a real loopback round trip plus scheduling noise
+    /// is never mistaken for a lost message.
+    pub fn torture_fetch_timeout(self) -> Duration {
+        match self {
+            Backend::Channel => Duration::from_millis(25),
+            Backend::Tcp => Duration::from_millis(100),
+        }
+    }
+}
+
+/// A running cluster plus (for TCP) the transport handle, so tests can
+/// assert on wire statistics.
+pub struct Cluster {
+    /// The running middleware.
+    pub mw: Middleware,
+    /// The socket transport underneath, when `Backend::Tcp`.
+    pub lan: Option<Arc<TcpLan>>,
+}
+
+impl Cluster {
+    /// Stop all service threads and join them.
+    pub fn shutdown(self) {
+        self.mw.shutdown();
+    }
+}
+
+impl std::ops::Deref for Cluster {
+    type Target = Middleware;
+
+    fn deref(&self) -> &Middleware {
+        &self.mw
+    }
+}
+
+/// Start a cluster on the chosen backend.
+///
+/// # Panics
+/// Panics if the TCP backend cannot bind its loopback listeners.
+pub fn start_cluster(
+    backend: Backend,
+    cfg: RtConfig,
+    catalog: Catalog,
+    store: Arc<dyn BlockStore>,
+) -> Cluster {
+    match backend {
+        Backend::Channel => Cluster {
+            mw: Middleware::start(cfg, catalog, store),
+            lan: None,
+        },
+        Backend::Tcp => {
+            let lan = Arc::new(TcpLan::loopback(cfg.nodes).expect("bind loopback listeners"));
+            Cluster {
+                mw: Middleware::start_on(cfg, catalog, store, lan.clone()),
+                lan: Some(lan),
+            }
+        }
+    }
+}
+
+/// Build a chaos run's fixture deterministically from `seed`: a catalog of
+/// small files and a synthetic store holding their ground-truth bytes.
+pub fn fixture(seed: u64) -> (Catalog, Arc<SyntheticStore>) {
+    let mut rng = Rng::new(seed).substream(1);
+    let sizes: Vec<u64> = (0..40).map(|_| 1 + rng.next_below(24_000)).collect();
+    let catalog = Catalog::new(sizes);
+    let store = Arc::new(SyntheticStore::new(catalog.clone(), seed));
+    (catalog, store)
+}
+
+/// On an integrity failure, print the block-path trace ring entries for
+/// the offending request ids before panicking — the hop sequence (dispatch
+/// → peer fetch → fallback → serve) is the first thing a diagnosis needs.
+/// Under `obs-off` the ring is compiled out and this prints nothing.
+pub fn dump_trace(mw: &Middleware, reqs: &[u64]) {
+    for &req in reqs {
+        for ev in mw.trace().dump_for(req) {
+            eprintln!("trace: {}", ev.to_json());
+        }
+    }
+}
+
+/// Everything observable from one torture run.
+#[derive(Debug, PartialEq)]
+pub struct TortureOutcome {
+    /// Protocol counters at the end of the run.
+    pub stats: CacheStats,
+    /// Injected link faults.
+    pub chaos: ChaosStats,
+    /// Crash events executed.
+    pub crashes: usize,
+    /// Restart events executed.
+    pub restarts: usize,
+    /// Injected disk I/O errors absorbed by the synchronous store retry.
+    pub disk_fallbacks: u64,
+}
+
+/// Drive `ops` single-threaded file reads through a faulted cluster on
+/// `backend`, executing the plan's crash schedule and asserting the
+/// integrity oracle on every read. With `quiesce_each_op` the data plane
+/// is drained after every operation, which makes the statistics a
+/// deterministic function of the seed (the replayability mode).
+///
+/// Every crash is reconciled against the repair counters: one
+/// `node_repairs` tick, and the repair report's remaster/lost-master split
+/// must match the stats delta exactly.
+pub fn run_torture(
+    backend: Backend,
+    seed: u64,
+    nodes: usize,
+    ops: u64,
+    quiesce_each_op: bool,
+    disk: DiskFaults,
+) -> TortureOutcome {
+    let (catalog, store) = fixture(seed);
+    let n_files = catalog.num_files() as u64;
+    let plan = FaultPlan::torture(seed, nodes, ops).with_disk(disk);
+    let crashes_planned = plan.crashes.clone();
+    let cluster = start_cluster(
+        backend,
+        RtConfig {
+            nodes,
+            capacity_blocks: 24,
+            policy: ReplacementPolicy::MasterPreserving,
+            fetch_timeout: backend.torture_fetch_timeout(),
+            faults: Some(plan),
+            disk: Default::default(),
+            obs: None,
+        },
+        catalog.clone(),
+        store.clone(),
+    );
+    let mw = &cluster.mw;
+
+    let mut op_rng = Rng::new(seed).substream(2);
+    let mut down = vec![false; nodes];
+    let (mut crashes, mut restarts) = (0usize, 0usize);
+    for op in 0..ops {
+        for ev in &crashes_planned {
+            if ev.at_op == op {
+                let before = mw.stats();
+                let report = mw.crash_node(ev.node);
+                down[ev.node.index()] = true;
+                crashes += 1;
+                mw.check_invariants();
+                let after = mw.stats();
+                assert_eq!(after.node_repairs, before.node_repairs + 1);
+                assert_eq!(
+                    after.remasters + after.lost_masters,
+                    before.remasters
+                        + before.lost_masters
+                        + (report.remastered + report.lost_masters) as u64,
+                );
+            }
+            if ev.restart_at_op == Some(op) {
+                mw.restart_node(ev.node);
+                down[ev.node.index()] = false;
+                restarts += 1;
+                mw.check_invariants();
+            }
+        }
+        // Route the read through a deterministic live node.
+        let live: Vec<NodeId> = (0..nodes)
+            .filter(|&i| !down[i])
+            .map(|i| NodeId(i as u16))
+            .collect();
+        let node = live[op_rng.next_below(live.len() as u64) as usize];
+        let file = FileId(op_rng.next_below(n_files) as u32);
+        let (got, reqs) = mw.handle(node).read_file_traced(file);
+        let want = read_file_direct(&*store, &catalog, file);
+        if got != want {
+            dump_trace(mw, &reqs);
+            panic!(
+                "{} seed {seed} op {op}: file {file:?} corrupted under faults \
+                 (block-path trace for request ids {reqs:?} dumped above)",
+                backend.name()
+            );
+        }
+        if quiesce_each_op {
+            mw.quiesce();
+        }
+    }
+    mw.quiesce();
+    mw.check_invariants();
+    let out = TortureOutcome {
+        stats: mw.stats(),
+        chaos: mw.chaos_stats(),
+        crashes,
+        restarts,
+        disk_fallbacks: mw.disk_error_fallbacks(),
+    };
+    cluster.shutdown();
+    out
+}
+
+/// The shared acceptance workload: small Zipf-popular files sized so a few
+/// span multiple blocks, total comfortably above one node's cache
+/// capacity.
+pub fn acceptance_workload() -> Workload {
+    ccm_traces::SynthConfig {
+        name: "socket-acceptance".into(),
+        n_files: 48,
+        mean_size: 9_000.0,
+        total_bytes: Some(1 << 20),
+        seed: 42,
+        ..ccm_traces::SynthConfig::default()
+    }
+    .build()
+}
+
+/// The FNV-1a offset basis (the digest accumulator's initial value).
+pub const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+
+/// Fold `bytes` into an FNV-1a digest accumulator.
+#[inline]
+pub fn fnv1a(digest: &mut u64, bytes: &[u8]) {
+    for &b in bytes {
+        *digest ^= b as u64;
+        *digest = digest.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+}
+
+/// Everything observable from one deterministic drive.
+#[derive(Debug, PartialEq, Eq)]
+pub struct DriveOutcome {
+    /// FNV-1a digest over every delivered byte, in op order.
+    pub digest: u64,
+    /// Protocol counters at the end of the drive.
+    pub stats: CacheStats,
+    /// Store fallbacks (must be 0 for a quiesced single-threaded drive to
+    /// count as deterministic).
+    pub fallbacks: u64,
+}
+
+/// Drive `ops` deterministic single-threaded reads (same seed → same node
+/// and file sequence, drawn from `wl`'s popularity), asserting the
+/// integrity oracle on every read and folding all delivered bytes into an
+/// FNV-1a digest. Quiesces after every operation so the statistics are a
+/// pure function of the op history.
+pub fn drive(
+    mw: &Middleware,
+    store: &dyn BlockStore,
+    catalog: &Catalog,
+    wl: &Workload,
+    nodes: usize,
+    ops: u64,
+    seed: u64,
+) -> DriveOutcome {
+    let mut rng = Rng::new(seed).substream(3);
+    let mut digest = FNV_OFFSET;
+    for op in 0..ops {
+        let node = NodeId(rng.next_below(nodes as u64) as u16);
+        let file = FileId(wl.sample(&mut rng).0);
+        let got = mw.handle(node).read_file(file);
+        let want = read_file_direct(store, catalog, file);
+        assert_eq!(got, want, "op {op}: file {file:?} corrupted");
+        fnv1a(&mut digest, &got);
+        mw.quiesce();
+    }
+    mw.check_invariants();
+    DriveOutcome {
+        digest,
+        stats: mw.stats(),
+        fallbacks: mw.store_fallbacks(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fixture_is_deterministic_and_fnv_matches_reference() {
+        let (c1, _) = fixture(5);
+        let (c2, _) = fixture(5);
+        assert_eq!(c1.sizes(), c2.sizes());
+        // FNV-1a of "a" is the classic reference value.
+        let mut d = FNV_OFFSET;
+        fnv1a(&mut d, b"a");
+        assert_eq!(d, 0xaf63dc4c8601ec8c);
+    }
+
+    #[test]
+    fn both_backends_spin_up_and_serve() {
+        let (catalog, store) = fixture(1);
+        for backend in Backend::all() {
+            let cluster = start_cluster(
+                backend,
+                RtConfig {
+                    nodes: 2,
+                    capacity_blocks: 24,
+                    ..RtConfig::default()
+                },
+                catalog.clone(),
+                store.clone(),
+            );
+            let got = cluster.handle(NodeId(0)).read_file(FileId(0));
+            assert_eq!(got, read_file_direct(&*store, &catalog, FileId(0)));
+            assert_eq!(cluster.lan.is_some(), backend == Backend::Tcp);
+            cluster.shutdown();
+        }
+    }
+}

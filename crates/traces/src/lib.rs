@@ -33,7 +33,7 @@ pub mod synth;
 pub mod temporal;
 
 pub use analysis::{TraceStats, WorkingSetCurve};
-pub use model::{FileId, ReplaySource, RequestSource, SampledSource, Workload};
+pub use model::{FileId, ReplaySource, RequestIter, RequestSource, SampledSource, Workload};
 pub use presets::Preset;
 pub use synth::SynthConfig;
 pub use temporal::TemporalSource;

@@ -156,6 +156,71 @@ impl Workload {
         let n = self.cum.partition_point(|&c| c < frac) + 1;
         self.bytes_of_top(n.min(self.num_files()))
     }
+
+    /// The workload restricted to its `n` hottest files, with popularity
+    /// renormalized over the survivors. Ranks (and therefore file ids) are
+    /// preserved, so a request stream drawn from the head is a valid stream
+    /// against any catalog built from the same head.
+    ///
+    /// This is the scaling knob live-cluster tests use: a full preset has
+    /// tens of thousands of files, but the paper-shape claims (hit-ratio
+    /// ordering across replacement policies) already show at a few hundred —
+    /// the head keeps the Zipf shape while shrinking the byte footprint.
+    ///
+    /// # Panics
+    /// Panics if `n` is zero or exceeds the file count.
+    pub fn head(&self, n: usize) -> Workload {
+        assert!(n > 0, "empty head");
+        assert!(n <= self.num_files(), "head exceeds workload");
+        let scale = self.cum[n - 1];
+        let mut cum: Vec<f64> = self.cum[..n].iter().map(|c| c / scale).collect();
+        *cum.last_mut().unwrap() = 1.0;
+        Workload {
+            name: format!("{}-head{}", self.name, n),
+            sizes: self.sizes[..n].to_vec(),
+            cum,
+        }
+    }
+
+    /// Record `count` popularity-driven requests into a replayable sequence.
+    /// The stream is a pure function of the workload and the RNG state — the
+    /// determinism the live-vs-simulator conformance suite is built on.
+    pub fn record(&self, count: usize, rng: &mut Rng) -> Vec<FileId> {
+        (0..count).map(|_| self.sample(rng)).collect()
+    }
+
+    /// An infinite seeded request iterator over this workload — the replay
+    /// form the load generator consumes. Equivalent to calling
+    /// [`Workload::sample`] forever on the same RNG.
+    pub fn requests(self: &Arc<Self>, rng: Rng) -> RequestIter {
+        RequestIter {
+            workload: self.clone(),
+            rng,
+        }
+    }
+}
+
+/// An infinite, seeded stream of popularity-driven requests (see
+/// [`Workload::requests`]). Implements both [`Iterator`] and
+/// [`RequestSource`].
+#[derive(Debug, Clone)]
+pub struct RequestIter {
+    workload: Arc<Workload>,
+    rng: Rng,
+}
+
+impl Iterator for RequestIter {
+    type Item = FileId;
+
+    fn next(&mut self) -> Option<FileId> {
+        Some(self.workload.sample(&mut self.rng))
+    }
+}
+
+impl RequestSource for RequestIter {
+    fn next_request(&mut self) -> FileId {
+        self.workload.sample(&mut self.rng)
+    }
 }
 
 /// A stream of requests, as consumed by the simulated clients.
@@ -304,6 +369,41 @@ mod tests {
         let mut s2 = SampledSource::new(w, Rng::new(9));
         for _ in 0..100 {
             assert_eq!(s1.next_request(), s2.next_request());
+        }
+    }
+
+    #[test]
+    fn head_preserves_ranks_and_renormalizes() {
+        let w = tiny().head(2);
+        assert_eq!(w.num_files(), 2);
+        assert_eq!(w.sizes(), &[100, 200]);
+        // Original weights 2:1 over the survivors → 2/3 : 1/3.
+        assert!((w.popularity(FileId(0)) - 2.0 / 3.0).abs() < 1e-12);
+        assert!((w.popularity(FileId(1)) - 1.0 / 3.0).abs() < 1e-12);
+        let total: f64 = (0..2).map(|i| w.popularity(FileId(i))).sum();
+        assert!((total - 1.0).abs() < 1e-12);
+        let mut rng = Rng::new(3);
+        for _ in 0..1_000 {
+            assert!(w.sample(&mut rng).index() < 2);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "head exceeds workload")]
+    fn oversized_head_panics() {
+        tiny().head(4);
+    }
+
+    #[test]
+    fn record_matches_request_iter() {
+        let w = Arc::new(tiny());
+        let recorded = w.record(200, &mut Rng::new(7).substream(1));
+        let streamed: Vec<FileId> = w.requests(Rng::new(7).substream(1)).take(200).collect();
+        assert_eq!(recorded, streamed);
+        // And via the RequestSource trait, same again.
+        let mut src = w.requests(Rng::new(7).substream(1));
+        for &f in &recorded {
+            assert_eq!(RequestSource::next_request(&mut src), f);
         }
     }
 

@@ -23,6 +23,7 @@
 //! | [`net`] | `ccm-net` | TCP peer transport: wire codec plus the `TcpLan` socket backend |
 //! | [`httpd`] | `ccm-httpd` | An HTTP/1.x file server on the middleware (real sockets) |
 //! | [`obs`] | `ccm-obs` | Observability: lock-free metrics registry, block-path trace ring, Prometheus exposition, `ccmtop` |
+//! | [`load`] | `ccm-load` | Trace-replay load generator for the live cluster, with the runtime-vs-simulator conformance driver |
 //!
 //! ## Quick start
 //!
@@ -74,6 +75,7 @@ pub use ccm_core as core;
 pub use ccm_disk as disk;
 pub use ccm_httpd as httpd;
 pub use ccm_l2s as l2s;
+pub use ccm_load as load;
 pub use ccm_net as net;
 pub use ccm_obs as obs;
 pub use ccm_rt as rt;

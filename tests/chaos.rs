@@ -12,146 +12,26 @@
 //!   and `ChaosStats` across runs. The driver quiesces the data plane after
 //!   each operation for this mode, so the store state every decision reads
 //!   is a pure function of the operation history.
+//!
+//! The cluster spin-up, fixture, and torture driver live in `ccm-testkit`,
+//! shared with the socket-mode suites ([`Backend::Channel`] here).
 
-use coopcache::core::{CacheStats, FileId, NodeId, ReplacementPolicy};
+use ccm_testkit::{dump_trace, fixture, run_torture, Backend};
+use coopcache::core::{FileId, NodeId, ReplacementPolicy};
 use coopcache::rt::store::read_file_direct;
-use coopcache::rt::{
-    Catalog, ChaosStats, DiskFaults, FaultPlan, Middleware, RtConfig, SyntheticStore,
-};
+use coopcache::rt::{ChaosStats, DiskFaults, FaultPlan, Middleware, RtConfig};
 use coopcache::simcore::Rng;
 use std::sync::Arc;
 use std::time::Duration;
 
-/// Everything observable from one torture run.
-#[derive(Debug, PartialEq)]
-struct TortureOutcome {
-    stats: CacheStats,
-    chaos: ChaosStats,
-    crashes: usize,
-    restarts: usize,
-    /// Injected disk I/O errors absorbed by the synchronous store retry.
-    disk_fallbacks: u64,
-}
-
-/// On an integrity failure, print the block-path trace ring entries for the
-/// offending request ids before panicking — the hop sequence (dispatch →
-/// peer fetch → fallback → serve) is the first thing a diagnosis needs.
-/// Under `obs-off` the ring is compiled out and this prints nothing.
-fn dump_trace(mw: &Middleware, reqs: &[u64]) {
-    for &req in reqs {
-        for ev in mw.trace().dump_for(req) {
-            eprintln!("trace: {}", ev.to_json());
-        }
-    }
-}
-
-/// Build the run's fixture deterministically from `seed`: a catalog of small
-/// files and a synthetic store holding their ground-truth bytes.
-fn fixture(seed: u64) -> (Catalog, Arc<SyntheticStore>) {
-    let mut rng = Rng::new(seed).substream(1);
-    let sizes: Vec<u64> = (0..40).map(|_| 1 + rng.next_below(24_000)).collect();
-    let catalog = Catalog::new(sizes);
-    let store = Arc::new(SyntheticStore::new(catalog.clone(), seed));
-    (catalog, store)
-}
-
-/// Drive `ops` single-threaded file reads through a faulted cluster,
-/// executing the plan's crash schedule and asserting the integrity oracle on
-/// every read. With `quiesce_each_op` the data plane is drained after every
-/// operation, which makes the statistics a deterministic function of the
-/// seed (the replayability mode).
-fn run_torture(
-    seed: u64,
-    nodes: usize,
-    ops: u64,
-    quiesce_each_op: bool,
-    disk: DiskFaults,
-) -> TortureOutcome {
-    let (catalog, store) = fixture(seed);
-    let n_files = catalog.num_files() as u64;
-    let plan = FaultPlan::torture(seed, nodes, ops).with_disk(disk);
-    let crashes_planned = plan.crashes.clone();
-    let mw = Middleware::start(
-        RtConfig {
-            nodes,
-            capacity_blocks: 24,
-            policy: ReplacementPolicy::MasterPreserving,
-            // Short so a dropped request degrades to a disk read quickly.
-            fetch_timeout: Duration::from_millis(25),
-            faults: Some(plan),
-            disk: Default::default(),
-            obs: None,
-        },
-        catalog.clone(),
-        store.clone(),
-    );
-
-    let mut op_rng = Rng::new(seed).substream(2);
-    let mut down = vec![false; nodes];
-    let (mut crashes, mut restarts) = (0usize, 0usize);
-    for op in 0..ops {
-        for ev in &crashes_planned {
-            if ev.at_op == op {
-                let before = mw.stats();
-                let report = mw.crash_node(ev.node);
-                down[ev.node.index()] = true;
-                crashes += 1;
-                mw.check_invariants();
-                let after = mw.stats();
-                assert_eq!(after.node_repairs, before.node_repairs + 1);
-                assert_eq!(
-                    after.remasters + after.lost_masters,
-                    before.remasters
-                        + before.lost_masters
-                        + (report.remastered + report.lost_masters) as u64,
-                );
-            }
-            if ev.restart_at_op == Some(op) {
-                mw.restart_node(ev.node);
-                down[ev.node.index()] = false;
-                restarts += 1;
-                mw.check_invariants();
-            }
-        }
-        // Route the read through a deterministic live node.
-        let live: Vec<NodeId> = (0..nodes)
-            .filter(|&i| !down[i])
-            .map(|i| NodeId(i as u16))
-            .collect();
-        let node = live[op_rng.next_below(live.len() as u64) as usize];
-        let file = FileId(op_rng.next_below(n_files) as u32);
-        let (got, reqs) = mw.handle(node).read_file_traced(file);
-        let want = read_file_direct(&*store, &catalog, file);
-        if got != want {
-            dump_trace(&mw, &reqs);
-            panic!(
-                "seed {seed} op {op}: file {file:?} corrupted under faults \
-                 (block-path trace for request ids {reqs:?} dumped above)"
-            );
-        }
-        if quiesce_each_op {
-            mw.quiesce();
-        }
-    }
-    mw.quiesce();
-    mw.check_invariants();
-    let out = TortureOutcome {
-        stats: mw.stats(),
-        chaos: mw.chaos_stats(),
-        crashes,
-        restarts,
-        disk_fallbacks: mw.disk_error_fallbacks(),
-    };
-    mw.shutdown();
-    out
-}
+const BACKEND: Backend = Backend::Channel;
 
 /// The integrity oracle over many seeds: 20% drops, duplication, reordering,
 /// and one crash/restart per run — every byte must still be exact.
 #[test]
 fn every_seed_delivers_exact_bytes_under_torture() {
     for seed in 0..8 {
-        let out = run_torture(seed, 3, 160, false, DiskFaults::NONE);
+        let out = run_torture(BACKEND, seed, 3, 160, false, DiskFaults::NONE);
         assert!(out.chaos.dropped > 0, "seed {seed}: drops must fire");
         assert_eq!(out.crashes, 1, "seed {seed}: plan schedules one crash");
         assert_eq!(out.restarts, 1, "seed {seed}: crashed node must rejoin");
@@ -168,8 +48,8 @@ fn every_seed_delivers_exact_bytes_under_torture() {
 #[test]
 fn same_seed_is_bit_identical_across_runs() {
     for seed in [3, 11] {
-        let a = run_torture(seed, 3, 120, true, DiskFaults::NONE);
-        let b = run_torture(seed, 3, 120, true, DiskFaults::NONE);
+        let a = run_torture(BACKEND, seed, 3, 120, true, DiskFaults::NONE);
+        let b = run_torture(BACKEND, seed, 3, 120, true, DiskFaults::NONE);
         assert_eq!(a, b, "seed {seed}: reruns must be bit-identical");
         assert!(a.chaos.dropped > 0);
         assert_eq!(a.crashes, 1);
@@ -181,7 +61,7 @@ fn same_seed_is_bit_identical_across_runs() {
 #[test]
 fn seeds_explore_different_fault_schedules() {
     let outs: Vec<ChaosStats> = (0..4)
-        .map(|s| run_torture(s, 3, 120, false, DiskFaults::NONE).chaos)
+        .map(|s| run_torture(BACKEND, s, 3, 120, false, DiskFaults::NONE).chaos)
         .collect();
     assert!(
         outs.windows(2).any(|w| w[0] != w[1]),
@@ -202,7 +82,7 @@ fn disk_faults_never_corrupt_bytes_under_torture() {
         error_prob: 0.25,
     };
     for seed in 0..4 {
-        let out = run_torture(seed, 3, 120, false, disk);
+        let out = run_torture(BACKEND, seed, 3, 120, false, disk);
         assert!(out.chaos.dropped > 0, "seed {seed}: link faults must fire");
         assert!(
             out.disk_fallbacks > 0,
@@ -224,8 +104,8 @@ fn disk_fault_replay_is_bit_identical() {
         error_prob: 0.30,
     };
     for seed in [5, 13] {
-        let a = run_torture(seed, 3, 100, true, disk);
-        let b = run_torture(seed, 3, 100, true, disk);
+        let a = run_torture(BACKEND, seed, 3, 100, true, disk);
+        let b = run_torture(BACKEND, seed, 3, 100, true, disk);
         assert_eq!(
             a, b,
             "seed {seed}: disk-faulted reruns must be bit-identical"
@@ -258,7 +138,7 @@ fn concurrent_readers_survive_crashes_and_lossy_links() {
                 nodes,
                 capacity_blocks: 24,
                 policy: ReplacementPolicy::MasterPreserving,
-                fetch_timeout: Duration::from_millis(25),
+                fetch_timeout: BACKEND.torture_fetch_timeout(),
                 faults: Some(plan),
                 disk: Default::default(),
                 obs: None,
