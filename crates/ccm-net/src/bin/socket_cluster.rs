@@ -4,8 +4,8 @@
 //! backing-store ground truth.
 //!
 //! Usage: `cargo run --release -p ccm-net --bin socket_cluster [nodes] [ops] [--serve]
-//! [--file-store <dir>] [--replay <preset>]` (defaults: 4 nodes, 4000 reads
-//! total).
+//! [--join] [--file-store <dir>] [--replay <preset>]` (defaults: 4 nodes,
+//! 4000 reads total).
 //!
 //! With `--file-store <dir>` the cluster is backed by a real on-disk block
 //! store (`ccm-disk`'s `FileStore`): the first run populates `<dir>` from
@@ -21,19 +21,27 @@
 //! the same cell format `bench_load` writes to `BENCH_load.json`, with
 //! `[ops]` sizing the measurement window.
 //!
+//! With `--join` the cluster starts with one slot cold (n-1 members), runs
+//! half the workload, then brings the last slot into the cluster live:
+//! the joiner absorbs a re-mastered share of the resident blocks, the
+//! heartbeat failure detector watches every member, and the hint-based
+//! block-location directory (per-node hint tables, corrected on use) is
+//! used in place of the paper's perfect directory. Byte verification holds
+//! across the transition, and the run prints the hint-accuracy counters.
+//!
 //! With `--serve` the workload runs through per-node HTTP front ends
 //! (`GET /file/<id>`) instead of direct middleware handles, and the
 //! process then stays up serving `/metrics` (Prometheus text) and
 //! `/debug/trace` (JSON) on every node — point `ccmtop` or `curl` at the
 //! printed addresses; Ctrl-C to exit.
 
-use ccm_core::{FileId, NodeId, ReplacementPolicy, BLOCK_SIZE};
+use ccm_core::{DirectoryKind, FileId, NodeId, ReplacementPolicy, BLOCK_SIZE};
 use ccm_httpd::HttpCluster;
 use ccm_load::LoadSpec;
 use ccm_net::TcpLan;
 use ccm_obs::Registry;
 use ccm_rt::store::{read_file_direct, BlockStore};
-use ccm_rt::{Catalog, FileStore, Middleware, RtConfig, SyntheticStore};
+use ccm_rt::{Catalog, FileStore, Membership, Middleware, RtConfig, SyntheticStore};
 use ccm_traces::{Preset, SynthConfig};
 use simcore::Rng;
 use std::sync::Arc;
@@ -43,6 +51,8 @@ fn main() {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
     let serve = args.iter().any(|a| a == "--serve");
     args.retain(|a| a != "--serve");
+    let join = args.iter().any(|a| a == "--join");
+    args.retain(|a| a != "--join");
     let file_store_dir = args.iter().position(|a| a == "--file-store").map(|i| {
         assert!(i + 1 < args.len(), "--file-store needs a directory");
         let dir = args[i + 1].clone();
@@ -130,6 +140,10 @@ fn main() {
 
     if serve {
         serve_http(cfg, catalog, store, lan, ops);
+        return;
+    }
+    if join {
+        join_demo(cfg, catalog, store, lan, &wl, ops);
         return;
     }
 
@@ -230,6 +244,73 @@ fn replay_preset(name: &str, nodes: usize, ops: u64) {
     println!("{}", report.to_json());
     assert!(report.reconciled, "driver and runtime counters disagree");
     println!("\nevery byte verified against the backing store — replay OK");
+}
+
+/// `--join`: dynamic-membership demo. The cluster starts with the last
+/// slot provisioned but cold, serves half the workload on the hint-based
+/// directory with the heartbeat monitor running, then joins the cold slot
+/// live — re-mastering a share of the resident blocks onto it — and
+/// serves the rest through all nodes, verifying every byte throughout.
+fn join_demo(
+    cfg: RtConfig,
+    catalog: Catalog,
+    store: Arc<dyn BlockStore>,
+    lan: Arc<TcpLan>,
+    wl: &ccm_traces::Workload,
+    ops: u64,
+) {
+    let nodes = cfg.nodes;
+    let joiner = NodeId((nodes - 1) as u16);
+    let mw = Middleware::start_member(
+        cfg,
+        catalog.clone(),
+        store.clone(),
+        lan,
+        Membership::with_initial(nodes, nodes - 1),
+        DirectoryKind::Hint,
+    );
+    mw.start_heartbeat(Duration::from_millis(50), Duration::from_millis(250), 3);
+    println!(
+        "\ncluster up: {} of {nodes} slots members, {joiner:?} provisioned cold; \
+         hint directory + heartbeat monitor active",
+        nodes - 1
+    );
+
+    let mut rng = Rng::new(0xD3110).substream(20);
+    let mut drive = |mw: &Middleware, members: usize, count: u64| {
+        for op in 0..count {
+            let node = NodeId(rng.next_below(members as u64) as u16);
+            let file = FileId(wl.sample(&mut rng).0);
+            let got = mw.handle(node).read_file(file);
+            let want = read_file_direct(&*store, &catalog, file);
+            assert_eq!(got, want, "op {op}: bytes corrupted");
+        }
+    };
+
+    drive(&mw, nodes - 1, ops / 2);
+    mw.quiesce();
+    let moved = mw.join_node(joiner);
+    println!(
+        "{joiner:?} joined at epoch {}: {moved} blocks re-mastered onto it",
+        mw.epoch()
+    );
+    drive(&mw, nodes, ops - ops / 2);
+    mw.quiesce();
+    mw.check_invariants();
+    mw.audit_quiescent();
+
+    let h = mw.hint_stats();
+    let stats = mw.stats();
+    println!(
+        "hint directory: {} lookups — {} correct, {} stale, {} missing, {} wasted hops",
+        h.lookups, h.correct, h.stale, h.missing, h.forward_hops
+    );
+    println!(
+        "protocol: {} local, {} remote, {} disk; {} remasters",
+        stats.local_hits, stats.remote_hits, stats.disk_reads, stats.remasters
+    );
+    println!("every byte verified across the join — membership OK");
+    mw.shutdown();
 }
 
 /// `--serve`: HTTP front ends over the TCP peer transport. Warms the

@@ -571,6 +571,19 @@ impl TcpLan {
                 obs.pending_replies.adjust(1);
                 WireMsg::Barrier { req_id }
             }
+            // A pong correlates exactly like a barrier ack: unit reply.
+            PeerMsg::Ping { reply } => {
+                let req_id = self.shared.next_req.fetch_add(1, Ordering::Relaxed);
+                if !conn.pending.insert(req_id, Pending::Barrier(reply)) {
+                    let pending = conn.pending.clone();
+                    drop(link);
+                    obs.degrades.inc();
+                    self.shared.teardown(src, dst, &pending);
+                    return false;
+                }
+                obs.pending_replies.adjust(1);
+                WireMsg::Ping { req_id }
+            }
             // Control-plane; `send` routes it locally before we get here.
             PeerMsg::Shutdown => unreachable!("Shutdown never crosses the wire"),
         };
@@ -826,11 +839,28 @@ fn demux_loop(shared: Arc<TcpShared>, node: NodeId, stream: TcpStream) {
                 out_obs.frames_out.inc();
                 out_obs.bytes_out.add(n as u64);
             }
+            WireMsg::Ping { req_id } => {
+                let (tx, rx) = unbounded();
+                if inbox.send(PeerMsg::Ping { reply: tx }).is_err() {
+                    break; // dead incarnation: the pinger observes a miss
+                }
+                if rx.recv().is_err() {
+                    break; // node died mid-ping: no pong, let it time out
+                }
+                let mut w = &stream;
+                let Ok(n) = write_frame(&mut w, &WireMsg::Pong { req_id }) else {
+                    break;
+                };
+                shared.frames_sent.fetch_add(1, Ordering::Relaxed);
+                out_obs.frames_out.inc();
+                out_obs.bytes_out.add(n as u64);
+            }
             // Requests travel src → dst only; a reply or second Hello on
             // an inbound connection is protocol corruption.
-            WireMsg::Hello { .. } | WireMsg::BlockReply { .. } | WireMsg::BarrierAck { .. } => {
-                break
-            }
+            WireMsg::Hello { .. }
+            | WireMsg::BlockReply { .. }
+            | WireMsg::BarrierAck { .. }
+            | WireMsg::Pong { .. } => break,
         }
     }
     let _ = stream.shutdown(Shutdown::Both);
@@ -861,7 +891,8 @@ fn reply_reader(
                     let _ = tx.send(data); // requester may have timed out
                 }
             }
-            Ok(Some((WireMsg::BarrierAck { req_id }, n))) => {
+            Ok(Some((WireMsg::BarrierAck { req_id }, n)))
+            | Ok(Some((WireMsg::Pong { req_id }, n))) => {
                 shared.frames_received.fetch_add(1, Ordering::Relaxed);
                 in_obs.frames_in.inc();
                 in_obs.bytes_in.add(n);

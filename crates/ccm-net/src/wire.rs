@@ -23,6 +23,8 @@
 //! tag 4 Invalidate   := block
 //! tag 5 Barrier      := req_id:u64
 //! tag 6 BarrierAck   := req_id:u64
+//! tag 7 Ping         := req_id:u64
+//! tag 8 Pong         := req_id:u64
 //! block        := file:u32 index:u32
 //! ```
 //!
@@ -42,8 +44,9 @@ use std::io::{self, Read, Write};
 
 /// Wire protocol version, carried in [`WireMsg::Hello`]; bump on any frame
 /// layout change so mismatched peers fail the handshake instead of
-/// misparsing each other.
-pub const WIRE_VERSION: u8 = 1;
+/// misparsing each other. Version 2 added the heartbeat frames
+/// ([`WireMsg::Ping`] / [`WireMsg::Pong`]).
+pub const WIRE_VERSION: u8 = 2;
 
 /// Hard upper bound on a frame payload, in bytes.
 pub const MAX_FRAME: u32 = 1 << 20;
@@ -101,6 +104,18 @@ pub enum WireMsg {
         /// Correlation id of the barrier being acked.
         req_id: u64,
     },
+    /// Heartbeat probe: answered with [`WireMsg::Pong`] once the
+    /// destination's service thread dequeues it — the answer itself is the
+    /// proof of liveness.
+    Ping {
+        /// Correlation id.
+        req_id: u64,
+    },
+    /// Answer to a [`WireMsg::Ping`].
+    Pong {
+        /// Correlation id of the ping being answered.
+        req_id: u64,
+    },
 }
 
 /// Why a payload failed to decode.
@@ -139,6 +154,8 @@ const TAG_FORWARD: u8 = 3;
 const TAG_INVALIDATE: u8 = 4;
 const TAG_BARRIER: u8 = 5;
 const TAG_BARRIER_ACK: u8 = 6;
+const TAG_PING: u8 = 7;
+const TAG_PONG: u8 = 8;
 
 fn put_block(out: &mut Vec<u8>, block: BlockId) {
     out.extend_from_slice(&block.file.0.to_le_bytes());
@@ -202,6 +219,14 @@ pub fn encode(msg: &WireMsg, out: &mut Vec<u8>) {
         }
         WireMsg::BarrierAck { req_id } => {
             out.push(TAG_BARRIER_ACK);
+            out.extend_from_slice(&req_id.to_le_bytes());
+        }
+        WireMsg::Ping { req_id } => {
+            out.push(TAG_PING);
+            out.extend_from_slice(&req_id.to_le_bytes());
+        }
+        WireMsg::Pong { req_id } => {
+            out.push(TAG_PONG);
             out.extend_from_slice(&req_id.to_le_bytes());
         }
     }
@@ -308,6 +333,8 @@ pub fn decode(payload: &[u8]) -> Result<WireMsg, DecodeError> {
         TAG_INVALIDATE => WireMsg::Invalidate { block: c.block()? },
         TAG_BARRIER => WireMsg::Barrier { req_id: c.u64()? },
         TAG_BARRIER_ACK => WireMsg::BarrierAck { req_id: c.u64()? },
+        TAG_PING => WireMsg::Ping { req_id: c.u64()? },
+        TAG_PONG => WireMsg::Pong { req_id: c.u64()? },
         t => return Err(DecodeError::UnknownTag(t)),
     };
     if c.pos != payload.len() {
@@ -415,6 +442,8 @@ mod tests {
         roundtrip(WireMsg::Invalidate { block: b(0, 0) });
         roundtrip(WireMsg::Barrier { req_id: 42 });
         roundtrip(WireMsg::BarrierAck { req_id: 42 });
+        roundtrip(WireMsg::Ping { req_id: 43 });
+        roundtrip(WireMsg::Pong { req_id: 43 });
     }
 
     #[test]
@@ -439,6 +468,8 @@ mod tests {
             },
             WireMsg::Invalidate { block: b(1, 2) },
             WireMsg::Barrier { req_id: 1 },
+            WireMsg::Ping { req_id: 1 },
+            WireMsg::Pong { req_id: 1 },
         ];
         let mut buf = Vec::new();
         for msg in &msgs {

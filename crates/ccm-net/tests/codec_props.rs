@@ -38,6 +38,8 @@ fn wire_msg() -> impl Strategy<Value = WireMsg> {
         block().prop_map(|block| WireMsg::Invalidate { block }),
         any::<u64>().prop_map(|req_id| WireMsg::Barrier { req_id }),
         any::<u64>().prop_map(|req_id| WireMsg::BarrierAck { req_id }),
+        any::<u64>().prop_map(|req_id| WireMsg::Ping { req_id }),
+        any::<u64>().prop_map(|req_id| WireMsg::Pong { req_id }),
     ]
 }
 
@@ -90,7 +92,7 @@ proptest! {
 
     /// A corrupted tag byte outside the known range is an UnknownTag error.
     #[test]
-    fn unknown_tags_are_rejected(msg in wire_msg(), tag in 7u8..=255) {
+    fn unknown_tags_are_rejected(msg in wire_msg(), tag in 9u8..=255) {
         let mut buf = Vec::new();
         encode(&msg, &mut buf);
         buf[0] = tag;

@@ -219,3 +219,50 @@ fn dead_incarnation_degrades_fast_instead_of_hanging() {
     );
     assert!(lan.net_stats().teardowns >= 1);
 }
+
+/// Heartbeat frames on the wire: a cross-node ping travels as a real
+/// `Ping`/`Pong` frame pair (src != dst, so no local short-circuit), and
+/// once the peer's service thread is gone the ping fails instead of
+/// hanging — the membership monitor's miss signal.
+#[test]
+fn wire_ping_round_trips_and_detects_death() {
+    let lan = Arc::new(TcpLan::loopback(2).expect("bind loopback listeners"));
+    let _rx0 = lan.reconnect(NodeId(0));
+    let rx1 = lan.reconnect(NodeId(1));
+    let service = std::thread::spawn(move || {
+        while let Ok(msg) = rx1.recv() {
+            match msg {
+                ccm_rt::PeerMsg::Ping { reply } => {
+                    let _ = reply.send(());
+                }
+                ccm_rt::PeerMsg::Shutdown => break,
+                _ => {}
+            }
+        }
+    });
+
+    let before = lan.net_stats();
+    assert!(
+        lan.ping(NodeId(0), NodeId(1), Duration::from_secs(2)),
+        "cross-node ping must round-trip over the wire"
+    );
+    let after = lan.net_stats();
+    assert!(
+        after.frames_sent > before.frames_sent,
+        "ping never produced a wire frame"
+    );
+
+    assert!(lan.send(NodeId(1), NodeId(1), ccm_rt::PeerMsg::Shutdown));
+    service.join().expect("service thread");
+
+    let start = Instant::now();
+    assert!(
+        !lan.ping(NodeId(0), NodeId(1), Duration::from_secs(5)),
+        "ping to a dead incarnation must miss"
+    );
+    assert!(
+        start.elapsed() < Duration::from_secs(4),
+        "dead-peer ping should disconnect early, took {:?}",
+        start.elapsed()
+    );
+}

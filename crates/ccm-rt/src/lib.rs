@@ -22,6 +22,9 @@
 //!   (re-exported from `ccm-disk`, which also provides the asynchronous
 //!   [`DiskService`] every node's misses are queued through).
 //! * [`transport`] — peer messages and the channel LAN.
+//! * [`membership`] — the epoch-versioned member table behind dynamic
+//!   join/leave/crash, signalled through a condvar so joiners and the
+//!   heartbeat monitor never poll.
 //! * [`fault`] — deterministic fault injection: seeded fault plans and the
 //!   chaos transport wrapper that drops, duplicates, and reorders data-plane
 //!   messages.
@@ -35,6 +38,7 @@
 #![warn(missing_docs)]
 
 pub mod fault;
+pub mod membership;
 pub mod obs;
 pub mod runtime;
 pub mod store;
@@ -44,6 +48,7 @@ pub use ccm_disk::{
     DiskConfig, DiskFaults, DiskMechanics, DiskService, DiskStats, FileStore, SchedPolicy,
 };
 pub use fault::{ChaosLan, ChaosStats, CrashEvent, FaultPlan, LinkFaults};
+pub use membership::{MemberState, Membership};
 pub use obs::ReadClass;
 pub use runtime::{Middleware, NodeHandle, RtConfig, WriteError};
 pub use store::{BlockStore, Catalog, MemStore, SyntheticStore};

@@ -15,6 +15,16 @@
 //! | `ccm_rt_store_blocks` | gauge | `node` |
 //! | `ccm_rt_directory_blocks` | gauge | — |
 //! | `ccm_rt_fetch_latency_ns` | histogram | `class` |
+//! | `ccm_rt_hint_hits_total` | counter | — |
+//! | `ccm_rt_hint_stale_total` | counter | — |
+//! | `ccm_rt_hint_forward_hops_total` | counter | — |
+//! | `ccm_rt_epoch` | gauge | — |
+//!
+//! The hint counters mirror the `ccm-core` hint-directory statistics
+//! (correct hints, stale hints, wasted forwarding hops); they stay at zero
+//! under the perfect directory but are always registered, so a scrape sees
+//! the family either way. `ccm_rt_epoch` exports the membership table's
+//! epoch — it moves only when the cluster configuration changes.
 //!
 //! The read `class` is the *data-plane* outcome: a protocol-level remote
 //! hit whose bytes had to come from the backing store (the §3 race) counts
@@ -73,6 +83,12 @@ pub(crate) struct RtObs {
     /// Fetch latency histograms indexed by ReadClass as usize.
     pub fetch_ns: [Histogram; 4],
     pub directory_blocks: Gauge,
+    /// Hint-directory outcomes (zero under the perfect directory).
+    pub hint_hits: Counter,
+    pub hint_stale: Counter,
+    pub hint_forward_hops: Counter,
+    /// Current membership epoch.
+    pub epoch: Gauge,
 }
 
 const CLASSES: [ReadClass; 4] = [
@@ -137,12 +153,36 @@ impl RtObs {
             "Blocks tracked by the global directory (refreshed at snapshot time)",
             &[],
         );
+        let hint_hits = registry.counter(
+            "ccm_rt_hint_hits_total",
+            "Hint-directory lookups whose best-guess owner was correct",
+            &[],
+        );
+        let hint_stale = registry.counter(
+            "ccm_rt_hint_stale_total",
+            "Hint-directory lookups that started from a stale hint",
+            &[],
+        );
+        let hint_forward_hops = registry.counter(
+            "ccm_rt_hint_forward_hops_total",
+            "Wasted forwarding hops charged while chasing stale hint chains",
+            &[],
+        );
+        let epoch = registry.gauge(
+            "ccm_rt_epoch",
+            "Membership epoch: bumped once per join/leave/crash/repair transition",
+            &[],
+        );
         RtObs {
             registry,
             trace: TraceRing::new(TRACE_RING_CAPACITY),
             nodes: node_obs,
             fetch_ns,
             directory_blocks,
+            hint_hits,
+            hint_stale,
+            hint_forward_hops,
+            epoch,
         }
     }
 

@@ -15,12 +15,13 @@
 //! makes the frequency of that path observable.
 
 use crate::fault::{ChaosLan, FaultPlan};
+use crate::membership::{MemberState, Membership};
 use crate::obs::{ReadClass, RtObs};
 use crate::store::{BlockStore, Catalog};
 use crate::transport::{Lan, PeerMsg, Transport};
 use ccm_core::{
-    AccessOutcome, BlockId, CacheConfig, CacheStats, ClusterCache, CopyKind, Disposition,
-    EvictionEffect, FileId, NodeId, RepairReport, ReplacementPolicy,
+    AccessOutcome, BlockId, CacheConfig, CacheStats, ClusterCache, CopyKind, DirectoryKind,
+    Disposition, EvictionEffect, FileId, HintStats, NodeId, RepairReport, ReplacementPolicy,
 };
 use ccm_disk::{DiskConfig, DiskService, DiskStats};
 use ccm_obs::{Hop, Registry, Snapshot, Stopwatch, TraceRing};
@@ -104,6 +105,11 @@ struct Shared {
     /// Liveness flags: cleared first thing on crash so readers stop
     /// targeting a dying node before its repair completes.
     alive: Vec<AtomicBool>,
+    /// The epoch-versioned member table: which of the provisioned slots
+    /// currently participate in the protocol. Transitions are paired with
+    /// cache re-mastering by `Middleware` (join/leave/crash) and the
+    /// heartbeat monitor (failure detection).
+    membership: Membership,
     fetch_timeout: Duration,
     /// Metric handles and the block-path trace ring. Store fallbacks (reads
     /// that had to fall through to the backing store because the data plane
@@ -206,8 +212,12 @@ impl Shared {
 /// A running middleware cluster.
 pub struct Middleware {
     shared: Arc<Shared>,
-    /// One slot per node; `None` while that node is crashed.
+    /// One slot per node; `None` while that node is crashed (or not yet a
+    /// member).
     threads: Mutex<Vec<Option<JoinHandle<()>>>>,
+    /// The heartbeat failure detector, once started: its stop flag and
+    /// thread handle (joined on shutdown).
+    monitor: Mutex<Option<(Arc<AtomicBool>, JoinHandle<()>)>>,
 }
 
 /// A per-node client handle; cheap to clone and `Send`.
@@ -246,6 +256,10 @@ fn service_loop(shared: Arc<Shared>, node: NodeId, inbox: Receiver<PeerMsg>) {
                 // processed by now; the requester may have timed out.
                 let _ = reply.send(());
             }
+            PeerMsg::Ping { reply } => {
+                // Heartbeat: answering at all is the proof of liveness.
+                let _ = reply.send(());
+            }
             PeerMsg::Shutdown => break,
         }
     }
@@ -269,6 +283,12 @@ impl Middleware {
     /// [`Transport::reconnect`] and runs identically over every backend;
     /// `cfg.faults` composes on top of whichever transport is given.
     ///
+    /// Compatibility constructor: every provisioned slot starts as an `Up`
+    /// member and the paper's perfect directory is used, so the cluster
+    /// behaves exactly as it did before dynamic membership existed. Use
+    /// [`Middleware::start_member`] to start with a partial member set or
+    /// the hint-based directory.
+    ///
     /// # Panics
     /// Panics if `transport.nodes() != cfg.nodes`, and on a zero-node or
     /// zero-capacity configuration (via [`ClusterCache::new`]).
@@ -278,10 +298,46 @@ impl Middleware {
         disk: Arc<dyn BlockStore>,
         transport: Arc<dyn Transport>,
     ) -> Middleware {
+        let members = Membership::all_up(cfg.nodes);
+        Middleware::start_member(
+            cfg,
+            catalog,
+            disk,
+            transport,
+            members,
+            DirectoryKind::Perfect,
+        )
+    }
+
+    /// Spawn a cluster with an explicit [`Membership`] table and directory
+    /// choice — the primary constructor. The cluster is *provisioned* at
+    /// `cfg.nodes` slots (transport endpoints, stores, disk services, and
+    /// metrics are all sized once, here), but only slots that are members
+    /// of `membership` get a service thread and participate in the
+    /// protocol; the rest sit cold until [`Middleware::join_node`] brings
+    /// them in.
+    ///
+    /// # Panics
+    /// Panics if `transport.nodes()`, `membership.capacity()`, and
+    /// `cfg.nodes` disagree, and on a zero-node or zero-capacity
+    /// configuration (via [`ClusterCache::new`]).
+    pub fn start_member(
+        cfg: RtConfig,
+        catalog: Catalog,
+        disk: Arc<dyn BlockStore>,
+        transport: Arc<dyn Transport>,
+        membership: Membership,
+        directory: DirectoryKind,
+    ) -> Middleware {
         assert_eq!(
             transport.nodes(),
             cfg.nodes,
             "transport size does not match cfg.nodes"
+        );
+        assert_eq!(
+            membership.capacity(),
+            cfg.nodes,
+            "membership capacity does not match cfg.nodes"
         );
         let inboxes: Vec<_> = (0..cfg.nodes)
             .map(|i| transport.reconnect(NodeId(i as u16)))
@@ -289,11 +345,14 @@ impl Middleware {
         let plan = cfg.faults.unwrap_or_else(|| FaultPlan::quiet(0));
         let registry = cfg.obs.unwrap_or_default();
         let chaos = ChaosLan::with_registry(transport, &plan, &registry);
-        let cache = ClusterCache::new(CacheConfig::paper(
-            cfg.nodes,
-            cfg.capacity_blocks,
-            cfg.policy,
-        ));
+        let mut cache_cfg = CacheConfig::paper(cfg.nodes, cfg.capacity_blocks, cfg.policy);
+        cache_cfg.directory = directory;
+        let mut cache = ClusterCache::new(cache_cfg);
+        for i in 0..cfg.nodes {
+            if !membership.is_member(NodeId(i as u16)) {
+                cache.deactivate_slot(NodeId(i as u16));
+            }
+        }
         let disks: Vec<DiskService> = (0..cfg.nodes)
             .map(|i| {
                 DiskService::start_observed(
@@ -306,6 +365,8 @@ impl Middleware {
                 )
             })
             .collect();
+        let obs = RtObs::new(registry, cfg.nodes);
+        obs.epoch.set(membership.epoch() as i64);
         let shared = Arc::new(Shared {
             cache: Mutex::new(cache),
             stores: (0..cfg.nodes)
@@ -315,18 +376,30 @@ impl Middleware {
             disks,
             catalog,
             chaos,
-            alive: (0..cfg.nodes).map(|_| AtomicBool::new(true)).collect(),
+            alive: (0..cfg.nodes)
+                .map(|i| AtomicBool::new(membership.is_member(NodeId(i as u16))))
+                .collect(),
+            membership,
             fetch_timeout: cfg.fetch_timeout,
-            obs: RtObs::new(registry, cfg.nodes),
+            obs,
         });
         let threads = inboxes
             .into_iter()
             .enumerate()
-            .map(|(i, inbox)| Some(spawn_service(&shared, NodeId(i as u16), inbox)))
+            .map(|(i, inbox)| {
+                let node = NodeId(i as u16);
+                // Non-members get no thread; dropping their inbox makes
+                // sends to them fail fast until they join.
+                shared
+                    .membership
+                    .is_member(node)
+                    .then(|| spawn_service(&shared, node, inbox))
+            })
             .collect();
         Middleware {
             shared,
             threads: Mutex::new(threads),
+            monitor: Mutex::new(None),
         }
     }
 
@@ -406,12 +479,177 @@ impl Middleware {
     pub fn obs_snapshot(&self) -> Snapshot {
         let resident = self.shared.cache.lock().resident_blocks();
         self.shared.obs.directory_blocks.set(resident as i64);
+        self.shared
+            .obs
+            .epoch
+            .set(self.shared.membership.epoch() as i64);
         self.shared.obs.registry.snapshot()
     }
 
     /// True if `node`'s service thread is running.
     pub fn is_alive(&self, node: NodeId) -> bool {
         self.shared.is_alive(node)
+    }
+
+    /// The cluster's membership table (an `Arc` clone; shared with the
+    /// running middleware, so transitions made by the middleware are
+    /// visible through it and [`Membership::wait_for_epoch`] works).
+    pub fn membership(&self) -> Membership {
+        self.shared.membership.clone()
+    }
+
+    /// The current membership epoch (also exported as `ccm_rt_epoch`).
+    pub fn epoch(&self) -> u64 {
+        self.shared.membership.epoch()
+    }
+
+    /// Hint-directory accuracy statistics (all zero under the perfect
+    /// directory; takes the cache lock briefly).
+    pub fn hint_stats(&self) -> HintStats {
+        self.shared.cache.lock().hint_stats()
+    }
+
+    /// Bring a provisioned (or previously departed/crashed) slot into the
+    /// cluster: start its service thread cold, re-master a deterministic
+    /// share of the resident blocks onto it, ship their bytes, and bump the
+    /// membership epoch. Returns how many blocks were re-mastered onto the
+    /// joiner.
+    ///
+    /// The byte transfer is out-of-band: blocks move store-to-store in
+    /// sympathy with the re-mastering decision (both backends keep node
+    /// stores in-process; a networked deployment would stream them).
+    ///
+    /// # Panics
+    /// Panics if the node is out of range or already a member.
+    pub fn join_node(&self, node: NodeId) -> usize {
+        assert!(node.index() < self.nodes(), "no such node");
+        assert!(
+            !self.shared.membership.is_member(node),
+            "node {node:?} is already a member"
+        );
+        let inbox = self.shared.lan().reconnect(node);
+        let handle = spawn_service(&self.shared, node, inbox);
+        self.threads.lock()[node.index()] = Some(handle);
+        self.shared.alive[node.index()].store(true, Ordering::Release);
+        let moved = {
+            let mut cache = self.shared.cache.lock();
+            cache.revive_node(node);
+            cache.rebalance_on_join(node)
+        };
+        for &(block, from) in &moved {
+            let data = match self.shared.store_take(from, block) {
+                Some(d) => d,
+                None => {
+                    // Data-plane race: the old holder's bytes were already
+                    // gone; warm the joiner from disk instead.
+                    self.shared.obs.node(from).store_fallbacks.inc();
+                    self.shared.disk_read(node, block)
+                }
+            };
+            self.shared.store_insert(node, block, data);
+        }
+        let epoch = self.shared.membership.transition(node, MemberState::Up);
+        self.shared.obs.epoch.set(epoch as i64);
+        moved.len()
+    }
+
+    /// Gracefully remove `node` from the cluster: stop its service thread,
+    /// hand its masters to survivors (promoting an existing replica where
+    /// one exists, shipping bytes where not), purge its replicas, and bump
+    /// the membership epoch. Unlike [`Middleware::crash_node`], no block is
+    /// lost and no master degrades to disk-only. Returns how many masters
+    /// were handed off with their bytes.
+    ///
+    /// # Panics
+    /// Panics if the node is out of range, not an alive member, or the last
+    /// live node.
+    pub fn leave_node(&self, node: NodeId) -> usize {
+        assert!(node.index() < self.nodes(), "no such node");
+        assert!(
+            self.shared.membership.is_member(node),
+            "node {node:?} is not a member"
+        );
+        assert!(
+            self.shared.alive[node.index()].swap(false, Ordering::AcqRel),
+            "node {node:?} is already down"
+        );
+        // Stop the service thread before snapshotting the store so no
+        // queued forward lands after the handoff.
+        self.shared.lan().send(node, node, PeerMsg::Shutdown);
+        let handle = self.threads.lock()[node.index()]
+            .take()
+            .expect("alive node must have a thread");
+        handle.join().expect("node thread panicked");
+        let moved = self.shared.cache.lock().retire_node(node);
+        for &(block, to) in &moved {
+            let data = match self.shared.store_take(node, block) {
+                Some(d) => d,
+                None => {
+                    self.shared.obs.node(node).store_fallbacks.inc();
+                    self.shared.disk_read(to, block)
+                }
+            };
+            self.shared.store_insert(to, block, data);
+        }
+        self.shared.stores[node.index()].lock().clear();
+        self.shared.obs.node(node).store_blocks.set(0);
+        let epoch = self.shared.membership.transition(node, MemberState::Left);
+        self.shared.obs.epoch.set(epoch as i64);
+        moved.len()
+    }
+
+    /// Test aid: silently kill `node`'s service thread *without* repairing
+    /// anything — liveness gating, the directory, the membership table, and
+    /// its store all stay stale, which is what a power failure looks like
+    /// from the outside. Reads degrade to store fallbacks until the
+    /// heartbeat monitor (or an explicit [`Middleware::crash_node`]-style
+    /// repair) notices.
+    ///
+    /// # Panics
+    /// Panics if the node is out of range or its thread is already gone.
+    pub fn sever_node(&self, node: NodeId) {
+        assert!(node.index() < self.nodes(), "no such node");
+        self.shared.lan().send(node, node, PeerMsg::Shutdown);
+        let handle = self.threads.lock()[node.index()]
+            .take()
+            .expect("node thread already gone");
+        handle.join().expect("node thread panicked");
+    }
+
+    /// Start the heartbeat failure detector: every `interval` it pings each
+    /// member's service thread through the transport and walks unresponsive
+    /// members `Up` → `Suspect` → (after `max_misses` consecutive misses)
+    /// `Down`, repairing the directory around them exactly like
+    /// [`Middleware::crash_node`]. Pings bypass the chaos wrapper, so
+    /// detection reflects real thread liveness rather than injected link
+    /// faults.
+    ///
+    /// Detection timing is wall-clock driven and thus intentionally *not*
+    /// deterministic; replay-exact tests drive membership transitions
+    /// explicitly instead of enabling the monitor.
+    ///
+    /// # Panics
+    /// Panics if a monitor is already running.
+    pub fn start_heartbeat(&self, interval: Duration, timeout: Duration, max_misses: u32) {
+        let mut slot = self.monitor.lock();
+        assert!(slot.is_none(), "heartbeat monitor already running");
+        let stop = Arc::new(AtomicBool::new(false));
+        let shared = self.shared.clone();
+        let flag = stop.clone();
+        let handle = std::thread::Builder::new()
+            .name("ccm-hb-monitor".into())
+            .spawn(move || heartbeat_loop(shared, flag, interval, timeout, max_misses))
+            .expect("spawn heartbeat monitor");
+        *slot = Some((stop, handle));
+    }
+
+    /// Quiescent-state audit (tests): protocol invariants plus hint-chain
+    /// convergence — every live node locates every master within one
+    /// bounded forwarding chain, after which its hint is exact. Mutates
+    /// hint state, so capture [`Middleware::hint_stats`] *before* auditing
+    /// when comparing runs.
+    pub fn audit_quiescent(&self) {
+        self.shared.cache.lock().audit_hint_convergence();
     }
 
     /// Crash `node`: its service thread stops, its block store is wiped, and
@@ -437,7 +675,10 @@ impl Middleware {
         handle.join().expect("node thread panicked");
         self.shared.stores[node.index()].lock().clear();
         self.shared.obs.node(node).store_blocks.set(0);
-        self.shared.cache.lock().fail_node(node)
+        let report = self.shared.cache.lock().fail_node(node);
+        let epoch = self.shared.membership.transition(node, MemberState::Down);
+        self.shared.obs.epoch.set(epoch as i64);
+        report
     }
 
     /// Restart a crashed `node` with a cold cache and an empty inbox.
@@ -452,6 +693,8 @@ impl Middleware {
         self.threads.lock()[node.index()] = Some(handle);
         self.shared.cache.lock().revive_node(node);
         self.shared.alive[node.index()].store(true, Ordering::Release);
+        let epoch = self.shared.membership.transition(node, MemberState::Up);
+        self.shared.obs.epoch.set(epoch as i64);
     }
 
     /// Quiesce the data plane: release every delayed message, then round-trip
@@ -480,6 +723,13 @@ impl Middleware {
     }
 
     fn stop_threads(&self, strict: bool) {
+        if let Some((stop, handle)) = self.monitor.lock().take() {
+            stop.store(true, Ordering::Release);
+            let joined = handle.join();
+            if strict {
+                joined.expect("heartbeat monitor panicked");
+            }
+        }
         for i in 0..self.nodes() {
             // Sends to already-crashed nodes fail harmlessly.
             let node = NodeId(i as u16);
@@ -509,6 +759,69 @@ fn spawn_service(shared: &Arc<Shared>, node: NodeId, inbox: Receiver<PeerMsg>) -
         .name(format!("ccm-node-{}", node.index()))
         .spawn(move || service_loop(shared, node, inbox))
         .expect("spawn node thread")
+}
+
+/// The failure-detector loop behind [`Middleware::start_heartbeat`]: sweep
+/// every member each `interval`, walking non-responders Up → Suspect →
+/// Down and repairing the directory around the declared-dead node.
+fn heartbeat_loop(
+    shared: Arc<Shared>,
+    stop: Arc<AtomicBool>,
+    interval: Duration,
+    timeout: Duration,
+    max_misses: u32,
+) {
+    let nodes = shared.chaos.nodes();
+    let mut misses = vec![0u32; nodes];
+    while !stop.load(Ordering::Acquire) {
+        for (i, missed) in misses.iter_mut().enumerate() {
+            let node = NodeId(i as u16);
+            if !shared.membership.is_member(node) {
+                *missed = 0;
+                continue;
+            }
+            // Pings bypass the chaos wrapper (shared.lan() is the inner
+            // transport): detection reflects real thread liveness, not
+            // injected link faults.
+            if shared.lan().ping(node, node, timeout) {
+                *missed = 0;
+                if shared.membership.state(node) == MemberState::Suspect {
+                    let epoch = shared.membership.transition(node, MemberState::Up);
+                    shared.obs.epoch.set(epoch as i64);
+                }
+                continue;
+            }
+            *missed += 1;
+            if *missed >= max_misses {
+                // Declare it dead and repair around it, exactly like an
+                // explicit crash. The thread is unreachable — there is
+                // nothing to join; its handle (if any) is reaped by
+                // shutdown.
+                shared.alive[i].store(false, Ordering::Release);
+                shared.stores[i].lock().clear();
+                shared.obs.node(node).store_blocks.set(0);
+                {
+                    let mut cache = shared.cache.lock();
+                    if !cache.is_down(node) {
+                        cache.fail_node(node);
+                    }
+                }
+                let epoch = shared.membership.transition(node, MemberState::Down);
+                shared.obs.epoch.set(epoch as i64);
+                *missed = 0;
+            } else if shared.membership.state(node) == MemberState::Up {
+                let epoch = shared.membership.transition(node, MemberState::Suspect);
+                shared.obs.epoch.set(epoch as i64);
+            }
+        }
+        // Sleep in small slices so a stop request is honored promptly.
+        let mut slept = Duration::ZERO;
+        while slept < interval && !stop.load(Ordering::Acquire) {
+            let slice = (interval - slept).min(Duration::from_millis(10));
+            std::thread::sleep(slice);
+            slept += slice;
+        }
+    }
 }
 
 impl NodeHandle {
@@ -549,7 +862,31 @@ impl NodeHandle {
             },
         );
         let sw = Stopwatch::start();
-        let outcome = self.shared.cache.lock().access(self.node, block);
+        let (outcome, trail, hints_before, hints_after) = {
+            let mut cache = self.shared.cache.lock();
+            let before = cache.hint_stats();
+            let outcome = cache.access(self.node, block);
+            let after = cache.hint_stats();
+            (outcome, cache.take_hint_trail(), before, after)
+        };
+        obs.hint_hits
+            .add(hints_after.correct - hints_before.correct);
+        obs.hint_stale.add(hints_after.stale - hints_before.stale);
+        obs.hint_forward_hops
+            .add(hints_after.forward_hops - hints_before.forward_hops);
+        // Replay the wasted hint-chain hops as real round trips: each node a
+        // stale hint pointed at is asked and answers "not here"; the reply
+        // is discarded — the authoritative outcome below already accounts
+        // for where the bytes are. This is what makes stale hints cost real
+        // network time on both backends.
+        for hop in trail {
+            if self.shared.is_alive(hop) {
+                let _ =
+                    self.shared
+                        .chaos
+                        .fetch_block(self.node, hop, block, self.shared.fetch_timeout);
+            }
+        }
         let (data, class) = match outcome {
             AccessOutcome::LocalHit { kind } => {
                 let _ = kind;
@@ -1178,6 +1515,139 @@ mod tests {
             direct
         );
         drop(mw);
+    }
+
+    #[test]
+    fn join_rebalances_and_leave_hands_off() {
+        let cat = catalog(8, 20_000);
+        let store = Arc::new(SyntheticStore::new(cat.clone(), 42));
+        let members = Membership::with_initial(4, 3);
+        let mw = Middleware::start_member(
+            RtConfig {
+                nodes: 4,
+                capacity_blocks: 64,
+                ..RtConfig::default()
+            },
+            cat.clone(),
+            store.clone(),
+            Arc::new(Lan::with_nodes(4)),
+            members.clone(),
+            DirectoryKind::Hint,
+        );
+        assert!(!mw.is_alive(NodeId(3)), "non-member starts cold");
+        for f in 0..8u32 {
+            mw.handle(NodeId(f as u16 % 3)).read_file(FileId(f));
+        }
+        mw.quiesce();
+        let moved = mw.join_node(NodeId(3));
+        assert!(moved > 0, "joiner must absorb a share of masters");
+        assert!(mw.is_alive(NodeId(3)));
+        assert!(members.is_member(NodeId(3)));
+        assert!(mw.epoch() > 0, "join must bump the epoch");
+        mw.audit_quiescent();
+        for f in 0..8u32 {
+            let got = mw.handle(NodeId(3)).read_file(FileId(f));
+            let want = read_file_direct(&*store, &cat, FileId(f));
+            assert_eq!(got, want, "file {f} wrong after join");
+        }
+        mw.quiesce();
+        let epoch_before_leave = mw.epoch();
+        mw.leave_node(NodeId(1));
+        assert!(!members.is_member(NodeId(1)));
+        assert!(mw.epoch() > epoch_before_leave);
+        mw.audit_quiescent();
+        assert_eq!(
+            mw.stats().lost_masters,
+            0,
+            "graceful leave must not lose blocks"
+        );
+        for f in 0..8u32 {
+            let got = mw.handle(NodeId(0)).read_file(FileId(f));
+            let want = read_file_direct(&*store, &cat, FileId(f));
+            assert_eq!(got, want, "file {f} wrong after leave");
+        }
+        mw.check_invariants();
+        mw.shutdown();
+    }
+
+    #[test]
+    fn hint_metrics_are_registered_and_move() {
+        let cat = catalog(6, 20_000);
+        let store = Arc::new(SyntheticStore::new(cat.clone(), 42));
+        let mw = Middleware::start_member(
+            RtConfig {
+                nodes: 3,
+                capacity_blocks: 8, // tiny: force forwarding → stale hints
+                ..RtConfig::default()
+            },
+            cat.clone(),
+            store,
+            Arc::new(Lan::with_nodes(3)),
+            Membership::all_up(3),
+            DirectoryKind::Hint,
+        );
+        for round in 0..3 {
+            for f in 0..6u32 {
+                let node = NodeId(((f as usize + round) % 3) as u16);
+                mw.handle(node).read_file(FileId(f));
+            }
+        }
+        let snap = mw.obs_snapshot();
+        let counter = |name: &str| snap.counter_sum(name);
+        let hs = mw.hint_stats();
+        assert_eq!(counter("ccm_rt_hint_hits_total"), hs.correct);
+        assert_eq!(counter("ccm_rt_hint_stale_total"), hs.stale);
+        assert_eq!(counter("ccm_rt_hint_forward_hops_total"), hs.forward_hops);
+        assert!(hs.lookups > 0, "hint directory must have been consulted");
+        assert!(matches!(
+            snap.find("ccm_rt_epoch", &[]).map(|m| &m.value),
+            Some(&ccm_obs::Value::Gauge(0))
+        ));
+        mw.shutdown();
+    }
+
+    #[test]
+    fn heartbeat_monitor_detects_silent_failure() {
+        let cat = catalog(4, 20_000);
+        let store = Arc::new(SyntheticStore::new(cat.clone(), 42));
+        let mw = Middleware::start(
+            RtConfig {
+                nodes: 3,
+                capacity_blocks: 64,
+                fetch_timeout: Duration::from_millis(50),
+                ..RtConfig::default()
+            },
+            cat.clone(),
+            store.clone(),
+        );
+        for f in 0..4u32 {
+            mw.handle(NodeId(2)).read_file(FileId(f));
+        }
+        mw.quiesce();
+        let members = mw.membership();
+        mw.sever_node(NodeId(2));
+        assert!(members.is_member(NodeId(2)), "failure starts silent");
+        mw.start_heartbeat(Duration::from_millis(5), Duration::from_millis(25), 2);
+        let deadline = std::time::Instant::now() + Duration::from_secs(10);
+        while members.state(NodeId(2)) != MemberState::Down {
+            assert!(
+                std::time::Instant::now() < deadline,
+                "monitor never declared the severed node dead"
+            );
+            let e = members.epoch();
+            members.wait_for_epoch(e + 1, Duration::from_millis(100));
+        }
+        assert!(!members.is_member(NodeId(2)));
+        assert!(!mw.is_alive(NodeId(2)));
+        assert_eq!(mw.stats().node_repairs, 1, "detection repairs once");
+        // Survivors keep serving correct bytes around the dead node.
+        for f in 0..4u32 {
+            let got = mw.handle(NodeId(0)).read_file(FileId(f));
+            let want = read_file_direct(&*store, &cat, FileId(f));
+            assert_eq!(got, want, "file {f} wrong after detection");
+        }
+        mw.check_invariants();
+        mw.shutdown();
     }
 
     #[cfg(not(feature = "obs-off"))]

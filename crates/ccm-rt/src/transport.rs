@@ -66,6 +66,14 @@ pub enum PeerMsg {
         /// Where to deliver the ack.
         reply: Sender<()>,
     },
+    /// Heartbeat probe: the service thread answers immediately to prove it
+    /// is alive. Control-plane — the chaos wrapper never drops or delays a
+    /// ping, so failure detection reflects real liveness, not injected link
+    /// faults.
+    Ping {
+        /// Where to deliver the pong.
+        reply: Sender<()>,
+    },
     /// Orderly shutdown of the node's service thread.
     Shutdown,
 }
@@ -131,6 +139,18 @@ pub trait Transport: Send + Sync + 'static {
     fn barrier(&self, node: NodeId, timeout: Duration) -> bool {
         let (reply_tx, reply_rx) = unbounded();
         if !self.send(node, node, PeerMsg::Barrier { reply: reply_tx }) {
+            return false;
+        }
+        reply_rx.recv_timeout(timeout).is_ok()
+    }
+
+    /// Heartbeat `dst` on behalf of `src`: true once the destination's
+    /// service thread answered the [`PeerMsg::Ping`] within `timeout`.
+    /// False — a missed heartbeat — if the send was refused, the thread is
+    /// gone, or the pong did not arrive in time.
+    fn ping(&self, src: NodeId, dst: NodeId, timeout: Duration) -> bool {
+        let (reply_tx, reply_rx) = unbounded();
+        if !self.send(src, dst, PeerMsg::Ping { reply: reply_tx }) {
             return false;
         }
         reply_rx.recv_timeout(timeout).is_ok()
@@ -369,6 +389,27 @@ mod tests {
             PeerMsg::Invalidate { block } => assert_eq!(block, b(2)),
             _ => panic!("wrong message"),
         }
+    }
+
+    #[test]
+    fn ping_round_trips_and_detects_death() {
+        let (lan, inboxes) = Lan::new(2);
+        let inbox = inboxes[1].clone();
+        let server = std::thread::spawn(move || match inbox.recv().unwrap() {
+            PeerMsg::Ping { reply } => {
+                let _ = reply.send(());
+            }
+            _ => panic!("wrong message"),
+        });
+        assert!(Transport::ping(&lan, NodeId(0), NodeId(1), TIMEOUT));
+        server.join().unwrap();
+        drop(inboxes); // node 1's incarnation is gone
+        assert!(!Transport::ping(
+            &lan,
+            NodeId(0),
+            NodeId(1),
+            Duration::from_millis(20)
+        ));
     }
 
     #[test]

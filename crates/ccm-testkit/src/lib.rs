@@ -26,11 +26,12 @@
 
 #![warn(missing_docs)]
 
-use ccm_core::{CacheStats, FileId, NodeId, ReplacementPolicy};
+use ccm_core::{CacheStats, DirectoryKind, FileId, HintStats, NodeId, ReplacementPolicy};
 use ccm_net::TcpLan;
 use ccm_rt::store::read_file_direct;
 use ccm_rt::{
-    BlockStore, Catalog, ChaosStats, DiskFaults, FaultPlan, Middleware, RtConfig, SyntheticStore,
+    BlockStore, Catalog, ChaosStats, DiskFaults, FaultPlan, Lan, Membership, Middleware, RtConfig,
+    SyntheticStore,
 };
 use ccm_traces::Workload;
 use simcore::Rng;
@@ -115,6 +116,47 @@ pub fn start_cluster(
             let lan = Arc::new(TcpLan::loopback(cfg.nodes).expect("bind loopback listeners"));
             Cluster {
                 mw: Middleware::start_on(cfg, catalog, store, lan.clone()),
+                lan: Some(lan),
+            }
+        }
+    }
+}
+
+/// Start a cluster with an explicit membership table and directory choice
+/// (the churn suites' entry point): `cfg.nodes` slots are provisioned on
+/// the chosen backend, slots `>= membership`'s initial member count start
+/// cold, and the hint directory can be selected in place of the paper's
+/// perfect one.
+///
+/// # Panics
+/// Panics if the TCP backend cannot bind its loopback listeners.
+pub fn start_member_cluster(
+    backend: Backend,
+    cfg: RtConfig,
+    catalog: Catalog,
+    store: Arc<dyn BlockStore>,
+    membership: Membership,
+    directory: DirectoryKind,
+) -> Cluster {
+    match backend {
+        Backend::Channel => {
+            let lan = Arc::new(Lan::with_nodes(cfg.nodes));
+            Cluster {
+                mw: Middleware::start_member(cfg, catalog, store, lan, membership, directory),
+                lan: None,
+            }
+        }
+        Backend::Tcp => {
+            let lan = Arc::new(TcpLan::loopback(cfg.nodes).expect("bind loopback listeners"));
+            Cluster {
+                mw: Middleware::start_member(
+                    cfg,
+                    catalog,
+                    store,
+                    lan.clone(),
+                    membership,
+                    directory,
+                ),
                 lan: Some(lan),
             }
         }
@@ -328,6 +370,209 @@ pub fn drive(
     }
 }
 
+/// One scheduled membership transition in a [`ChurnPlan`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ChurnEvent {
+    /// A provisioned (or previously departed) slot joins the cluster and
+    /// absorbs a re-mastered share of the resident blocks.
+    Join(NodeId),
+    /// A member announces departure and hands its masters off first.
+    Leave(NodeId),
+    /// A member dies without warning; the directory is repaired around it.
+    Crash(NodeId),
+}
+
+/// A seeded join/leave/crash schedule over a pre-provisioned slot table.
+///
+/// Slots `0..initial` start as members; `events` holds `(at_op, event)`
+/// pairs in non-decreasing operation order. The derivation keeps the
+/// schedule executable by construction: it never drops below two live
+/// members and never removes slot 0, so the churn driver always has a
+/// serving cluster to route through.
+#[derive(Debug, Clone)]
+pub struct ChurnPlan {
+    /// Provisioned slot count (the transport size).
+    pub slots: usize,
+    /// Slots `0..initial` start as `Up` members.
+    pub initial: usize,
+    /// `(at_op, event)` pairs, sorted by operation index.
+    pub events: Vec<(u64, ChurnEvent)>,
+}
+
+impl ChurnPlan {
+    /// Derive a schedule from `seed`: `n_events` transitions spread across
+    /// the middle of an `ops`-operation run. Joins and removals are drawn
+    /// uniformly wherever both are legal; removals split evenly between
+    /// graceful leaves and crashes.
+    pub fn seeded(seed: u64, slots: usize, initial: usize, ops: u64, n_events: usize) -> ChurnPlan {
+        assert!(slots >= 4, "churn needs headroom: at least 4 slots");
+        assert!((2..=slots).contains(&initial), "2 <= initial <= slots");
+        let mut rng = Rng::new(seed).substream(7);
+        let mut member: Vec<bool> = (0..slots).map(|i| i < initial).collect();
+        let mut live = initial;
+        let window = ops / (n_events as u64 + 2);
+        let mut events = Vec::new();
+        for k in 0..n_events as u64 {
+            // Window k starts where window k-1 can no longer reach, so the
+            // generated order survives the stable sort below even at ties.
+            let at_op = window * (k + 1) + rng.next_below(window + 1);
+            let joinable: Vec<usize> = (1..slots).filter(|&i| !member[i]).collect();
+            let removable: Vec<usize> = (1..slots).filter(|&i| member[i]).collect();
+            let can_remove = live > 2 && !removable.is_empty();
+            let ev = if !joinable.is_empty() && (!can_remove || rng.next_below(2) == 0) {
+                let node = joinable[rng.next_below(joinable.len() as u64) as usize];
+                member[node] = true;
+                live += 1;
+                ChurnEvent::Join(NodeId(node as u16))
+            } else {
+                let node = removable[rng.next_below(removable.len() as u64) as usize];
+                member[node] = false;
+                live -= 1;
+                if rng.next_below(2) == 0 {
+                    ChurnEvent::Crash(NodeId(node as u16))
+                } else {
+                    ChurnEvent::Leave(NodeId(node as u16))
+                }
+            };
+            events.push((at_op, ev));
+        }
+        events.sort_by_key(|&(op, _)| op);
+        ChurnPlan {
+            slots,
+            initial,
+            events,
+        }
+    }
+}
+
+/// Map a slot draw onto the nearest member at or after it (wrapping), so a
+/// driver consumes an *identical* rng stream regardless of the membership
+/// history — the key to comparing digests across static and churned runs.
+///
+/// # Panics
+/// Panics if no slot is a member.
+pub fn remap_to_member(members: &Membership, slots: usize, draw: usize) -> NodeId {
+    for k in 0..slots {
+        let node = NodeId(((draw + k) % slots) as u16);
+        if members.is_member(node) {
+            return node;
+        }
+    }
+    panic!("no live members to route through");
+}
+
+/// Everything observable from one churn-torture run. `PartialEq` so the
+/// same-seed replay oracle can demand bit-identical reruns.
+#[derive(Debug, PartialEq)]
+pub struct ChurnOutcome {
+    /// FNV-1a digest over every delivered byte, in op order.
+    pub digest: u64,
+    /// Protocol counters at the end of the run.
+    pub stats: CacheStats,
+    /// Hint-directory accuracy counters (correct/stale/wasted hops).
+    pub hints: HintStats,
+    /// Final membership epoch — one bump per executed transition.
+    pub epoch: u64,
+    /// Join events executed.
+    pub joins: usize,
+    /// Graceful-leave events executed.
+    pub leaves: usize,
+    /// Crash events executed.
+    pub crashes: usize,
+}
+
+/// Drive `ops` deterministic single-threaded reads from `wl` through a
+/// hint-directory cluster while executing `plan`'s membership schedule,
+/// asserting the byte-integrity oracle on every read and the quiescent
+/// hint-convergence audit at the end. Quiesces after every operation so
+/// the outcome is a pure function of `(backend, seed, plan, wl, ops)` —
+/// the bit-identical-replay mode.
+pub fn run_churn_torture(
+    backend: Backend,
+    seed: u64,
+    plan: &ChurnPlan,
+    wl: &Workload,
+    ops: u64,
+    capacity_blocks: usize,
+) -> ChurnOutcome {
+    let catalog = Catalog::new(wl.sizes().to_vec());
+    let store = Arc::new(SyntheticStore::new(catalog.clone(), seed));
+    let cluster = start_member_cluster(
+        backend,
+        RtConfig {
+            nodes: plan.slots,
+            capacity_blocks,
+            policy: ReplacementPolicy::MasterPreserving,
+            fetch_timeout: backend.torture_fetch_timeout(),
+            faults: None,
+            disk: Default::default(),
+            obs: None,
+        },
+        catalog.clone(),
+        store.clone(),
+        Membership::with_initial(plan.slots, plan.initial),
+        DirectoryKind::Hint,
+    );
+    let mw = &cluster.mw;
+    let members = mw.membership();
+    let mut rng = Rng::new(seed).substream(3);
+    let mut digest = FNV_OFFSET;
+    let (mut joins, mut leaves, mut crashes) = (0usize, 0usize, 0usize);
+    let mut next_event = 0usize;
+    for op in 0..ops {
+        while next_event < plan.events.len() && plan.events[next_event].0 == op {
+            match plan.events[next_event].1 {
+                ChurnEvent::Join(node) => {
+                    mw.join_node(node);
+                    joins += 1;
+                }
+                ChurnEvent::Leave(node) => {
+                    mw.leave_node(node);
+                    leaves += 1;
+                }
+                ChurnEvent::Crash(node) => {
+                    mw.crash_node(node);
+                    crashes += 1;
+                }
+            }
+            mw.check_invariants();
+            next_event += 1;
+        }
+        let node = remap_to_member(
+            &members,
+            plan.slots,
+            rng.next_below(plan.slots as u64) as usize,
+        );
+        let file = FileId(wl.sample(&mut rng).0);
+        let (got, reqs) = mw.handle(node).read_file_traced(file);
+        let want = read_file_direct(&*store, &catalog, file);
+        if got != want {
+            dump_trace(mw, &reqs);
+            panic!(
+                "{} seed {seed} op {op}: file {file:?} corrupted under churn \
+                 (block-path trace for request ids {reqs:?} dumped above)",
+                backend.name()
+            );
+        }
+        fnv1a(&mut digest, &got);
+        mw.quiesce();
+    }
+    mw.quiesce();
+    mw.check_invariants();
+    mw.audit_quiescent();
+    let out = ChurnOutcome {
+        digest,
+        stats: mw.stats(),
+        hints: mw.hint_stats(),
+        epoch: mw.epoch(),
+        joins,
+        leaves,
+        crashes,
+    };
+    cluster.shutdown();
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -341,6 +586,39 @@ mod tests {
         let mut d = FNV_OFFSET;
         fnv1a(&mut d, b"a");
         assert_eq!(d, 0xaf63dc4c8601ec8c);
+    }
+
+    #[test]
+    fn churn_plans_are_deterministic_and_legal() {
+        for seed in 0..16u64 {
+            let a = ChurnPlan::seeded(seed, 8, 4, 400, 6);
+            let b = ChurnPlan::seeded(seed, 8, 4, 400, 6);
+            assert_eq!(a.events, b.events, "seed {seed}: plan not deterministic");
+            // Replay the schedule against a model member table: every event
+            // must be legal at its point in the sequence.
+            let mut member: Vec<bool> = (0..8).map(|i| i < 4).collect();
+            let mut prev = 0;
+            for &(op, ev) in &a.events {
+                assert!(op >= prev, "seed {seed}: events out of order");
+                assert!(op < 400, "seed {seed}: event past the end of the run");
+                prev = op;
+                match ev {
+                    ChurnEvent::Join(n) => {
+                        assert!(!member[n.index()], "seed {seed}: joining a member");
+                        member[n.index()] = true;
+                    }
+                    ChurnEvent::Leave(n) | ChurnEvent::Crash(n) => {
+                        assert_ne!(n.index(), 0, "seed {seed}: slot 0 must stay up");
+                        assert!(member[n.index()], "seed {seed}: removing a non-member");
+                        member[n.index()] = false;
+                    }
+                }
+                assert!(
+                    member.iter().filter(|&&m| m).count() >= 2,
+                    "seed {seed}: fewer than two live members"
+                );
+            }
+        }
     }
 
     #[test]

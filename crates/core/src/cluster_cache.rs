@@ -26,7 +26,7 @@
 //! messages.
 
 use crate::block::{BlockId, NodeId};
-use crate::directory::{DirectoryKind, HintDirectory, HintLookup, HintStats, PerfectDirectory};
+use crate::directory::{DirectoryKind, HintDirectory, HintStats, PerfectDirectory};
 use crate::node_cache::{CopyKind, NodeCache};
 use crate::policy::ReplacementPolicy;
 use crate::stats::CacheStats;
@@ -51,6 +51,10 @@ pub struct CacheConfig {
     /// dropped while replicas of it survive elsewhere, promote one replica to
     /// master instead of losing memory residency.
     pub promote_on_master_drop: bool,
+    /// With a hint directory: how many wasted hops a request may chase
+    /// through stale hint chains before falling back to the authoritative
+    /// home-node path (Sarkar & Hartman forwarding bound).
+    pub hint_max_hops: usize,
 }
 
 impl CacheConfig {
@@ -64,6 +68,7 @@ impl CacheConfig {
             directory: DirectoryKind::Perfect,
             touch_master_on_remote: true,
             promote_on_master_drop: false,
+            hint_max_hops: 3,
         }
     }
 }
@@ -223,6 +228,12 @@ pub struct ClusterCache {
     /// Nodes currently crashed: excluded from forwarding targets and kept
     /// empty until [`ClusterCache::revive_node`].
     down: Vec<bool>,
+    /// Wasted hops of the most recent hint-chain resolution (empty under a
+    /// perfect directory or after a correct/missing hint). The runtime
+    /// drains this with [`ClusterCache::take_hint_trail`] to perform the
+    /// real wasted round trips; `AccessOutcome` stays `Copy` and carries
+    /// only the first hop.
+    hint_trail: Vec<NodeId>,
     tick: u64,
     stats: CacheStats,
 }
@@ -249,6 +260,7 @@ impl ClusterCache {
             replica_holders: FxHashMap::default(),
             recirculation: FxHashMap::default(),
             down,
+            hint_trail: Vec::new(),
             tick: 0,
             stats: CacheStats::new(),
         }
@@ -340,6 +352,7 @@ impl ClusterCache {
     pub fn access(&mut self, node: NodeId, block: BlockId) -> AccessOutcome {
         debug_assert!(!self.down[node.index()], "access through a down node");
         self.tick += 1;
+        self.hint_trail.clear();
         let tick = self.tick;
         let n = node.index();
 
@@ -355,15 +368,19 @@ impl ClusterCache {
             return AccessOutcome::LocalHit { kind };
         }
 
-        // 2. Consult the directory.
+        // 2. Consult the directory. Under hints this chases a bounded chain
+        // of possibly-stale hints (charging one wasted hop per wrong node)
+        // before falling back to the authoritative path; the full trail is
+        // parked in `hint_trail` for the runtime to replay as real messages.
+        let max_hops = self.cfg.hint_max_hops;
         let (master_at, wasted_hop) = match &mut self.dir {
             Directory::Perfect(d) => (d.lookup(block), None),
-            Directory::Hint(h) => match h.lookup_from(node, block) {
-                HintLookup::Correct(m) => (Some(m), None),
-                HintLookup::Stale { hinted, actual } => (Some(actual), Some(hinted)),
-                HintLookup::StaleNoMaster { hinted } => (None, Some(hinted)),
-                HintLookup::NoHint { actual } => (actual, None),
-            },
+            Directory::Hint(h) => {
+                let r = h.resolve_from(node, block, max_hops);
+                let first = r.hops.first().copied();
+                self.hint_trail = r.hops;
+                (r.master, first)
+            }
         };
 
         match master_at {
@@ -687,9 +704,31 @@ impl ClusterCache {
         PrefetchOutcome::Installed { eviction }
     }
 
+    /// Drain the wasted-hop trail of the most recent access (hint
+    /// directories only; empty otherwise). Each listed node was visited on
+    /// a stale hint's say-so and did not hold the master.
+    pub fn take_hint_trail(&mut self) -> Vec<NodeId> {
+        std::mem::take(&mut self.hint_trail)
+    }
+
     /// True if `node` is currently crashed.
     pub fn is_down(&self, node: NodeId) -> bool {
         self.down[node.index()]
+    }
+
+    /// Mark a pre-provisioned slot as not (yet) a cluster member: it is
+    /// excluded from forwarding like a crashed node, but no repair happens
+    /// and no failure statistics are charged. Used by dynamic membership to
+    /// size the cluster at capacity while starting with a smaller active
+    /// set; [`ClusterCache::revive_node`] activates the slot later.
+    ///
+    /// # Panics
+    /// Panics if the slot is already down or holds blocks.
+    pub fn deactivate_slot(&mut self, node: NodeId) {
+        let n = node.index();
+        assert!(!self.down[n], "slot {node:?} is already down");
+        assert!(self.nodes[n].is_empty(), "deactivating a non-empty slot");
+        self.down[n] = true;
     }
 
     /// Repair the cluster state after `node` crashed, losing its memory.
@@ -764,6 +803,166 @@ impl ClusterCache {
         self.down[n] = false;
     }
 
+    /// Deterministic hash used to shard blocks over the live set for
+    /// re-mastering on membership changes (FNV-1a over the block id).
+    fn block_shard(block: BlockId) -> u64 {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in block
+            .file
+            .0
+            .to_le_bytes()
+            .into_iter()
+            .chain(block.index.to_le_bytes())
+        {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        h
+    }
+
+    /// Live (up) nodes in ascending id order.
+    pub fn live_nodes(&self) -> Vec<NodeId> {
+        (0..self.nodes.len())
+            .filter(|&i| !self.down[i])
+            .map(|i| NodeId(i as u16))
+            .collect()
+    }
+
+    /// Re-master a deterministic ~1/n share of the cluster's blocks onto a
+    /// freshly joined (live, cold) node: every master whose shard hash maps
+    /// to the joiner under the new live set moves there, keeping its age,
+    /// until the joiner is full. Returns the moved blocks with their *old*
+    /// holders so the runtime can ship the bytes after them.
+    ///
+    /// # Panics
+    /// Panics if the joiner is down or not cold.
+    pub fn rebalance_on_join(&mut self, joiner: NodeId) -> Vec<(BlockId, NodeId)> {
+        assert!(!self.down[joiner.index()], "joiner must be revived first");
+        assert!(self.nodes[joiner.index()].is_empty(), "joiner must be cold");
+        let live = self.live_nodes();
+        let rank = live
+            .iter()
+            .position(|&n| n == joiner)
+            .expect("joiner is live");
+        // Snapshot all masters in deterministic (block) order.
+        let mut masters: Vec<(BlockId, NodeId)> = match &self.dir {
+            Directory::Perfect(d) => d.iter().collect(),
+            Directory::Hint(_) => (0..self.nodes.len())
+                .flat_map(|i| {
+                    self.nodes[i]
+                        .iter()
+                        .filter(|(_, k, _)| *k == CopyKind::Master)
+                        .map(move |(b, _, _)| (b, NodeId(i as u16)))
+                })
+                .collect(),
+        };
+        masters.sort_unstable_by_key(|&(b, _)| b);
+        let mut moved = Vec::new();
+        for (block, holder) in masters {
+            if holder == joiner {
+                continue;
+            }
+            if self.nodes[joiner.index()].is_full() {
+                break;
+            }
+            if Self::block_shard(block) % live.len() as u64 != rank as u64 {
+                continue;
+            }
+            // The joiner is cold, so it cannot hold a replica to merge with;
+            // move the master keeping its age (it must not look fresh).
+            let (kind, age) = self.nodes[holder.index()]
+                .remove(block)
+                .expect("directory points at a non-resident master");
+            debug_assert_eq!(kind, CopyKind::Master);
+            self.nodes[joiner.index()].insert_forwarded_master(block, age);
+            self.dir_set(block, joiner);
+            self.dir_gossip(holder, block, joiner);
+            self.stats.remasters += 1;
+            moved.push((block, holder));
+        }
+        moved
+    }
+
+    /// Gracefully retire `node` from the cluster (planned leave, as opposed
+    /// to [`ClusterCache::fail_node`]'s crash): its replicas are purged, and
+    /// each of its masters is preserved — promoted onto a surviving replica
+    /// holder when one exists, otherwise handed off (with its age) to the
+    /// live peer with the most free frames, displacing that peer's oldest
+    /// block if it is full (never cascading). The node ends down and empty.
+    /// Returns the handed-off blocks with their new holders so the runtime
+    /// can ship the bytes; promoted masters need no byte movement.
+    ///
+    /// # Panics
+    /// Panics if the node is already down or is the last live node.
+    pub fn retire_node(&mut self, node: NodeId) -> Vec<(BlockId, NodeId)> {
+        let n = node.index();
+        assert!(!self.down[n], "node {node:?} is already down");
+        self.down[n] = true;
+        assert!(
+            self.down.iter().any(|&d| !d),
+            "cannot retire the last live node"
+        );
+        let contents: Vec<(BlockId, CopyKind, u64)> = self.nodes[n].iter().collect();
+        let mut moved = Vec::new();
+        for (block, kind, age) in contents {
+            self.nodes[n].remove(block);
+            match kind {
+                CopyKind::Replica => {
+                    self.holders_remove(block, node);
+                }
+                CopyKind::Master => {
+                    self.recirculation.remove(&block);
+                    let survivor = self
+                        .replica_holders
+                        .get(&block)
+                        .and_then(|v| v.first().copied());
+                    if let Some(h) = survivor {
+                        let age = self.nodes[h.index()]
+                            .age_of(block)
+                            .expect("holder list out of sync");
+                        self.nodes[h.index()].promote_replica(block, age);
+                        self.holders_remove(block, h);
+                        self.dir_set(block, h);
+                        self.stats.promotions += 1;
+                        self.stats.remasters += 1;
+                        continue;
+                    }
+                    // No surviving replica: hand the master off to the live
+                    // peer with the most free room (ties to the lowest id).
+                    let peer = self
+                        .live_nodes()
+                        .into_iter()
+                        .max_by_key(|p| {
+                            let c = &self.nodes[p.index()];
+                            (c.capacity() - c.len(), std::cmp::Reverse(p.index()))
+                        })
+                        .expect("a live peer exists");
+                    let p = peer.index();
+                    if self.nodes[p].is_full() {
+                        let (d_block, d_kind, _) =
+                            self.nodes[p].oldest().expect("full cache non-empty");
+                        self.nodes[p].remove(d_block);
+                        self.stats.destination_drops += 1;
+                        match d_kind {
+                            CopyKind::Master => {
+                                self.stats.master_drops += 1;
+                                self.recirculation.remove(&d_block);
+                                self.dir_clear(d_block, peer);
+                            }
+                            CopyKind::Replica => self.holders_remove(d_block, peer),
+                        }
+                    }
+                    self.nodes[p].insert_forwarded_master(block, age);
+                    self.dir_set(block, peer);
+                    self.dir_gossip(node, block, peer);
+                    self.stats.remasters += 1;
+                    moved.push((block, peer));
+                }
+            }
+        }
+        moved
+    }
+
     /// Total blocks resident across the cluster.
     pub fn resident_blocks(&self) -> usize {
         self.nodes.iter().map(|c| c.len()).sum()
@@ -829,6 +1028,55 @@ impl ClusterCache {
                 Some(&nodes),
                 "holder list mismatch for {block:?}"
             );
+        }
+    }
+
+    /// Quiescent-state convergence audit (tests; O(masters × live nodes)).
+    ///
+    /// On top of [`ClusterCache::check_invariants`], verifies the hint
+    /// directory's headline property at a quiescent point: every live node
+    /// can locate every resident master through at most one bounded
+    /// forwarding chain, and — because lazy correction rode that chain's
+    /// reply — a second resolution from the same node is hint-exact (zero
+    /// wasted hops). Under the perfect directory this is just the invariant
+    /// check.
+    ///
+    /// Mutates hint tables and accuracy statistics (every resolution
+    /// teaches its participants), so callers comparing [`HintStats`] across
+    /// runs must capture them *before* auditing.
+    pub fn audit_hint_convergence(&mut self) {
+        self.check_invariants();
+        let masters: Vec<(BlockId, NodeId)> = self
+            .nodes
+            .iter()
+            .enumerate()
+            .flat_map(|(i, cache)| {
+                cache
+                    .iter()
+                    .filter(|&(_, kind, _)| kind == CopyKind::Master)
+                    .map(|(block, _, _)| (block, NodeId(i as u16)))
+                    .collect::<Vec<_>>()
+            })
+            .collect();
+        let live = self.live_nodes();
+        let max_hops = self.cfg.hint_max_hops;
+        if let Directory::Hint(h) = &mut self.dir {
+            for &(block, master) in &masters {
+                for &node in &live {
+                    let first = h.resolve_from(node, block, max_hops);
+                    assert_eq!(
+                        first.master,
+                        Some(master),
+                        "hint resolution diverged from truth for {block:?} at {node:?}"
+                    );
+                    let second = h.resolve_from(node, block, max_hops);
+                    assert_eq!(second.master, Some(master));
+                    assert!(
+                        second.hops.is_empty(),
+                        "stale hint for {block:?} at {node:?} survived a forwarding chain"
+                    );
+                }
+            }
         }
     }
 }
@@ -1323,6 +1571,88 @@ mod tests {
         let mut c = cluster(2, 4, ReplacementPolicy::MasterPreserving);
         c.fail_node(NodeId(1));
         c.fail_node(NodeId(1));
+    }
+
+    #[test]
+    fn join_rebalances_a_deterministic_share() {
+        let mut c = cluster(4, 16, ReplacementPolicy::MasterPreserving);
+        c.deactivate_slot(NodeId(3)); // slot 3 provisioned but not a member
+        for i in 0..24 {
+            c.access(NodeId((i % 3) as u16), b(i));
+        }
+        assert!(c.node(NodeId(3)).is_empty());
+        c.revive_node(NodeId(3));
+        let moved = c.rebalance_on_join(NodeId(3));
+        assert!(!moved.is_empty(), "joiner must absorb some masters");
+        for &(block, old) in &moved {
+            assert_eq!(c.master_location(block), Some(NodeId(3)));
+            assert_ne!(old, NodeId(3));
+        }
+        assert_eq!(c.node(NodeId(3)).num_masters(), moved.len());
+        c.check_invariants();
+        // Re-running the same history yields the same move set.
+        let mut c2 = cluster(4, 16, ReplacementPolicy::MasterPreserving);
+        c2.deactivate_slot(NodeId(3));
+        for i in 0..24 {
+            c2.access(NodeId((i % 3) as u16), b(i));
+        }
+        c2.revive_node(NodeId(3));
+        assert_eq!(c2.rebalance_on_join(NodeId(3)), moved);
+    }
+
+    #[test]
+    fn retire_preserves_masters() {
+        let mut c = cluster(3, 8, ReplacementPolicy::MasterPreserving);
+        c.access(NodeId(2), b(1)); // master at 2, no replica
+        c.access(NodeId(2), b(2)); // master at 2
+        c.access(NodeId(0), b(2)); // replica of b2 at 0
+        c.access(NodeId(0), b(3)); // master at 0 (stays put)
+        let before = c.resident_masters();
+        let moved = c.retire_node(NodeId(2));
+        assert!(c.is_down(NodeId(2)));
+        assert!(c.node(NodeId(2)).is_empty());
+        // b2 re-mastered from node 0's replica (no bytes move); b1 handed
+        // off to a live peer (bytes must follow).
+        assert_eq!(c.master_location(b(2)), Some(NodeId(0)));
+        assert_eq!(moved.len(), 1);
+        assert_eq!(moved[0].0, b(1));
+        assert_eq!(c.master_location(b(1)), Some(moved[0].1));
+        assert_eq!(c.resident_masters(), before, "no master lost on leave");
+        c.check_invariants();
+    }
+
+    #[test]
+    fn hint_trail_is_exposed_and_bounded() {
+        let mut cfg = CacheConfig::paper(4, 8, ReplacementPolicy::MasterPreserving);
+        cfg.directory = DirectoryKind::Hint;
+        cfg.hint_max_hops = 2;
+        let mut c = ClusterCache::new(cfg);
+        c.access(NodeId(0), b(1)); // master at 0
+        c.access(NodeId(2), b(1)); // node 2 learns: at 0 (replica installed)
+        assert!(c.take_hint_trail().is_empty(), "no stale hint yet");
+        c.check_invariants();
+    }
+
+    #[test]
+    fn audit_passes_after_arbitrary_churn() {
+        let mut cfg = CacheConfig::paper(5, 8, ReplacementPolicy::MasterPreserving);
+        cfg.directory = DirectoryKind::Hint;
+        let mut c = ClusterCache::new(cfg);
+        let mut rng = simcore::Rng::new(31);
+        for _ in 0..2_000 {
+            let node = NodeId(rng.next_below(5) as u16);
+            let block = b(rng.next_below(60) as u32);
+            c.access(node, block);
+            c.take_hint_trail();
+        }
+        // Churn the membership through the audit as well.
+        c.audit_hint_convergence();
+        let moved = c.retire_node(NodeId(4));
+        let _ = moved;
+        c.audit_hint_convergence();
+        c.revive_node(NodeId(4));
+        c.rebalance_on_join(NodeId(4));
+        c.audit_hint_convergence();
     }
 
     #[test]

@@ -104,6 +104,13 @@ pub struct HintStats {
     pub stale: u64,
     /// Lookups with no local hint.
     pub missing: u64,
+    /// Wasted hops charged across all chain resolutions
+    /// ([`HintDirectory::resolve_from`]): every node visited on a stale
+    /// hint's say-so that turned out not to hold the master.
+    pub forward_hops: u64,
+    /// Chain resolutions that hit the hop bound without finding the master
+    /// and fell back to the authoritative (home-node) path.
+    pub exhausted: u64,
 }
 
 impl HintStats {
@@ -116,6 +123,20 @@ impl HintStats {
             self.correct as f64 / with_hint as f64
         }
     }
+}
+
+/// The outcome of a bounded hint-chain resolution
+/// ([`HintDirectory::resolve_from`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HintResolution {
+    /// Where the master actually lives, if it is in memory at all.
+    pub master: Option<NodeId>,
+    /// Wasted hops, in visit order: nodes a hint pointed at that did not
+    /// hold the master. The final (successful) holder is *not* listed.
+    pub hops: Vec<NodeId>,
+    /// True when the chain stopped at the hop bound (or ran out of hints)
+    /// and the answer came from the authoritative home-node path instead.
+    pub exhausted: bool,
 }
 
 /// How many recent master-placement updates each node piggybacks on its
@@ -192,6 +213,85 @@ impl HintDirectory {
             }
         }
         outcome
+    }
+
+    /// Resolve `block` on behalf of `from` by chasing hints through at most
+    /// `max_hops` wasted hops (Sarkar & Hartman forwarding): start from the
+    /// requester's hint; each node a stale hint lands on consults *its own*
+    /// hint table and forwards the request onward. When the chain finds the
+    /// master, stops making progress (no fresh hint, a cycle), or exhausts
+    /// the hop budget, the request falls back to the authoritative
+    /// home-node path.
+    ///
+    /// Lazy correction rides the reply: the requester and every wasted hop
+    /// learn the true location (or unlearn their hint when the master left
+    /// memory), so the same stale hint is never chased twice — staleness is
+    /// always detected and corrected within one forwarding chain.
+    pub fn resolve_from(
+        &mut self,
+        from: NodeId,
+        block: BlockId,
+        max_hops: usize,
+    ) -> HintResolution {
+        self.stats.lookups += 1;
+        let actual = self.truth.lookup(block);
+        let first = self.hints[from.index()]
+            .get(&block)
+            .copied()
+            .filter(|&h| h != from);
+        let mut hops: Vec<NodeId> = Vec::new();
+        let mut exhausted = false;
+        match first {
+            None => self.stats.missing += 1,
+            Some(h) if actual == Some(h) => self.stats.correct += 1,
+            Some(first) => {
+                self.stats.stale += 1;
+                // Chase the chain: each visited node's own hint, skipping
+                // self-pointers and anything already visited (a cycle means
+                // the chain has no fresh information left).
+                let mut cur = first;
+                loop {
+                    hops.push(cur);
+                    if hops.len() >= max_hops {
+                        exhausted = true;
+                        break;
+                    }
+                    let next = self.hints[cur.index()]
+                        .get(&block)
+                        .copied()
+                        .filter(|&h| h != cur && h != from && !hops.contains(&h));
+                    match next {
+                        Some(n) if actual == Some(n) => break, // chain found it
+                        Some(n) => cur = n,
+                        None => {
+                            exhausted = true;
+                            break;
+                        }
+                    }
+                }
+                self.stats.forward_hops += hops.len() as u64;
+                if exhausted {
+                    self.stats.exhausted += 1;
+                }
+            }
+        }
+        // Lazy correction piggybacked on the reply path: the requester and
+        // every wasted hop now know the truth.
+        for node in hops.iter().copied().chain(std::iter::once(from)) {
+            match actual {
+                Some(a) => {
+                    self.hints[node.index()].insert(block, a);
+                }
+                None => {
+                    self.hints[node.index()].remove(&block);
+                }
+            }
+        }
+        HintResolution {
+            master: actual,
+            hops,
+            exhausted,
+        }
     }
 
     /// Record a master placement. The holder (and, for a forward, the old
@@ -395,9 +495,79 @@ mod tests {
             lookups: 10,
             correct: 8,
             stale: 2,
-            missing: 0,
+            ..HintStats::default()
         };
         assert!((s.accuracy() - 0.8).abs() < 1e-12);
         assert_eq!(HintStats::default().accuracy(), 0.0);
+    }
+
+    #[test]
+    fn resolve_chases_a_chain_and_corrects_every_hop() {
+        let mut d = HintDirectory::new(5);
+        // Build a two-link chain of stale hints: node 0 thinks the master is
+        // at 1, node 1 thinks it moved on to 2, node 2 knows the truth (3).
+        d.set(b(9), NodeId(3));
+        d.gossip(NodeId(0), b(9), NodeId(1));
+        d.gossip(NodeId(1), b(9), NodeId(2));
+        d.gossip(NodeId(2), b(9), NodeId(3));
+        let r = d.resolve_from(NodeId(0), b(9), 4);
+        assert_eq!(r.master, Some(NodeId(3)));
+        assert_eq!(r.hops, vec![NodeId(1), NodeId(2)]);
+        assert!(!r.exhausted);
+        let s = d.stats();
+        assert_eq!(s.stale, 1);
+        assert_eq!(s.forward_hops, 2);
+        assert_eq!(s.exhausted, 0);
+        // Lazy correction: the requester and both wasted hops now resolve in
+        // zero hops.
+        for n in [NodeId(0), NodeId(1), NodeId(2)] {
+            let r = d.resolve_from(n, b(9), 4);
+            assert_eq!(r.master, Some(NodeId(3)));
+            assert!(r.hops.is_empty(), "{n:?} should be corrected");
+        }
+    }
+
+    #[test]
+    fn resolve_respects_the_hop_bound() {
+        let mut d = HintDirectory::new(6);
+        d.set(b(1), NodeId(5));
+        // A four-link stale chain 0→1→2→3→4, none of whom hold the master.
+        for i in 0..4u16 {
+            d.gossip(NodeId(i), b(1), NodeId(i + 1));
+        }
+        let r = d.resolve_from(NodeId(0), b(1), 2);
+        assert_eq!(r.master, Some(NodeId(5)), "fallback still finds truth");
+        assert_eq!(r.hops.len(), 2, "bounded at max_hops");
+        assert!(r.exhausted);
+        assert_eq!(d.stats().exhausted, 1);
+        assert_eq!(d.stats().forward_hops, 2);
+    }
+
+    #[test]
+    fn resolve_detects_cycles_and_falls_back() {
+        let mut d = HintDirectory::new(4);
+        d.set(b(2), NodeId(3));
+        // 0 and 1 point at each other; 1's hint back to 0 is a cycle.
+        d.gossip(NodeId(0), b(2), NodeId(1));
+        d.gossip(NodeId(1), b(2), NodeId(0));
+        let r = d.resolve_from(NodeId(0), b(2), 8);
+        assert_eq!(r.master, Some(NodeId(3)));
+        assert_eq!(r.hops, vec![NodeId(1)], "cycle cut after one hop");
+        assert!(r.exhausted);
+    }
+
+    #[test]
+    fn resolve_with_no_master_unlearns_the_chain() {
+        let mut d = HintDirectory::new(3);
+        d.set(b(4), NodeId(1));
+        d.lookup_from(NodeId(0), b(4)); // node 0 learns: at 1
+        d.clear(b(4), NodeId(1));
+        let r = d.resolve_from(NodeId(0), b(4), 4);
+        assert_eq!(r.master, None);
+        assert_eq!(r.hops, vec![NodeId(1)]);
+        // Unlearned: the next resolve has no hint and no wasted hop.
+        let r = d.resolve_from(NodeId(0), b(4), 4);
+        assert_eq!(r.master, None);
+        assert!(r.hops.is_empty());
     }
 }

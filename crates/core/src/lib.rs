@@ -54,7 +54,7 @@ pub use cluster_cache::{
     AccessOutcome, CacheConfig, ClusterCache, Disposition, EvictionEffect, PrefetchOutcome,
     RepairReport, WriteOutcome,
 };
-pub use directory::{DirectoryKind, HintLookup};
+pub use directory::{DirectoryKind, HintLookup, HintResolution, HintStats};
 pub use node_cache::{CopyKind, NodeCache};
 pub use policy::ReplacementPolicy;
 pub use stats::CacheStats;

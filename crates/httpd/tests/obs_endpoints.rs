@@ -68,6 +68,12 @@ fn metrics_scrape_parses_and_reflects_traffic() {
         "ccm_disk_reads_total",
         "ccm_disk_read_latency_ns_bucket",
         "ccm_disk_queue_depth",
+        // Hint-directory and membership families are always registered —
+        // zero under the perfect directory, but present on every scrape.
+        "ccm_rt_hint_hits_total",
+        "ccm_rt_hint_stale_total",
+        "ccm_rt_hint_forward_hops_total",
+        "ccm_rt_epoch",
     ] {
         assert!(names.contains(family), "scrape missing {family}:\n{text}");
     }
