@@ -1,0 +1,110 @@
+//! `bench_front` — the live CCM-vs-L2S showdown: every trace preset
+//! replayed through the HTTP front door, crossed with every dispatch
+//! policy, on both backends, written to `BENCH_front.json`.
+//!
+//! Each cell is a full `ccm-load` front-door run: closed-loop clients
+//! replay the preset's recorded stream over keep-alive connections,
+//! every response byte is verified against the backing store, and the
+//! report carries the block-weighted hit ratio, handoff count, latency
+//! quantiles, and the reconciliation verdict (driver counts vs. the
+//! front tier's `ccm_front_*` counters vs. the backend's accounting).
+//!
+//! The matrix is `preset × dispatch policy × backend` — the paper's
+//! comparison (block-granular cooperative caching vs. L2S's whole-file
+//! locality routing) plus the dispatch axis the front tier adds.
+//!
+//! `--quick` (or `CCM_QUICK=1`): two presets, two policies, shorter
+//! streams — the CI smoke configuration.
+
+use ccm_core::ReplacementPolicy;
+use ccm_front::PolicyKind;
+use ccm_load::{run_front, BackendChoice, FrontSpec};
+use ccm_traces::Preset;
+use std::io::Write;
+
+fn spec_for(
+    preset: Preset,
+    dispatch: PolicyKind,
+    backend: BackendChoice,
+    quick: bool,
+) -> FrontSpec {
+    let mut spec = FrontSpec::new(preset, dispatch, backend);
+    if quick {
+        spec.head_files = Some(150);
+        spec.warmup_requests = 150;
+        spec.measure_requests = 300;
+    }
+    spec
+}
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick")
+        || std::env::var("CCM_QUICK").is_ok_and(|v| v != "0" && !v.is_empty());
+    let presets: &[Preset] = if quick {
+        &[Preset::Calgary, Preset::Rutgers]
+    } else {
+        &Preset::all()
+    };
+    let policies: &[PolicyKind] = if quick {
+        &[PolicyKind::RoundRobin, PolicyKind::ContentAware]
+    } else {
+        &PolicyKind::all()
+    };
+    let backends = [
+        BackendChoice::Ccm(ReplacementPolicy::MasterPreserving),
+        BackendChoice::L2s,
+    ];
+
+    let mut cells = Vec::new();
+    for &preset in presets {
+        for &dispatch in policies {
+            for backend in backends {
+                let spec = spec_for(preset, dispatch, backend, quick);
+                let report = run_front(&spec);
+                println!("{}", report.summary());
+                assert!(
+                    report.reconciled,
+                    "{} {} {}: driver and front-tier counters disagree",
+                    report.backend, report.preset, report.dispatch
+                );
+                cells.push(report);
+            }
+        }
+    }
+
+    // The headline comparison the matrix exists for: CCM vs L2S hit
+    // ratio per preset, each at its best dispatch policy.
+    println!("\ncluster-memory hit ratio, best policy per backend:");
+    for &preset in presets {
+        let best = |name: &str| {
+            cells
+                .iter()
+                .filter(|c| c.backend == name && c.preset.starts_with(preset.name()))
+                .map(|c| c.hit_ratio())
+                .fold(0.0f64, f64::max)
+        };
+        println!(
+            "  {:<10} ccm {:>5.1}%  l2s {:>5.1}%",
+            preset.name(),
+            100.0 * best("ccm"),
+            100.0 * best("l2s"),
+        );
+    }
+
+    let mut json = String::from("{\n  \"bench\": \"bench_front\",\n");
+    json.push_str(&format!("  \"quick\": {quick},\n"));
+    json.push_str("  \"cells\": [\n");
+    for (i, report) in cells.iter().enumerate() {
+        json.push_str("    ");
+        json.push_str(&report.to_json());
+        json.push_str(if i + 1 < cells.len() { ",\n" } else { "\n" });
+    }
+    json.push_str("  ]\n}\n");
+
+    // Repo root, next to Cargo.toml (crates/bench/../..).
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_front.json");
+    let mut f = std::fs::File::create(path).expect("create BENCH_front.json");
+    f.write_all(json.as_bytes())
+        .expect("write BENCH_front.json");
+    println!("\nwrote {path}");
+}

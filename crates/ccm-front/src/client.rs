@@ -1,0 +1,133 @@
+//! A blocking HTTP client that keeps response headers — the front tier's
+//! tests and load driver need `Content-Range`/`ETag`, which the simpler
+//! `ccm-httpd` client discards.
+
+use ccm_httpd::http::Headers;
+use std::io::{BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpStream};
+
+/// A parsed response with its headers.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Response {
+    /// HTTP status code.
+    pub status: u16,
+    /// Response headers (case-insensitive multimap).
+    pub headers: Headers,
+    /// The body (empty for HEAD).
+    pub body: Vec<u8>,
+}
+
+fn read_response(reader: &mut impl BufRead, head_only: bool) -> std::io::Result<Response> {
+    let bad = |m: &str| std::io::Error::new(std::io::ErrorKind::InvalidData, m.to_string());
+    let mut line = String::new();
+    if reader.read_line(&mut line)? == 0 {
+        return Err(bad("connection closed before status line"));
+    }
+    let status: u16 = line
+        .split_ascii_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| bad("bad status line"))?;
+    let mut headers = Headers::new();
+    loop {
+        let mut h = String::new();
+        if reader.read_line(&mut h)? == 0 {
+            return Err(bad("eof in headers"));
+        }
+        let h = h.trim_end();
+        if h.is_empty() {
+            break;
+        }
+        let (name, value) = h.split_once(':').ok_or_else(|| bad("bad header"))?;
+        headers.push(name.trim(), value.trim());
+    }
+    let content_length: usize = headers
+        .get("content-length")
+        .and_then(|v| v.parse().ok())
+        .ok_or_else(|| bad("missing content-length"))?;
+    let mut body = vec![0u8; if head_only { 0 } else { content_length }];
+    reader.read_exact(&mut body)?;
+    Ok(Response {
+        status,
+        headers,
+        body,
+    })
+}
+
+/// A persistent connection to one front endpoint.
+pub struct FrontClient {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+}
+
+impl FrontClient {
+    /// Open a keep-alive connection to `addr`.
+    pub fn connect(addr: SocketAddr) -> std::io::Result<FrontClient> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        Ok(FrontClient {
+            reader: BufReader::new(stream.try_clone()?),
+            writer: stream,
+        })
+    }
+
+    /// `GET path` with extra request headers (e.g. `Range`).
+    pub fn get_with(&mut self, path: &str, extra: &[(&str, &str)]) -> std::io::Result<Response> {
+        self.send("GET", path, extra)?;
+        read_response(&mut self.reader, false)
+    }
+
+    /// Plain keep-alive `GET`.
+    pub fn get(&mut self, path: &str) -> std::io::Result<Response> {
+        self.get_with(path, &[])
+    }
+
+    /// `HEAD path` with extra request headers.
+    pub fn head_with(&mut self, path: &str, extra: &[(&str, &str)]) -> std::io::Result<Response> {
+        self.send("HEAD", path, extra)?;
+        read_response(&mut self.reader, true)
+    }
+
+    /// Write one request head without reading the response — the
+    /// pipelining half. Follow with [`FrontClient::read_pipelined`].
+    pub fn send(
+        &mut self,
+        method: &str,
+        path: &str,
+        extra: &[(&str, &str)],
+    ) -> std::io::Result<()> {
+        write!(self.writer, "{method} {path} HTTP/1.1\r\nHost: front\r\n")?;
+        for (name, value) in extra {
+            write!(self.writer, "{name}: {value}\r\n")?;
+        }
+        self.writer.write_all(b"\r\n")?;
+        self.writer.flush()
+    }
+
+    /// Read one response off the wire (responses to pipelined requests
+    /// arrive strictly in request order).
+    pub fn read_pipelined(&mut self) -> std::io::Result<Response> {
+        read_response(&mut self.reader, false)
+    }
+}
+
+/// One-shot `GET` with extra headers (fresh connection, close).
+pub fn get_with(addr: SocketAddr, path: &str, extra: &[(&str, &str)]) -> std::io::Result<Response> {
+    let mut stream = TcpStream::connect(addr)?;
+    stream.set_nodelay(true)?;
+    write!(
+        stream,
+        "GET {path} HTTP/1.1\r\nHost: front\r\nConnection: close\r\n"
+    )?;
+    for (name, value) in extra {
+        write!(stream, "{name}: {value}\r\n")?;
+    }
+    stream.write_all(b"\r\n")?;
+    let mut reader = BufReader::new(stream);
+    read_response(&mut reader, false)
+}
+
+/// One-shot plain `GET`.
+pub fn get(addr: SocketAddr, path: &str) -> std::io::Result<Response> {
+    get_with(addr, path, &[])
+}

@@ -1,0 +1,411 @@
+//! The front-door tier: per-endpoint HTTP listeners in a fixed pipeline.
+//!
+//! ```text
+//!             ┌────────── endpoint ──────────┐
+//!  client ──▶ │ accept · keep-alive · parse  │   (ccm-httpd's shared
+//!             └──────────────┬───────────────┘    HTTP module)
+//!             ┌────────── middleware ────────┐
+//!             │ obs: latency · inflight ·    │   (`ccm_front_*` family)
+//!             │ dispatch/handoff counters    │
+//!             └──────────────┬───────────────┘
+//!             ┌────────── service ───────────┐
+//!             │ route · Range/If-Range ·     │   (the `range` module +
+//!             │ Dispatch::pick               │    the dispatch seam)
+//!             └──────────────┬───────────────┘
+//!             ┌────────── backend ───────────┐
+//!             │ CCM cluster  |  live L2S     │   (the backend seam)
+//!             └──────────────────────────────┘
+//! ```
+//!
+//! One listener per cluster node plays the round-robin-DNS arrival points;
+//! a request may then be *dispatched* to a different node by the policy —
+//! the `moved` distinction the paper's L2S baseline charges hand-off costs
+//! for. Connections are thread-per-connection with keep-alive, and because
+//! each connection is drained strictly in order, pipelined requests get
+//! their responses in request order with no extra machinery.
+
+use crate::backend::FrontBackend;
+use crate::dispatch::{inflight_gauges, Dispatch};
+use crate::range::{self, RangeOutcome};
+use ccm_core::{FileId, NodeId};
+use ccm_httpd::http::{
+    read_request, route_file, write_response, write_response_with, ParseError, Request,
+};
+use ccm_obs::{Counter, Gauge, Histogram, Registry, Stopwatch};
+use std::io::BufReader;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+/// Response status classes tallied per policy.
+const STATUS_CLASSES: [&str; 4] = ["2xx", "4xx", "5xx", "206"];
+
+/// The `ccm_front_*` metric family.
+struct FrontObs {
+    /// Requests dispatched, by target node (`{policy, node}`).
+    dispatch_total: Vec<Counter>,
+    /// Requests whose target differed from their arrival endpoint.
+    handoffs: Counter,
+    /// Parse-to-response-ready latency (accounting settles before the
+    /// response is written, so sequential clients stay deterministic).
+    latency_ns: Histogram,
+    /// Responses by status class (206 gets its own bucket: partial
+    /// content is what this tier exists to measure).
+    responses: [Counter; 4],
+    /// Outstanding backend reads per node — the load-aware policy's
+    /// signal (same handles, via registry dedupe).
+    inflight: Vec<Gauge>,
+}
+
+impl FrontObs {
+    fn new(registry: &Registry, policy: &'static str, nodes: usize) -> FrontObs {
+        FrontObs {
+            dispatch_total: (0..nodes)
+                .map(|n| {
+                    registry.counter(
+                        "ccm_front_dispatch_total",
+                        "Requests dispatched through the front tier, by target node",
+                        &[("policy", policy), ("node", n.to_string().as_str())],
+                    )
+                })
+                .collect(),
+            handoffs: registry.counter(
+                "ccm_front_handoffs_total",
+                "Requests served by a node other than their arrival endpoint",
+                &[("policy", policy)],
+            ),
+            latency_ns: registry.histogram(
+                "ccm_front_request_latency_ns",
+                "Front-tier request latency, parse to response ready",
+                &[("policy", policy)],
+            ),
+            responses: STATUS_CLASSES.map(|class| {
+                registry.counter(
+                    "ccm_front_responses_total",
+                    "Front-tier responses written, by status class",
+                    &[("policy", policy), ("status", class)],
+                )
+            }),
+            inflight: inflight_gauges(registry, nodes),
+        }
+    }
+
+    fn count(&self, status: u16) {
+        let idx = match status {
+            206 => 3,
+            s if s / 100 == 2 => 0,
+            s if s / 100 == 4 => 1,
+            _ => 2,
+        };
+        self.responses[idx].inc();
+    }
+}
+
+/// Everything the connection workers share.
+struct FrontInner {
+    backend: Arc<dyn FrontBackend>,
+    dispatch: Arc<dyn Dispatch>,
+    registry: Registry,
+    obs: FrontObs,
+}
+
+/// A running front tier: one listener per cluster node over one backend.
+pub struct FrontTier {
+    inner: Arc<FrontInner>,
+    addrs: Vec<SocketAddr>,
+    stop: Arc<AtomicBool>,
+    acceptors: Vec<JoinHandle<()>>,
+}
+
+impl FrontTier {
+    /// Start one loopback listener per backend node. `registry` carries
+    /// the `ccm_front_*` family; pass the middleware's registry to get
+    /// front and cache metrics on one `/metrics` page.
+    ///
+    /// # Panics
+    /// Panics if a loopback socket cannot be bound (no such environment
+    /// is supported).
+    pub fn start(
+        backend: Arc<dyn FrontBackend>,
+        dispatch: Arc<dyn Dispatch>,
+        registry: Registry,
+    ) -> FrontTier {
+        let nodes = backend.nodes();
+        let obs = FrontObs::new(&registry, dispatch.name(), nodes);
+        let inner = Arc::new(FrontInner {
+            backend,
+            dispatch,
+            registry,
+            obs,
+        });
+        let stop = Arc::new(AtomicBool::new(false));
+        let mut addrs = Vec::with_capacity(nodes);
+        let mut acceptors = Vec::with_capacity(nodes);
+        for n in 0..nodes {
+            let listener = TcpListener::bind("127.0.0.1:0").expect("bind loopback");
+            addrs.push(listener.local_addr().expect("local addr"));
+            let inner = inner.clone();
+            let stop = stop.clone();
+            acceptors.push(
+                std::thread::Builder::new()
+                    .name(format!("front-ep-{n}"))
+                    .spawn(move || accept_loop(listener, NodeId(n as u16), inner, stop))
+                    .expect("spawn acceptor"),
+            );
+        }
+        FrontTier {
+            inner,
+            addrs,
+            stop,
+            acceptors,
+        }
+    }
+
+    /// The per-endpoint addresses (what round-robin DNS would rotate
+    /// through).
+    pub fn addrs(&self) -> &[SocketAddr] {
+        &self.addrs
+    }
+
+    /// The dispatch policy's label.
+    pub fn policy(&self) -> &'static str {
+        self.inner.dispatch.name()
+    }
+
+    /// The backend underneath.
+    pub fn backend(&self) -> &Arc<dyn FrontBackend> {
+        &self.inner.backend
+    }
+
+    /// Requests dispatched to each node so far.
+    pub fn dispatch_counts(&self) -> Vec<u64> {
+        self.inner
+            .obs
+            .dispatch_total
+            .iter()
+            .map(Counter::get)
+            .collect()
+    }
+
+    /// Requests moved off their arrival endpoint so far.
+    pub fn handoffs(&self) -> u64 {
+        self.inner.obs.handoffs.get()
+    }
+
+    /// One-line dispatch summary (the `--front` demo prints this on
+    /// shutdown).
+    pub fn dispatch_summary(&self) -> String {
+        let counts = self.dispatch_counts();
+        let total: u64 = counts.iter().sum();
+        format!(
+            "policy={} dispatched={} handoffs={} per-node={:?}",
+            self.policy(),
+            total,
+            self.handoffs(),
+            counts
+        )
+    }
+
+    /// Stop accepting and drain connection workers. The backend is left
+    /// running — its lifecycle belongs to whoever started it.
+    pub fn shutdown(mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        for &addr in &self.addrs {
+            let _ = TcpStream::connect(addr); // nudge accept()
+        }
+        for a in self.acceptors.drain(..) {
+            let _ = a.join();
+        }
+    }
+}
+
+fn accept_loop(
+    listener: TcpListener,
+    endpoint: NodeId,
+    inner: Arc<FrontInner>,
+    stop: Arc<AtomicBool>,
+) {
+    let mut workers: Vec<JoinHandle<()>> = Vec::new();
+    for stream in listener.incoming() {
+        if stop.load(Ordering::SeqCst) {
+            break;
+        }
+        let Ok(stream) = stream else { continue };
+        let inner = inner.clone();
+        workers.push(
+            std::thread::Builder::new()
+                .name("front-conn".into())
+                .spawn(move || serve_connection(stream, endpoint, &inner))
+                .expect("spawn worker"),
+        );
+        workers.retain(|w| !w.is_finished());
+    }
+    for w in workers {
+        let _ = w.join();
+    }
+}
+
+/// A fully prepared response, accounting already done. Writing it is the
+/// *last* thing that happens for a request: once the client has read the
+/// response, every counter, gauge, and dispatch-policy bracket for it has
+/// already settled — which is what makes a sequential client a fully
+/// deterministic driver.
+struct Prepared {
+    status: u16,
+    reason: &'static str,
+    content_type: &'static str,
+    extra: Vec<(&'static str, String)>,
+    body: Vec<u8>,
+}
+
+impl Prepared {
+    fn new(status: u16, reason: &'static str, body: Vec<u8>) -> Prepared {
+        Prepared {
+            status,
+            reason,
+            content_type: "application/octet-stream",
+            extra: Vec::new(),
+            body,
+        }
+    }
+
+    fn write(&self, writer: &mut TcpStream, req: &Request, head_only: bool) -> std::io::Result<()> {
+        let extra: Vec<(&str, &str)> = self.extra.iter().map(|(k, v)| (*k, v.as_str())).collect();
+        write_response_with(
+            writer,
+            self.status,
+            self.reason,
+            self.content_type,
+            &extra,
+            &self.body,
+            req.keep_alive,
+            head_only,
+        )
+    }
+}
+
+/// Endpoint stage: keep-alive parse loop. Requests are answered strictly
+/// in arrival order, which is exactly the ordering pipelining requires.
+fn serve_connection(stream: TcpStream, endpoint: NodeId, inner: &FrontInner) {
+    let _ = stream.set_read_timeout(Some(std::time::Duration::from_secs(5)));
+    let _ = stream.set_nodelay(true);
+    let mut reader = BufReader::new(match stream.try_clone() {
+        Ok(s) => s,
+        Err(_) => return,
+    });
+    let mut writer = stream;
+    loop {
+        let req = match read_request(&mut reader) {
+            Ok(r) => r,
+            Err(ParseError::ConnectionClosed) => return,
+            Err(_) => {
+                inner.obs.count(400);
+                let _ = write_response(&mut writer, 400, "Bad Request", b"", false, false);
+                return;
+            }
+        };
+        // Middleware stage: latency + status accounting around the
+        // service call — all of it *before* the response is written.
+        let head_only = req.method == "HEAD";
+        let sw = Stopwatch::start();
+        let prepared = handle_request(endpoint, &req, inner);
+        sw.stop(&inner.obs.latency_ns);
+        inner.obs.count(prepared.status);
+        let ok = prepared.write(&mut writer, &req, head_only);
+        if ok.is_err() || !req.keep_alive {
+            return;
+        }
+    }
+}
+
+/// Service stage: routing, range semantics, and the dispatch decision.
+fn handle_request(endpoint: NodeId, req: &Request, inner: &FrontInner) -> Prepared {
+    if req.method != "GET" && req.method != "HEAD" {
+        return Prepared::new(405, "Method Not Allowed", Vec::new());
+    }
+    match req.path.as_str() {
+        "/metrics" => {
+            let body = ccm_obs::prom::render(&inner.registry.snapshot());
+            let mut p = Prepared::new(200, "OK", body.into_bytes());
+            p.content_type = "text/plain; version=0.0.4; charset=utf-8";
+            p
+        }
+        "/front/stats" => {
+            let counts = inner
+                .obs
+                .dispatch_total
+                .iter()
+                .map(|c| c.get().to_string())
+                .collect::<Vec<_>>()
+                .join(",");
+            let body = format!(
+                "{{\"policy\":\"{}\",\"backend\":\"{}\",\"handoffs\":{},\"dispatched\":[{}]}}",
+                inner.dispatch.name(),
+                inner.backend.name(),
+                inner.obs.handoffs.get(),
+                counts
+            );
+            let mut p = Prepared::new(200, "OK", body.into_bytes());
+            p.content_type = "application/json";
+            p
+        }
+        path => {
+            let file = route_file(path)
+                .filter(|&id| (id as usize) < inner.backend.catalog().num_files())
+                .map(FileId);
+            match file {
+                Some(file) => serve_file(endpoint, req, inner, file),
+                None => Prepared::new(404, "Not Found", b"no such file".to_vec()),
+            }
+        }
+    }
+}
+
+fn serve_file(endpoint: NodeId, req: &Request, inner: &FrontInner, file: FileId) -> Prepared {
+    let size = inner.backend.catalog().size_of(file);
+    let etag = range::etag(file, size);
+    let outcome = range::evaluate(&req.headers, size, &etag);
+
+    // An unsatisfiable range is answered at the front door — no byte of
+    // the selection exists, so there is nothing to dispatch for.
+    if outcome == RangeOutcome::Unsatisfiable {
+        let mut p = Prepared::new(416, "Range Not Satisfiable", Vec::new());
+        p.extra.push(("Content-Range", format!("bytes */{size}")));
+        return p;
+    }
+
+    // Dispatch stage: pick the serving node, account the decision, and
+    // bracket the backend read with the load signals.
+    let target = inner.dispatch.pick(endpoint, &req.path, Some(file));
+    inner.obs.dispatch_total[target.index()].inc();
+    if target != endpoint {
+        inner.obs.handoffs.inc();
+    }
+    inner.obs.inflight[target.index()].adjust(1);
+    inner.dispatch.begin(target);
+
+    let prepared = match outcome {
+        RangeOutcome::Full => {
+            let body = inner.backend.read_file(target, file);
+            let mut p = Prepared::new(200, "OK", body);
+            p.extra.push(("ETag", etag.clone()));
+            p.extra.push(("Accept-Ranges", "bytes".to_string()));
+            p
+        }
+        RangeOutcome::Partial { start, end } => {
+            let body = inner.backend.read_range(target, file, start, end);
+            let mut p = Prepared::new(206, "Partial Content", body);
+            p.extra
+                .push(("Content-Range", format!("bytes {start}-{end}/{size}")));
+            p.extra.push(("ETag", etag.clone()));
+            p.extra.push(("Accept-Ranges", "bytes".to_string()));
+            p
+        }
+        RangeOutcome::Unsatisfiable => unreachable!("handled above"),
+    };
+
+    inner.dispatch.end(target);
+    inner.obs.inflight[target.index()].adjust(-1);
+    prepared
+}

@@ -1,0 +1,350 @@
+//! The front tier over live sockets: range semantics on every backend,
+//! pipelining, dispatch accounting, and the `ccm_front_*` metric family
+//! on `GET /metrics` (the `obs_endpoints` pattern, one tier up).
+
+use ccm_core::{FileId, NodeId, BLOCK_SIZE};
+use ccm_front::client::{get_with, FrontClient};
+use ccm_front::PolicyKind;
+use ccm_rt::store::read_file_direct;
+use ccm_rt::{Catalog, RtConfig, SyntheticStore};
+use ccm_testkit::{start_front, FrontBackendKind, FrontFixture};
+use std::sync::Arc;
+
+/// Files exercising every range corner: multi-block with a partial tail,
+/// an exact block multiple (tail block is full), sub-block, and empty.
+fn fixture() -> (Catalog, Arc<SyntheticStore>) {
+    let sizes = vec![
+        2 * BLOCK_SIZE + 100, // file 0: partial tail block
+        3 * BLOCK_SIZE,       // file 1: exact block multiple
+        512,                  // file 2: sub-block
+        0,                    // file 3: empty
+    ];
+    let catalog = Catalog::new(sizes);
+    let store = Arc::new(SyntheticStore::new(catalog.clone(), 0xF407));
+    (catalog, store)
+}
+
+fn start(
+    kind: FrontBackendKind,
+    policy: PolicyKind,
+) -> (FrontFixture, Catalog, Arc<SyntheticStore>) {
+    let (catalog, store) = fixture();
+    let fx = start_front(
+        kind,
+        policy,
+        RtConfig {
+            nodes: 2,
+            capacity_blocks: 64,
+            ..RtConfig::default()
+        },
+        catalog.clone(),
+        store.clone(),
+    );
+    (fx, catalog, store)
+}
+
+#[test]
+fn range_semantics_hold_on_every_backend() {
+    for kind in FrontBackendKind::all() {
+        let (fx, catalog, store) = start(kind, PolicyKind::RoundRobin);
+        let addr = fx.front.addrs()[0];
+        let label = kind.name();
+
+        for id in [0u32, 1, 2] {
+            let file = FileId(id);
+            let size = catalog.size_of(file);
+            let truth = read_file_direct(store.as_ref(), &catalog, file);
+            let path = format!("/file/{id}");
+
+            // Full read: 200, byte-verified, range plumbing advertised.
+            let full = get_with(addr, &path, &[]).unwrap();
+            assert_eq!(full.status, 200, "{label} file {id}");
+            assert_eq!(full.body, truth, "{label} file {id} bytes");
+            assert_eq!(full.headers.get("accept-ranges"), Some("bytes"));
+            let etag = full.headers.get("etag").expect("etag on 200").to_string();
+
+            // Bounded range: byte-identical to the 200 body's slice.
+            let r = get_with(addr, &path, &[("Range", "bytes=10-137")]).unwrap();
+            assert_eq!(r.status, 206, "{label} file {id}");
+            assert_eq!(r.body, truth[10..=137.min(truth.len() - 1)]);
+            assert_eq!(
+                r.headers.get("content-range").unwrap(),
+                format!("bytes 10-{}/{size}", 137.min(size - 1)),
+                "{label} file {id}"
+            );
+
+            // Suffix range: the exact tail, crossing into the last block.
+            let n = (size / 2).max(1);
+            let r = get_with(addr, &path, &[("Range", format!("bytes=-{n}").as_str())]).unwrap();
+            assert_eq!(r.status, 206, "{label} file {id} suffix");
+            assert_eq!(r.body, truth[(size - n) as usize..], "{label} suffix bytes");
+
+            // Exact-tail block: the final block alone, [size - tail, size).
+            let tail = size - (size - 1) / BLOCK_SIZE * BLOCK_SIZE;
+            let start_pos = size - tail;
+            let spec = format!("bytes={start_pos}-");
+            let r = get_with(addr, &path, &[("Range", spec.as_str())]).unwrap();
+            assert_eq!(r.status, 206, "{label} file {id} tail block");
+            assert_eq!(r.body, truth[start_pos as usize..]);
+            assert_eq!(
+                r.headers.get("content-range").unwrap(),
+                format!("bytes {start_pos}-{}/{size}", size - 1)
+            );
+
+            // Out-of-bounds start: 416 with the unsatisfied-range form.
+            let spec = format!("bytes={size}-");
+            let r = get_with(addr, &path, &[("Range", spec.as_str())]).unwrap();
+            assert_eq!(r.status, 416, "{label} file {id} out of bounds");
+            assert_eq!(
+                r.headers.get("content-range").unwrap(),
+                format!("bytes */{size}")
+            );
+            assert!(r.body.is_empty());
+
+            // If-Range: stale validator downgrades to the full body,
+            // current validator keeps the range.
+            let r = get_with(
+                addr,
+                &path,
+                &[("Range", "bytes=0-9"), ("If-Range", "\"stale\"")],
+            )
+            .unwrap();
+            assert_eq!((r.status, r.body.len()), (200, truth.len()), "{label}");
+            let r = get_with(
+                addr,
+                &path,
+                &[("Range", "bytes=0-9"), ("If-Range", etag.as_str())],
+            )
+            .unwrap();
+            assert_eq!(r.status, 206, "{label} matching If-Range");
+            assert_eq!(r.body, truth[..10]);
+        }
+
+        // The empty file: full read is 200 with zero bytes; any range on
+        // it is unsatisfiable.
+        let r = get_with(addr, "/file/3", &[]).unwrap();
+        assert_eq!((r.status, r.body.len()), (200, 0), "{label} empty file");
+        let r = get_with(addr, "/file/3", &[("Range", "bytes=0-0")]).unwrap();
+        assert_eq!(r.status, 416, "{label} empty file range");
+
+        fx.shutdown();
+    }
+}
+
+#[test]
+fn pipelined_requests_answer_in_order() {
+    for kind in FrontBackendKind::all() {
+        let (fx, catalog, store) = start(kind, PolicyKind::RoundRobin);
+        let mut conn = FrontClient::connect(fx.front.addrs()[1]).unwrap();
+
+        // Write every request before reading any response.
+        let ids = [2u32, 0, 1, 2, 1, 0];
+        for &id in &ids {
+            conn.send("GET", &format!("/file/{id}"), &[]).unwrap();
+        }
+        for &id in &ids {
+            let r = conn.read_pipelined().unwrap();
+            let truth = read_file_direct(store.as_ref(), &catalog, FileId(id));
+            assert_eq!(r.status, 200, "{} file {id}", kind.name());
+            assert_eq!(r.body, truth, "{} pipelined order broken", kind.name());
+        }
+        fx.shutdown();
+    }
+}
+
+#[test]
+fn head_matches_get_and_unknown_paths_404() {
+    let (fx, catalog, _store) = start(FrontBackendKind::L2s, PolicyKind::RoundRobin);
+    let addr = fx.front.addrs()[0];
+    let mut conn = FrontClient::connect(addr).unwrap();
+    let size = catalog.size_of(FileId(0));
+
+    let r = conn.head_with("/file/0", &[]).unwrap();
+    assert_eq!(r.status, 200);
+    assert!(r.body.is_empty(), "HEAD has no body");
+    assert_eq!(
+        r.headers.get("content-length").unwrap(),
+        size.to_string(),
+        "HEAD keeps the body's length"
+    );
+
+    let r = conn.get("/file/999").unwrap();
+    assert_eq!(r.status, 404);
+    let r = conn.get("/nope").unwrap();
+    assert_eq!(r.status, 404);
+    fx.shutdown();
+}
+
+#[test]
+fn content_aware_policy_migrates_and_counts_handoffs() {
+    let (fx, _catalog, _store) = start(FrontBackendKind::L2s, PolicyKind::ContentAware);
+    // The same file requested through both endpoints must serve at one
+    // node (content-aware migration), so one arrival was handed off.
+    for endpoint in [0, 1] {
+        let mut conn = FrontClient::connect(fx.front.addrs()[endpoint]).unwrap();
+        for _ in 0..3 {
+            assert_eq!(conn.get("/file/0").unwrap().status, 200);
+        }
+    }
+    let counts = fx.front.dispatch_counts();
+    assert_eq!(counts.iter().sum::<u64>(), 6);
+    assert!(
+        counts.contains(&6),
+        "content-aware must pin the file to one node, got {counts:?}"
+    );
+    assert_eq!(fx.front.handoffs(), 3, "one endpoint's arrivals all moved");
+    fx.shutdown();
+}
+
+#[test]
+fn front_stats_endpoint_reports_dispatch() {
+    let (fx, _catalog, _store) = start(FrontBackendKind::L2s, PolicyKind::RoundRobin);
+    let addr = fx.front.addrs()[0];
+    let mut conn = FrontClient::connect(addr).unwrap();
+    for _ in 0..4 {
+        conn.get("/file/1").unwrap();
+    }
+    let r = conn.get("/front/stats").unwrap();
+    assert_eq!(r.status, 200);
+    let body = String::from_utf8(r.body).unwrap();
+    assert!(
+        body.contains("\"policy\":\"round-robin\"") && body.contains("\"backend\":\"l2s\""),
+        "unexpected stats page: {body}"
+    );
+    assert!(
+        body.contains("\"dispatched\":[2,2]"),
+        "round-robin split: {body}"
+    );
+    fx.shutdown();
+}
+
+#[cfg(not(feature = "obs-off"))]
+#[test]
+fn metrics_page_carries_the_front_family() {
+    use ccm_obs::prom::parse;
+    use std::collections::BTreeSet;
+
+    // CCM backend: the same page must carry both the front family and the
+    // cache families underneath (one shared registry).
+    let (fx, _catalog, _store) = start(
+        FrontBackendKind::Ccm(ccm_testkit::Backend::Channel),
+        PolicyKind::LoadAware,
+    );
+    let addr = fx.front.addrs()[0];
+    let mut conn = FrontClient::connect(addr).unwrap();
+    for id in [0u32, 1, 2] {
+        assert_eq!(conn.get(&format!("/file/{id}")).unwrap().status, 200);
+    }
+    assert_eq!(
+        conn.get_with("/file/0", &[("Range", "bytes=0-9")])
+            .unwrap()
+            .status,
+        206
+    );
+
+    let r = conn.get("/metrics").unwrap();
+    assert_eq!(r.status, 200);
+    let text = String::from_utf8(r.body).expect("metrics page is UTF-8");
+    let samples = parse(&text).expect("page must parse as Prometheus text");
+    let names: BTreeSet<&str> = samples.iter().map(|s| s.name.as_str()).collect();
+    for family in [
+        "ccm_front_dispatch_total",
+        "ccm_front_handoffs_total",
+        "ccm_front_request_latency_ns_bucket",
+        "ccm_front_responses_total",
+        "ccm_front_inflight",
+        // The cluster behind the seam reports into the same registry.
+        "ccm_rt_reads_total",
+        "ccm_disk_reads_total",
+    ] {
+        assert!(names.contains(family), "scrape missing {family}:\n{text}");
+    }
+
+    // Dispatch counters carry the policy label and cover the traffic.
+    let dispatched: f64 = samples
+        .iter()
+        .filter(|s| s.name == "ccm_front_dispatch_total" && s.label("policy") == Some("load-aware"))
+        .map(|s| s.value)
+        .sum();
+    assert!(dispatched >= 4.0, "saw {dispatched} dispatches");
+
+    // The 206 above has its own status class.
+    let partial: f64 = samples
+        .iter()
+        .filter(|s| s.name == "ccm_front_responses_total" && s.label("status") == Some("206"))
+        .map(|s| s.value)
+        .sum();
+    assert!(partial >= 1.0, "206 responses must be tallied separately");
+    fx.shutdown();
+}
+
+#[test]
+fn every_policy_serves_verified_bytes_through_the_ccm_backend() {
+    let (catalog, store) = fixture();
+    for policy in PolicyKind::all() {
+        let fx = start_front(
+            FrontBackendKind::Ccm(ccm_testkit::Backend::Channel),
+            policy,
+            RtConfig {
+                nodes: 3,
+                capacity_blocks: 64,
+                ..RtConfig::default()
+            },
+            catalog.clone(),
+            store.clone(),
+        );
+        for endpoint in 0..3 {
+            let mut conn = FrontClient::connect(fx.front.addrs()[endpoint]).unwrap();
+            for id in [0u32, 1, 2] {
+                let truth = read_file_direct(store.as_ref(), &catalog, FileId(id));
+                let r = conn.get(&format!("/file/{id}")).unwrap();
+                assert_eq!(r.status, 200, "{} endpoint {endpoint}", policy.name());
+                assert_eq!(r.body, truth, "{} corrupted bytes", policy.name());
+            }
+        }
+        assert_eq!(
+            fx.front.dispatch_counts().iter().sum::<u64>(),
+            9,
+            "{} must account every dispatch",
+            policy.name()
+        );
+        fx.shutdown();
+    }
+}
+
+#[test]
+fn ccm_backend_range_reads_touch_only_covering_blocks() {
+    // A range inside block 1 of file 0 must not charge accesses for
+    // blocks 0 or 2 — the point of block-granular range mapping.
+    let (fx, _catalog, store) = start(
+        FrontBackendKind::Ccm(ccm_testkit::Backend::Channel),
+        PolicyKind::RoundRobin,
+    );
+    let addr = fx.front.addrs()[0];
+    let spec = format!("bytes={}-{}", BLOCK_SIZE + 5, BLOCK_SIZE + 55);
+    let r = get_with(addr, "/file/0", &[("Range", spec.as_str())]).unwrap();
+    assert_eq!(r.status, 206);
+    let truth = read_file_direct(store.as_ref(), fx.backend.catalog(), FileId(0));
+    assert_eq!(
+        r.body,
+        truth[(BLOCK_SIZE + 5) as usize..=(BLOCK_SIZE + 55) as usize]
+    );
+    fx.backend.quiesce();
+    let stats = fx.backend.hit_stats();
+    assert_eq!(
+        stats.accesses, 1,
+        "a one-block range must cost exactly one block access"
+    );
+    fx.shutdown();
+}
+
+#[test]
+fn l2s_node_id_maps_to_arrival_listener() {
+    // Sanity: NodeId(endpoint index) is what dispatch policies receive.
+    let (fx, _catalog, _store) = start(FrontBackendKind::L2s, PolicyKind::ContentAware);
+    let addrs = fx.front.addrs().to_vec();
+    assert_eq!(addrs.len(), 2);
+    assert_ne!(addrs[0], addrs[1]);
+    let _ = NodeId(0);
+    fx.shutdown();
+}

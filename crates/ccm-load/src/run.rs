@@ -241,7 +241,15 @@ fn run_inner(spec: &LoadSpec, backend: &str, transport: Option<Arc<dyn Transport
         nodes: spec.nodes,
         capacity_blocks: spec.capacity_blocks,
         policy: spec.policy,
-        fetch_timeout: Duration::from_secs(2),
+        // Deterministic replay asserts that no fetch ever falls back to
+        // the store; on a loaded (or single-core) machine OS scheduling
+        // can stall a service thread well past the production timeout,
+        // so give sequential replay a timeout only a genuine hang hits.
+        fetch_timeout: if spec.deterministic {
+            Duration::from_secs(60)
+        } else {
+            Duration::from_secs(2)
+        },
         obs: Some(registry.clone()),
         ..RtConfig::default()
     };

@@ -34,8 +34,18 @@
 //! process then stays up serving `/metrics` (Prometheus text) and
 //! `/debug/trace` (JSON) on every node — point `ccmtop` or `curl` at the
 //! printed addresses; Ctrl-C to exit.
+//!
+//! With `--front <policy>` (round-robin, consistent-hash, content-aware,
+//! load-aware) the workload instead goes through `ccm-front`'s dispatching
+//! front tier: requests arrive round-robin at per-node HTTP endpoints, the
+//! chosen policy picks the serving node (handing the request off when that
+//! is not the arrival endpoint), and the cooperative caching middleware
+//! serves the blocks over this crate's TCP peer transport. Every body is
+//! verified against the backing store and the per-node dispatch counters
+//! are printed on shutdown.
 
 use ccm_core::{DirectoryKind, FileId, NodeId, ReplacementPolicy, BLOCK_SIZE};
+use ccm_front::{CcmBackend, FrontBackend, FrontClient, FrontTier, PolicyKind};
 use ccm_httpd::HttpCluster;
 use ccm_load::LoadSpec;
 use ccm_net::TcpLan;
@@ -58,6 +68,16 @@ fn main() {
         let dir = args[i + 1].clone();
         args.drain(i..=i + 1);
         dir
+    });
+    let front = args.iter().position(|a| a == "--front").map(|i| {
+        assert!(
+            i + 1 < args.len(),
+            "--front needs a policy (round-robin, consistent-hash, content-aware, load-aware)"
+        );
+        let policy = PolicyKind::parse(&args[i + 1])
+            .unwrap_or_else(|| panic!("unknown dispatch policy {:?}", args[i + 1]));
+        args.drain(i..=i + 1);
+        policy
     });
     let replay = args.iter().position(|a| a == "--replay").map(|i| {
         assert!(
@@ -140,6 +160,10 @@ fn main() {
 
     if serve {
         serve_http(cfg, catalog, store, lan, ops);
+        return;
+    }
+    if let Some(policy) = front {
+        front_demo(cfg, catalog, store, lan, &wl, ops, policy);
         return;
     }
     if join {
@@ -311,6 +335,89 @@ fn join_demo(
     );
     println!("every byte verified across the join — membership OK");
     mw.shutdown();
+}
+
+/// `--front <policy>`: the dispatching front tier over the TCP peer
+/// transport. Requests arrive round-robin at the per-node endpoints (as
+/// rotating DNS would deliver them), the policy picks the serving node,
+/// and the cooperative caching middleware serves the blocks. Prints the
+/// per-node dispatch counters and the cache hit breakdown on shutdown.
+fn front_demo(
+    cfg: RtConfig,
+    catalog: Catalog,
+    store: Arc<dyn BlockStore>,
+    lan: Arc<TcpLan>,
+    wl: &ccm_traces::Workload,
+    ops: u64,
+    policy: PolicyKind,
+) {
+    let nodes = cfg.nodes;
+    let registry = cfg
+        .obs
+        .clone()
+        .expect("demo config always carries a registry");
+    let mw = Arc::new(Middleware::start_on(
+        cfg,
+        catalog.clone(),
+        store.clone(),
+        lan,
+    ));
+    let backend: Arc<dyn FrontBackend> = Arc::new(CcmBackend::new(mw.clone()));
+    let dispatch = policy.build(&registry, nodes);
+    let tier = FrontTier::start(backend, dispatch, registry);
+    println!();
+    for (i, addr) in tier.addrs().iter().enumerate() {
+        println!("endpoint {i}: http://{addr}  (GET /file/<id>, /front/stats, /metrics)");
+    }
+
+    // One keep-alive connection per endpoint; request i arrives at
+    // endpoint i mod nodes, exactly what round-robin DNS would do.
+    let mut conns: Vec<FrontClient> = tier
+        .addrs()
+        .iter()
+        .map(|&a| FrontClient::connect(a).expect("connect to front endpoint"))
+        .collect();
+    let start = Instant::now();
+    let mut rng = Rng::new(0xF407).substream(1);
+    let mut bytes = 0u64;
+    for op in 0..ops {
+        let file = FileId(wl.sample(&mut rng).0);
+        let resp = conns[(op % nodes as u64) as usize]
+            .get(&format!("/file/{}", file.0))
+            .expect("front-door GET");
+        assert_eq!(resp.status, 200, "op {op}: unexpected status");
+        let want = read_file_direct(&*store, &catalog, file);
+        assert_eq!(resp.body, want, "op {op}: bytes corrupted");
+        bytes += resp.body.len() as u64;
+    }
+    let elapsed = start.elapsed();
+
+    mw.quiesce();
+    mw.check_invariants();
+    let stats = mw.stats();
+    let accesses = stats.local_hits + stats.remote_hits + stats.disk_reads;
+    println!(
+        "\n{} front-door requests ({:.1} MB) across {} endpoints in {:.2?} — {:.1} req/s",
+        ops,
+        bytes as f64 / (1 << 20) as f64,
+        nodes,
+        elapsed,
+        ops as f64 / elapsed.as_secs_f64(),
+    );
+    println!("dispatch: {}", tier.dispatch_summary());
+    println!(
+        "blocks: {accesses} accesses ({:.1}% local, {:.1}% remote, {:.1}% disk)",
+        100.0 * stats.local_hits as f64 / accesses as f64,
+        100.0 * stats.remote_hits as f64 / accesses as f64,
+        100.0 * stats.disk_reads as f64 / accesses as f64,
+    );
+    println!("every byte verified through the front door — front tier OK");
+    drop(conns);
+    tier.shutdown();
+    match Arc::try_unwrap(mw) {
+        Ok(mw) => mw.shutdown(),
+        Err(_) => { /* a handle outlived us; Drop will clean up */ }
+    }
 }
 
 /// `--serve`: HTTP front ends over the TCP peer transport. Warms the

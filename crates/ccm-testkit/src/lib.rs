@@ -573,6 +573,105 @@ pub fn run_churn_torture(
     out
 }
 
+/// Which cache architecture sits behind a front-tier fixture.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FrontBackendKind {
+    /// The cooperative caching middleware on the given LAN backend.
+    Ccm(Backend),
+    /// The live L2S baseline (whole-file per-node LRU, no cooperation).
+    L2s,
+}
+
+impl FrontBackendKind {
+    /// Every backend: CCM on both transports, then L2S.
+    pub fn all() -> [FrontBackendKind; 3] {
+        [
+            FrontBackendKind::Ccm(Backend::Channel),
+            FrontBackendKind::Ccm(Backend::Tcp),
+            FrontBackendKind::L2s,
+        ]
+    }
+
+    /// Label used in reports and assertion messages.
+    pub fn name(self) -> &'static str {
+        match self {
+            FrontBackendKind::Ccm(Backend::Channel) => "ccm/channel",
+            FrontBackendKind::Ccm(Backend::Tcp) => "ccm/tcp",
+            FrontBackendKind::L2s => "l2s",
+        }
+    }
+}
+
+/// A running front tier plus whatever backend lifecycle it must tear
+/// down: the middleware cluster for CCM kinds, nothing extra for L2S.
+pub struct FrontFixture {
+    /// The running front tier (listeners, dispatch, metrics).
+    pub front: ccm_front::FrontTier,
+    /// The backend behind the dispatch seam.
+    pub backend: Arc<dyn ccm_front::FrontBackend>,
+    /// The shared metric registry (`ccm_front_*` plus, for CCM kinds,
+    /// the full `ccm_rt_*` family).
+    pub registry: ccm_obs::Registry,
+    middleware: Option<Arc<Middleware>>,
+}
+
+impl FrontFixture {
+    /// Stop the front tier, then the cluster underneath (if any).
+    pub fn shutdown(self) {
+        let FrontFixture {
+            front, middleware, ..
+        } = self;
+        front.shutdown();
+        if let Some(mw) = middleware {
+            match Arc::try_unwrap(mw) {
+                Ok(mw) => mw.shutdown(),
+                Err(_) => { /* a handle outlived us; Drop will clean up */ }
+            }
+        }
+    }
+}
+
+/// Start a front tier over the chosen backend and dispatch policy.
+///
+/// Capacity parity across backends: the L2S whole-file caches get exactly
+/// the CCM per-node budget, `cfg.capacity_blocks × BLOCK_SIZE` bytes.
+///
+/// # Panics
+/// Panics if listeners cannot bind loopback sockets.
+pub fn start_front(
+    kind: FrontBackendKind,
+    policy: ccm_front::PolicyKind,
+    mut cfg: RtConfig,
+    catalog: Catalog,
+    store: Arc<dyn BlockStore>,
+) -> FrontFixture {
+    use ccm_front::{CcmBackend, FrontBackend, FrontTier, L2sBackend};
+    let registry = cfg.obs.clone().unwrap_or_default();
+    cfg.obs = Some(registry.clone());
+    let (backend, middleware): (Arc<dyn FrontBackend>, Option<Arc<Middleware>>) = match kind {
+        FrontBackendKind::Ccm(lan) => {
+            let cluster = start_cluster(lan, cfg, catalog, store);
+            let mw = Arc::new(cluster.mw);
+            (Arc::new(CcmBackend::new(mw.clone())), Some(mw))
+        }
+        FrontBackendKind::L2s => {
+            let capacity_bytes = cfg.capacity_blocks as u64 * ccm_core::BLOCK_SIZE;
+            (
+                Arc::new(L2sBackend::new(catalog, store, cfg.nodes, capacity_bytes)),
+                None,
+            )
+        }
+    };
+    let dispatch = policy.build(&registry, backend.nodes());
+    let front = FrontTier::start(backend.clone(), dispatch, registry.clone());
+    FrontFixture {
+        front,
+        backend,
+        registry,
+        middleware,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

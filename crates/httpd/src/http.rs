@@ -1,15 +1,86 @@
-//! Minimal HTTP/1.x request parsing and response writing.
+//! Minimal HTTP/1.x request parsing and response writing — the shared
+//! module every HTTP-speaking tier in this workspace parses with.
 //!
-//! Supports exactly what the file server needs: the request line, enough
-//! header handling to honor `Connection: keep-alive`/`close`, and
-//! `Content-Length`-framed responses. Robust against malformed input (a bad
-//! request yields a 400, never a panic) and bounded (oversized request heads
-//! are rejected) so the listener can face untrusted bytes.
+//! Originally this supported exactly what the block-server needed: the
+//! request line and enough header handling to honor `Connection:
+//! keep-alive`/`close`. The front tier (`ccm-front`) needs real header
+//! access — `Range`, `If-Range`, multi-valued fields — so parsing now
+//! captures every header into [`Headers`], a case-insensitive multimap
+//! that also combines repeated fields the way RFC 9110 §5.2 prescribes
+//! (same semantics as one comma-joined field). Robust against malformed
+//! input (a bad request yields a 400, never a panic) and bounded
+//! (oversized request heads are rejected) so listeners can face untrusted
+//! bytes.
 
 use std::io::{BufRead, Write};
 
 /// Largest accepted request head (request line + headers), bytes.
 pub const MAX_HEAD_BYTES: usize = 8 * 1024;
+
+/// The headers of one request, in arrival order.
+///
+/// HTTP header names are case-insensitive, and a field may legally appear
+/// several times (equivalent to one field with comma-joined values). Both
+/// rules live here so no caller ever string-compares names itself.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Headers {
+    fields: Vec<(String, String)>,
+}
+
+impl Headers {
+    /// An empty header set.
+    pub fn new() -> Headers {
+        Headers::default()
+    }
+
+    /// Append one field (parser use, but handy in tests).
+    pub fn push(&mut self, name: impl Into<String>, value: impl Into<String>) {
+        self.fields.push((name.into(), value.into()));
+    }
+
+    /// Number of fields (repeated names count each occurrence).
+    pub fn len(&self) -> usize {
+        self.fields.len()
+    }
+
+    /// True if no fields were present.
+    pub fn is_empty(&self) -> bool {
+        self.fields.is_empty()
+    }
+
+    /// First value of `name`, case-insensitively.
+    pub fn get(&self, name: &str) -> Option<&str> {
+        self.fields
+            .iter()
+            .find(|(n, _)| n.eq_ignore_ascii_case(name))
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// Every value of `name` in arrival order, case-insensitively.
+    pub fn all<'a>(&'a self, name: &'a str) -> impl Iterator<Item = &'a str> + 'a {
+        self.fields
+            .iter()
+            .filter(move |(n, _)| n.eq_ignore_ascii_case(name))
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// Every comma-separated token of every occurrence of `name`, trimmed,
+    /// in arrival order — the RFC 9110 §5.2 view in which
+    /// `Connection: keep-alive` + `Connection: close` equals
+    /// `Connection: keep-alive, close`.
+    pub fn tokens<'a>(&'a self, name: &'a str) -> impl Iterator<Item = &'a str> + 'a {
+        self.all(name)
+            .flat_map(|v| v.split(','))
+            .map(str::trim)
+            .filter(|t| !t.is_empty())
+    }
+
+    /// True if any occurrence of `name` carries `token` (case-insensitive
+    /// list membership — how `Connection` options are matched).
+    pub fn has_token(&self, name: &str, token: &str) -> bool {
+        self.tokens(name).any(|t| t.eq_ignore_ascii_case(token))
+    }
+}
 
 /// A parsed request.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -20,6 +91,8 @@ pub struct Request {
     pub path: String,
     /// True if the connection should be kept open after the response.
     pub keep_alive: bool,
+    /// Every header field, in arrival order.
+    pub headers: Headers,
 }
 
 /// Why a request could not be parsed.
@@ -59,7 +132,7 @@ pub fn read_request(reader: &mut impl BufRead) -> Result<Request, ParseError> {
     }
 
     // Headers until the blank line.
-    let mut keep_alive = http11; // 1.1 defaults to persistent
+    let mut headers = Headers::new();
     loop {
         head.clear();
         match reader.read_line(&mut head) {
@@ -77,19 +150,25 @@ pub fn read_request(reader: &mut impl BufRead) -> Result<Request, ParseError> {
         let Some((name, value)) = h.split_once(':') else {
             return Err(ParseError::Malformed);
         };
-        if name.trim().eq_ignore_ascii_case("connection") {
-            match value.trim().to_ascii_lowercase().as_str() {
-                "keep-alive" => keep_alive = true,
-                "close" => keep_alive = false,
-                _ => {}
-            }
-        }
+        headers.push(name.trim(), value.trim());
     }
+
+    // Connection is a comma-separated option list and may be repeated; a
+    // `close` anywhere wins over any `keep-alive` (once either side has
+    // signalled close, the connection must not persist).
+    let keep_alive = if headers.has_token("connection", "close") {
+        false
+    } else if headers.has_token("connection", "keep-alive") {
+        true
+    } else {
+        http11 // 1.1 defaults to persistent
+    };
 
     Ok(Request {
         method,
         path,
         keep_alive,
+        headers,
     })
 }
 
@@ -125,12 +204,43 @@ pub fn write_response_typed(
     keep_alive: bool,
     head_only: bool,
 ) -> std::io::Result<()> {
+    write_response_with(
+        w,
+        status,
+        reason,
+        content_type,
+        &[],
+        body,
+        keep_alive,
+        head_only,
+    )
+}
+
+/// The general response writer: explicit content type plus any extra
+/// headers (`Content-Range`, `ETag`, `Accept-Ranges`, …). Framing is
+/// always `Content-Length`; `head_only` omits the body but keeps its
+/// length, as `HEAD` requires.
+#[allow(clippy::too_many_arguments)]
+pub fn write_response_with(
+    w: &mut impl Write,
+    status: u16,
+    reason: &str,
+    content_type: &str,
+    extra_headers: &[(&str, &str)],
+    body: &[u8],
+    keep_alive: bool,
+    head_only: bool,
+) -> std::io::Result<()> {
     write!(
         w,
-        "HTTP/1.1 {status} {reason}\r\nContent-Length: {}\r\nContent-Type: {content_type}\r\nConnection: {}\r\n\r\n",
+        "HTTP/1.1 {status} {reason}\r\nContent-Length: {}\r\nContent-Type: {content_type}\r\nConnection: {}\r\n",
         body.len(),
         if keep_alive { "keep-alive" } else { "close" },
     )?;
+    for (name, value) in extra_headers {
+        write!(w, "{name}: {value}\r\n")?;
+    }
+    w.write_all(b"\r\n")?;
     if !head_only {
         w.write_all(body)?;
     }
@@ -157,12 +267,14 @@ mod tests {
         assert_eq!(r.method, "GET");
         assert_eq!(r.path, "/file/7");
         assert!(!r.keep_alive, "1.0 defaults to close");
+        assert!(r.headers.is_empty());
     }
 
     #[test]
     fn parses_get_11_keepalive_default() {
         let r = parse("GET / HTTP/1.1\r\nHost: x\r\n\r\n").unwrap();
         assert!(r.keep_alive, "1.1 defaults to keep-alive");
+        assert_eq!(r.headers.get("host"), Some("x"));
     }
 
     #[test]
@@ -171,6 +283,55 @@ mod tests {
         assert!(!r.keep_alive);
         let r = parse("GET / HTTP/1.0\r\nConnection: Keep-Alive\r\n\r\n").unwrap();
         assert!(r.keep_alive);
+    }
+
+    #[test]
+    fn connection_close_wins_in_token_lists_and_repeats() {
+        // Option list: close anywhere forces close, whatever else rides
+        // along.
+        let r = parse("GET / HTTP/1.1\r\nConnection: keep-alive, close\r\n\r\n").unwrap();
+        assert!(!r.keep_alive, "close in a token list must win");
+        // Repeated field: RFC 9110 treats it as one joined list.
+        let r =
+            parse("GET / HTTP/1.1\r\nConnection: keep-alive\r\nConnection: close\r\n\r\n").unwrap();
+        assert!(!r.keep_alive, "close in a repeated field must win");
+        // Unrelated tokens don't disturb the version default.
+        let r = parse("GET / HTTP/1.1\r\nConnection: TE\r\n\r\n").unwrap();
+        assert!(r.keep_alive);
+        let r = parse("GET / HTTP/1.0\r\nConnection: TE, keep-alive\r\n\r\n").unwrap();
+        assert!(r.keep_alive, "keep-alive token inside a list must count");
+    }
+
+    #[test]
+    fn header_lookup_is_case_insensitive() {
+        let r = parse("GET / HTTP/1.1\r\nRaNgE: bytes=0-4\r\nHost: h\r\n\r\n").unwrap();
+        assert_eq!(r.headers.get("range"), Some("bytes=0-4"));
+        assert_eq!(r.headers.get("RANGE"), Some("bytes=0-4"));
+        assert_eq!(r.headers.get("Range"), Some("bytes=0-4"));
+        assert_eq!(r.headers.get("ranges"), None);
+    }
+
+    #[test]
+    fn repeated_headers_are_all_kept_in_order() {
+        let r = parse("GET / HTTP/1.1\r\nX-Tag: a\r\nOther: o\r\nx-tag: b\r\n\r\n").unwrap();
+        let all: Vec<&str> = r.headers.all("X-Tag").collect();
+        assert_eq!(all, ["a", "b"], "both occurrences, arrival order");
+        assert_eq!(r.headers.get("x-TAG"), Some("a"), "get returns the first");
+        let tokens: Vec<&str> = r.headers.tokens("x-tag").collect();
+        assert_eq!(tokens, ["a", "b"]);
+    }
+
+    #[test]
+    fn tokens_split_and_trim_comma_lists() {
+        let r = parse("GET / HTTP/1.1\r\nAccept-Encoding: gzip , br,, deflate\r\n\r\n").unwrap();
+        let tokens: Vec<&str> = r.headers.tokens("accept-encoding").collect();
+        assert_eq!(
+            tokens,
+            ["gzip", "br", "deflate"],
+            "trimmed, empties dropped"
+        );
+        assert!(r.headers.has_token("accept-encoding", "BR"));
+        assert!(!r.headers.has_token("accept-encoding", "zstd"));
     }
 
     #[test]
@@ -220,6 +381,27 @@ mod tests {
         let text = String::from_utf8(out).unwrap();
         assert!(text.contains("Content-Length: 5\r\n"));
         assert!(text.ends_with("\r\n\r\n"), "no body bytes");
+    }
+
+    #[test]
+    fn extra_headers_ride_the_head() {
+        let mut out = Vec::new();
+        write_response_with(
+            &mut out,
+            206,
+            "Partial Content",
+            "application/octet-stream",
+            &[("Content-Range", "bytes 2-4/10"), ("ETag", "\"f0-10\"")],
+            b"abc",
+            true,
+            false,
+        )
+        .unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.starts_with("HTTP/1.1 206 Partial Content\r\n"));
+        assert!(text.contains("Content-Range: bytes 2-4/10\r\n"));
+        assert!(text.contains("ETag: \"f0-10\"\r\n"));
+        assert!(text.ends_with("\r\n\r\nabc"));
     }
 
     #[test]

@@ -14,8 +14,8 @@
 //! quiet.
 
 use crate::file_cache::FileCache;
+use crate::router::L2sRouter;
 use ccm_core::{FileId, NodeId};
-use simcore::FxHashMap;
 use std::sync::Arc;
 
 /// Configuration of the baseline server.
@@ -100,18 +100,17 @@ pub struct L2sOutcome {
     pub evicted: Vec<FileId>,
 }
 
-/// The baseline server's cluster-wide state.
+/// The baseline server's cluster-wide state: the routing core
+/// ([`L2sRouter`]) plus per-node whole-file caches.
 pub struct L2sSystem {
     cfg: L2sConfig,
+    router: L2sRouter,
     caches: Vec<FileCache>,
-    /// Serving set per file; element 0 is the primary assignment.
-    serving: FxHashMap<FileId, Vec<NodeId>>,
     /// Cluster-wide in-memory copy count per file.
     copies: Vec<u32>,
-    /// Outstanding requests per node (caller-maintained).
-    loads: Vec<u32>,
     tick: u64,
-    stats: L2sStats,
+    hits: u64,
+    misses: u64,
 }
 
 impl L2sSystem {
@@ -124,15 +123,15 @@ impl L2sSystem {
         let caches = (0..cfg.nodes)
             .map(|_| FileCache::new(cfg.capacity_bytes, sizes.clone()))
             .collect();
-        let nodes = cfg.nodes;
+        let router = L2sRouter::new(cfg.nodes, cfg.t_low, cfg.t_high, cfg.max_replicas);
         L2sSystem {
-            loads: vec![0; nodes],
             cfg,
+            router,
             caches,
-            serving: FxHashMap::default(),
             copies: vec![0; sizes.len()],
             tick: 0,
-            stats: L2sStats::default(),
+            hits: 0,
+            misses: 0,
         }
     }
 
@@ -143,23 +142,29 @@ impl L2sSystem {
 
     /// Counters so far.
     pub fn stats(&self) -> L2sStats {
-        self.stats
+        let r = self.router.stats();
+        L2sStats {
+            hits: self.hits,
+            misses: self.misses,
+            handoffs: r.handoffs,
+            replications: r.replications,
+            dereplications: r.dereplications,
+        }
     }
 
     /// A request was dispatched to `node` and is now in flight there.
     pub fn begin_request(&mut self, node: NodeId) {
-        self.loads[node.index()] += 1;
+        self.router.begin_request(node);
     }
 
     /// A request at `node` completed.
     pub fn end_request(&mut self, node: NodeId) {
-        debug_assert!(self.loads[node.index()] > 0, "load underflow");
-        self.loads[node.index()] -= 1;
+        self.router.end_request(node);
     }
 
     /// Current outstanding-request count at `node`.
     pub fn load(&self, node: NodeId) -> u32 {
-        self.loads[node.index()]
+        self.router.load(node)
     }
 
     /// Cluster-wide in-memory copies of `file`.
@@ -172,16 +177,6 @@ impl L2sSystem {
         &self.caches[node.index()]
     }
 
-    fn least_loaded(&self) -> NodeId {
-        let mut best = 0usize;
-        for i in 1..self.loads.len() {
-            if self.loads[i] < self.loads[best] {
-                best = i;
-            }
-        }
-        NodeId(best as u16)
-    }
-
     /// Dispatch a request for `file` arriving (via round-robin DNS) at
     /// `initial`, and perform the cache access at the chosen serving node.
     ///
@@ -191,61 +186,20 @@ impl L2sSystem {
         self.tick += 1;
         let tick = self.tick;
 
-        // Content-aware assignment: first touch goes to the least-loaded node.
-        if !self.serving.contains_key(&file) {
-            let primary = self.least_loaded();
-            self.serving.insert(file, vec![primary]);
-        }
-
-        // De-replicate routing when the whole serving set has gone quiet.
-        {
-            let set = self.serving.get_mut(&file).expect("just inserted");
-            if set.len() > 1 {
-                let t_low = self.cfg.t_low;
-                let max_load = set.iter().map(|n| self.loads[n.index()]).max().unwrap_or(0);
-                if max_load < t_low {
-                    set.pop();
-                    self.stats.dereplications += 1;
-                }
-            }
-        }
-
-        // Pick the least-loaded member of the serving set.
-        let mut target = {
-            let set = &self.serving[&file];
-            *set.iter()
-                .min_by_key(|n| (self.loads[n.index()], n.0))
-                .expect("serving set non-empty")
-        };
-
-        // Load-aware replication: grow the set if the target is overloaded
-        // while someone else is idle.
-        if self.loads[target.index()] >= self.cfg.t_high {
-            let candidate = self.least_loaded();
-            let set = self.serving.get_mut(&file).expect("present");
-            if self.loads[candidate.index()] <= self.cfg.t_low
-                && (set.len() as u16) < self.cfg.max_replicas
-                && !set.contains(&candidate)
-            {
-                set.push(candidate);
-                self.stats.replications += 1;
-                target = candidate;
-            }
-        }
-
-        let moved_from = (target != initial).then_some(initial);
-        if moved_from.is_some() {
-            self.stats.handoffs += 1;
-        }
+        // Routing — content-aware assignment, watermark replication /
+        // de-replication, hand-off accounting — lives in the shared core.
+        let decision = self.router.route(initial, file);
+        let target = decision.target;
+        let moved_from = decision.moved_from;
 
         // Whole-file cache access at the serving node.
         let t = target.index();
         let hit = self.caches[t].touch(file, tick);
         let mut evicted = Vec::new();
         if hit {
-            self.stats.hits += 1;
+            self.hits += 1;
         } else {
-            self.stats.misses += 1;
+            self.misses += 1;
             if self.caches[t].fits(file) {
                 let copies = &self.copies;
                 evicted =
@@ -277,13 +231,7 @@ impl L2sSystem {
             }
         }
         assert_eq!(counts, self.copies, "copy counts drifted");
-        for (file, set) in &self.serving {
-            assert!(!set.is_empty(), "empty serving set for {file:?}");
-            assert!(
-                set.len() <= self.cfg.max_replicas as usize,
-                "serving set exceeds max replicas"
-            );
-        }
+        self.router.check_invariants();
     }
 }
 

@@ -34,6 +34,8 @@
 
 pub mod dispatch;
 pub mod file_cache;
+pub mod router;
 
 pub use dispatch::{L2sConfig, L2sOutcome, L2sStats, L2sSystem};
 pub use file_cache::FileCache;
+pub use router::{L2sRouter, RouteDecision, RouterStats};

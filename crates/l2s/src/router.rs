@@ -1,0 +1,235 @@
+//! The L2S routing core, split from the cache so the live front tier can
+//! run the *same* content-aware policy over real sockets.
+//!
+//! [`L2sRouter`] owns exactly the distribution state — per-file serving
+//! sets, per-node outstanding-request loads, and the replication /
+//! de-replication watermarks — and none of the cache. The simulator's
+//! [`L2sSystem`](crate::L2sSystem) embeds one and adds whole-file caches;
+//! `ccm-front`'s content-aware dispatch policy embeds one and lets the
+//! backend (CCM or live L2S) do its own caching. Both therefore make
+//! bit-identical routing decisions for the same request sequence.
+
+use ccm_core::{FileId, NodeId};
+use simcore::FxHashMap;
+
+/// Routing-only counters (the cache-facing hit/miss counters live with
+/// whoever owns the caches).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RouterStats {
+    /// Requests moved off their arrival node.
+    pub handoffs: u64,
+    /// Serving-set growths under load.
+    pub replications: u64,
+    /// Serving-set shrinks when load subsided.
+    pub dereplications: u64,
+}
+
+/// One routing decision.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RouteDecision {
+    /// The node that should serve the request.
+    pub target: NodeId,
+    /// Set when the request was moved off its arrival node.
+    pub moved_from: Option<NodeId>,
+    /// True if this decision grew the file's serving set (the target is a
+    /// fresh replica and will fault the file in locally).
+    pub replicated: bool,
+}
+
+/// Content- and load-aware request routing: first-touch assignment to the
+/// least-loaded node, migration of later requests to the assignment, and
+/// watermark-driven replication / de-replication. See the crate docs for
+/// the published behavior this implements.
+pub struct L2sRouter {
+    nodes: usize,
+    t_low: u32,
+    t_high: u32,
+    max_replicas: u16,
+    /// Serving set per file; element 0 is the primary assignment.
+    serving: FxHashMap<FileId, Vec<NodeId>>,
+    /// Outstanding requests per node (caller-maintained).
+    loads: Vec<u32>,
+    stats: RouterStats,
+}
+
+impl L2sRouter {
+    /// A router for `nodes` nodes with the given watermarks.
+    ///
+    /// # Panics
+    /// Panics on an empty cluster.
+    pub fn new(nodes: usize, t_low: u32, t_high: u32, max_replicas: u16) -> L2sRouter {
+        assert!(nodes > 0, "empty cluster");
+        L2sRouter {
+            nodes,
+            t_low,
+            t_high,
+            max_replicas,
+            serving: FxHashMap::default(),
+            loads: vec![0; nodes],
+            stats: RouterStats::default(),
+        }
+    }
+
+    /// Cluster size.
+    pub fn nodes(&self) -> usize {
+        self.nodes
+    }
+
+    /// Counters so far.
+    pub fn stats(&self) -> RouterStats {
+        self.stats
+    }
+
+    /// A request was dispatched to `node` and is now in flight there.
+    pub fn begin_request(&mut self, node: NodeId) {
+        self.loads[node.index()] += 1;
+    }
+
+    /// A request at `node` completed.
+    pub fn end_request(&mut self, node: NodeId) {
+        debug_assert!(self.loads[node.index()] > 0, "load underflow");
+        self.loads[node.index()] -= 1;
+    }
+
+    /// Current outstanding-request count at `node`.
+    pub fn load(&self, node: NodeId) -> u32 {
+        self.loads[node.index()]
+    }
+
+    /// The file's current serving set, if it has been assigned.
+    pub fn serving_set(&self, file: FileId) -> Option<&[NodeId]> {
+        self.serving.get(&file).map(|v| v.as_slice())
+    }
+
+    fn least_loaded(&self) -> NodeId {
+        let mut best = 0usize;
+        for i in 1..self.loads.len() {
+            if self.loads[i] < self.loads[best] {
+                best = i;
+            }
+        }
+        NodeId(best as u16)
+    }
+
+    /// Route a request for `file` arriving (via round-robin DNS) at
+    /// `initial`.
+    ///
+    /// The caller is responsible for the [`L2sRouter::begin_request`] /
+    /// [`L2sRouter::end_request`] bracket around the request's lifetime.
+    pub fn route(&mut self, initial: NodeId, file: FileId) -> RouteDecision {
+        // Content-aware assignment: first touch goes to the least-loaded
+        // node.
+        if !self.serving.contains_key(&file) {
+            let primary = self.least_loaded();
+            self.serving.insert(file, vec![primary]);
+        }
+
+        // De-replicate routing when the whole serving set has gone quiet.
+        {
+            let set = self.serving.get_mut(&file).expect("just inserted");
+            if set.len() > 1 {
+                let t_low = self.t_low;
+                let max_load = set.iter().map(|n| self.loads[n.index()]).max().unwrap_or(0);
+                if max_load < t_low {
+                    set.pop();
+                    self.stats.dereplications += 1;
+                }
+            }
+        }
+
+        // Pick the least-loaded member of the serving set.
+        let mut target = {
+            let set = &self.serving[&file];
+            *set.iter()
+                .min_by_key(|n| (self.loads[n.index()], n.0))
+                .expect("serving set non-empty")
+        };
+
+        // Load-aware replication: grow the set if the target is overloaded
+        // while someone else is idle.
+        let mut replicated = false;
+        if self.loads[target.index()] >= self.t_high {
+            let candidate = self.least_loaded();
+            let set = self.serving.get_mut(&file).expect("present");
+            if self.loads[candidate.index()] <= self.t_low
+                && (set.len() as u16) < self.max_replicas
+                && !set.contains(&candidate)
+            {
+                set.push(candidate);
+                self.stats.replications += 1;
+                target = candidate;
+                replicated = true;
+            }
+        }
+
+        let moved_from = (target != initial).then_some(initial);
+        if moved_from.is_some() {
+            self.stats.handoffs += 1;
+        }
+
+        RouteDecision {
+            target,
+            moved_from,
+            replicated,
+        }
+    }
+
+    /// Invariant check (tests): serving sets stay legal.
+    pub fn check_invariants(&self) {
+        for (file, set) in &self.serving {
+            assert!(!set.is_empty(), "empty serving set for {file:?}");
+            assert!(
+                set.len() <= self.max_replicas as usize,
+                "serving set exceeds max replicas"
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn first_touch_goes_to_least_loaded() {
+        let mut r = L2sRouter::new(4, 25, 65, 4);
+        r.begin_request(NodeId(0));
+        r.begin_request(NodeId(1));
+        let d = r.route(NodeId(0), FileId(9));
+        assert_eq!(d.target, NodeId(2), "first idle node wins the assignment");
+        assert_eq!(d.moved_from, Some(NodeId(0)));
+        assert!(!d.replicated);
+        assert_eq!(r.serving_set(FileId(9)), Some(&[NodeId(2)][..]));
+    }
+
+    #[test]
+    fn later_requests_follow_the_assignment() {
+        let mut r = L2sRouter::new(4, 25, 65, 4);
+        let first = r.route(NodeId(3), FileId(1)).target;
+        for arrival in 0..4u16 {
+            assert_eq!(r.route(NodeId(arrival), FileId(1)).target, first);
+        }
+        assert_eq!(r.stats().handoffs, 1 + 3, "only arrivals at `first` stay");
+    }
+
+    #[test]
+    fn replication_flag_marks_fresh_replicas() {
+        let mut r = L2sRouter::new(2, 25, 65, 4);
+        let primary = r.route(NodeId(0), FileId(0)).target;
+        for _ in 0..70 {
+            r.begin_request(primary);
+        }
+        let d = r.route(NodeId(0), FileId(0));
+        assert_ne!(d.target, primary);
+        assert!(d.replicated);
+        assert_eq!(r.stats().replications, 1);
+        // Quiet again: routing shrinks back.
+        for _ in 0..70 {
+            r.end_request(primary);
+        }
+        let d = r.route(NodeId(1), FileId(0));
+        assert_eq!(d.target, primary);
+        assert_eq!(r.stats().dereplications, 1);
+        r.check_invariants();
+    }
+}
