@@ -8,12 +8,24 @@
 //! breakdown over the measurement window, and the reconciliation verdict
 //! (driver counts vs. protocol stats vs. `ccm_rt_reads_total`).
 //!
+//! Besides the read-only preset matrix, the file carries two sections for
+//! the write subsystem:
+//!
+//! * `"write"` — deterministic write-mix cells in both coherence modes
+//!   (write-through and write-back), each reconciled against
+//!   `ccm_rt_writes_total` and the flush counters and held to the
+//!   durability epilogue.
+//! * `"admission"` — the scan-heavy preset replayed with ghost-LRU
+//!   admission off and on, plus the hit-ratio delta; the run aborts if
+//!   admission fails to beat admission-off on this workload.
+//!
 //! `--quick` (or `CCM_QUICK=1`): two presets, shorter streams — the CI
 //! smoke configuration.
 
 use ccm_load::{run, run_on, LoadSpec};
 use ccm_net::TcpLan;
-use ccm_traces::Preset;
+use ccm_rt::WriteConfig;
+use ccm_traces::{Preset, ScanConfig};
 use std::io::Write;
 use std::sync::Arc;
 
@@ -58,15 +70,96 @@ fn main() {
         }
     }
 
+    // Write-mix cells: deterministic replay (the write path's shadow
+    // verification and counter reconciliation require in-order ops), one
+    // cell per coherence mode.
+    let mut write_cells = Vec::new();
+    for (label, write) in [
+        ("through", WriteConfig::through()),
+        ("back", WriteConfig::back(32)),
+    ] {
+        let mut spec = spec_for(Preset::Calgary, true);
+        spec.deterministic = true;
+        spec.write_ratio = 0.2;
+        spec.write = write;
+        let report = run(&spec);
+        println!("{}", report.summary());
+        assert!(
+            report.reconciled,
+            "write-{label}: write counters failed reconciliation"
+        );
+        assert_eq!(report.lost_writes, 0, "write-{label}: lost an acked write");
+        write_cells.push(report);
+    }
+
+    // Admission on/off on the scan-heavy variant: the same sweeping scan
+    // stream, with and without the ghost-LRU filter. The cell is sized so
+    // the scan *almost* fits: a single pass only creates masters (never
+    // admission-gated), so the filter's value is stopping the replica
+    // churn of repeated sweeps from displacing body masters. The window
+    // covers many full sweeps — with one pass the two runs are identical
+    // by construction.
+    let scan = ScanConfig {
+        scan_files: 128,
+        scan_file_bytes: 8 * 1024,
+        period: 2,
+    };
+    let mut admission_cells = Vec::new();
+    for ghosts in [None, Some(256)] {
+        let mut spec = spec_for(Preset::Calgary, true);
+        spec.deterministic = true;
+        spec.capacity_blocks = 48;
+        spec.warmup_requests = 600;
+        spec.measure_requests = 3000;
+        spec.scan = Some(scan);
+        spec.admission_ghosts = ghosts;
+        let report = run(&spec);
+        println!("{}", report.summary());
+        assert!(report.reconciled, "admission cell failed reconciliation");
+        admission_cells.push(report);
+    }
+    let (adm_off, adm_on) = (&admission_cells[0], &admission_cells[1]);
+    let delta = adm_on.total_hit_ratio() - adm_off.total_hit_ratio();
+    assert!(
+        delta > 0.0,
+        "admission must beat admission-off on the scan-heavy preset \
+         (on {:.4} vs off {:.4})",
+        adm_on.total_hit_ratio(),
+        adm_off.total_hit_ratio()
+    );
+    println!(
+        "admission delta on {}: +{:.2}% total hit ratio ({} rejected, {} ghost hits)",
+        adm_on.preset,
+        100.0 * delta,
+        adm_on.admission_rejected,
+        adm_on.admission_ghost_hits
+    );
+
+    let push_cells = |json: &mut String, cells: &[ccm_load::LoadReport]| {
+        for (i, report) in cells.iter().enumerate() {
+            json.push_str("    ");
+            json.push_str(&report.to_json());
+            json.push_str(if i + 1 < cells.len() { ",\n" } else { "\n" });
+        }
+    };
     let mut json = String::from("{\n  \"bench\": \"bench_load\",\n");
     json.push_str(&format!("  \"quick\": {quick},\n"));
     json.push_str("  \"cells\": [\n");
-    for (i, report) in cells.iter().enumerate() {
-        json.push_str("    ");
-        json.push_str(&report.to_json());
-        json.push_str(if i + 1 < cells.len() { ",\n" } else { "\n" });
-    }
-    json.push_str("  ]\n}\n");
+    push_cells(&mut json, &cells);
+    json.push_str("  ],\n  \"write\": [\n");
+    push_cells(&mut json, &write_cells);
+    json.push_str("  ],\n  \"admission\": [\n");
+    push_cells(&mut json, &admission_cells);
+    json.push_str("  ],\n");
+    json.push_str(&format!(
+        "  \"admission_delta\": {{ \"preset\": \"{}\", \"off_hit_ratio\": {:.6}, \
+         \"on_hit_ratio\": {:.6}, \"delta\": {:.6} }}\n",
+        adm_on.preset,
+        adm_off.total_hit_ratio(),
+        adm_on.total_hit_ratio(),
+        delta
+    ));
+    json.push_str("}\n");
 
     // Repo root, next to Cargo.toml (crates/bench/../..).
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_load.json");

@@ -98,8 +98,7 @@ fn run_backend(backend: Backend, rounds: usize) -> Vec<Phase> {
         policy: ReplacementPolicy::MasterPreserving,
         fetch_timeout: Duration::from_secs(2),
         faults,
-        disk: Default::default(),
-        obs: None,
+        ..RtConfig::default()
     };
     let reader = NodeId(0);
     let holder = NodeId(1);
@@ -344,8 +343,8 @@ fn obs_section(rounds: usize) -> String {
             policy: ReplacementPolicy::MasterPreserving,
             fetch_timeout: Duration::from_secs(2),
             faults: None,
-            disk: Default::default(),
             obs: Some(registry.clone()),
+            ..RtConfig::default()
         },
         catalog,
         store,

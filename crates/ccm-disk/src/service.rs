@@ -153,6 +153,8 @@ pub struct DiskStats {
     pub readahead_hits: u64,
     /// Readahead requests enqueued.
     pub readahead_issued: u64,
+    /// Synchronous block writes persisted to the backing store.
+    pub writes: u64,
     /// Injected I/O errors (demand and readahead).
     pub io_errors: u64,
     /// Injected slow-block delays served.
@@ -179,6 +181,7 @@ struct Metrics {
     coalesce_hits: Counter,
     readahead_hits: Counter,
     readahead_issued: Counter,
+    writes: Counter,
     io_errors: Counter,
     slow_faults: Counter,
     seeks: Counter,
@@ -198,6 +201,7 @@ impl Metrics {
             coalesce_hits: Counter::new(),
             readahead_hits: Counter::new(),
             readahead_issued: Counter::new(),
+            writes: Counter::new(),
             io_errors: Counter::new(),
             slow_faults: Counter::new(),
             seeks: Counter::new(),
@@ -240,6 +244,11 @@ impl Metrics {
             readahead_issued: r.counter(
                 "ccm_disk_readahead_issued_total",
                 "Readahead requests enqueued for detected sequential streams",
+                &l,
+            ),
+            writes: r.counter(
+                "ccm_disk_writes_total",
+                "Synchronous block writes persisted to the backing store",
                 &l,
             ),
             io_errors: r.counter(
@@ -489,6 +498,36 @@ impl DiskService {
         core.by_block.remove(&block);
     }
 
+    /// Durably persist one block, synchronously. The write path bypasses the
+    /// scheduler queue — a writer has already paid the coherence protocol's
+    /// latency and must know durability before acking — and is never subject
+    /// to fault injection (the chaos plans model read-side device trouble;
+    /// an acked write-through write is the durability anchor the torture
+    /// oracles verify against). Invalidation of stale cached read state
+    /// happens under the same lock acquisition that bumps the write
+    /// generation, so no pre-write read result can be cached after this
+    /// returns. Returns false (with no state change charged) if the backing
+    /// store is read-only.
+    pub fn write_block(&self, block: BlockId, data: &[u8]) -> bool {
+        {
+            let mut core = self.inner.core.lock().expect("disk core poisoned");
+            if core.stop {
+                return false;
+            }
+            core.write_gen += 1;
+            core.ra_cache.remove(&block);
+            core.by_block.remove(&block);
+        }
+        // The store write runs outside the lock: readers racing it get
+        // before-or-after bytes (the §3 staleness contract), and the
+        // generation bump above already fenced the readahead cache.
+        let ok = self.inner.store.write_block(block, data);
+        if ok {
+            self.inner.m.writes.inc();
+        }
+        ok
+    }
+
     /// Live counter snapshot.
     pub fn stats(&self) -> DiskStats {
         let m = &self.inner.m;
@@ -503,6 +542,7 @@ impl DiskService {
             coalesce_hits: m.coalesce_hits.get(),
             readahead_hits: m.readahead_hits.get(),
             readahead_issued: m.readahead_issued.get(),
+            writes: m.writes.get(),
             io_errors: m.io_errors.get(),
             slow_faults: m.slow_faults.get(),
             seeks: m.seeks.get(),

@@ -396,3 +396,45 @@ fn batched_service_over_file_store_serves_exact_bytes() {
     drop(svc);
     std::fs::remove_dir_all(&dir).expect("cleanup");
 }
+
+/// Synchronous writes persist through the service, invalidate cached read
+/// state fetched before the write, and are refused by read-only stores.
+#[test]
+fn write_block_persists_and_fences_readahead() {
+    let catalog = catalog();
+    let store = Arc::new(MemStore::new(catalog.clone(), 0xBEEF));
+    let svc = DiskService::start(
+        store.clone(),
+        catalog.clone(),
+        DiskConfig {
+            readahead: 4,
+            ..DiskConfig::default()
+        },
+    );
+    let file = FileId(0);
+    // Walk a sequential stream so the readahead cache fills up.
+    for i in 0..4 {
+        svc.read(BlockId::new(file, i)).expect("read");
+    }
+    wait_until("readahead issued", || svc.stats().readahead_issued > 0);
+    wait_until("readahead completed", || {
+        svc.stats().physical_readahead_reads >= svc.stats().readahead_issued
+    });
+    // Overwrite a block that may be parked in the readahead cache.
+    let target = BlockId::new(file, 5);
+    let fresh = vec![0xAB; BLOCK_SIZE as usize];
+    assert!(svc.write_block(target, &fresh));
+    assert_eq!(svc.stats().writes, 1);
+    // The next read must observe the write, not pre-write readahead bytes.
+    assert_eq!(*svc.read(target).expect("read after write"), fresh);
+    assert_eq!(store.read_block(target), fresh);
+}
+
+#[test]
+fn write_block_to_read_only_store_is_refused() {
+    let catalog = catalog();
+    let store = Arc::new(SyntheticStore::new(catalog.clone(), 7));
+    let svc = DiskService::start(store, catalog, DiskConfig::default());
+    assert!(!svc.write_block(BlockId::new(FileId(0), 0), &[1, 2, 3]));
+    assert_eq!(svc.stats().writes, 0);
+}

@@ -45,8 +45,30 @@ pub struct LoadReport {
     /// Protocol counters, delta over the measurement window.
     pub measured: CacheStats,
     /// Driver counts, protocol counters, and the runtime's
-    /// `ccm_rt_reads_total` registry deltas all agreed.
+    /// `ccm_rt_reads_total` registry deltas all agreed — plus, for write
+    /// runs, driver writes vs. `ccm_rt_writes_total`, and the durability
+    /// epilogue (dirty set drained, nothing lost, every acked payload on
+    /// the store).
     pub reconciled: bool,
+    /// The spec's write fraction (0.0 = read-only replay).
+    pub write_ratio: f64,
+    /// Coherence mode label (`through` / `back`).
+    pub write_mode: String,
+    /// Writes the driver issued inside the measurement window.
+    pub writes: u64,
+    /// Dirty blocks the runtime flushed to the store by run end (0 under
+    /// write-through, which persists inline).
+    pub flushes: u64,
+    /// Acked writes recorded as lost (must be 0 on the graceful path).
+    pub lost_writes: u64,
+    /// Ghost-LRU admission capacity (`None` = admission off).
+    pub admission_ghosts: Option<usize>,
+    /// Replica installs the admission filter allowed.
+    pub admission_admitted: u64,
+    /// Replica installs the admission filter rejected (first touch).
+    pub admission_rejected: u64,
+    /// Admissions granted because the block was in the ghost list.
+    pub admission_ghost_hits: u64,
     /// `Some(ok)` when the run served HTTP and scraped `/metrics` mid-run
     /// (`ok` = the load and runtime families were present); `None` when
     /// the scrape was not requested.
@@ -81,6 +103,10 @@ impl LoadReport {
                 "\"local_hits\": {}, \"remote_hits\": {}, \"disk_reads\": {}, ",
                 "\"store_fallbacks\": {}, \"forwards\": {}, ",
                 "\"local_hit_ratio\": {:.6}, \"total_hit_ratio\": {:.6}, ",
+                "\"write_ratio\": {:.3}, \"write_mode\": \"{}\", \"writes\": {}, ",
+                "\"flushes\": {}, \"lost_writes\": {}, ",
+                "\"admission_ghosts\": {}, \"admission_admitted\": {}, ",
+                "\"admission_rejected\": {}, \"admission_ghost_hits\": {}, ",
                 "\"reconciled\": {}"
             ),
             self.backend,
@@ -103,6 +129,18 @@ impl LoadReport {
             m.forwards,
             m.local_hit_rate(),
             m.total_hit_rate(),
+            self.write_ratio,
+            self.write_mode,
+            self.writes,
+            self.flushes,
+            self.lost_writes,
+            match self.admission_ghosts {
+                Some(n) => n.to_string(),
+                None => "null".to_string(),
+            },
+            self.admission_admitted,
+            self.admission_rejected,
+            self.admission_ghost_hits,
             self.reconciled,
         )
     }

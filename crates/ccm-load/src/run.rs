@@ -6,14 +6,15 @@ use std::net::SocketAddr;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use ccm_core::block::blocks_of_file;
-use ccm_core::{FileId as CoreFileId, NodeId};
+use std::collections::HashMap;
+
+use ccm_core::block::{blocks_of_file, BLOCK_SIZE};
+use ccm_core::{AdmissionConfig, BlockId, FileId as CoreFileId, NodeId};
 use ccm_httpd::HttpCluster;
 use ccm_obs::{Counter, Histogram, LatencySummary, Registry, Snapshot, Stopwatch};
-use ccm_rt::store::read_file_direct;
-use ccm_rt::{BlockStore, Catalog, Middleware, RtConfig, SyntheticStore, Transport};
-use ccm_traces::FileId as TraceFileId;
-use simcore::Rng;
+use ccm_rt::store::{read_file_direct, MemStore};
+use ccm_rt::{BlockStore, Catalog, Middleware, RtConfig, SyntheticStore, Transport, WriteMode};
+use ccm_traces::{FileId as TraceFileId, WriteMix};
 
 use crate::report::LoadReport;
 use crate::spec::LoadSpec;
@@ -70,7 +71,9 @@ struct PhaseOut {
 }
 
 /// One closed-loop step: time the cluster read, verify it against the
-/// backing store's ground truth, fold the payload into the digest.
+/// backing store's ground truth — with the shadow copy of acked writes
+/// spliced over it, since under write-back the store lags the cluster —
+/// and fold the payload into the digest.
 #[allow(clippy::too_many_arguments)]
 fn serve_one(
     mw: &Middleware,
@@ -78,6 +81,7 @@ fn serve_one(
     store: &dyn BlockStore,
     catalog: &Catalog,
     req: TraceFileId,
+    shadow: &HashMap<BlockId, Vec<u8>>,
     latency: &Histogram,
     requests: &Counter,
     out: &mut PhaseOut,
@@ -87,7 +91,15 @@ fn serve_one(
     let got = mw.handle(node).read_file(file);
     sw.stop(latency);
     requests.inc();
-    let want = read_file_direct(store, catalog, file);
+    let mut want = read_file_direct(store, catalog, file);
+    if !shadow.is_empty() {
+        for b in 0..blocks_of_file(want.len() as u64) {
+            if let Some(p) = shadow.get(&BlockId::new(file, b)) {
+                let off = b as usize * BLOCK_SIZE as usize;
+                want[off..off + p.len()].copy_from_slice(p);
+            }
+        }
+    }
     assert!(
         got == want,
         "corrupt serve: file {} returned {} bytes (want {})",
@@ -109,17 +121,20 @@ fn serve_one(
 #[allow(clippy::too_many_arguments)]
 fn drive_phase(
     mw: &Middleware,
-    store: &Arc<SyntheticStore>,
+    store: &Arc<dyn BlockStore>,
     catalog: &Catalog,
     reqs: &[TraceFileId],
     phase_start: usize,
     nodes: usize,
     clients: usize,
     deterministic: bool,
+    mix: Option<WriteMix>,
+    shadow: &mut HashMap<BlockId, Vec<u8>>,
     latency: &Histogram,
     requests: &Counter,
     scrape: Option<SocketAddr>,
-) -> (PhaseOut, Option<bool>) {
+) -> (PhaseOut, Option<bool>, u64) {
+    let empty = HashMap::new();
     let part = |k: usize| {
         let node = NodeId(((phase_start + k) % nodes) as u16);
         let mut out = PhaseOut {
@@ -129,7 +144,7 @@ fn drive_phase(
         };
         for j in (k..reqs.len()).step_by(clients) {
             serve_one(
-                mw, node, &**store, catalog, reqs[j], latency, requests, &mut out,
+                mw, node, &**store, catalog, reqs[j], &empty, latency, requests, &mut out,
             );
         }
         out
@@ -162,22 +177,44 @@ fn drive_phase(
             };
             clients
         ];
+        let mut writes = 0u64;
         for (j, req) in reqs.iter().enumerate() {
             let node = NodeId(((phase_start + j) % nodes) as u16);
+            let op = (phase_start + j) as u64;
+            if mix.is_some_and(|m| m.is_write(op)) {
+                // Rewrite the file's first block with a payload that is a
+                // pure function of (seed-derived mix, op) — the shadow map
+                // is what every later read is verified against.
+                let file = CoreFileId(req.0);
+                let block = BlockId::new(file, 0);
+                let fill = (op as u8) ^ (req.0 as u8) ^ 0x5A;
+                let payload = vec![fill; catalog.block_bytes(block) as usize];
+                let sw = Stopwatch::start();
+                mw.handle(node)
+                    .write_block(block, &payload)
+                    .expect("writable overlay refused a write");
+                sw.stop(latency);
+                requests.inc();
+                shadow.insert(block, payload);
+                writes += 1;
+                continue;
+            }
             serve_one(
                 mw,
                 node,
                 &**store,
                 catalog,
                 *req,
+                shadow,
                 latency,
                 requests,
                 &mut parts[j % clients],
             );
         }
         let scraped = scrape.map(scrape_ok);
-        (fold(parts), scraped)
+        (fold(parts), scraped, writes)
     } else {
+        assert!(mix.is_none(), "write mix requires deterministic mode");
         std::thread::scope(|s| {
             let joins: Vec<_> = (0..clients).map(|k| s.spawn(move || part(k))).collect();
             // Scrape while the clients are in flight: the run report's
@@ -187,7 +224,7 @@ fn drive_phase(
                 .into_iter()
                 .map(|j| j.join().expect("load client panicked"))
                 .collect();
-            (fold(parts), scraped)
+            (fold(parts), scraped, 0)
         })
     }
 }
@@ -231,11 +268,23 @@ fn run_inner(spec: &LoadSpec, backend: &str, transport: Option<Arc<dyn Transport
     assert!(spec.nodes > 0, "empty cluster");
     assert!(spec.clients_per_node > 0, "no clients");
     assert!(spec.measure_requests > 0, "empty measurement window");
+    let mix = spec.write_mix();
+    assert!(
+        mix.is_none() || spec.deterministic,
+        "write mix requires deterministic mode"
+    );
 
     let wl = spec.workload();
-    let stream = wl.record(spec.total_requests(), &mut Rng::new(spec.seed).substream(1));
+    let stream = spec.record_stream();
     let catalog = Catalog::new(wl.sizes().to_vec());
-    let store = Arc::new(SyntheticStore::new(catalog.clone(), spec.seed));
+    // Write runs need a store that accepts writes; read-only runs keep the
+    // pure synthetic store (the overlay reads identically, but why pay for
+    // its map).
+    let store: Arc<dyn BlockStore> = if mix.is_some() {
+        Arc::new(MemStore::new(catalog.clone(), spec.seed))
+    } else {
+        Arc::new(SyntheticStore::new(catalog.clone(), spec.seed))
+    };
     let registry = Registry::new();
     let cfg = RtConfig {
         nodes: spec.nodes,
@@ -251,6 +300,8 @@ fn run_inner(spec: &LoadSpec, backend: &str, transport: Option<Arc<dyn Transport
             Duration::from_secs(2)
         },
         obs: Some(registry.clone()),
+        write: spec.write,
+        admission: spec.admission_ghosts.map(AdmissionConfig::new),
         ..RtConfig::default()
     };
     let front = match (transport, spec.serve_metrics) {
@@ -285,6 +336,7 @@ fn run_inner(spec: &LoadSpec, backend: &str, transport: Option<Arc<dyn Transport
     };
 
     // Warm-up: populate the caches, then drop the counters on the floor.
+    let mut shadow: HashMap<BlockId, Vec<u8>> = HashMap::new();
     let (warm_reqs, measure_reqs) = stream.split_at(spec.warmup_requests);
     drive_phase(
         mw,
@@ -295,6 +347,8 @@ fn run_inner(spec: &LoadSpec, backend: &str, transport: Option<Arc<dyn Transport
         spec.nodes,
         clients,
         spec.deterministic,
+        mix,
+        &mut shadow,
         &phase_latency("warmup"),
         &phase_requests("warmup"),
         None,
@@ -306,7 +360,7 @@ fn run_inner(spec: &LoadSpec, backend: &str, transport: Option<Arc<dyn Transport
     // Measurement window.
     let latency = phase_latency("measure");
     let started = Instant::now();
-    let (out, scraped) = drive_phase(
+    let (out, scraped, window_writes) = drive_phase(
         mw,
         &store,
         &catalog,
@@ -315,6 +369,8 @@ fn run_inner(spec: &LoadSpec, backend: &str, transport: Option<Arc<dyn Transport
         spec.nodes,
         clients,
         spec.deterministic,
+        mix,
+        &mut shadow,
         &latency,
         &phase_requests("measure"),
         front.scrape_addr(),
@@ -325,18 +381,43 @@ fn run_inner(spec: &LoadSpec, backend: &str, transport: Option<Arc<dyn Transport
     let measured = mw.stats().delta_since(&warm_stats);
     let done_snap = mw.obs_snapshot();
 
+    // Write epilogue: drain the dirty set, then hold the run to the
+    // durability contract — no write may be lost on the graceful path, and
+    // every acked payload must now be on the store byte for byte.
+    let mut writes_ok = true;
+    if mix.is_some() {
+        mw.flush_dirty();
+        writes_ok &= mw.dirty_blocks() == 0 && mw.lost_writes().is_empty();
+        for (block, payload) in &shadow {
+            writes_ok &= store.read_block(*block) == *payload;
+        }
+    }
+
     // Reconcile the driver's own counts against the protocol stats and
     // the runtime's read-class registry. Every block read ticks exactly
     // one registry class; protocol stats count decisions, so per-class
     // equality is exact precisely when no data-plane fallback raced.
+    // `store_fallbacks` also counts fallbacks outside the read path (an
+    // eviction forward whose source bytes were already gone); those tick
+    // `ccm_rt_move_fallbacks_total`, so the exact identity is
+    // read-class fallbacks + move fallbacks == store fallbacks.
     let [local, remote, disk, fallback] = class_deltas(&warm_snap, &done_snap);
+    let moves = done_snap.counter_sum("ccm_rt_move_fallbacks_total")
+        - warm_snap.counter_sum("ccm_rt_move_fallbacks_total");
     let mut reconciled = local + remote + disk + fallback == out.blocks
         && measured.accesses() == out.blocks
-        && fallback == measured.store_fallbacks;
+        && fallback + moves == measured.store_fallbacks;
     if measured.store_fallbacks == 0 {
         reconciled &= local == measured.local_hits
             && remote == measured.remote_hits
             && disk == measured.disk_reads;
+    }
+    if mix.is_some() {
+        // Driver writes vs. the protocol counter vs. the runtime's
+        // `ccm_rt_writes_total` family — and the durability epilogue.
+        let rt_writes = done_snap.counter_sum("ccm_rt_writes_total")
+            - warm_snap.counter_sum("ccm_rt_writes_total");
+        reconciled &= measured.writes == window_writes && rt_writes == window_writes && writes_ok;
     }
     if spec.deterministic {
         assert_eq!(
@@ -353,6 +434,8 @@ fn run_inner(spec: &LoadSpec, backend: &str, transport: Option<Arc<dyn Transport
         );
     }
 
+    let adm = mw.admission_stats();
+    let write_stats = mw.write_stats();
     let latency = LatencySummary::of(&latency.snapshot());
     let report = LoadReport {
         backend: backend.to_string(),
@@ -370,6 +453,18 @@ fn run_inner(spec: &LoadSpec, backend: &str, transport: Option<Arc<dyn Transport
         digest: out.digest,
         measured,
         reconciled,
+        write_ratio: spec.write_ratio,
+        write_mode: match spec.write.mode {
+            WriteMode::Through => "through".to_string(),
+            WriteMode::Back => "back".to_string(),
+        },
+        writes: window_writes,
+        flushes: write_stats.flushes,
+        lost_writes: write_stats.lost,
+        admission_ghosts: spec.admission_ghosts,
+        admission_admitted: adm.admitted,
+        admission_rejected: adm.rejected,
+        admission_ghost_hits: adm.ghost_hits,
         metrics_scrape: scraped,
         elapsed_s: elapsed,
         rps: measure_reqs.len() as f64 / elapsed,

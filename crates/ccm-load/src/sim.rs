@@ -9,7 +9,6 @@
 use crate::spec::LoadSpec;
 use ccm_core::block::blocks_of_file;
 use ccm_core::{BlockId, CacheConfig, CacheStats, ClusterCache, FileId, NodeId};
-use simcore::Rng;
 
 /// What the reference replay observed over the measurement window.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -34,8 +33,12 @@ impl SimReport {
 /// file, exactly as the live driver does. Returns the measurement-window
 /// delta.
 pub fn simulate(spec: &LoadSpec) -> SimReport {
+    assert!(
+        spec.write_ratio == 0.0,
+        "the protocol simulator models read-only replay"
+    );
     let wl = spec.workload();
-    let requests = wl.record(spec.total_requests(), &mut Rng::new(spec.seed).substream(1));
+    let requests = spec.record_stream();
     let mut cache = ClusterCache::new(CacheConfig::paper(
         spec.nodes,
         spec.capacity_blocks,

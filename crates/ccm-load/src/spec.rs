@@ -1,7 +1,10 @@
 //! The load-run specification.
 
 use ccm_core::ReplacementPolicy;
-use ccm_traces::{Preset, Workload};
+use ccm_rt::WriteConfig;
+use ccm_traces::{scan_heavy, FileId, Preset, ScanConfig, ScanSource, Workload, WriteMix};
+use simcore::Rng;
+use std::sync::Arc;
 
 /// Everything that determines a load run, gathered so a report can echo
 /// it and a rerun can reproduce it.
@@ -38,6 +41,22 @@ pub struct LoadSpec {
     /// node's `/metrics` mid-run, recording whether the load and runtime
     /// metric families were live ([`LoadReport::metrics_scrape`]).
     pub serve_metrics: bool,
+    /// Fraction of operations that rewrite their file's first block
+    /// instead of reading (0.0 = the read-only replay every earlier spec
+    /// ran). Write runs require `deterministic`, replace the synthetic
+    /// store with a writable overlay, and verify every subsequent read
+    /// against a shadow copy of the acked payloads.
+    pub write_ratio: f64,
+    /// Write-coherence configuration forwarded to the runtime (mode and,
+    /// for write-back, the dirty budget / flush interval).
+    pub write: WriteConfig,
+    /// Ghost-LRU admission capacity (`None` = admission off, the previous
+    /// behavior; `Some(n)` remembers `n` recently evicted/rejected blocks).
+    pub admission_ghosts: Option<usize>,
+    /// Append a one-touch scan tail to the preset and replace every
+    /// `period`-th request with the next sequential scan file — the
+    /// workload admission control is measured against.
+    pub scan: Option<ScanConfig>,
 }
 
 impl LoadSpec {
@@ -56,19 +75,58 @@ impl LoadSpec {
             seed: 0x10AD,
             deterministic: false,
             serve_metrics: false,
+            write_ratio: 0.0,
+            write: WriteConfig::default(),
+            admission_ghosts: None,
+            scan: None,
         }
     }
 
-    /// The workload this spec replays (head truncation applied).
+    /// The workload this spec replays: head truncation applied, then the
+    /// scan tail (if any) appended with zero popularity weight.
     ///
     /// # Panics
     /// Panics if `head_files` is zero or exceeds the preset's catalog.
     pub fn workload(&self) -> Workload {
         let full = self.preset.workload();
-        match self.head_files {
+        let base = match self.head_files {
             Some(n) => full.head(n),
             None => full,
+        };
+        match self.scan {
+            Some(sc) => scan_heavy(&base, sc),
+            None => base,
         }
+    }
+
+    /// The recorded request stream this spec replays — a pure function of
+    /// the spec, shared by the live driver and the protocol simulator.
+    /// Without a scan tail this is exactly `workload().record(..)`; with
+    /// one, a [`ScanSource`] replaces every `period`-th request with the
+    /// next sequential scan file.
+    pub fn record_stream(&self) -> Vec<FileId> {
+        let wl = Arc::new(self.workload());
+        let rng = Rng::new(self.seed).substream(1);
+        match self.scan {
+            None => {
+                let mut rng = rng;
+                wl.record(self.total_requests(), &mut rng)
+            }
+            Some(sc) => {
+                let body = wl.num_files() - sc.scan_files;
+                let mut src = ScanSource::new(wl.requests(rng), body, sc.scan_files, sc.period);
+                (0..self.total_requests())
+                    .map(|_| ccm_traces::RequestSource::next_request(&mut src))
+                    .collect()
+            }
+        }
+    }
+
+    /// The deterministic write marking for this spec's operation stream,
+    /// or `None` for a read-only replay. The mix seed is derived from the
+    /// stream seed so one spec field controls both.
+    pub fn write_mix(&self) -> Option<WriteMix> {
+        (self.write_ratio > 0.0).then(|| WriteMix::new(self.seed ^ 0x5752_4954, self.write_ratio))
     }
 
     /// Warm-up plus measurement requests.

@@ -4,7 +4,8 @@ use std::sync::Arc;
 
 use ccm_load::{run, run_on, simulate, LoadSpec};
 use ccm_net::TcpLan;
-use ccm_traces::Preset;
+use ccm_rt::WriteConfig;
+use ccm_traces::{Preset, ScanConfig};
 
 /// A cell small enough for CI but big enough to evict and cooperate.
 fn small_spec() -> LoadSpec {
@@ -83,6 +84,76 @@ fn tcp_backend_matches_channel_deterministically() {
     assert_eq!(tcp.digest, channel.digest);
     assert_eq!(tcp.bytes, channel.bytes);
     assert!(tcp.reconciled);
+}
+
+/// Write-through mix: every read after a write is verified against the
+/// shadow payloads inside the driver, the write counters reconcile across
+/// driver / protocol / registry, and the report replays bit-identically.
+#[test]
+fn write_through_mix_verifies_and_reconciles() {
+    let mut spec = small_spec();
+    spec.deterministic = true;
+    spec.write_ratio = 0.25;
+    let a = run(&spec);
+    assert!(a.writes > 0, "mix never wrote");
+    assert!(a.reconciled, "write run failed reconciliation");
+    assert_eq!(a.lost_writes, 0);
+    // Write-through persists inline: nothing for the flusher to do.
+    assert_eq!(a.flushes, 0);
+    assert_eq!(a.write_mode, "through");
+    let b = run(&spec);
+    assert_eq!(a.deterministic_json(), b.deterministic_json());
+}
+
+/// Write-back mix: acks outrun the store, the dirty set drains through
+/// budget pressure plus the end-of-run flush, and the same durability
+/// verification (shadow vs. store) still closes — on both backends, with
+/// identical deterministic reports.
+#[test]
+fn write_back_mix_flushes_and_matches_across_backends() {
+    let mut spec = small_spec();
+    spec.deterministic = true;
+    spec.write_ratio = 0.25;
+    spec.write = WriteConfig::back(16);
+    let channel = run(&spec);
+    assert!(channel.writes > 0);
+    assert!(channel.reconciled, "write-back run failed reconciliation");
+    assert_eq!(channel.lost_writes, 0);
+    assert!(channel.flushes > 0, "write-back never flushed");
+    assert_eq!(channel.write_mode, "back");
+    let lan = Arc::new(TcpLan::loopback(spec.nodes).expect("bind loopback"));
+    let tcp = run_on(&spec, lan, "tcp");
+    assert!(tcp.reconciled);
+    assert_eq!(tcp.digest, channel.digest);
+    assert_eq!(tcp.writes, channel.writes);
+    assert_eq!(tcp.measured, channel.measured);
+}
+
+/// Scan-heavy preset with admission on vs. off: the filter must reject
+/// one-touch scan blocks (rejections observed, ghost hits possible) and
+/// must not lose cluster-memory hit ratio against the unfiltered run.
+#[test]
+fn admission_resists_the_scan_tail() {
+    let mut spec = small_spec();
+    spec.deterministic = true;
+    spec.scan = Some(ScanConfig {
+        scan_files: 64,
+        scan_file_bytes: 4 * 1024,
+        period: 3,
+    });
+    let off = run(&spec);
+    assert!(off.reconciled);
+    assert_eq!(off.admission_rejected, 0, "admission off must not reject");
+    spec.admission_ghosts = Some(128);
+    let on = run(&spec);
+    assert!(on.reconciled);
+    assert!(on.admission_rejected > 0, "scan touches never rejected");
+    assert!(
+        on.total_hit_ratio() >= off.total_hit_ratio(),
+        "admission lost hit ratio: {} vs {}",
+        on.total_hit_ratio(),
+        off.total_hit_ratio()
+    );
 }
 
 #[test]

@@ -4,8 +4,8 @@
 //! backing-store ground truth.
 //!
 //! Usage: `cargo run --release -p ccm-net --bin socket_cluster [nodes] [ops] [--serve]
-//! [--join] [--file-store <dir>] [--replay <preset>]` (defaults: 4 nodes,
-//! 4000 reads total).
+//! [--join] [--write-mix] [--file-store <dir>] [--replay <preset>]`
+//! (defaults: 4 nodes, 4000 reads total).
 //!
 //! With `--file-store <dir>` the cluster is backed by a real on-disk block
 //! store (`ccm-disk`'s `FileStore`): the first run populates `<dir>` from
@@ -20,6 +20,14 @@
 //! every byte verified, and the reconciled run report printed as JSON —
 //! the same cell format `bench_load` writes to `BENCH_load.json`, with
 //! `[ops]` sizing the measurement window.
+//!
+//! With `--write-mix` the cluster runs a mixed read/write workload over a
+//! writable in-memory store in write-back mode with the ghost-LRU
+//! admission filter on: each node owns a disjoint slice of the file set
+//! and overwrites blocks of its own files while everyone reads the shared
+//! Zipf stream over TCP. Owned reads are verified byte-exact against the
+//! expected post-write image, the dirty set is flushed at the end, and
+//! every write is verified durable in the backing store.
 //!
 //! With `--join` the cluster starts with one slot cold (n-1 members), runs
 //! half the workload, then brings the last slot into the cluster live:
@@ -44,14 +52,18 @@
 //! verified against the backing store and the per-node dispatch counters
 //! are printed on shutdown.
 
-use ccm_core::{DirectoryKind, FileId, NodeId, ReplacementPolicy, BLOCK_SIZE};
+use ccm_core::{
+    AdmissionConfig, BlockId, DirectoryKind, FileId, NodeId, ReplacementPolicy, BLOCK_SIZE,
+};
 use ccm_front::{CcmBackend, FrontBackend, FrontClient, FrontTier, PolicyKind};
 use ccm_httpd::HttpCluster;
 use ccm_load::LoadSpec;
 use ccm_net::TcpLan;
 use ccm_obs::Registry;
 use ccm_rt::store::{read_file_direct, BlockStore};
-use ccm_rt::{Catalog, FileStore, Membership, Middleware, RtConfig, SyntheticStore};
+use ccm_rt::{
+    Catalog, FileStore, MemStore, Membership, Middleware, RtConfig, SyntheticStore, WriteConfig,
+};
 use ccm_traces::{Preset, SynthConfig};
 use simcore::Rng;
 use std::sync::Arc;
@@ -63,6 +75,8 @@ fn main() {
     args.retain(|a| a != "--serve");
     let join = args.iter().any(|a| a == "--join");
     args.retain(|a| a != "--join");
+    let write_mix = args.iter().any(|a| a == "--write-mix");
+    args.retain(|a| a != "--write-mix");
     let file_store_dir = args.iter().position(|a| a == "--file-store").map(|i| {
         assert!(i + 1 < args.len(), "--file-store needs a directory");
         let dir = args[i + 1].clone();
@@ -153,11 +167,14 @@ fn main() {
         capacity_blocks,
         policy: ReplacementPolicy::MasterPreserving,
         fetch_timeout: Duration::from_secs(2),
-        faults: None,
-        disk: Default::default(),
         obs: Some(registry.clone()),
+        ..RtConfig::default()
     };
 
+    if write_mix {
+        write_mix_demo(cfg, catalog, lan, &wl, ops);
+        return;
+    }
     if serve {
         serve_http(cfg, catalog, store, lan, ops);
         return;
@@ -335,6 +352,133 @@ fn join_demo(
     );
     println!("every byte verified across the join — membership OK");
     mw.shutdown();
+}
+
+/// `--write-mix`: read/write coherence demo over TCP. The cluster runs in
+/// write-back mode (dirty masters, bounded dirty budget) with the
+/// ghost-LRU admission filter on, backed by a writable in-memory store.
+/// Each node owns the files `f` with `f % nodes == node` and overwrites a
+/// block of an owned file every 8th operation; every node reads the
+/// shared Zipf stream. Owned reads are verified byte-exact against the
+/// expected post-write image (pristine bytes with the node's own last
+/// write spliced in — safe because owners are the only writers of their
+/// files). At the end the dirty set is flushed and every written block is
+/// read back raw from the backing store and verified durable.
+fn write_mix_demo(
+    mut cfg: RtConfig,
+    catalog: Catalog,
+    lan: Arc<TcpLan>,
+    wl: &ccm_traces::Workload,
+    ops: u64,
+) {
+    let nodes = cfg.nodes;
+    cfg.write = WriteConfig::back(64);
+    cfg.admission = Some(AdmissionConfig::new(256));
+    let store = Arc::new(MemStore::new(catalog.clone(), 0xD3110));
+    let mw = Arc::new(Middleware::start_on(
+        cfg,
+        catalog.clone(),
+        store.clone(),
+        lan,
+    ));
+    println!(
+        "\nwrite-back cluster up: dirty budget 64, ghost-LRU admission on; \
+         node i owns files f % {nodes} == i"
+    );
+
+    let start = Instant::now();
+    let workers: Vec<_> = (0..nodes)
+        .map(|i| {
+            let node = NodeId(i as u16);
+            let mw = mw.clone();
+            let catalog = catalog.clone();
+            let wl = wl.clone();
+            let per_node = ops / nodes as u64;
+            std::thread::spawn(move || {
+                let pristine = SyntheticStore::new(catalog.clone(), 0xD3110);
+                let h = mw.handle(node);
+                let mut rng = Rng::new(0xD3110).substream(40 + i as u64);
+                // file -> (block index, last payload this node wrote)
+                let mut written: std::collections::HashMap<u32, (u32, Vec<u8>)> =
+                    std::collections::HashMap::new();
+                for op in 0..per_node {
+                    let file = FileId(wl.sample(&mut rng).0);
+                    let owned = file.0 as usize % nodes == i;
+                    if owned && op % 8 == 7 {
+                        let b = rng.next_below(catalog.blocks_of(file) as u64) as u32;
+                        let block = BlockId::new(file, b);
+                        let fill = (op as u8) ^ (i as u8) ^ 0x5A;
+                        let payload = vec![fill; catalog.block_bytes(block) as usize];
+                        h.write_block(block, &payload)
+                            .expect("MemStore accepts writes");
+                        written.insert(file.0, (b, payload));
+                    } else {
+                        let got = h.read_file(file);
+                        if owned {
+                            let mut want = read_file_direct(&pristine, &catalog, file);
+                            if let Some((b, payload)) = written.get(&file.0) {
+                                let off = (*b as u64 * BLOCK_SIZE) as usize;
+                                want[off..off + payload.len()].copy_from_slice(payload);
+                            }
+                            assert_eq!(got, want, "node {i} op {op}: wrong bytes for owned file");
+                        }
+                    }
+                }
+                written
+            })
+        })
+        .collect();
+    let written: Vec<_> = workers
+        .into_iter()
+        .map(|w| w.join().expect("client thread"))
+        .collect();
+    let elapsed = start.elapsed();
+
+    mw.quiesce();
+    let flushed = mw.flush_dirty();
+    mw.check_invariants();
+    assert!(
+        mw.lost_writes().is_empty(),
+        "no crash, so nothing may be lost"
+    );
+    let mut writes_total = 0u64;
+    for per_node in &written {
+        for (&file, &(b, ref payload)) in per_node {
+            let got = store.read_block(BlockId::new(FileId(file), b));
+            assert_eq!(
+                &got, payload,
+                "file {file} block {b} not durable after flush"
+            );
+            writes_total += 1;
+        }
+    }
+    let ws = mw.write_stats();
+    let adm = mw.admission_stats();
+    let stats = mw.stats();
+    println!(
+        "\n{} mixed ops across {} nodes in {:.2?} — {} writes acked, {} dirty flushed at exit",
+        ops, nodes, elapsed, ws.writes, flushed
+    );
+    println!(
+        "write-back: {} flushes total, {} dirty now, {} lost, {} recovered",
+        ws.flushes, ws.dirty, ws.lost, ws.recovered
+    );
+    println!(
+        "admission: {} admitted ({} ghost hits), {} one-touch rejections",
+        adm.admitted, adm.ghost_hits, adm.rejected
+    );
+    println!(
+        "protocol: {} local, {} remote, {} disk, {} invalidations",
+        stats.local_hits, stats.remote_hits, stats.disk_reads, stats.invalidations
+    );
+    println!(
+        "{writes_total} distinct written blocks read back raw from the store — all durable; \
+         every owned read verified byte-exact — write mix OK"
+    );
+    match Arc::try_unwrap(mw) {
+        Ok(mw) => mw.shutdown(),
+        Err(_) => unreachable!("all worker threads joined"),
+    }
 }
 
 /// `--front <policy>`: the dispatching front tier over the TCP peer

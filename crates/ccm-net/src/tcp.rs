@@ -559,6 +559,9 @@ impl TcpLan {
                 displace,
             },
             PeerMsg::Invalidate { block } => WireMsg::Invalidate { block },
+            PeerMsg::WriteInvalidate { block, version } => {
+                WireMsg::WriteInvalidate { block, version }
+            }
             PeerMsg::Barrier { reply } => {
                 let req_id = self.shared.next_req.fetch_add(1, Ordering::Relaxed);
                 if !conn.pending.insert(req_id, Pending::Barrier(reply)) {
@@ -820,6 +823,14 @@ fn demux_loop(shared: Arc<TcpShared>, node: NodeId, stream: TcpStream) {
             }
             WireMsg::Invalidate { block } => {
                 if inbox.send(PeerMsg::Invalidate { block }).is_err() {
+                    break;
+                }
+            }
+            WireMsg::WriteInvalidate { block, version } => {
+                if inbox
+                    .send(PeerMsg::WriteInvalidate { block, version })
+                    .is_err()
+                {
                     break;
                 }
             }

@@ -25,6 +25,7 @@
 //! tag 6 BarrierAck   := req_id:u64
 //! tag 7 Ping         := req_id:u64
 //! tag 8 Pong         := req_id:u64
+//! tag 9 WriteInval   := block version:u64
 //! block        := file:u32 index:u32
 //! ```
 //!
@@ -45,8 +46,9 @@ use std::io::{self, Read, Write};
 /// Wire protocol version, carried in [`WireMsg::Hello`]; bump on any frame
 /// layout change so mismatched peers fail the handshake instead of
 /// misparsing each other. Version 2 added the heartbeat frames
-/// ([`WireMsg::Ping`] / [`WireMsg::Pong`]).
-pub const WIRE_VERSION: u8 = 2;
+/// ([`WireMsg::Ping`] / [`WireMsg::Pong`]); version 3 added the coherence
+/// write invalidation ([`WireMsg::WriteInvalidate`]).
+pub const WIRE_VERSION: u8 = 3;
 
 /// Hard upper bound on a frame payload, in bytes.
 pub const MAX_FRAME: u32 = 1 << 20;
@@ -116,6 +118,14 @@ pub enum WireMsg {
         /// Correlation id of the ping being answered.
         req_id: u64,
     },
+    /// A coherence write at the source invalidated the destination's copy
+    /// of `block` (fire-and-forget, like [`WireMsg::Invalidate`]).
+    WriteInvalidate {
+        /// The written block.
+        block: BlockId,
+        /// Monotonic cluster-wide write version of the triggering write.
+        version: u64,
+    },
 }
 
 /// Why a payload failed to decode.
@@ -156,6 +166,7 @@ const TAG_BARRIER: u8 = 5;
 const TAG_BARRIER_ACK: u8 = 6;
 const TAG_PING: u8 = 7;
 const TAG_PONG: u8 = 8;
+const TAG_WRITE_INVALIDATE: u8 = 9;
 
 fn put_block(out: &mut Vec<u8>, block: BlockId) {
     out.extend_from_slice(&block.file.0.to_le_bytes());
@@ -228,6 +239,11 @@ pub fn encode(msg: &WireMsg, out: &mut Vec<u8>) {
         WireMsg::Pong { req_id } => {
             out.push(TAG_PONG);
             out.extend_from_slice(&req_id.to_le_bytes());
+        }
+        WireMsg::WriteInvalidate { block, version } => {
+            out.push(TAG_WRITE_INVALIDATE);
+            put_block(out, *block);
+            out.extend_from_slice(&version.to_le_bytes());
         }
     }
     debug_assert!(out.len() <= MAX_FRAME as usize, "frame exceeds MAX_FRAME");
@@ -335,6 +351,10 @@ pub fn decode(payload: &[u8]) -> Result<WireMsg, DecodeError> {
         TAG_BARRIER_ACK => WireMsg::BarrierAck { req_id: c.u64()? },
         TAG_PING => WireMsg::Ping { req_id: c.u64()? },
         TAG_PONG => WireMsg::Pong { req_id: c.u64()? },
+        TAG_WRITE_INVALIDATE => WireMsg::WriteInvalidate {
+            block: c.block()?,
+            version: c.u64()?,
+        },
         t => return Err(DecodeError::UnknownTag(t)),
     };
     if c.pos != payload.len() {
@@ -444,6 +464,10 @@ mod tests {
         roundtrip(WireMsg::BarrierAck { req_id: 42 });
         roundtrip(WireMsg::Ping { req_id: 43 });
         roundtrip(WireMsg::Pong { req_id: 43 });
+        roundtrip(WireMsg::WriteInvalidate {
+            block: b(6, 7),
+            version: u64::MAX,
+        });
     }
 
     #[test]
@@ -470,6 +494,10 @@ mod tests {
             WireMsg::Barrier { req_id: 1 },
             WireMsg::Ping { req_id: 1 },
             WireMsg::Pong { req_id: 1 },
+            WireMsg::WriteInvalidate {
+                block: b(1, 2),
+                version: 3,
+            },
         ];
         let mut buf = Vec::new();
         for msg in &msgs {

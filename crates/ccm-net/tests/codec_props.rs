@@ -36,6 +36,8 @@ fn wire_msg() -> impl Strategy<Value = WireMsg> {
             }
         }),
         block().prop_map(|block| WireMsg::Invalidate { block }),
+        (block(), any::<u64>())
+            .prop_map(|(block, version)| WireMsg::WriteInvalidate { block, version }),
         any::<u64>().prop_map(|req_id| WireMsg::Barrier { req_id }),
         any::<u64>().prop_map(|req_id| WireMsg::BarrierAck { req_id }),
         any::<u64>().prop_map(|req_id| WireMsg::Ping { req_id }),
@@ -92,7 +94,7 @@ proptest! {
 
     /// A corrupted tag byte outside the known range is an UnknownTag error.
     #[test]
-    fn unknown_tags_are_rejected(msg in wire_msg(), tag in 9u8..=255) {
+    fn unknown_tags_are_rejected(msg in wire_msg(), tag in 10u8..=255) {
         let mut buf = Vec::new();
         encode(&msg, &mut buf);
         buf[0] = tag;

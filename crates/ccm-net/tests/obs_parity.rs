@@ -24,8 +24,8 @@ fn cfg(registry: &Registry) -> RtConfig {
         policy: ReplacementPolicy::MasterPreserving,
         fetch_timeout: Duration::from_secs(2),
         faults: None,
-        disk: Default::default(),
         obs: Some(registry.clone()),
+        ..RtConfig::default()
     }
 }
 

@@ -117,8 +117,7 @@ fn concurrent_readers_survive_crashes_over_lossy_tcp() {
                 policy: ReplacementPolicy::MasterPreserving,
                 fetch_timeout: BACKEND.torture_fetch_timeout(),
                 faults: Some(plan),
-                disk: Default::default(),
-                obs: None,
+                ..RtConfig::default()
             },
             catalog.clone(),
             store.clone(),

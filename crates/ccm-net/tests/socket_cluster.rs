@@ -23,8 +23,7 @@ fn cluster_config(nodes: usize) -> RtConfig {
         policy: ReplacementPolicy::MasterPreserving,
         fetch_timeout: Duration::from_secs(2),
         faults: None,
-        disk: Default::default(),
-        obs: None,
+        ..RtConfig::default()
     }
 }
 

@@ -31,6 +31,8 @@
 //! * [`obs`] — the runtime's metric handles on the `ccm-obs` registry
 //!   (hit-class counters, fetch-latency histograms, occupancy gauges) and
 //!   the block-path trace ring.
+//! * [`write`] — write-path coherence configuration: write-through vs.
+//!   write-back, the dirty-block budget, and the durability contract.
 //! * [`runtime`] — node service threads, the shared protocol state, node
 //!   crash/restart, and the public [`runtime::Middleware`] /
 //!   [`runtime::NodeHandle`] API.
@@ -43,6 +45,7 @@ pub mod obs;
 pub mod runtime;
 pub mod store;
 pub mod transport;
+pub mod write;
 
 pub use ccm_disk::{
     DiskConfig, DiskFaults, DiskMechanics, DiskService, DiskStats, FileStore, SchedPolicy,
@@ -53,3 +56,4 @@ pub use obs::ReadClass;
 pub use runtime::{Middleware, NodeHandle, RtConfig, WriteError};
 pub use store::{BlockStore, Catalog, MemStore, SyntheticStore};
 pub use transport::{Lan, PeerMsg, Transport};
+pub use write::{WriteConfig, WriteMode, WriteStats};

@@ -11,6 +11,7 @@
 //! | `ccm_rt_evictions_total` | counter | `node` |
 //! | `ccm_rt_forwards_total` | counter | `node` |
 //! | `ccm_rt_store_fallbacks_total` | counter | `node` |
+//! | `ccm_rt_move_fallbacks_total` | counter | `node` |
 //! | `ccm_rt_disk_error_fallbacks_total` | counter | `node` |
 //! | `ccm_rt_store_blocks` | gauge | `node` |
 //! | `ccm_rt_directory_blocks` | gauge | — |
@@ -19,6 +20,14 @@
 //! | `ccm_rt_hint_stale_total` | counter | — |
 //! | `ccm_rt_hint_forward_hops_total` | counter | — |
 //! | `ccm_rt_epoch` | gauge | — |
+//! | `ccm_rt_writes_total` | counter | `node` |
+//! | `ccm_rt_admission_admitted_total` | counter | — |
+//! | `ccm_rt_admission_rejected_total` | counter | — |
+//! | `ccm_rt_admission_ghost_hits_total` | counter | — |
+//! | `ccm_rt_wb_dirty_blocks` | gauge | — |
+//! | `ccm_rt_wb_flushes_total` | counter | — |
+//! | `ccm_rt_wb_lost_total` | counter | — |
+//! | `ccm_rt_wb_recovered_total` | counter | — |
 //!
 //! The hint counters mirror the `ccm-core` hint-directory statistics
 //! (correct hints, stale hints, wasted forwarding hops); they stay at zero
@@ -26,13 +35,23 @@
 //! the family either way. `ccm_rt_epoch` exports the membership table's
 //! epoch — it moves only when the cluster configuration changes.
 //!
+//! The admission counters mirror the `ccm-core` ghost-LRU admission
+//! statistics and stay at zero with admission off; the `wb_*` family
+//! tracks write-back dirty-block lifecycle (flushed / lost with a crashed
+//! dirty master / recovered from a survivor's replica) and stays at zero
+//! under write-through. Like the hint family, all are always registered.
+//!
 //! The read `class` is the *data-plane* outcome: a protocol-level remote
 //! hit whose bytes had to come from the backing store (the §3 race) counts
 //! as `fallback`, not `remote` — unlike `CacheStats`, which tallies the
 //! protocol decision. The two views reconcile through
 //! `ccm_rt_store_fallbacks_total`, which is the exact migration of the old
 //! `Middleware::store_fallbacks` atomic (all fallback sites, including
-//! eviction forwarding's disk re-read).
+//! eviction forwarding's disk re-read). `ccm_rt_move_fallbacks_total`
+//! counts only the fallbacks that happen *outside* a traced read — an
+//! eviction forward, join rebalance, or leave handoff whose source bytes
+//! were already gone — so that `reads_total{class="fallback"} +
+//! move_fallbacks == store_fallbacks` holds exactly, even under races.
 
 use ccm_core::NodeId;
 use ccm_obs::{Counter, Gauge, Histogram, Registry, TraceRing};
@@ -71,8 +90,10 @@ pub(crate) struct NodeObs {
     pub evictions: Counter,
     pub forwards: Counter,
     pub store_fallbacks: Counter,
+    pub move_fallbacks: Counter,
     pub disk_error_fallbacks: Counter,
     pub store_blocks: Gauge,
+    pub writes: Counter,
 }
 
 /// All of the runtime's metric handles plus the trace ring.
@@ -89,6 +110,15 @@ pub(crate) struct RtObs {
     pub hint_forward_hops: Counter,
     /// Current membership epoch.
     pub epoch: Gauge,
+    /// Replica-admission outcomes (zero with admission off).
+    pub admission_admitted: Counter,
+    pub admission_rejected: Counter,
+    pub admission_ghost_hits: Counter,
+    /// Write-back dirty-block lifecycle (zero under write-through).
+    pub wb_dirty_blocks: Gauge,
+    pub wb_flushes: Counter,
+    pub wb_lost: Counter,
+    pub wb_recovered: Counter,
 }
 
 const CLASSES: [ReadClass; 4] = [
@@ -128,6 +158,11 @@ impl RtObs {
                         "Data-plane races resolved through the backing store (the paper's 'eventual disk read')",
                         &l,
                     ),
+                    move_fallbacks: registry.counter(
+                        "ccm_rt_move_fallbacks_total",
+                        "Store fallbacks outside the read path (eviction forward / join / leave whose source bytes were gone)",
+                        &l,
+                    ),
                     disk_error_fallbacks: registry.counter(
                         "ccm_rt_disk_error_fallbacks_total",
                         "Disk-service reads that failed (injected I/O error) and were retried synchronously against the store",
@@ -136,6 +171,11 @@ impl RtObs {
                     store_blocks: registry.gauge(
                         "ccm_rt_store_blocks",
                         "Blocks resident in this node's data store",
+                        &l,
+                    ),
+                    writes: registry.counter(
+                        "ccm_rt_writes_total",
+                        "Block writes acknowledged through this node",
                         &l,
                     ),
                 }
@@ -173,6 +213,41 @@ impl RtObs {
             "Membership epoch: bumped once per join/leave/crash/repair transition",
             &[],
         );
+        let admission_admitted = registry.counter(
+            "ccm_rt_admission_admitted_total",
+            "Remote hits whose replica the admission filter let in",
+            &[],
+        );
+        let admission_rejected = registry.counter(
+            "ccm_rt_admission_rejected_total",
+            "Remote hits served without caching a replica (one-touch candidates)",
+            &[],
+        );
+        let admission_ghost_hits = registry.counter(
+            "ccm_rt_admission_ghost_hits_total",
+            "Admissions granted because the block re-touched its ghost-list entry",
+            &[],
+        );
+        let wb_dirty_blocks = registry.gauge(
+            "ccm_rt_wb_dirty_blocks",
+            "Acknowledged write-back writes not yet persisted",
+            &[],
+        );
+        let wb_flushes = registry.counter(
+            "ccm_rt_wb_flushes_total",
+            "Dirty blocks persisted to the backing store by any flush path",
+            &[],
+        );
+        let wb_lost = registry.counter(
+            "ccm_rt_wb_lost_total",
+            "Acknowledged write-back writes lost with a crashed dirty master",
+            &[],
+        );
+        let wb_recovered = registry.counter(
+            "ccm_rt_wb_recovered_total",
+            "Dirty blocks rescued from a survivor's replica after their master crashed",
+            &[],
+        );
         RtObs {
             registry,
             trace: TraceRing::new(TRACE_RING_CAPACITY),
@@ -183,6 +258,13 @@ impl RtObs {
             hint_stale,
             hint_forward_hops,
             epoch,
+            admission_admitted,
+            admission_rejected,
+            admission_ghost_hits,
+            wb_dirty_blocks,
+            wb_flushes,
+            wb_lost,
+            wb_recovered,
         }
     }
 

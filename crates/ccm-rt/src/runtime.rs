@@ -19,16 +19,19 @@ use crate::membership::{MemberState, Membership};
 use crate::obs::{ReadClass, RtObs};
 use crate::store::{BlockStore, Catalog};
 use crate::transport::{Lan, PeerMsg, Transport};
+use crate::write::{WriteConfig, WriteMode, WriteStats};
 use ccm_core::{
-    AccessOutcome, BlockId, CacheConfig, CacheStats, ClusterCache, CopyKind, DirectoryKind,
-    Disposition, EvictionEffect, FileId, HintStats, NodeId, RepairReport, ReplacementPolicy,
+    AccessOutcome, AdmissionConfig, AdmissionStats, BlockId, CacheConfig, CacheStats, ClusterCache,
+    CopyKind, DirectoryKind, Disposition, EvictionEffect, FileId, HintStats, NodeId, RepairReport,
+    ReplacementPolicy,
 };
 use ccm_disk::{DiskConfig, DiskService, DiskStats};
 use ccm_obs::{Hop, Registry, Snapshot, Stopwatch, TraceRing};
 use simcore::chan::Receiver;
 use simcore::sync::Mutex;
 use simcore::FxHashMap;
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::collections::{BTreeSet, VecDeque};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Duration;
@@ -74,6 +77,16 @@ pub struct RtConfig {
     /// one (reachable via [`Middleware::registry`]); pass a shared registry
     /// to co-locate runtime, transport, and HTTP metrics in one scrape.
     pub obs: Option<Registry>,
+    /// Write-path coherence: write-through (the default) persists before
+    /// acknowledging; write-back defers persistence to a flush under a
+    /// bounded dirty budget. See [`crate::write`] for the durability
+    /// contract.
+    pub write: WriteConfig,
+    /// Replica-admission control: `Some` installs the ghost-LRU scan
+    /// filter at remote-hit replica admission (one-touch blocks are served
+    /// without being cached until they re-touch); `None` (the default)
+    /// admits everything, exactly the paper's behavior.
+    pub admission: Option<AdmissionConfig>,
 }
 
 impl Default for RtConfig {
@@ -86,11 +99,70 @@ impl Default for RtConfig {
             faults: None,
             disk: DiskConfig::default(),
             obs: None,
+            write: WriteConfig::default(),
+            admission: None,
         }
     }
 }
 
 type NodeStore = Mutex<FxHashMap<BlockId, Arc<Vec<u8>>>>;
+
+/// One acknowledged, unpersisted write: whose store holds the bytes, and a
+/// digest of exactly the payload that was acknowledged. The digest is what
+/// keeps crash recovery honest — a survivor's copy only counts as the
+/// write if its bytes hash to the acknowledged image (a replica whose
+/// refresh was still in flight at the crash holds the *pre*-write image
+/// and must be treated as a loss, not silently persisted as current).
+#[derive(Clone, Copy)]
+struct DirtyEntry {
+    owner: NodeId,
+    digest: u64,
+}
+
+/// The write-back dirty ledger: which node's store holds the authoritative
+/// (acknowledged but unpersisted) bytes of each dirty block, plus a
+/// first-dirtied queue for oldest-first flushing. Rewrites of an
+/// already-dirty block leave a stale queue entry behind; pops skip entries
+/// whose block is no longer in `owners`.
+#[derive(Default)]
+struct DirtyLedger {
+    owners: FxHashMap<BlockId, DirtyEntry>,
+    order: VecDeque<BlockId>,
+}
+
+/// FNV-1a over a block payload (the dirty-entry acknowledgment digest).
+fn digest_bytes(data: &[u8]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &b in data {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+impl DirtyLedger {
+    /// Pop the oldest block that is still dirty.
+    fn pop_oldest(&mut self) -> Option<BlockId> {
+        while let Some(b) = self.order.pop_front() {
+            if self.owners.contains_key(&b) {
+                return Some(b);
+            }
+        }
+        None
+    }
+}
+
+/// What `Shared::flush_block` did.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum FlushOutcome {
+    /// The block was not dirty.
+    Clean,
+    /// Dirty bytes persisted to the backing store.
+    Flushed,
+    /// The dirty bytes were unreachable (owner store empty or the store
+    /// refused the write); the block is now in the lost set.
+    Lost,
+}
 
 struct Shared {
     cache: Mutex<ClusterCache>,
@@ -116,6 +188,25 @@ struct Shared {
     /// had not caught up with a protocol decision) live here too, as
     /// per-node counters.
     obs: RtObs,
+    /// Write-path coherence configuration (mode, dirty budget, flusher).
+    write_cfg: WriteConfig,
+    /// Monotonic cluster-wide write version, carried on
+    /// [`PeerMsg::WriteInvalidate`] frames so a networked observer can
+    /// order invalidations; the in-process protocol does not consume it.
+    write_version: AtomicU64,
+    /// Per-block write serialization: the lock is held across persist (or
+    /// dirty-record), the protocol write, invalidation fan-out, and the
+    /// writer's store install, so concurrent same-block writers persist in
+    /// exactly the order the protocol observes. Locks are created on first
+    /// write of a block and retained (one `Arc` per ever-written block).
+    write_locks: Mutex<FxHashMap<BlockId, Arc<Mutex<()>>>>,
+    /// Write-back dirty ledger (empty under write-through).
+    dirty: Mutex<DirtyLedger>,
+    /// Acknowledged write-back writes whose dirty bytes died with a
+    /// crashed master and could not be recovered. Reads of these blocks
+    /// serve the last *persisted* (pre-write) image; the set makes the
+    /// loss detectable instead of silent.
+    lost_writes: Mutex<BTreeSet<BlockId>>,
 }
 
 impl Shared {
@@ -159,10 +250,182 @@ impl Shared {
         }
     }
 
+    /// The per-block write serialization lock for `block`.
+    fn write_lock(&self, block: BlockId) -> Arc<Mutex<()>> {
+        self.write_locks
+            .lock()
+            .entry(block)
+            .or_insert_with(|| Arc::new(Mutex::new(())))
+            .clone()
+    }
+
+    /// Persist `block` through `node`'s disk service (which fences its own
+    /// readahead/coalescing state) and invalidate every other service's
+    /// caches, so no reader anywhere can be served the superseded image
+    /// from a disk-side cache.
+    fn persist(&self, node: NodeId, block: BlockId, data: &[u8]) -> bool {
+        if !self.disks[node.index()].write_block(block, data) {
+            return false;
+        }
+        for (i, svc) in self.disks.iter().enumerate() {
+            if i != node.index() {
+                svc.invalidate(block);
+            }
+        }
+        true
+    }
+
+    /// Record `block` as dirty with its authoritative bytes in `owner`'s
+    /// store (write-back ack). A rewrite retargets the owner and digest in
+    /// place.
+    fn mark_dirty(&self, owner: NodeId, block: BlockId, digest: u64) {
+        let mut d = self.dirty.lock();
+        d.owners.insert(block, DirtyEntry { owner, digest });
+        d.order.push_back(block);
+        self.obs.wb_dirty_blocks.set(d.owners.len() as i64);
+    }
+
+    /// Who currently owns `block`'s dirty bytes, if anyone.
+    fn dirty_owner(&self, block: BlockId) -> Option<NodeId> {
+        self.dirty.lock().owners.get(&block).map(|e| e.owner)
+    }
+
+    fn mark_lost(&self, block: BlockId) {
+        self.lost_writes.lock().insert(block);
+        self.obs.wb_lost.inc();
+    }
+
+    /// Flush `block`'s dirty bytes (if any) to the backing store,
+    /// serialized against concurrent writers of the same block. Callers
+    /// must hold no block write lock (the flush takes `block`'s).
+    fn flush_block(&self, block: BlockId) -> FlushOutcome {
+        let lock = self.write_lock(block);
+        let _guard = lock.lock();
+        let owner = {
+            let mut d = self.dirty.lock();
+            let owner = d.owners.remove(&block);
+            self.obs.wb_dirty_blocks.set(d.owners.len() as i64);
+            owner
+        };
+        let Some(entry) = owner else {
+            return FlushOutcome::Clean;
+        };
+        match self.store_get(entry.owner, block) {
+            Some(bytes) if self.persist(entry.owner, block, &bytes) => {
+                self.obs.wb_flushes.inc();
+                FlushOutcome::Flushed
+            }
+            _ => {
+                // The owner's bytes are gone (should only happen in a
+                // crash window) or the store is read-only: the write
+                // cannot be persisted. Record the loss.
+                self.mark_lost(block);
+                FlushOutcome::Lost
+            }
+        }
+    }
+
+    /// Drain the whole dirty ledger, oldest first. Returns how many blocks
+    /// were persisted.
+    fn flush_dirty(&self) -> usize {
+        let mut flushed = 0;
+        loop {
+            let block = self.dirty.lock().pop_oldest();
+            let Some(block) = block else { break };
+            if self.flush_block(block) == FlushOutcome::Flushed {
+                flushed += 1;
+            }
+        }
+        flushed
+    }
+
+    /// Flush oldest dirty blocks until the ledger fits the budget again
+    /// (write-back acks call this after releasing their block lock).
+    fn enforce_dirty_budget(&self) {
+        loop {
+            let victim = {
+                let mut d = self.dirty.lock();
+                if d.owners.len() <= self.write_cfg.dirty_budget {
+                    return;
+                }
+                d.pop_oldest()
+            };
+            let Some(victim) = victim else { return };
+            self.flush_block(victim);
+        }
+    }
+
+    /// Reconcile the dirty ledger after `crashed`'s store was wiped and
+    /// the directory repaired. For each dirty block the crashed node
+    /// owned: if re-mastering handed the block to a survivor (`moves`)
+    /// whose store holds bytes matching the acknowledged digest, persist
+    /// them — the write survives. Otherwise the write is lost: recorded
+    /// in the lost set, never silently replaced by the stale persisted
+    /// image. A survivor copy that fails the digest check is a replica
+    /// whose refresh was still in flight at the crash (pre-write bytes)
+    /// and counts as a loss too.
+    fn recover_dirty_after_crash(&self, crashed: NodeId, moves: &[(BlockId, NodeId)]) {
+        let owned: Vec<(BlockId, u64)> = {
+            let mut d = self.dirty.lock();
+            let owned: Vec<(BlockId, u64)> = d
+                .owners
+                .iter()
+                .filter(|&(_, e)| e.owner == crashed)
+                .map(|(&b, e)| (b, e.digest))
+                .collect();
+            for &(b, _) in &owned {
+                d.owners.remove(&b);
+            }
+            self.obs.wb_dirty_blocks.set(d.owners.len() as i64);
+            owned
+        };
+        if owned.is_empty() {
+            return;
+        }
+        let targets: FxHashMap<BlockId, NodeId> = moves.iter().copied().collect();
+        for (block, digest) in owned {
+            let rescued = targets
+                .get(&block)
+                .and_then(|&to| self.store_get(to, block).map(|bytes| (to, bytes)))
+                .filter(|(_, bytes)| digest_bytes(bytes) == digest);
+            match rescued {
+                Some((to, bytes)) if self.persist(to, block, &bytes) => {
+                    self.obs.wb_recovered.inc();
+                }
+                _ => self.mark_lost(block),
+            }
+        }
+    }
+
+    /// Data-plane fallback read. Normally the backing store; but if the
+    /// block is write-back dirty, disk holds the superseded image — the
+    /// dirty owner's in-process store is authoritative, so read it
+    /// directly (a networked deployment would re-request from the owner).
+    /// Only if the owner's bytes are unreachable does this degrade to the
+    /// store, which then serves the last persisted image.
+    fn fallback_read(&self, node: NodeId, block: BlockId) -> Arc<Vec<u8>> {
+        if let Some(owner) = self.dirty_owner(block) {
+            if let Some(bytes) = self.store_get(owner, block) {
+                return bytes;
+            }
+        }
+        self.disk_read(node, block)
+    }
+
     /// Move data in sympathy with an eviction decision. `req` is the trace
     /// request id of the read that triggered the eviction (0 = untraced,
     /// e.g. a write-path eviction).
     fn apply_eviction(&self, evictor: NodeId, effect: EvictionEffect, req: u64) {
+        // A dirty master never leaves the cache unpersisted: if the victim
+        // is dirty *and this evictor owns its bytes*, flush before they
+        // move or drop. (Forwarded masters would otherwise ride a
+        // chaos-droppable Forward frame; a lost frame would leave the only
+        // current copy nowhere and later disk fallbacks stale.) Evicting a
+        // mere replica of someone else's dirty block needs no flush — the
+        // owner still holds the bytes.
+        if self.dirty_owner(effect.victim) == Some(evictor) {
+            self.flush_block(effect.victim);
+        }
         self.obs.node(evictor).evictions.inc();
         match effect.disposition {
             Disposition::Dropped | Disposition::DroppedWithPromotion { .. } => {
@@ -186,6 +449,7 @@ impl Shared {
                 // re-reading here keeps its store warm instead.
                 let data = data.unwrap_or_else(|| {
                     self.obs.node(evictor).store_fallbacks.inc();
+                    self.obs.node(evictor).move_fallbacks.inc();
                     self.disk_read(evictor, effect.victim)
                 });
                 self.obs.trace.push(
@@ -218,6 +482,9 @@ pub struct Middleware {
     /// The heartbeat failure detector, once started: its stop flag and
     /// thread handle (joined on shutdown).
     monitor: Mutex<Option<(Arc<AtomicBool>, JoinHandle<()>)>>,
+    /// The background write-back flusher, if `WriteConfig::flush_interval`
+    /// asked for one: its stop flag and thread handle (joined on shutdown).
+    flusher: Mutex<Option<(Arc<AtomicBool>, JoinHandle<()>)>>,
 }
 
 /// A per-node client handle; cheap to clone and `Send`.
@@ -250,6 +517,22 @@ fn service_loop(shared: Arc<Shared>, node: NodeId, inbox: Receiver<PeerMsg>) {
             }
             PeerMsg::Invalidate { block } => {
                 shared.store_take(node, block);
+            }
+            PeerMsg::WriteInvalidate { block, .. } => {
+                // Coherence invalidation: drop the superseded bytes; the
+                // next read re-routes through the (possibly dirty) master.
+                // Guard: the protocol removed this node's copy *before* the
+                // frame was sent, so if the node holds one again by the
+                // time the frame arrives, it re-acquired the block after
+                // the write (a re-fetch from the new master, or its own
+                // newer write) and those bytes are current — a stale
+                // invalidation must not wipe them. Unguarded, a delayed
+                // frame could even delete a dirty master's only copy and
+                // turn an acked write into a spurious loss.
+                let holds = shared.cache.lock().node(node).lookup(block).is_some();
+                if !holds {
+                    shared.store_take(node, block);
+                }
             }
             PeerMsg::Barrier { reply } => {
                 // Every message enqueued before the barrier has been
@@ -347,6 +630,7 @@ impl Middleware {
         let chaos = ChaosLan::with_registry(transport, &plan, &registry);
         let mut cache_cfg = CacheConfig::paper(cfg.nodes, cfg.capacity_blocks, cfg.policy);
         cache_cfg.directory = directory;
+        cache_cfg.admission = cfg.admission;
         let mut cache = ClusterCache::new(cache_cfg);
         for i in 0..cfg.nodes {
             if !membership.is_member(NodeId(i as u16)) {
@@ -382,6 +666,11 @@ impl Middleware {
             membership,
             fetch_timeout: cfg.fetch_timeout,
             obs,
+            write_cfg: cfg.write,
+            write_version: AtomicU64::new(0),
+            write_locks: Mutex::new(FxHashMap::default()),
+            dirty: Mutex::new(DirtyLedger::default()),
+            lost_writes: Mutex::new(BTreeSet::new()),
         });
         let threads = inboxes
             .into_iter()
@@ -396,11 +685,25 @@ impl Middleware {
                     .then(|| spawn_service(&shared, node, inbox))
             })
             .collect();
-        Middleware {
+        let mw = Middleware {
             shared,
             threads: Mutex::new(threads),
             monitor: Mutex::new(None),
+            flusher: Mutex::new(None),
+        };
+        if cfg.write.mode == WriteMode::Back {
+            if let Some(interval) = cfg.write.flush_interval {
+                let stop = Arc::new(AtomicBool::new(false));
+                let shared = mw.shared.clone();
+                let flag = stop.clone();
+                let handle = std::thread::Builder::new()
+                    .name("ccm-wb-flusher".into())
+                    .spawn(move || flusher_loop(shared, flag, interval))
+                    .expect("spawn write-back flusher");
+                *mw.flusher.lock() = Some((stop, handle));
+            }
         }
+        mw
     }
 
     /// A client handle bound to `node`.
@@ -509,6 +812,45 @@ impl Middleware {
         self.shared.cache.lock().hint_stats()
     }
 
+    /// Replica-admission statistics (all zero with admission off; takes
+    /// the cache lock briefly).
+    pub fn admission_stats(&self) -> AdmissionStats {
+        self.shared.cache.lock().admission_stats()
+    }
+
+    /// Write-path counters: acknowledged writes, flushes, current dirty
+    /// backlog, losses, recoveries.
+    pub fn write_stats(&self) -> WriteStats {
+        let obs = &self.shared.obs;
+        WriteStats {
+            writes: obs.nodes.iter().map(|n| n.writes.get()).sum(),
+            flushes: obs.wb_flushes.get(),
+            dirty: self.shared.dirty.lock().owners.len() as u64,
+            lost: obs.wb_lost.get(),
+            recovered: obs.wb_recovered.get(),
+        }
+    }
+
+    /// Persist every dirty (acknowledged, unpersisted) write-back block,
+    /// oldest first. Returns how many blocks were flushed. A no-op under
+    /// write-through.
+    pub fn flush_dirty(&self) -> usize {
+        self.shared.flush_dirty()
+    }
+
+    /// How many acknowledged write-back writes are currently unpersisted.
+    pub fn dirty_blocks(&self) -> usize {
+        self.shared.dirty.lock().owners.len()
+    }
+
+    /// Every block whose acknowledged write-back write was lost (its dirty
+    /// master crashed with no recoverable copy). Reads of these blocks
+    /// serve the last persisted image — the loss is detected here, never
+    /// silent. Sorted; empty under write-through and on graceful paths.
+    pub fn lost_writes(&self) -> Vec<BlockId> {
+        self.shared.lost_writes.lock().iter().copied().collect()
+    }
+
     /// Bring a provisioned (or previously departed/crashed) slot into the
     /// cluster: start its service thread cold, re-master a deterministic
     /// share of the resident blocks onto it, ship their bytes, and bump the
@@ -537,12 +879,33 @@ impl Middleware {
             cache.rebalance_on_join(node)
         };
         for &(block, from) in &moved {
+            let dirty_from = self.shared.dirty_owner(block) == Some(from);
             let data = match self.shared.store_take(from, block) {
-                Some(d) => d,
+                Some(d) => {
+                    if dirty_from {
+                        // The dirty bytes move with the mastership: the
+                        // joiner now owns the unpersisted image.
+                        if let Some(e) = self.shared.dirty.lock().owners.get_mut(&block) {
+                            e.owner = node;
+                        }
+                    }
+                    d
+                }
                 None => {
                     // Data-plane race: the old holder's bytes were already
-                    // gone; warm the joiner from disk instead.
+                    // gone; warm the joiner from disk instead. For a dirty
+                    // block that means the acknowledged write is gone too —
+                    // record the loss rather than silently re-mastering the
+                    // stale persisted image as current.
+                    if dirty_from {
+                        let mut d = self.shared.dirty.lock();
+                        d.owners.remove(&block);
+                        self.shared.obs.wb_dirty_blocks.set(d.owners.len() as i64);
+                        drop(d);
+                        self.shared.mark_lost(block);
+                    }
                     self.shared.obs.node(from).store_fallbacks.inc();
+                    self.shared.obs.node(from).move_fallbacks.inc();
                     self.shared.disk_read(node, block)
                 }
             };
@@ -580,12 +943,30 @@ impl Middleware {
             .take()
             .expect("alive node must have a thread");
         handle.join().expect("node thread panicked");
+        // A graceful leave loses nothing: the leaver's dirty blocks are
+        // persisted (its store is intact — only the thread has stopped)
+        // before its masters are handed off, so survivors inherit clean
+        // copies and the backing store is current.
+        let leaver_dirty: Vec<BlockId> = {
+            let d = self.shared.dirty.lock();
+            d.owners
+                .iter()
+                .filter(|&(_, e)| e.owner == node)
+                .map(|(&b, _)| b)
+                .collect()
+        };
+        for block in leaver_dirty {
+            if self.shared.dirty_owner(block) == Some(node) {
+                self.shared.flush_block(block);
+            }
+        }
         let moved = self.shared.cache.lock().retire_node(node);
         for &(block, to) in &moved {
             let data = match self.shared.store_take(node, block) {
                 Some(d) => d,
                 None => {
                     self.shared.obs.node(node).store_fallbacks.inc();
+                    self.shared.obs.node(node).move_fallbacks.inc();
                     self.shared.disk_read(to, block)
                 }
             };
@@ -675,7 +1056,8 @@ impl Middleware {
         handle.join().expect("node thread panicked");
         self.shared.stores[node.index()].lock().clear();
         self.shared.obs.node(node).store_blocks.set(0);
-        let report = self.shared.cache.lock().fail_node(node);
+        let (report, moves) = self.shared.cache.lock().fail_node_with_moves(node);
+        self.shared.recover_dirty_after_crash(node, &moves);
         let epoch = self.shared.membership.transition(node, MemberState::Down);
         self.shared.obs.epoch.set(epoch as i64);
         report
@@ -717,12 +1099,22 @@ impl Middleware {
         self.shared.cache.lock().check_invariants();
     }
 
-    /// Stop all service threads and join them.
+    /// Stop all service threads and join them. Under write-back the dirty
+    /// set is drained first (graceful shutdown loses nothing); an abortive
+    /// teardown is `drop` without `shutdown`, which skips the flush.
     pub fn shutdown(self) {
+        self.shared.flush_dirty();
         self.stop_threads(true);
     }
 
     fn stop_threads(&self, strict: bool) {
+        if let Some((stop, handle)) = self.flusher.lock().take() {
+            stop.store(true, Ordering::Release);
+            let joined = handle.join();
+            if strict {
+                joined.expect("write-back flusher panicked");
+            }
+        }
         if let Some((stop, handle)) = self.monitor.lock().take() {
             stop.store(true, Ordering::Release);
             let joined = handle.join();
@@ -750,6 +1142,25 @@ impl Drop for Middleware {
     fn drop(&mut self) {
         // Best-effort shutdown if the user forgot; ignore already-dead nodes.
         self.stop_threads(false);
+    }
+}
+
+/// The background write-back flusher behind `WriteConfig::flush_interval`:
+/// drain the dirty ledger every interval. Wall-clock driven, hence (like
+/// the heartbeat monitor) intentionally not deterministic; replay-exact
+/// tests flush explicitly instead.
+fn flusher_loop(shared: Arc<Shared>, stop: Arc<AtomicBool>, interval: Duration) {
+    while !stop.load(Ordering::Acquire) {
+        // Sleep in small slices so a stop request is honored promptly.
+        let mut slept = Duration::ZERO;
+        while slept < interval && !stop.load(Ordering::Acquire) {
+            let slice = (interval - slept).min(Duration::from_millis(10));
+            std::thread::sleep(slice);
+            slept += slice;
+        }
+        if !stop.load(Ordering::Acquire) {
+            shared.flush_dirty();
+        }
     }
 }
 
@@ -800,12 +1211,15 @@ fn heartbeat_loop(
                 shared.alive[i].store(false, Ordering::Release);
                 shared.stores[i].lock().clear();
                 shared.obs.node(node).store_blocks.set(0);
-                {
+                let moves = {
                     let mut cache = shared.cache.lock();
                     if !cache.is_down(node) {
-                        cache.fail_node(node);
+                        cache.fail_node_with_moves(node).1
+                    } else {
+                        Vec::new()
                     }
-                }
+                };
+                shared.recover_dirty_after_crash(node, &moves);
                 let epoch = shared.membership.transition(node, MemberState::Down);
                 shared.obs.epoch.set(epoch as i64);
                 *missed = 0;
@@ -862,18 +1276,33 @@ impl NodeHandle {
             },
         );
         let sw = Stopwatch::start();
-        let (outcome, trail, hints_before, hints_after) = {
+        let (outcome, trail, hints_before, hints_after, adm_before, adm_after) = {
             let mut cache = self.shared.cache.lock();
             let before = cache.hint_stats();
+            let adm_before = cache.admission_stats();
             let outcome = cache.access(self.node, block);
             let after = cache.hint_stats();
-            (outcome, cache.take_hint_trail(), before, after)
+            let adm_after = cache.admission_stats();
+            (
+                outcome,
+                cache.take_hint_trail(),
+                before,
+                after,
+                adm_before,
+                adm_after,
+            )
         };
         obs.hint_hits
             .add(hints_after.correct - hints_before.correct);
         obs.hint_stale.add(hints_after.stale - hints_before.stale);
         obs.hint_forward_hops
             .add(hints_after.forward_hops - hints_before.forward_hops);
+        obs.admission_admitted
+            .add(adm_after.admitted - adm_before.admitted);
+        obs.admission_rejected
+            .add(adm_after.rejected - adm_before.rejected);
+        obs.admission_ghost_hits
+            .add(adm_after.ghost_hits - adm_before.ghost_hits);
         // Replay the wasted hint-chain hops as real round trips: each node a
         // stale hint pointed at is asked and answers "not here"; the reply
         // is discarded — the authoritative outcome below already accounts
@@ -897,16 +1326,23 @@ impl NodeHandle {
                     }
                     None => {
                         // Our bytes are still in flight (concurrent fetch of
-                        // the same block); the backing store is authoritative.
+                        // the same block); the backing store is authoritative
+                        // — unless the block is write-back dirty, in which
+                        // case the dirty owner's store is.
                         obs.node(self.node).store_fallbacks.inc();
                         obs.trace.push(req, me, Hop::DiskFallback);
-                        let data = self.shared.disk_read(self.node, block);
+                        let data = self.shared.fallback_read(self.node, block);
                         self.shared.store_insert(self.node, block, data.clone());
                         (data, ReadClass::Fallback)
                     }
                 }
             }
-            AccessOutcome::RemoteHit { from, eviction, .. } => {
+            AccessOutcome::RemoteHit {
+                from,
+                eviction,
+                admitted,
+                ..
+            } => {
                 if let Some(e) = eviction {
                     self.shared.apply_eviction(self.node, e, req);
                 }
@@ -940,13 +1376,23 @@ impl NodeHandle {
                     None => {
                         // The §3 race: the holder discarded the block (or the
                         // message was lost, or the holder crashed) while our
-                        // request was in flight → eventual disk read.
+                        // request was in flight → eventual disk read. For a
+                        // write-back dirty block the disk image is stale;
+                        // `fallback_read` serves the dirty owner's bytes.
                         obs.node(self.node).store_fallbacks.inc();
                         obs.trace.push(req, me, Hop::DiskFallback);
-                        (self.shared.disk_read(self.node, block), ReadClass::Fallback)
+                        (
+                            self.shared.fallback_read(self.node, block),
+                            ReadClass::Fallback,
+                        )
                     }
                 };
-                self.shared.store_insert(self.node, block, data.clone());
+                // The admission filter can serve the bytes without caching
+                // them: the data plane mirrors the protocol decision, so a
+                // rejected replica is never installed in our store.
+                if admitted {
+                    self.shared.store_insert(self.node, block, data.clone());
+                }
                 (data, class)
             }
             AccessOutcome::DiskRead { eviction, .. } => {
@@ -998,53 +1444,90 @@ impl NodeHandle {
     }
 
     /// Overwrite one whole block through the cooperative cache (the §6
-    /// writes extension): write-through to the backing store, invalidate
-    /// every other node's copy, and become the master holder.
+    /// writes extension): invalidate every other node's copy and become
+    /// the master holder. Persistence depends on the configured
+    /// [`WriteMode`]: write-through persists to the backing store before
+    /// the protocol invalidation fans out (a returned `Ok` is durable);
+    /// write-back acknowledges from this node's store as a *dirty master*
+    /// and defers persistence to a flush (see [`crate::write`] for the
+    /// durability contract).
     ///
-    /// Concurrent writers to the *same* block need external coordination
-    /// (last protocol write wins, but store write-through ordering is not
-    /// serialized with it); concurrent writes to distinct blocks and
-    /// concurrent reads of anything are safe.
+    /// Same-block writes are serialized on a per-block lock held across
+    /// persist, the protocol write, and the invalidation fan-out, so
+    /// concurrent writers to one block persist in exactly the order the
+    /// protocol observes. Writes to distinct blocks and concurrent reads
+    /// of anything proceed in parallel.
     ///
     /// # Errors
-    /// [`WriteError::ReadOnlyStore`] if the backing store refuses writes.
+    /// [`WriteError::ReadOnlyStore`] if the backing store refuses writes
+    /// (write-through only; write-back defers the store to flush time,
+    /// where a refusal surfaces as a recorded lost write).
+    ///
+    /// # Panics
+    /// Panics if this handle's node is crashed.
     pub fn write_block(&self, block: BlockId, data: &[u8]) -> Result<(), WriteError> {
         assert!(
             self.shared.is_alive(self.node),
             "node {:?} is down",
             self.node
         );
-        // 1. Write-through first: once peers are invalidated, any of their
-        //    re-reads may fall through to the store and must see new data.
-        if !self.shared.disk.write_block(block, data) {
-            return Err(WriteError::ReadOnlyStore);
+        let mode = self.shared.write_cfg.mode;
+        let lock = self.shared.write_lock(block);
+        let eviction;
+        {
+            let _serialize = lock.lock();
+            if mode == WriteMode::Through {
+                // 1. Write-through first: once peers are invalidated, any
+                //    of their re-reads may fall through to the store and
+                //    must see new data. `persist` also fences every disk
+                //    service's readahead/coalescing state so no superseded
+                //    bytes linger in (or keep flowing into) a disk-side
+                //    cache.
+                if !self.shared.persist(self.node, block, data) {
+                    return Err(WriteError::ReadOnlyStore);
+                }
+            }
+            // 2. Protocol write (atomic): invalidate + become master.
+            let version = self.shared.write_version.fetch_add(1, Ordering::Relaxed) + 1;
+            let out = self.shared.cache.lock().write(self.node, block);
+            eviction = out.eviction;
+            // 3. Data plane: drop superseded copies, install ours.
+            //    Coherence invalidations route through the chaos wrapper
+            //    but are never dropped (see the fault model); they do
+            //    flush any delayed traffic on their link.
+            for peer in out.invalidated {
+                self.shared.chaos.send(
+                    self.node,
+                    peer,
+                    PeerMsg::WriteInvalidate { block, version },
+                );
+            }
+            if let Some(m) = out.superseded_master {
+                self.shared
+                    .chaos
+                    .send(self.node, m, PeerMsg::WriteInvalidate { block, version });
+            }
+            self.shared
+                .store_insert(self.node, block, Arc::new(data.to_vec()));
+            if mode == WriteMode::Back {
+                // The ack: our store now holds the only current copy.
+                // (This also retargets the ledger when we supersede
+                // another node's dirty master — its queued invalidation
+                // will drop the old bytes.)
+                self.shared.mark_dirty(self.node, block, digest_bytes(data));
+            }
+            self.shared.obs.node(self.node).writes.inc();
         }
-        // Superseded bytes must not linger in (or keep flowing into) any
-        // disk service's readahead cache, and no later miss may coalesce
-        // onto a still-in-flight pre-write read of this block.
-        for svc in &self.shared.disks {
-            svc.invalidate(block);
-        }
-        // 2. Protocol write (atomic): invalidate + become master.
-        let out = self.shared.cache.lock().write(self.node, block);
-        // 3. Data plane: drop superseded copies, install ours. Invalidates
-        //    route through the chaos wrapper but are never dropped (see the
-        //    fault model); they do flush any delayed traffic on their link.
-        if let Some(e) = out.eviction {
+        // Outside the per-block lock: the eviction concerns a *different*
+        // block (a dirty victim is flushed under its own lock — nesting
+        // the two would invert lock order against a concurrent writer of
+        // the victim), and budget enforcement flushes other blocks too.
+        if let Some(e) = eviction {
             self.shared.apply_eviction(self.node, e, 0);
         }
-        for peer in out.invalidated {
-            self.shared
-                .chaos
-                .send(self.node, peer, PeerMsg::Invalidate { block });
+        if mode == WriteMode::Back {
+            self.shared.enforce_dirty_budget();
         }
-        if let Some(m) = out.superseded_master {
-            self.shared
-                .chaos
-                .send(self.node, m, PeerMsg::Invalidate { block });
-        }
-        self.shared
-            .store_insert(self.node, block, Arc::new(data.to_vec()));
         Ok(())
     }
 
@@ -1424,8 +1907,7 @@ mod tests {
                     crashes: Vec::new(),
                     disk: Default::default(),
                 }),
-                disk: DiskConfig::default(),
-                obs: None,
+                ..RtConfig::default()
             },
             cat.clone(),
             store.clone(),
@@ -1699,6 +2181,417 @@ mod tests {
                 other => panic!("missing histogram for {class}: {other:?}"),
             }
         }
+        mw.shutdown();
+    }
+
+    #[test]
+    fn concurrent_same_block_writers_persist_in_protocol_order() {
+        // Pin for the write-ordering gap this module used to document:
+        // without per-block serialization, two same-block writers could
+        // persist to the store in one order while the protocol recorded
+        // the other, leaving disk and directory disagreeing about which
+        // write was last. With the per-block lock, the persisted bytes
+        // must equal what the last *protocol* write installed — which is
+        // what every node reads back.
+        use crate::store::MemStore;
+        let cat = catalog(1, 16_000);
+        let store = Arc::new(MemStore::new(cat.clone(), 42));
+        let mw = Arc::new(Middleware::start(
+            RtConfig {
+                nodes: 4,
+                capacity_blocks: 32,
+                ..RtConfig::default()
+            },
+            cat.clone(),
+            store.clone(),
+        ));
+        let block = BlockId::new(FileId(0), 0);
+        let len = cat.block_bytes(block) as usize;
+        let mut threads = Vec::new();
+        for t in 0..4u16 {
+            let mw = mw.clone();
+            threads.push(std::thread::spawn(move || {
+                let h = mw.handle(NodeId(t));
+                for round in 0..50u8 {
+                    // Unique fill per (writer, round): 4*50 = 200 < 256.
+                    let payload = vec![t as u8 * 50 + round; len];
+                    h.write_block(block, &payload)
+                        .expect("MemStore accepts writes");
+                }
+            }));
+        }
+        for t in threads {
+            t.join().expect("writer panicked");
+        }
+        mw.quiesce();
+        let via_protocol = mw.handle(NodeId(0)).read_block(block);
+        let raw = store.read_block(block);
+        assert_eq!(
+            &*via_protocol, &raw,
+            "store persisted a different write than the protocol observed last"
+        );
+        assert_eq!(mw.stats().writes, 200);
+        mw.check_invariants();
+        Arc::try_unwrap(mw).ok().expect("sole owner").shutdown();
+    }
+
+    #[test]
+    fn write_back_acks_without_persisting_and_flush_drains() {
+        use crate::store::MemStore;
+        use crate::write::WriteConfig;
+        let cat = catalog(2, 8_000);
+        let store = Arc::new(MemStore::new(cat.clone(), 42));
+        let mw = Middleware::start(
+            RtConfig {
+                nodes: 2,
+                capacity_blocks: 32,
+                write: WriteConfig::back(8),
+                ..RtConfig::default()
+            },
+            cat.clone(),
+            store.clone(),
+        );
+        let block = BlockId::new(FileId(0), 0);
+        let payload = vec![0xAB; cat.block_bytes(block) as usize];
+        mw.handle(NodeId(0))
+            .write_block(block, &payload)
+            .expect("write-back accepts writes");
+        // Acked but not persisted: the store still serves the old image...
+        assert_ne!(store.read_block(block), payload, "must not persist yet");
+        assert_eq!(mw.dirty_blocks(), 1);
+        // ...while every node coherently reads the new bytes.
+        assert_eq!(&*mw.handle(NodeId(1)).read_block(block), &payload);
+        let flushed = mw.flush_dirty();
+        assert_eq!(flushed, 1);
+        assert_eq!(store.read_block(block), payload, "flush must persist");
+        assert_eq!(mw.dirty_blocks(), 0);
+        let ws = mw.write_stats();
+        assert_eq!((ws.writes, ws.flushes, ws.lost), (1, 1, 0));
+        mw.check_invariants();
+        mw.shutdown();
+    }
+
+    #[test]
+    fn write_back_budget_bounds_dirty_set() {
+        use crate::store::MemStore;
+        use crate::write::WriteConfig;
+        let cat = catalog(10, 8_000);
+        let store = Arc::new(MemStore::new(cat.clone(), 42));
+        let mw = Middleware::start(
+            RtConfig {
+                nodes: 2,
+                capacity_blocks: 64,
+                write: WriteConfig::back(4),
+                ..RtConfig::default()
+            },
+            cat.clone(),
+            store.clone(),
+        );
+        let h = mw.handle(NodeId(0));
+        let mut payloads = Vec::new();
+        for f in 0..10u32 {
+            let block = BlockId::new(FileId(f), 0);
+            let payload = vec![f as u8 ^ 0xC3; cat.block_bytes(block) as usize];
+            h.write_block(block, &payload).expect("write accepted");
+            payloads.push((block, payload));
+            assert!(
+                mw.dirty_blocks() <= 4,
+                "dirty set exceeded budget after write {f}"
+            );
+        }
+        // Oldest-first: the six excess blocks were flushed in write order.
+        for (block, payload) in &payloads[..6] {
+            assert_eq!(&store.read_block(*block), payload, "{block:?} not flushed");
+        }
+        assert_eq!(mw.dirty_blocks(), 4);
+        assert_eq!(mw.write_stats().flushes, 6);
+        mw.shutdown();
+    }
+
+    #[test]
+    fn dirty_eviction_flushes_instead_of_losing() {
+        use crate::store::MemStore;
+        use crate::write::WriteConfig;
+        // Single node, tiny cache, budget far above the write count: the
+        // only flush pressure is eviction. A dirty master being evicted
+        // must persist first — never drop the sole current copy.
+        let cat = catalog(24, 8_000);
+        let store = Arc::new(MemStore::new(cat.clone(), 42));
+        let mw = Middleware::start(
+            RtConfig {
+                nodes: 1,
+                capacity_blocks: 8,
+                write: WriteConfig::back(64),
+                ..RtConfig::default()
+            },
+            cat.clone(),
+            store.clone(),
+        );
+        let h = mw.handle(NodeId(0));
+        let mut payloads = Vec::new();
+        for f in 0..24u32 {
+            let block = BlockId::new(FileId(f), 0);
+            let payload = vec![f as u8 ^ 0x77; cat.block_bytes(block) as usize];
+            h.write_block(block, &payload).expect("write accepted");
+            payloads.push((block, payload));
+        }
+        let evicted_flushes = mw.write_stats().flushes;
+        assert!(
+            evicted_flushes >= 16,
+            "evicting dirty masters must flush them (saw {evicted_flushes})"
+        );
+        assert!(mw.lost_writes().is_empty(), "nothing may be lost");
+        mw.flush_dirty();
+        for (block, payload) in &payloads {
+            assert_eq!(&store.read_block(*block), payload, "{block:?} lost");
+            assert_eq!(&*h.read_block(*block), payload, "{block:?} serves stale");
+        }
+        mw.check_invariants();
+        mw.shutdown();
+    }
+
+    #[test]
+    fn write_back_crash_loses_boundedly_and_detectably() {
+        use crate::store::MemStore;
+        use crate::write::WriteConfig;
+        let cat = catalog(6, 8_000);
+        let store = Arc::new(MemStore::new(cat.clone(), 42));
+        let mw = Middleware::start(
+            RtConfig {
+                nodes: 3,
+                capacity_blocks: 32,
+                write: WriteConfig::back(8),
+                ..RtConfig::default()
+            },
+            cat.clone(),
+            store.clone(),
+        );
+        // Node 2 dirties four blocks nobody re-reads: no current copy
+        // survives its crash.
+        let blocks: Vec<BlockId> = (0..4u32).map(|f| BlockId::new(FileId(f), 0)).collect();
+        for &b in &blocks {
+            let payload = vec![0xEE; cat.block_bytes(b) as usize];
+            mw.handle(NodeId(2))
+                .write_block(b, &payload)
+                .expect("write");
+        }
+        mw.quiesce();
+        assert_eq!(mw.dirty_blocks(), 4);
+        mw.crash_node(NodeId(2));
+        let lost = mw.lost_writes();
+        assert_eq!(
+            lost, blocks,
+            "every unreplicated dirty block is lost — and named"
+        );
+        assert_eq!(mw.dirty_blocks(), 0, "ledger reconciled");
+        let ws = mw.write_stats();
+        assert_eq!((ws.lost, ws.recovered), (4, 0));
+        // Lost blocks serve the last *persisted* image — the pristine
+        // base — not garbage, and not a silent claim of the lost write.
+        let pristine = SyntheticStore::new(cat.clone(), 42);
+        for &b in &blocks {
+            assert_eq!(
+                &*mw.handle(NodeId(0)).read_block(b),
+                &pristine.read_block(b),
+                "lost block must serve the persisted image"
+            );
+        }
+        mw.check_invariants();
+        mw.shutdown();
+    }
+
+    #[test]
+    fn write_back_crash_recovers_from_survivor_replica() {
+        use crate::store::MemStore;
+        use crate::write::WriteConfig;
+        let cat = catalog(2, 8_000);
+        let store = Arc::new(MemStore::new(cat.clone(), 42));
+        let mw = Middleware::start(
+            RtConfig {
+                nodes: 3,
+                capacity_blocks: 32,
+                write: WriteConfig::back(8),
+                ..RtConfig::default()
+            },
+            cat.clone(),
+            store.clone(),
+        );
+        let block = BlockId::new(FileId(0), 0);
+        let payload = vec![0x4D; cat.block_bytes(block) as usize];
+        mw.handle(NodeId(2))
+            .write_block(block, &payload)
+            .expect("write");
+        // Node 1 re-reads after the write: its replica holds the current
+        // bytes, so the dirty master is no longer the only copy.
+        assert_eq!(&*mw.handle(NodeId(1)).read_block(block), &payload);
+        mw.quiesce();
+        mw.crash_node(NodeId(2));
+        assert!(
+            mw.lost_writes().is_empty(),
+            "the replica must rescue the write"
+        );
+        let ws = mw.write_stats();
+        assert_eq!((ws.lost, ws.recovered), (0, 1));
+        assert_eq!(store.read_block(block), payload, "recovery persists");
+        assert_eq!(&*mw.handle(NodeId(0)).read_block(block), &payload);
+        mw.check_invariants();
+        mw.shutdown();
+    }
+
+    #[test]
+    fn graceful_leave_flushes_dirty_masters() {
+        use crate::store::MemStore;
+        use crate::write::WriteConfig;
+        let cat = catalog(4, 8_000);
+        let store = Arc::new(MemStore::new(cat.clone(), 42));
+        let mw = Middleware::start(
+            RtConfig {
+                nodes: 3,
+                capacity_blocks: 32,
+                write: WriteConfig::back(16),
+                ..RtConfig::default()
+            },
+            cat.clone(),
+            store.clone(),
+        );
+        let mut payloads = Vec::new();
+        for f in 0..3u32 {
+            let block = BlockId::new(FileId(f), 0);
+            let payload = vec![f as u8 ^ 0x91; cat.block_bytes(block) as usize];
+            mw.handle(NodeId(1))
+                .write_block(block, &payload)
+                .expect("write");
+            payloads.push((block, payload));
+        }
+        mw.quiesce();
+        mw.leave_node(NodeId(1));
+        assert!(mw.lost_writes().is_empty(), "graceful leave loses nothing");
+        assert_eq!(mw.dirty_blocks(), 0, "leaver's dirty blocks were flushed");
+        assert_eq!(mw.stats().lost_masters, 0);
+        for (block, payload) in &payloads {
+            assert_eq!(&store.read_block(*block), payload, "{block:?} not durable");
+            assert_eq!(&*mw.handle(NodeId(0)).read_block(*block), payload);
+        }
+        mw.check_invariants();
+        mw.shutdown();
+    }
+
+    #[test]
+    fn shutdown_drains_the_dirty_set() {
+        use crate::store::MemStore;
+        use crate::write::WriteConfig;
+        let cat = catalog(1, 8_000);
+        let store = Arc::new(MemStore::new(cat.clone(), 42));
+        let mw = Middleware::start(
+            RtConfig {
+                nodes: 2,
+                capacity_blocks: 16,
+                write: WriteConfig::back(8),
+                ..RtConfig::default()
+            },
+            cat.clone(),
+            store.clone(),
+        );
+        let block = BlockId::new(FileId(0), 0);
+        let payload = vec![0x3C; cat.block_bytes(block) as usize];
+        mw.handle(NodeId(0))
+            .write_block(block, &payload)
+            .expect("write");
+        mw.shutdown();
+        assert_eq!(store.read_block(block), payload, "shutdown must flush");
+    }
+
+    #[test]
+    fn background_flusher_persists_without_explicit_flush() {
+        use crate::store::MemStore;
+        use crate::write::{WriteConfig, WriteMode};
+        let cat = catalog(1, 8_000);
+        let store = Arc::new(MemStore::new(cat.clone(), 42));
+        let mw = Middleware::start(
+            RtConfig {
+                nodes: 2,
+                capacity_blocks: 16,
+                write: WriteConfig {
+                    mode: WriteMode::Back,
+                    dirty_budget: 64,
+                    flush_interval: Some(Duration::from_millis(5)),
+                },
+                ..RtConfig::default()
+            },
+            cat.clone(),
+            store.clone(),
+        );
+        let block = BlockId::new(FileId(0), 0);
+        let payload = vec![0x6B; cat.block_bytes(block) as usize];
+        mw.handle(NodeId(0))
+            .write_block(block, &payload)
+            .expect("write");
+        let deadline = std::time::Instant::now() + Duration::from_secs(10);
+        while store.read_block(block) != payload {
+            assert!(
+                std::time::Instant::now() < deadline,
+                "background flusher never persisted the dirty block"
+            );
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        assert_eq!(mw.dirty_blocks(), 0);
+        mw.shutdown();
+    }
+
+    #[test]
+    fn admission_gates_replica_installs_and_exports_metrics() {
+        use ccm_core::AdmissionConfig;
+        let cat = catalog(2, 20_000);
+        let store = Arc::new(SyntheticStore::new(cat.clone(), 42));
+        let mw = Middleware::start(
+            RtConfig {
+                nodes: 2,
+                capacity_blocks: 64,
+                admission: Some(AdmissionConfig::new(16)),
+                ..RtConfig::default()
+            },
+            cat.clone(),
+            store.clone(),
+        );
+        let blocks = cat.blocks_of(FileId(0));
+        let block = BlockId::new(FileId(0), 0);
+        let want = read_file_direct(&*store, &cat, FileId(0));
+        // Node 0 masters the file (disk reads are never admission-gated).
+        mw.handle(NodeId(0)).read_file(FileId(0));
+        // First remote touch: served but rejected — no replica cached, in
+        // the directory *or* the data plane.
+        assert_eq!(mw.handle(NodeId(1)).read_file(FileId(0)), want);
+        assert_eq!(mw.handle(NodeId(1)).cached_as(block), None);
+        // Second touch: every block ghost-hits and is admitted.
+        assert_eq!(mw.handle(NodeId(1)).read_file(FileId(0)), want);
+        mw.quiesce();
+        assert_eq!(
+            mw.handle(NodeId(1)).cached_as(block),
+            Some(CopyKind::Replica)
+        );
+        let adm = mw.admission_stats();
+        assert_eq!(adm.rejected, blocks as u64);
+        assert_eq!(adm.ghost_hits, blocks as u64);
+        assert_eq!(adm.admitted, blocks as u64);
+        // The registry families mirror the protocol counters exactly.
+        let snap = mw.obs_snapshot();
+        assert_eq!(
+            snap.counter_sum("ccm_rt_admission_rejected_total"),
+            adm.rejected
+        );
+        assert_eq!(
+            snap.counter_sum("ccm_rt_admission_admitted_total"),
+            adm.admitted
+        );
+        assert_eq!(
+            snap.counter_sum("ccm_rt_admission_ghost_hits_total"),
+            adm.ghost_hits
+        );
+        // Third read is now a local hit on the admitted replica.
+        let before = mw.stats().local_hits;
+        assert_eq!(mw.handle(NodeId(1)).read_file(FileId(0)), want);
+        assert_eq!(mw.stats().local_hits, before + blocks as u64);
+        mw.check_invariants();
         mw.shutdown();
     }
 }

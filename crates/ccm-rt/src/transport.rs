@@ -60,6 +60,18 @@ pub enum PeerMsg {
         /// The written block.
         block: BlockId,
     },
+    /// A coherence write at another node invalidated this node's copy of
+    /// `block`. Carries the cluster-wide write version so receivers can
+    /// order invalidations from different writers; otherwise handled like
+    /// [`PeerMsg::Invalidate`] (drop the bytes). Control-plane: the chaos
+    /// wrapper never drops or delays it, matching the atomic protocol
+    /// decision it trails.
+    WriteInvalidate {
+        /// The written block.
+        block: BlockId,
+        /// Monotonic cluster-wide write version of the triggering write.
+        version: u64,
+    },
     /// Ack request: the service thread answers once every earlier message on
     /// this inbox has been processed. Used to quiesce the data plane.
     Barrier {

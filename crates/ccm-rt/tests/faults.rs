@@ -19,8 +19,7 @@ fn start(faults: Option<FaultPlan>) -> (Middleware, Catalog, Arc<SyntheticStore>
             policy: ReplacementPolicy::MasterPreserving,
             fetch_timeout: Duration::from_millis(25),
             faults,
-            disk: Default::default(),
-            obs: None,
+            ..RtConfig::default()
         },
         catalog.clone(),
         store.clone(),

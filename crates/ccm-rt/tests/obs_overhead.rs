@@ -48,8 +48,8 @@ fn instrumented_read_path_stays_within_noise() {
             policy: ReplacementPolicy::MasterPreserving,
             fetch_timeout: Duration::from_secs(2),
             faults: None,
-            disk: Default::default(),
             obs: Some(Registry::new()),
+            ..RtConfig::default()
         },
         catalog,
         store,

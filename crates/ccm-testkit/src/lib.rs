@@ -229,8 +229,7 @@ pub fn run_torture(
             policy: ReplacementPolicy::MasterPreserving,
             fetch_timeout: backend.torture_fetch_timeout(),
             faults: Some(plan),
-            disk: Default::default(),
-            obs: None,
+            ..RtConfig::default()
         },
         catalog.clone(),
         store.clone(),
@@ -505,8 +504,7 @@ pub fn run_churn_torture(
             policy: ReplacementPolicy::MasterPreserving,
             fetch_timeout: backend.torture_fetch_timeout(),
             faults: None,
-            disk: Default::default(),
-            obs: None,
+            ..RtConfig::default()
         },
         catalog.clone(),
         store.clone(),

@@ -1,0 +1,216 @@
+//! Replica-admission control: a ghost-LRU doorkeeper for scan resistance.
+//!
+//! The paper's protocol admits a replica on *every* remote hit, so a
+//! sequential one-touch scan (a backup, a crawler, a table walk) installs a
+//! replica per scanned block and flushes the warm set out of every cache it
+//! touches. The classic fix (ARC's B1 ghost list, TinyLFU's doorkeeper) is
+//! to require *two* touches before a block may displace resident state:
+//!
+//! * The first remote hit for a block is **served but not cached** — the
+//!   block id is recorded in a small per-node *ghost list* (ids only, no
+//!   data, bounded FIFO).
+//! * A second remote hit while the id is still in the ghost list is a
+//!   **ghost hit**: the block has proven reuse, the replica is admitted,
+//!   and the ghost entry is consumed.
+//!
+//! One-touch scan blocks never return before their ghost entry ages out, so
+//! they never evict anything; genuinely re-used blocks pay one extra remote
+//! fetch and are then cached as before. Master creation on a disk read is
+//! *never* gated — the protocol requires a master holder for every
+//! in-memory block, and filtering it would turn cluster memory off.
+//!
+//! The filter is deterministic (pure FIFO over the access order), so the
+//! bit-identical same-seed replay oracle extends to admission-enabled runs
+//! unchanged.
+
+use crate::block::BlockId;
+use simcore::FxHashMap;
+use std::collections::VecDeque;
+
+/// Configuration of the replica-admission filter (see the module docs).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AdmissionConfig {
+    /// Ghost-list capacity per node, in block ids. A scan longer than this
+    /// between two touches of the same block demotes the second touch back
+    /// to a first touch; sizing it at a small multiple of the node's frame
+    /// count covers the reuse distances the cache itself could serve.
+    pub ghost_capacity: usize,
+}
+
+impl AdmissionConfig {
+    /// A filter whose per-node ghost list holds `ghost_capacity` ids.
+    pub fn new(ghost_capacity: usize) -> AdmissionConfig {
+        AdmissionConfig { ghost_capacity }
+    }
+}
+
+impl Default for AdmissionConfig {
+    fn default() -> AdmissionConfig {
+        AdmissionConfig {
+            ghost_capacity: 256,
+        }
+    }
+}
+
+/// Admission-decision counters (monotonic). Kept separate from
+/// [`CacheStats`](crate::CacheStats) so protocol statistics stay
+/// bit-comparable between admission-on and admission-off runs.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct AdmissionStats {
+    /// Replica admissions granted (ghost hits plus filter-off passthroughs
+    /// never count here — the filter was consulted and said yes).
+    pub admitted: u64,
+    /// First-touch replica candidates rejected (served, not cached).
+    pub rejected: u64,
+    /// Admissions granted because the block was found in the ghost list.
+    pub ghost_hits: u64,
+}
+
+/// One node's ghost list: a bounded FIFO of recently rejected block ids.
+struct GhostList {
+    present: FxHashMap<BlockId, ()>,
+    order: VecDeque<BlockId>,
+    capacity: usize,
+}
+
+impl GhostList {
+    fn new(capacity: usize) -> GhostList {
+        GhostList {
+            present: FxHashMap::default(),
+            order: VecDeque::new(),
+            capacity,
+        }
+    }
+
+    /// Consume a ghost entry if present.
+    fn take(&mut self, block: BlockId) -> bool {
+        // The FIFO keeps a lazy tombstone: stale ids are skipped at
+        // eviction time (each id is pushed at most once while present, so
+        // the queue never exceeds capacity + consumed entries).
+        self.present.remove(&block).is_some()
+    }
+
+    /// Record a rejected candidate, aging out the oldest beyond capacity.
+    fn record(&mut self, block: BlockId) {
+        if self.capacity == 0 || self.present.contains_key(&block) {
+            return;
+        }
+        while self.present.len() >= self.capacity {
+            match self.order.pop_front() {
+                Some(old) => {
+                    self.present.remove(&old);
+                }
+                None => break,
+            }
+        }
+        // Drop consumed tombstones so the deque stays bounded.
+        while self.order.len() >= 2 * self.capacity {
+            if let Some(old) = self.order.pop_front() {
+                self.present.remove(&old);
+            }
+        }
+        self.present.insert(block, ());
+        self.order.push_back(block);
+    }
+}
+
+/// The admission seam [`ClusterCache`](crate::ClusterCache) consults at
+/// replica-admission time. Holds one ghost list per node plus the decision
+/// counters.
+pub(crate) struct Admission {
+    ghosts: Vec<GhostList>,
+    stats: AdmissionStats,
+}
+
+impl Admission {
+    pub(crate) fn new(cfg: AdmissionConfig, nodes: usize) -> Admission {
+        Admission {
+            ghosts: (0..nodes)
+                .map(|_| GhostList::new(cfg.ghost_capacity))
+                .collect(),
+            stats: AdmissionStats::default(),
+        }
+    }
+
+    /// Decide whether `node` may install a replica of `block`; updates the
+    /// ghost list and counters either way.
+    pub(crate) fn admit(&mut self, node: usize, block: BlockId) -> bool {
+        let ghost = &mut self.ghosts[node];
+        if ghost.take(block) {
+            self.stats.ghost_hits += 1;
+            self.stats.admitted += 1;
+            true
+        } else {
+            ghost.record(block);
+            self.stats.rejected += 1;
+            false
+        }
+    }
+
+    pub(crate) fn stats(&self) -> AdmissionStats {
+        self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::block::FileId;
+
+    fn b(i: u32) -> BlockId {
+        BlockId::new(FileId(0), i)
+    }
+
+    #[test]
+    fn first_touch_rejected_second_touch_admitted() {
+        let mut a = Admission::new(AdmissionConfig::new(4), 1);
+        assert!(!a.admit(0, b(1)));
+        assert!(a.admit(0, b(1)));
+        let s = a.stats();
+        assert_eq!((s.admitted, s.rejected, s.ghost_hits), (1, 1, 1));
+        // The ghost entry was consumed: a third (post-eviction) candidacy
+        // starts over.
+        assert!(!a.admit(0, b(1)));
+    }
+
+    #[test]
+    fn ghost_lists_are_per_node() {
+        let mut a = Admission::new(AdmissionConfig::new(4), 2);
+        assert!(!a.admit(0, b(1)));
+        // Node 1 never saw the block: its own first touch is rejected.
+        assert!(!a.admit(1, b(1)));
+        assert!(a.admit(0, b(1)));
+        assert!(a.admit(1, b(1)));
+    }
+
+    #[test]
+    fn scan_ages_ghosts_out() {
+        let mut a = Admission::new(AdmissionConfig::new(2), 1);
+        assert!(!a.admit(0, b(1)));
+        // Two younger rejects evict b1's ghost entry...
+        assert!(!a.admit(0, b(2)));
+        assert!(!a.admit(0, b(3)));
+        // ...so b1's second touch is a first touch again.
+        assert!(!a.admit(0, b(1)));
+    }
+
+    #[test]
+    fn zero_capacity_rejects_everything() {
+        let mut a = Admission::new(AdmissionConfig::new(0), 1);
+        for i in 0..10 {
+            assert!(!a.admit(0, b(i)));
+        }
+        assert_eq!(a.stats().rejected, 10);
+        assert_eq!(a.stats().admitted, 0);
+    }
+
+    #[test]
+    fn ghost_memory_stays_bounded() {
+        let mut a = Admission::new(AdmissionConfig::new(8), 1);
+        for i in 0..10_000u32 {
+            a.admit(0, b(i));
+        }
+        assert!(a.ghosts[0].present.len() <= 8);
+        assert!(a.ghosts[0].order.len() <= 16);
+    }
+}

@@ -25,6 +25,7 @@
 //! network, and disk events, and the threaded runtime converts into real
 //! messages.
 
+use crate::admission::{Admission, AdmissionConfig, AdmissionStats};
 use crate::block::{BlockId, NodeId};
 use crate::directory::{DirectoryKind, HintDirectory, HintStats, PerfectDirectory};
 use crate::node_cache::{CopyKind, NodeCache};
@@ -55,6 +56,10 @@ pub struct CacheConfig {
     /// through stale hint chains before falling back to the authoritative
     /// home-node path (Sarkar & Hartman forwarding bound).
     pub hint_max_hops: usize,
+    /// Replica-admission filter for scan resistance (`None` — the paper's
+    /// behavior — admits every remote hit as a replica). See
+    /// [`AdmissionConfig`].
+    pub admission: Option<AdmissionConfig>,
 }
 
 impl CacheConfig {
@@ -69,6 +74,7 @@ impl CacheConfig {
             touch_master_on_remote: true,
             promote_on_master_drop: false,
             hint_max_hops: 3,
+            admission: None,
         }
     }
 }
@@ -168,6 +174,9 @@ pub enum AccessOutcome {
         /// With a hint directory: a stale hint sent us to this node first
         /// (one wasted round trip).
         wasted_hop: Option<NodeId>,
+        /// False if the admission filter served the block without caching a
+        /// replica (always true with admission off).
+        admitted: bool,
     },
     /// No master in memory: the block must be read from its home disk; the
     /// requester becomes the new master holder.
@@ -234,6 +243,8 @@ pub struct ClusterCache {
     /// real wasted round trips; `AccessOutcome` stays `Copy` and carries
     /// only the first hop.
     hint_trail: Vec<NodeId>,
+    /// Replica-admission filter, if configured (see [`AdmissionConfig`]).
+    admission: Option<Admission>,
     tick: u64,
     stats: CacheStats,
 }
@@ -253,6 +264,7 @@ impl ClusterCache {
             DirectoryKind::Hint => Directory::Hint(HintDirectory::new(cfg.nodes)),
         };
         let down = vec![false; cfg.nodes];
+        let admission = cfg.admission.map(|a| Admission::new(a, cfg.nodes));
         ClusterCache {
             cfg,
             nodes,
@@ -261,6 +273,7 @@ impl ClusterCache {
             recirculation: FxHashMap::default(),
             down,
             hint_trail: Vec::new(),
+            admission,
             tick: 0,
             stats: CacheStats::new(),
         }
@@ -279,6 +292,14 @@ impl ClusterCache {
     /// Protocol counters so far.
     pub fn stats(&self) -> CacheStats {
         self.stats
+    }
+
+    /// Admission-filter decision counters (zeroes with admission off).
+    pub fn admission_stats(&self) -> AdmissionStats {
+        self.admission
+            .as_ref()
+            .map(|a| a.stats())
+            .unwrap_or_default()
     }
 
     /// Hint-directory accuracy statistics (zeroes under a perfect directory).
@@ -398,13 +419,27 @@ impl ClusterCache {
                 if limited {
                     self.recirculation.remove(&block);
                 }
-                let eviction = self.make_room(node);
-                self.nodes[n].insert(block, CopyKind::Replica, tick);
-                self.holders_add(block, node);
+                // Replica-admission seam: a one-touch block is served but
+                // not cached, so a sequential scan cannot displace the warm
+                // set. Protocol state other than the requester's replica is
+                // untouched either way.
+                let admitted = match &mut self.admission {
+                    Some(a) => a.admit(n, block),
+                    None => true,
+                };
+                let eviction = if admitted {
+                    let eviction = self.make_room(node);
+                    self.nodes[n].insert(block, CopyKind::Replica, tick);
+                    self.holders_add(block, node);
+                    eviction
+                } else {
+                    None
+                };
                 AccessOutcome::RemoteHit {
                     from: m,
                     eviction,
                     wasted_hop,
+                    admitted,
                 }
             }
             None => {
@@ -744,6 +779,14 @@ impl ClusterCache {
     /// # Panics
     /// Panics if the node is already down.
     pub fn fail_node(&mut self, node: NodeId) -> RepairReport {
+        self.fail_node_with_moves(node).0
+    }
+
+    /// Like [`ClusterCache::fail_node`], additionally reporting where each
+    /// of the failed node's masters was re-mastered: `(block, survivor)`
+    /// pairs, in the failed node's iteration order. Write-back recovery uses
+    /// this to find which survivor holds the bytes of a dirty block.
+    pub fn fail_node_with_moves(&mut self, node: NodeId) -> (RepairReport, Vec<(BlockId, NodeId)>) {
         let n = node.index();
         assert!(!self.down[n], "node {node:?} is already down");
         self.down[n] = true;
@@ -752,6 +795,7 @@ impl ClusterCache {
             .map(|(block, kind, _)| (block, kind))
             .collect();
         let mut report = RepairReport::default();
+        let mut moves = Vec::new();
         for (block, kind) in contents {
             self.nodes[n].remove(block);
             match kind {
@@ -777,6 +821,7 @@ impl ClusterCache {
                             self.dir_set(block, h);
                             self.stats.promotions += 1;
                             report.remastered += 1;
+                            moves.push((block, h));
                         }
                         None => {
                             self.dir_clear(block, node);
@@ -789,7 +834,7 @@ impl ClusterCache {
         self.stats.node_repairs += 1;
         self.stats.remasters += report.remastered as u64;
         self.stats.lost_masters += report.lost_masters as u64;
-        report
+        (report, moves)
     }
 
     /// Rejoin a previously failed node with a cold cache.
@@ -1668,5 +1713,122 @@ mod tests {
             (c.stats(), c.resident_blocks(), c.resident_masters())
         };
         assert_eq!(run(), run());
+    }
+
+    fn admission_cluster(nodes: usize, cap: usize, ghost: usize) -> ClusterCache {
+        let mut cfg = CacheConfig::paper(nodes, cap, ReplacementPolicy::MasterPreserving);
+        cfg.admission = Some(AdmissionConfig::new(ghost));
+        ClusterCache::new(cfg)
+    }
+
+    #[test]
+    fn admission_rejects_first_touch_then_admits() {
+        let mut c = admission_cluster(2, 4, 8);
+        c.access(NodeId(0), b(1)); // disk read at node 0: never gated
+        assert_eq!(c.node(NodeId(0)).lookup(b(1)), Some(CopyKind::Master));
+
+        // First remote hit at node 1: served, not cached.
+        match c.access(NodeId(1), b(1)) {
+            AccessOutcome::RemoteHit {
+                from,
+                eviction: None,
+                admitted: false,
+                ..
+            } => assert_eq!(from, NodeId(0)),
+            other => panic!("unexpected {other:?}"),
+        }
+        assert_eq!(c.node(NodeId(1)).lookup(b(1)), None);
+        c.check_invariants();
+
+        // Second remote hit: ghost hit, replica admitted.
+        match c.access(NodeId(1), b(1)) {
+            AccessOutcome::RemoteHit { admitted: true, .. } => {}
+            other => panic!("unexpected {other:?}"),
+        }
+        assert_eq!(c.node(NodeId(1)).lookup(b(1)), Some(CopyKind::Replica));
+        let s = c.admission_stats();
+        assert_eq!((s.admitted, s.rejected, s.ghost_hits), (1, 1, 1));
+        c.check_invariants();
+    }
+
+    #[test]
+    fn admission_off_admits_everything() {
+        let mut c = cluster(2, 4, ReplacementPolicy::MasterPreserving);
+        c.access(NodeId(0), b(1));
+        match c.access(NodeId(1), b(1)) {
+            AccessOutcome::RemoteHit { admitted: true, .. } => {}
+            other => panic!("unexpected {other:?}"),
+        }
+        assert_eq!(c.admission_stats(), AdmissionStats::default());
+    }
+
+    #[test]
+    fn scan_does_not_displace_warm_set_under_admission() {
+        // Node 1's cache is full of warm replicas (masters at node 0); a
+        // one-touch scan of blocks mastered at node 2 passes through node 1.
+        // With admission on nothing at node 1 is displaced; with admission
+        // off the same scan evicts warm replicas.
+        let warm = |c: &mut ClusterCache| {
+            for i in 0..8 {
+                c.access(NodeId(0), b(i)); // masters at node 0
+                c.access(NodeId(1), b(i)); // (rejected under admission)
+                c.access(NodeId(1), b(i)); // node 1 holds a replica
+            }
+            for i in 100..108 {
+                c.access(NodeId(2), b(i)); // scan masters at node 2
+                c.access(NodeId(1), b(i)); // one-touch scan through node 1
+            }
+        };
+
+        let mut on = admission_cluster(3, 8, 4);
+        warm(&mut on);
+        for i in 0..8 {
+            assert_eq!(
+                on.node(NodeId(1)).lookup(b(i)),
+                Some(CopyKind::Replica),
+                "scan displaced warm replica {i}"
+            );
+        }
+        assert_eq!(on.admission_stats().rejected, 8 + 8);
+        assert_eq!(on.admission_stats().ghost_hits, 8);
+        on.check_invariants();
+
+        let mut off = cluster(3, 8, ReplacementPolicy::MasterPreserving);
+        warm(&mut off);
+        let displaced = (0..8)
+            .filter(|&i| off.node(NodeId(1)).lookup(b(i)).is_none())
+            .count();
+        assert!(displaced > 0, "admission-off scan should displace warm set");
+        off.check_invariants();
+    }
+
+    #[test]
+    fn admission_deterministic_replay() {
+        let run = || {
+            let mut c = admission_cluster(4, 16, 32);
+            let mut rng = simcore::Rng::new(78);
+            for _ in 0..5_000 {
+                let node = NodeId(rng.next_below(4) as u16);
+                let block = b(rng.next_below(100) as u32);
+                c.access(node, block);
+            }
+            c.check_invariants();
+            (c.stats(), c.admission_stats(), c.resident_blocks())
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn fail_node_with_moves_reports_remaster_targets() {
+        let mut c = cluster(3, 8, ReplacementPolicy::MasterPreserving);
+        c.access(NodeId(0), b(1)); // master at 0
+        c.access(NodeId(1), b(1)); // replica at 1
+        c.access(NodeId(0), b(2)); // master at 0, no replica
+        let (report, moves) = c.fail_node_with_moves(NodeId(0));
+        assert_eq!(report.remastered, 1);
+        assert_eq!(report.lost_masters, 1);
+        assert_eq!(moves, vec![(b(1), NodeId(1))]);
+        assert_eq!(c.master_location(b(1)), Some(NodeId(1)));
+        c.check_invariants();
     }
 }

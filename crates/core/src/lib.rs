@@ -37,10 +37,13 @@
 //! * [`policy`] — replacement policy variants.
 //! * [`cluster_cache`] — the whole-cluster orchestrator implementing access,
 //!   eviction, and forwarding; the API both front-ends drive.
+//! * [`admission`] — the ghost-LRU replica-admission filter (scan
+//!   resistance).
 //! * [`stats`] — protocol event counters (hits, forwards, drops).
 
 #![warn(missing_docs)]
 
+pub mod admission;
 pub mod block;
 pub mod cluster_cache;
 pub mod directory;
@@ -49,6 +52,7 @@ pub mod node_cache;
 pub mod policy;
 pub mod stats;
 
+pub use admission::{AdmissionConfig, AdmissionStats};
 pub use block::{BlockId, FileId, NodeId, BLOCK_SIZE};
 pub use cluster_cache::{
     AccessOutcome, CacheConfig, ClusterCache, Disposition, EvictionEffect, PrefetchOutcome,

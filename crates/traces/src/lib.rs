@@ -21,18 +21,23 @@
 //! * [`clf`] — a Common Log Format parser so real access logs can be swapped
 //!   in for the synthetic presets.
 //! * [`analysis`] — Table 2 statistics and the Figure 1 cumulative curves.
+//! * [`mix`] — read/write marking ([`mix::WriteMix`]) and scan-heavy
+//!   variants ([`mix::scan_heavy`], [`mix::ScanSource`]) for driving the
+//!   middleware's write path and admission control.
 
 #![warn(missing_docs)]
 
 pub mod analysis;
 pub mod clf;
 pub mod distributions;
+pub mod mix;
 pub mod model;
 pub mod presets;
 pub mod synth;
 pub mod temporal;
 
 pub use analysis::{TraceStats, WorkingSetCurve};
+pub use mix::{scan_heavy, ScanConfig, ScanSource, WriteMix};
 pub use model::{FileId, ReplaySource, RequestIter, RequestSource, SampledSource, Workload};
 pub use presets::Preset;
 pub use synth::SynthConfig;

@@ -1,0 +1,72 @@
+//! Same-seed determinism properties for the write-mix and scan-heavy
+//! variants — the guarantees the load generator's read-back verifier and
+//! the bench suite's admission comparison stand on.
+
+use ccm_traces::{scan_heavy, Preset, RequestSource, ScanConfig, ScanSource, WriteMix};
+use proptest::prelude::*;
+use simcore::Rng;
+use std::sync::Arc;
+
+/// Build the scan-heavy Calgary head twice, independently, and pull the
+/// interleaved request stream from each with the same seed.
+fn two_scan_streams(head: usize, cfg: ScanConfig, seed: u64, n: usize) -> (Vec<u32>, Vec<u32>) {
+    let draw = || -> Vec<u32> {
+        let base = Preset::Calgary.workload().head(head);
+        let w = Arc::new(scan_heavy(&base, cfg));
+        let inner = w.requests(Rng::new(seed).substream(1));
+        let mut src = ScanSource::new(inner, head, cfg.scan_files, cfg.period);
+        (0..n).map(|_| src.next_request().0).collect()
+    };
+    (draw(), draw())
+}
+
+/// The scan-heavy workload itself is deterministic: same base, same config,
+/// bit-identical sizes — and the default config appends its documented tail.
+#[test]
+fn scan_heavy_workload_is_deterministic() {
+    let base = Preset::Nasa.workload().head(300);
+    let a = scan_heavy(&base, ScanConfig::default());
+    let b = scan_heavy(&base, ScanConfig::default());
+    assert_eq!(a.sizes(), b.sizes());
+    assert_eq!(a.num_files(), 300 + ScanConfig::default().scan_files);
+    // The tail carries zero request mass: total popularity sits entirely in
+    // the body.
+    assert!((a.request_fraction_of_top(300) - 1.0).abs() < 1e-12);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Write marking replays bit-identically for arbitrary seeds and
+    /// ratios, and the observed write fraction tracks the requested ratio.
+    #[test]
+    fn write_mix_replays_bit_identically(seed in any::<u64>(), pct in 0u32..=100) {
+        let ratio = pct as f64 / 100.0;
+        let a = WriteMix::new(seed, ratio);
+        let b = WriteMix::new(seed, ratio);
+        let marks = |m: &WriteMix| (0..2_000u64).map(|op| m.is_write(op)).collect::<Vec<_>>();
+        prop_assert_eq!(marks(&a), marks(&b));
+        let observed = a.writes_in(20_000) as f64 / 20_000.0;
+        prop_assert!((observed - ratio).abs() < 0.02, "ratio {} drew {}", ratio, observed);
+    }
+
+    /// Two independently constructed scan-heavy streams replay the same
+    /// interleaving for arbitrary seeds, and every drawn id is in range:
+    /// body ranks off-period, sequential tail ids on-period.
+    #[test]
+    fn scan_streams_replay_bit_identically(seed in any::<u64>(), period in 2u64..8) {
+        let cfg = ScanConfig { scan_files: 16, scan_file_bytes: 4096, period };
+        let head = 64usize;
+        let (s1, s2) = two_scan_streams(head, cfg, seed, 400);
+        prop_assert_eq!(&s1, &s2);
+        let mut sweep = 0u32;
+        for (i, &f) in s1.iter().enumerate() {
+            if (i as u64 + 1).is_multiple_of(period) {
+                prop_assert_eq!(f, head as u32 + sweep, "op {} broke the sweep", i);
+                sweep = (sweep + 1) % cfg.scan_files as u32;
+            } else {
+                prop_assert!((f as usize) < head, "op {} drew {} outside the body", i, f);
+            }
+        }
+    }
+}

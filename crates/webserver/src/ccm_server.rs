@@ -340,6 +340,7 @@ impl CcmSim {
                     from,
                     eviction,
                     wasted_hop,
+                    ..
                 } => {
                     let costs = self.cfg.costs.clone();
                     let ctrl = self.cluster.net.send_control(now, node, from, &costs)

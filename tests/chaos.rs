@@ -140,8 +140,7 @@ fn concurrent_readers_survive_crashes_and_lossy_links() {
                 policy: ReplacementPolicy::MasterPreserving,
                 fetch_timeout: BACKEND.torture_fetch_timeout(),
                 faults: Some(plan),
-                disk: Default::default(),
-                obs: None,
+                ..RtConfig::default()
             },
             catalog.clone(),
             store.clone(),

@@ -65,8 +65,7 @@ fn member_config(nodes: usize, backend: Backend) -> RtConfig {
         policy: ReplacementPolicy::MasterPreserving,
         fetch_timeout: backend.torture_fetch_timeout(),
         faults: None,
-        disk: Default::default(),
-        obs: None,
+        ..RtConfig::default()
     }
 }
 
